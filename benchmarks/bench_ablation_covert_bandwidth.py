@@ -1,0 +1,110 @@
+"""Extension experiment: covert-channel bandwidth vs background noise.
+
+Table II marks several channels M=◐ because a tenant can only *influence*
+them through resource usage; the paper notes these "could be exploited by
+advanced attackers as covert channels to transmit signals". This bench
+quantifies that: bit error rate of a loadavg-carried covert channel as a
+function of symbol period, on a quiet host and under a noisy neighbour.
+
+Shape targets: error-free transfer at modest rates on a quiet host;
+shorter symbols and louder neighbours push errors up — the classic
+bandwidth/robustness trade-off of physical covert channels (cf. the
+thermal channels of Bartolini/Masti et al., cited in Section VIII).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.coresidence.covert import (
+    CovertConfig,
+    CovertReceiver,
+    CovertSender,
+    run_transfer,
+)
+from repro.kernel.kernel import Machine
+from repro.runtime.engine import ContainerEngine
+from repro.runtime.workload import Workload, WorkloadPhase
+
+#: a fixed 16-bit test frame (framed: contains both symbols)
+FRAME = [1, 0, 1, 1, 0, 0, 1, 0, 0, 1, 1, 0, 1, 0, 0, 1]
+
+
+def _bursty_noise(name: str, on_s: float, off_s: float) -> Workload:
+    """A neighbour that flaps between busy and asleep: real interference
+    for a load-count carrier (a constant neighbour is just DC offset)."""
+    phases = []
+    for _ in range(400):
+        phases.append(WorkloadPhase(duration=on_s, cpu_demand=0.95, ipc=1.5))
+        phases.append(WorkloadPhase(duration=off_s, cpu_demand=0.01, ipc=0.5))
+    return Workload(phases, name=name)
+
+
+def error_rate(
+    symbol_period_s: float, noisy_cores: int, carrier_cores: int, seed: int
+) -> float:
+    machine = Machine(seed=seed, spawn_daemons=False)
+    engine = ContainerEngine(machine.kernel)
+    sender_c = engine.create(name="sender", cpus=4)
+    receiver_c = engine.create(name="receiver", cpus=2)
+    for i in range(noisy_cores):
+        machine.kernel.spawn(
+            f"noise-{i}",
+            workload=_bursty_noise(f"noise-{i}", 1.5 + 0.7 * i, 2.5 - 0.3 * i),
+        )
+    machine.run(5, dt=1.0)
+    config = CovertConfig(
+        symbol_period_s=symbol_period_s, carrier_cores=carrier_cores
+    )
+    received = run_transfer(
+        lambda s: machine.run(s, dt=min(1.0, symbol_period_s / 4)),
+        CovertSender(sender_c, config),
+        CovertReceiver(receiver_c, config),
+        FRAME,
+    )
+    return sum(a != b for a, b in zip(FRAME, received)) / len(FRAME)
+
+
+def run_sweep():
+    rows = {}
+    for carrier in (4, 1):
+        for period in (1.0, 4.0):
+            for noisy in (0, 4):
+                rows[(carrier, period, noisy)] = error_rate(
+                    period, noisy, carrier, seed=211
+                )
+    return rows
+
+
+def test_ablation_covert_bandwidth(benchmark, results_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    # a quiet host carries the channel error-free for any carrier/rate
+    for carrier in (4, 1):
+        for period in (1.0, 4.0):
+            assert rows[(carrier, period, 0)] == 0.0
+    # a strong carrier shrugs off bursty neighbours
+    assert rows[(4, 1.0, 4)] <= 0.1
+    # a weak fast carrier drowns; slowing the symbols recovers it
+    assert rows[(1, 1.0, 4)] > 0.2
+    assert rows[(1, 4.0, 4)] < rows[(1, 1.0, 4)]
+
+    lines = [
+        "Extension: covert-channel quality over /proc/loadavg",
+        "(16-bit frame; noise = 4 bursty neighbour tasks)",
+        "",
+        f"{'carrier cores':<15}{'period s':>10}{'bit/s':>7}"
+        f"{'BER quiet':>11}{'BER noisy':>11}",
+    ]
+    for carrier in (4, 1):
+        for period in (1.0, 4.0):
+            lines.append(
+                f"{carrier:<15}{period:>10.1f}{1.0 / period:>7.2f}"
+                f"{rows[(carrier, period, 0)]:>11.3f}"
+                f"{rows[(carrier, period, 4)]:>11.3f}"
+            )
+    lines.append("")
+    lines.append(
+        "conclusion: the M=half channels of Table II carry practical"
+        " covert traffic; namespacing/masking them is part of the fix."
+    )
+    write_result(results_dir, "ablation_covert_bandwidth", "\n".join(lines))

@@ -1,0 +1,112 @@
+"""Figure 3: synergistic vs periodic power attack on 8 servers.
+
+Both attackers control one 4-core instance per server. The periodic
+baseline fires blindly every 300 s; the synergistic attacker monitors the
+leaked RAPL channel and superimposes bursts on benign crests. The benign
+background is bursty (short batch spikes), as in the paper's attack
+window, so blind bursts usually miss the crests.
+
+Shape targets (paper: synergistic reached 1,359 W in 2 trials; periodic
+managed at most 1,280 W over 9 trials): the synergistic attack must reach
+a higher aggregate peak with far fewer trials and a far smaller bill.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.attack.monitor import CrestDetector
+from repro.attack.strategies import PeriodicAttack, SynergisticAttack
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.datacenter.tenants import DiurnalProfile
+
+#: bursty benign background: frequent short spikes an unsynchronized
+#: attacker will usually miss
+SPIKY_TENANTS = DiurnalProfile(
+    base_cores=1.0,
+    peak_cores=1.5,
+    bursts_per_day=200.0,
+    burst_cores=5.0,
+    burst_duration_s=45.0,
+    noise=0.05,
+)
+
+WINDOW_S = 3000.0
+WARMUP_S = 600.0
+
+
+def setup(seed):
+    sim = DatacenterSimulation(
+        servers=8, seed=seed, sample_interval_s=1.0, tenant_profile=SPIKY_TENANTS
+    )
+    cloud = sim.cloud
+    instances, covered = [], set()
+    while len(covered) < 8:
+        inst = cloud.launch_instance("attacker")
+        if inst.host_index in covered:
+            cloud.terminate_instance(inst)
+        else:
+            covered.add(inst.host_index)
+            instances.append(inst)
+    sim.run(WARMUP_S, dt=1.0)
+    return sim, instances
+
+
+def run_comparison():
+    sim_s, inst_s = setup(seed=105)
+    synergistic = SynergisticAttack(
+        sim_s,
+        inst_s,
+        burst_s=30.0,
+        cooldown_s=400.0,
+        max_trials=2,
+        learn_s=900.0,
+        detector_factory=lambda: CrestDetector(
+            window=4000, threshold_fraction=0.88, min_band_watts=30.0
+        ),
+    )
+    out_s = synergistic.run(WINDOW_S)
+
+    sim_p, inst_p = setup(seed=105)
+    periodic = PeriodicAttack(sim_p, inst_p, burst_s=30.0, period_s=300.0)
+    out_p = periodic.run(WINDOW_S)
+    return out_s, out_p
+
+
+def test_fig3(benchmark, results_dir):
+    out_s, out_p = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    import statistics
+
+    # --- who wins: synergistic spikes higher (this seed's run, as the
+    # paper reports one run)...
+    assert out_s.peak_watts > out_p.peak_watts
+    # ...and robustly so per strike: every synergistic burst rides a
+    # learned crest, while blind bursts average a lower background
+    mean_syn = statistics.mean(out_s.spike_watts)
+    mean_per = statistics.mean(out_p.spike_watts)
+    assert mean_syn > mean_per + 20.0
+    # ...with far fewer trials (paper: 2 vs 9)...
+    assert out_s.trials <= 2
+    assert out_p.trials >= 9
+    # ...at a fraction of the utilization-billed cost
+    assert out_s.attacker_cpu_seconds < out_p.attacker_cpu_seconds / 3
+    assert out_s.bill_dollars < out_p.bill_dollars / 3
+
+    lines = [
+        "Figure 3 reproduction: synergistic vs periodic attack, 8 servers,"
+        f" {WINDOW_S:.0f} s window",
+        "  paper:    synergistic 1359 W in 2 trials; periodic <= 1280 W in 9",
+        f"  measured: synergistic {out_s.peak_watts:.0f} W in {out_s.trials}"
+        f" trials (cpu {out_s.attacker_cpu_seconds:.0f} s,"
+        f" ${out_s.bill_dollars:.4f})",
+        f"            periodic    {out_p.peak_watts:.0f} W in {out_p.trials}"
+        f" trials (cpu {out_p.attacker_cpu_seconds:.0f} s,"
+        f" ${out_p.bill_dollars:.4f})",
+        f"  spike list (synergistic): "
+        + " ".join(f"{w:.0f}" for w in out_s.spike_watts),
+        f"  spike list (periodic):    "
+        + " ".join(f"{w:.0f}" for w in out_p.spike_watts),
+        f"  mean spike: synergistic {mean_syn:.0f} W vs periodic"
+        f" {mean_per:.0f} W",
+    ]
+    write_result(results_dir, "fig3_attack_compare", "\n".join(lines))

@@ -1,0 +1,63 @@
+"""Table III: UnixBench performance overhead of the power namespace.
+
+Runs the twelve UnixBench micro-tests at 1 and 8 parallel copies, with the
+power namespace's perf accounting off (original) and on (modified), and
+reports per-test overhead plus the geometric-mean index.
+
+Shape targets from the paper: CPU tests ~0–1%; pipe-based context
+switching ~60% at one copy collapsing to ~2% at eight; file copies growing
+to double digits at eight copies; spawn-heavy tests mid-single to low
+double digits; overall index 9.66% / 7.03%.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.defense.unixbench import UnixBenchRunner, format_table3
+
+
+def run_suite():
+    runner = UnixBenchRunner(seed=114, run_seconds=30.0)
+    return runner, runner.run_suite((1, 8))
+
+
+def test_table3(benchmark, results_dir):
+    runner, results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    by_name_1 = {r.test: r for r in results[1]}
+    by_name_8 = {r.test: r for r in results[8]}
+
+    pipe = "Pipe-based Context Switching"
+    assert by_name_1[pipe].overhead_percent > 40.0
+    assert by_name_8[pipe].overhead_percent < 5.0
+
+    for cpu_test in ("Dhrystone 2 using register variables",
+                     "Double-Precision Whetstone",
+                     "System Call Overhead"):
+        assert abs(by_name_1[cpu_test].overhead_percent) < 3.0
+
+    for fc in ("File Copy 1024 bufsize 2000 maxblocks",
+               "File Copy 256 bufsize 500 maxblocks",
+               "File Copy 4096 bufsize 8000 maxblocks"):
+        assert by_name_8[fc].overhead_percent > by_name_1[fc].overhead_percent
+
+    for spawny in ("Execl Throughput", "Process Creation"):
+        assert 2.0 < by_name_1[spawny].overhead_percent < 25.0
+
+    orig1, mod1 = runner.index_score(results[1])
+    orig8, mod8 = runner.index_score(results[8])
+    overhead1 = (orig1 - mod1) / orig1 * 100
+    overhead8 = (orig8 - mod8) / orig8 * 100
+    # paper: 9.66% and 7.03%
+    assert 4.0 < overhead1 < 16.0
+    assert 3.0 < overhead8 < 12.0
+    assert overhead8 < overhead1
+
+    table = format_table3(results)
+    summary = (
+        "Table III reproduction: UnixBench overhead of the power namespace\n"
+        f"paper index overhead: 9.66% (1 copy), 7.03% (8 copies)\n"
+        f"measured:             {overhead1:.2f}% (1 copy), {overhead8:.2f}%"
+        f" (8 copies)\n\n" + table
+    )
+    write_result(results_dir, "table3_overhead", summary)

@@ -1,0 +1,30 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures. Results
+are printed and also written under ``benchmarks/out/`` so that the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from the
+artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the rendered tables/series."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, content: str) -> None:
+    """Persist one experiment's rendered output."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(content)
+    print(f"\n=== {name} ===")
+    print(content)

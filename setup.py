@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` / `setup.py develop` work on
+environments whose setuptools predates PEP 660 editable wheels and that
+lack the `wheel` package (offline hosts). All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""ContainerLeaks reproduction.
+
+A comprehensive Python reproduction of "ContainerLeaks: Emerging Security
+Threats of Information Leakages in Container Clouds" (Gao, Gu, Kayaalp,
+Pendarakis, Wang - IEEE/IFIP DSN 2017): the simulated Linux substrate,
+the procfs/sysfs leakage channels, the container runtime and cloud
+profiles, the co-residence toolkit, the synergistic power attack, and the
+two-stage defense with its power-based namespace.
+
+Start with :mod:`repro.kernel.kernel` (the `Machine` harness) and
+:mod:`repro.runtime.engine`, or run ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Shared numerics: entropy, regression, and trace statistics."""
+
+from repro.analysis.entropy import field_entropy, joint_entropy
+from repro.analysis.regression import LinearModel, fit_linear
+from repro.analysis.traces import correlate, crest_indices, pearson
+
+__all__ = [
+    "LinearModel",
+    "correlate",
+    "crest_indices",
+    "field_entropy",
+    "fit_linear",
+    "joint_entropy",
+    "pearson",
+]

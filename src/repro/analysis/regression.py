@@ -1,0 +1,80 @@
+"""Least-squares regression used by the defense's power modelling.
+
+The paper fits (a) per-benchmark linear energy-vs-instructions slopes
+(Figure 6), (b) a linear DRAM-energy-vs-cache-misses model (Figure 7), and
+(c) a multi-degree polynomial F(cache-miss-rate, branch-miss-rate) for the
+core slope (Formula 2). All reduce to ordinary least squares, implemented
+here over numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import DefenseError
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A fitted linear model y = w·x + b."""
+
+    weights: tuple
+    intercept: float
+    r_squared: float
+
+    def predict(self, features: Sequence[float]) -> float:
+        """Evaluate the model on one feature vector."""
+        if len(features) != len(self.weights):
+            raise DefenseError(
+                f"feature count mismatch: {len(features)} != {len(self.weights)}"
+            )
+        return float(np.dot(self.weights, features) + self.intercept)
+
+
+def fit_linear(
+    features: Sequence[Sequence[float]], targets: Sequence[float]
+) -> LinearModel:
+    """Ordinary least squares with intercept.
+
+    Raises :class:`DefenseError` when the system is under-determined
+    (fewer samples than unknowns) — the modelling stage must collect more
+    training windows instead of silently extrapolating.
+    """
+    if not features:
+        raise DefenseError("cannot fit a model with no samples")
+    X = np.asarray(features, dtype=float)
+    y = np.asarray(targets, dtype=float)
+    if X.ndim != 2 or len(X) != len(y):
+        raise DefenseError(f"bad regression shapes: X{X.shape}, y{y.shape}")
+    if len(X) < X.shape[1] + 1:
+        raise DefenseError(
+            f"under-determined fit: {len(X)} samples for {X.shape[1] + 1} unknowns"
+        )
+    augmented = np.hstack([X, np.ones((len(X), 1))])
+    solution, _, _, _ = np.linalg.lstsq(augmented, y, rcond=None)
+    weights = tuple(float(w) for w in solution[:-1])
+    intercept = float(solution[-1])
+
+    predictions = augmented @ solution
+    ss_res = float(np.sum((y - predictions) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearModel(weights=weights, intercept=intercept, r_squared=r_squared)
+
+
+def polynomial_features(x: float, y: float, degree: int = 2) -> List[float]:
+    """Features of the two miss rates for Formula 2's F(·,·).
+
+    Degree 1 → [x, y]; degree 2 adds [x², xy, y²]; degree 3 adds cubics.
+    """
+    if degree < 1 or degree > 3:
+        raise DefenseError(f"unsupported polynomial degree: {degree}")
+    feats = [x, y]
+    if degree >= 2:
+        feats += [x * x, x * y, y * y]
+    if degree >= 3:
+        feats += [x**3, x * x * y, x * y * y, y**3]
+    return feats

@@ -1,0 +1,82 @@
+"""Time-series helpers for co-residence trace matching and crest detection.
+
+Two containers verify co-residence by snapshotting a time-varying channel
+(e.g. ``MemFree``) simultaneously for a minute and checking whether the
+traces match (Section III-C, metric V); the synergistic attacker detects
+power crests in a RAPL-derived watt series (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import ReproError
+
+
+def pearson(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length series.
+
+    Two constant series are defined as perfectly correlated iff they are
+    equal (that is what trace *matching* means for a flat channel).
+    """
+    if len(a) != len(b):
+        raise ReproError(f"trace length mismatch: {len(a)} != {len(b)}")
+    if not a:
+        raise ReproError("cannot correlate empty traces")
+    n = len(a)
+    mean_a = sum(a) / n
+    mean_b = sum(b) / n
+    var_a = sum((x - mean_a) ** 2 for x in a)
+    var_b = sum((x - mean_b) ** 2 for x in b)
+    if var_a == 0 or var_b == 0:
+        return 1.0 if list(a) == list(b) else 0.0
+    cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(a, b))
+    return cov / math.sqrt(var_a * var_b)
+
+
+def correlate(a: Sequence[float], b: Sequence[float]) -> float:
+    """Trace-match score in [0, 1]: max(0, pearson) on first differences.
+
+    Differencing removes each container's constant offset and makes the
+    score reflect co-movement, which is the actual co-residence signal.
+    """
+    if len(a) < 3:
+        raise ReproError("need at least 3 samples to correlate traces")
+    da = [y - x for x, y in zip(a, a[1:])]
+    db = [y - x for x, y in zip(b, b[1:])]
+    return max(0.0, pearson(da, db))
+
+
+def crest_indices(
+    values: Sequence[float], threshold_fraction: float = 0.8
+) -> List[int]:
+    """Indices where the series is in its top band (candidate crests).
+
+    ``threshold_fraction`` positions the band between the series minimum
+    and maximum: 0.8 keeps samples above min + 0.8·(max − min).
+    """
+    if not values:
+        return []
+    if not 0.0 < threshold_fraction < 1.0:
+        raise ReproError(f"threshold fraction must be in (0,1): {threshold_fraction}")
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return []
+    cut = lo + threshold_fraction * (hi - lo)
+    return [i for i, v in enumerate(values) if v >= cut]
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Simple trailing moving average (window clipped at the start)."""
+    if window < 1:
+        raise ReproError(f"window must be >= 1: {window}")
+    out = []
+    acc = 0.0
+    for i, v in enumerate(values):
+        acc += v
+        if i >= window:
+            acc -= values[i - window]
+        out.append(acc / min(i + 1, window))
+    return out

@@ -1,0 +1,34 @@
+"""The synergistic power attack (Section IV).
+
+- :mod:`repro.attack.monitor` — RAPL-channel power monitoring and crest
+  detection (near-zero CPU, hence near-zero billing cost).
+- :mod:`repro.attack.virus` — power-virus workloads.
+- :mod:`repro.attack.strategies` — continuous, periodic, and synergistic
+  attack strategies over a datacenter simulation.
+- :mod:`repro.attack.campaign` — the full orchestrated campaign: aggregate
+  co-resident instances, then strike every server's crest at once.
+"""
+
+from repro.attack.estimator import UtilizationPowerEstimator
+from repro.attack.monitor import CrestDetector, RaplPowerMonitor
+from repro.attack.strategies import (
+    AttackOutcome,
+    ContinuousAttack,
+    PeriodicAttack,
+    SynergisticAttack,
+)
+from repro.attack.campaign import CampaignResult, SynergisticCampaign
+from repro.attack.virus import power_virus
+
+__all__ = [
+    "AttackOutcome",
+    "CampaignResult",
+    "ContinuousAttack",
+    "CrestDetector",
+    "PeriodicAttack",
+    "RaplPowerMonitor",
+    "SynergisticAttack",
+    "SynergisticCampaign",
+    "UtilizationPowerEstimator",
+    "power_virus",
+]

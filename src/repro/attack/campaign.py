@@ -1,0 +1,120 @@
+"""The full synergistic campaign: orchestration + timing (Section IV-C).
+
+Combines the toolkit: aggregate co-resident instances with the
+leakage-based orchestrator (and the uptime boot-proximity heuristic for
+rack adjacency), arm per-server RAPL monitors, and superimpose synchronized
+bursts on benign crests to overload a shared branch circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.attack.strategies import AttackOutcome, SynergisticAttack
+from repro.coresidence.fingerprint import fingerprint_instance
+from repro.coresidence.uptime import read_uptime
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.errors import AttackError, CapacityError
+from repro.runtime.cloud import Instance
+
+
+@dataclass
+class CampaignResult:
+    """End-to-end campaign outcome."""
+
+    servers_covered: int
+    launches: int
+    coverage_elapsed_s: float
+    attack: Optional[AttackOutcome] = None
+    #: instance_id -> (uptime, idle) observed during reconnaissance
+    reconnaissance: Dict[str, tuple] = field(default_factory=dict)
+
+
+class SynergisticCampaign:
+    """Cover target servers with instances, then strike their crests."""
+
+    def __init__(
+        self,
+        sim: DatacenterSimulation,
+        tenant: str = "attacker",
+        cores_per_instance: int = 4,
+    ):
+        self.sim = sim
+        self.tenant = tenant
+        self.cores = cores_per_instance
+
+    def cover_servers(
+        self, target_servers: int, max_launches: int = 200
+    ) -> List[Instance]:
+        """Obtain one instance on each of ``target_servers`` distinct hosts.
+
+        Distinctness is verified purely through leaked channels: a new
+        instance whose fingerprint matches an already-held one is
+        co-resident with it and gets terminated.
+        """
+        cloud = self.sim.cloud
+        start = cloud.clock.now
+        held: List[Instance] = []
+        held_prints: List = []
+        launches = 0
+        while len(held) < target_servers:
+            if launches >= max_launches:
+                raise AttackError(
+                    f"launch budget exhausted: covered {len(held)}/"
+                    f"{target_servers} servers in {launches} launches"
+                )
+            try:
+                candidate = cloud.launch_instance(self.tenant)
+            except CapacityError:
+                cloud.run(10.0)
+                continue
+            launches += 1
+            cloud.run(1.0)
+            print_ = fingerprint_instance(candidate)
+            if any(print_.matches(existing) for existing in held_prints):
+                cloud.terminate_instance(candidate)
+            else:
+                held.append(candidate)
+                held_prints.append(print_)
+        self._launches = launches
+        self._coverage_elapsed = cloud.clock.now - start
+        return held
+
+    def reconnoiter(self, instances: List[Instance]) -> Dict[str, tuple]:
+        """Read /proc/uptime everywhere: the boot-proximity intelligence."""
+        observations = {}
+        for instance in instances:
+            obs = read_uptime(instance)
+            observations[instance.instance_id] = (obs.uptime_s, obs.idle_s)
+        return observations
+
+    def execute(
+        self,
+        target_servers: int,
+        attack_duration_s: float = 3000.0,
+        burst_s: float = 30.0,
+        cooldown_s: float = 600.0,
+        max_launches: int = 200,
+        settle_s: float = 300.0,
+    ) -> CampaignResult:
+        """The whole campaign: cover, reconnoiter, monitor, strike."""
+        instances = self.cover_servers(target_servers, max_launches=max_launches)
+        recon = self.reconnoiter(instances)
+        result = CampaignResult(
+            servers_covered=len(instances),
+            launches=self._launches,
+            coverage_elapsed_s=self._coverage_elapsed,
+            reconnaissance=recon,
+        )
+        if settle_s > 0:
+            self.sim.run(settle_s)  # let monitors see the benign baseline
+        attack = SynergisticAttack(
+            self.sim,
+            instances,
+            burst_s=burst_s,
+            cooldown_s=cooldown_s,
+            cores_per_instance=self.cores,
+        )
+        result.attack = attack.run(attack_duration_s)
+        return result

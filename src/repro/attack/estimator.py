@@ -1,0 +1,115 @@
+"""Power estimation without RAPL (Section VII-A).
+
+"If power data is not directly available, advanced attackers will try to
+approximate the power status based on the resource utilization
+information, such as the CPU and memory utilization, which is still
+available in the identified information leakages."
+
+This module implements that advanced attacker: a power proxy built from
+``/proc/stat`` (host CPU busy time) and ``/proc/meminfo`` (memory churn),
+usable on providers whose hardware has no RAPL (the paper's CC4) or who
+masked the powercap tree but left the classic status files open. The
+estimate feeds the same :class:`repro.attack.monitor.CrestDetector` as
+the RAPL watt series.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import AttackError, ReproError
+
+
+@dataclass
+class _StatSnapshot:
+    """Parsed totals from one /proc/stat read."""
+
+    busy_ticks: int
+    idle_ticks: int
+
+
+def _parse_stat(content: str) -> _StatSnapshot:
+    first = content.splitlines()[0]
+    if not first.startswith("cpu "):
+        raise AttackError(f"unexpected /proc/stat header: {first!r}")
+    fields = [int(x) for x in first.split()[1:]]
+    if len(fields) < 4:
+        raise AttackError(f"truncated /proc/stat cpu line: {first!r}")
+    user, nice, system, idle = fields[:4]
+    iowait = fields[4] if len(fields) > 4 else 0
+    return _StatSnapshot(busy_ticks=user + nice + system, idle_ticks=idle + iowait)
+
+
+def _parse_memfree_kb(content: str) -> int:
+    match = re.search(r"MemFree:\s+(\d+) kB", content)
+    if match is None:
+        raise AttackError("no MemFree in /proc/meminfo")
+    return int(match.group(1))
+
+
+class UtilizationPowerEstimator:
+    """A relative power proxy from /proc/stat and /proc/meminfo.
+
+    Produces ``estimate = cpu_utilization + memory_churn_weight ·
+    normalized_memory_churn`` per sampling interval. The scale is
+    arbitrary (it is *not* watts) — crest detection only needs the
+    *pattern*, which is exactly the paper's point: hiding RAPL without
+    hiding the utilization files leaves the attack viable.
+    """
+
+    STAT = "/proc/stat"
+    MEMINFO = "/proc/meminfo"
+
+    def __init__(self, instance, memory_churn_weight: float = 0.3):
+        self.instance = instance
+        self.memory_churn_weight = memory_churn_weight
+        self._last_stat: Optional[_StatSnapshot] = None
+        self._last_memfree_kb: Optional[int] = None
+        self._last_time: Optional[float] = None
+        self.estimates: List[float] = []
+        self.times: List[float] = []
+
+    def available(self) -> bool:
+        """Whether the utilization channels are readable."""
+        try:
+            self.instance.read(self.STAT)
+            self.instance.read(self.MEMINFO)
+            return True
+        except ReproError:
+            return False
+
+    def sample(self, now: float) -> Optional[float]:
+        """One reading; returns the load estimate since the last sample."""
+        try:
+            stat = _parse_stat(self.instance.read(self.STAT))
+            memfree_kb = _parse_memfree_kb(self.instance.read(self.MEMINFO))
+        except ReproError as exc:
+            raise AttackError(f"utilization channels unreadable: {exc}") from exc
+
+        if self._last_stat is None or self._last_time is None:
+            self._last_stat = stat
+            self._last_memfree_kb = memfree_kb
+            self._last_time = now
+            return None
+        if now <= self._last_time:
+            raise AttackError(f"estimator sampled twice at t={now}")
+
+        busy = stat.busy_ticks - self._last_stat.busy_ticks
+        idle = stat.idle_ticks - self._last_stat.idle_ticks
+        total = busy + idle
+        utilization = busy / total if total > 0 else 0.0
+
+        churn_kb = abs(memfree_kb - (self._last_memfree_kb or memfree_kb))
+        dt = now - self._last_time
+        # normalize churn to "fraction of a GB per second"
+        churn = min(1.0, churn_kb / dt / (1024.0 * 1024.0))
+
+        estimate = utilization + self.memory_churn_weight * churn
+        self._last_stat = stat
+        self._last_memfree_kb = memfree_kb
+        self._last_time = now
+        self.estimates.append(estimate)
+        self.times.append(now)
+        return estimate

@@ -1,0 +1,96 @@
+"""RAPL-channel power monitoring from inside a container.
+
+The monitor reads ``energy_uj`` through the leaked sysfs interface,
+differentiates successive readings into watts (handling MSR wraparound),
+and feeds a crest detector. Reading a pseudo-file costs effectively no CPU
+— the property that makes the synergistic attack nearly free to aim
+(Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import AttackError, ReproError
+from repro.kernel.rapl import MAX_ENERGY_RANGE_UJ, unwrap_delta
+
+#: the RAPL package-0 energy counter, as mounted in a container
+DEFAULT_ENERGY_PATH = "/sys/class/powercap/intel-rapl:0/energy_uj"
+
+
+class RaplPowerMonitor:
+    """Watt series derived from a container-visible RAPL counter."""
+
+    def __init__(self, instance, path: str = DEFAULT_ENERGY_PATH):
+        self.instance = instance
+        self.path = path
+        self._last_uj: Optional[int] = None
+        self._last_time: Optional[float] = None
+        self.watts: List[float] = []
+        self.times: List[float] = []
+
+    def available(self) -> bool:
+        """Whether the RAPL channel is readable from this instance."""
+        try:
+            self.instance.read(self.path)
+            return True
+        except ReproError:
+            return False
+
+    def sample(self, now: float) -> Optional[float]:
+        """Take one reading; returns watts since the previous sample.
+
+        The first call primes the differentiator and returns ``None``.
+        """
+        try:
+            raw = int(self.instance.read(self.path).strip())
+        except ReproError as exc:
+            raise AttackError(f"RAPL channel unreadable: {exc}") from exc
+        if self._last_uj is None or self._last_time is None:
+            self._last_uj, self._last_time = raw, now
+            return None
+        dt = now - self._last_time
+        if dt <= 0:
+            raise AttackError(f"monitor sampled twice at t={now}")
+        delta = unwrap_delta(raw, self._last_uj, MAX_ENERGY_RANGE_UJ)
+        watts = delta / 1e6 / dt
+        self._last_uj, self._last_time = raw, now
+        self.watts.append(watts)
+        self.times.append(now)
+        return watts
+
+
+@dataclass
+class CrestDetector:
+    """Online crest detection over a trailing watt window.
+
+    A sample is a crest when it reaches the top ``threshold_fraction`` of
+    the band observed over the last ``window`` samples, and the band is
+    wide enough (``min_band_watts``) to be signal rather than noise.
+    """
+
+    window: int = 300
+    threshold_fraction: float = 0.75
+    min_band_watts: float = 5.0
+    _history: List[float] = field(default_factory=list)
+
+    def observe(self, watts: float) -> bool:
+        """Feed one sample; returns True when it qualifies as a crest."""
+        self._history.append(watts)
+        if len(self._history) > self.window:
+            self._history.pop(0)
+        if len(self._history) < max(10, self.window // 10):
+            return False  # not enough context yet
+        lo = min(self._history)
+        hi = max(self._history)
+        if hi - lo < self.min_band_watts:
+            return False
+        return watts >= lo + self.threshold_fraction * (hi - lo)
+
+    @property
+    def band(self) -> tuple:
+        """(low, high) of the current trailing window."""
+        if not self._history:
+            return (0.0, 0.0)
+        return (min(self._history), max(self._history))

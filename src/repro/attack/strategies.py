@@ -1,0 +1,224 @@
+"""Attack strategies: continuous, periodic, and synergistic (Section IV).
+
+All three drive the same attacker assets — container instances on target
+servers — and differ only in *when* they burn: continuously (maximum cost,
+maximum detectability), on a blind timer (the paper's Figure 3 baseline),
+or triggered by the leaked power signal at benign crests (the synergistic
+attack). Outcomes record spike heights, trial counts, and the attacker's
+utilization-based bill, reproducing the paper's effect/cost comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.attack.monitor import CrestDetector, RaplPowerMonitor
+from repro.attack.virus import power_virus
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.errors import AttackError
+from repro.runtime.cloud import Instance
+from repro.runtime.workload import Workload
+
+
+@dataclass
+class AttackOutcome:
+    """What one attack run achieved and cost."""
+
+    strategy: str
+    duration_s: float
+    trials: int = 0
+    peak_watts: float = 0.0
+    background_peak_watts: float = 0.0
+    attacker_cpu_seconds: float = 0.0
+    bill_dollars: float = 0.0
+    breaker_tripped: bool = False
+    spike_watts: List[float] = field(default_factory=list)
+
+    @property
+    def amplification_watts(self) -> float:
+        """Spike height over the benign-only peak."""
+        return self.peak_watts - self.background_peak_watts
+
+
+class _StrategyBase:
+    """Shared driver plumbing for the three strategies."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        sim: DatacenterSimulation,
+        instances: List[Instance],
+        virus_factory: Callable[[float], Workload] = power_virus,
+        burst_s: float = 30.0,
+        cores_per_instance: int = 4,
+    ):
+        if not instances:
+            raise AttackError("attack needs at least one controlled instance")
+        self.sim = sim
+        self.instances = instances
+        self.virus_factory = virus_factory
+        self.burst_s = burst_s
+        self.cores = cores_per_instance
+
+    def _burst(self) -> None:
+        """Start one power burst on every controlled instance."""
+        for instance in self.instances:
+            for core in range(self.cores):
+                instance.container.exec(
+                    f"pv-{core}", workload=self.virus_factory(self.burst_s)
+                )
+
+    def _reap(self) -> None:
+        for instance in self.instances:
+            instance.container.reap_finished()
+
+    def _billed(self) -> float:
+        tenants = {i.tenant for i in self.instances}
+        return sum(self.sim.cloud.bill(t) for t in tenants)
+
+    def _cpu_seconds(self) -> float:
+        return sum(i.billed_cpu_seconds for i in self.instances)
+
+    def _finish(self, outcome: AttackOutcome, window_start: float) -> AttackOutcome:
+        trace = self.sim.aggregate_trace.window(window_start, self.sim.now + 1)
+        outcome.peak_watts = trace.peak if len(trace) else 0.0
+        outcome.attacker_cpu_seconds = self._cpu_seconds()
+        outcome.bill_dollars = self._billed()
+        outcome.breaker_tripped = self.sim.any_breaker_tripped()
+        return outcome
+
+
+class ContinuousAttack(_StrategyBase):
+    """Burn everywhere, all the time: catches every crest, costs the most."""
+
+    name = "continuous"
+
+    def run(self, duration_s: float, dt: float = 1.0) -> AttackOutcome:
+        """Run viruses for the whole window."""
+        start = self.sim.now
+        outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
+        elapsed = 0.0
+        while elapsed < duration_s:
+            self._burst()
+            outcome.trials += 1
+            self.sim.run(min(self.burst_s, duration_s - elapsed), dt=dt)
+            self._reap()
+            elapsed = self.sim.now - start
+        return self._finish(outcome, start)
+
+
+class PeriodicAttack(_StrategyBase):
+    """The blind baseline of Figure 3: a burst every ``period_s``."""
+
+    name = "periodic"
+
+    def __init__(self, *args, period_s: float = 300.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if period_s <= self.burst_s:
+            raise AttackError(
+                f"period {period_s}s must exceed burst {self.burst_s}s"
+            )
+        self.period_s = period_s
+
+    def run(self, duration_s: float, dt: float = 1.0) -> AttackOutcome:
+        """Fire on the timer, record each spike."""
+        start = self.sim.now
+        outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
+        elapsed = 0.0
+        while elapsed < duration_s:
+            self._burst()
+            outcome.trials += 1
+            self.sim.run(self.burst_s, dt=dt)
+            spike = self.sim.aggregate_trace.window(
+                self.sim.now - self.burst_s, self.sim.now + 1
+            )
+            if len(spike):
+                outcome.spike_watts.append(spike.peak)
+            self._reap()
+            idle = min(self.period_s - self.burst_s, duration_s - (self.sim.now - start))
+            if idle > 0:
+                self.sim.run(idle, dt=dt)
+            elapsed = self.sim.now - start
+        return self._finish(outcome, start)
+
+
+class SynergisticAttack(_StrategyBase):
+    """The paper's attack: monitor the leaked RAPL signal, strike crests."""
+
+    name = "synergistic"
+
+    def __init__(
+        self,
+        *args,
+        detector_factory: Callable[[], CrestDetector] = CrestDetector,
+        cooldown_s: float = 600.0,
+        max_trials: Optional[int] = None,
+        learn_s: float = 0.0,
+        monitor_factory: Callable = RaplPowerMonitor,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.cooldown_s = cooldown_s
+        self.max_trials = max_trials
+        #: "learn the crests and troughs of the power consumption pattern"
+        #: (Section IV-A): observe this long before the first strike, so
+        #: the crest detector's band reflects the real range instead of a
+        #: short prefix.
+        self.learn_s = learn_s
+        #: the leaked signal source: RAPL by default, or the Section
+        #: VII-A utilization estimator on hosts without RAPL
+        self.monitors: Dict[str, object] = {}
+        for instance in self.instances:
+            monitor = monitor_factory(instance)
+            if not monitor.available():
+                raise AttackError(
+                    f"instance {instance.instance_id} cannot read the leaked "
+                    f"signal channel; synergistic attack needs the leak"
+                )
+            self.monitors[instance.instance_id] = monitor
+        # One detector over the *sum* of the per-server RAPL signals: the
+        # attacker cares about the load on the shared power feed, so the
+        # trigger is a crest of the aggregate, not of any single machine.
+        self.detector = detector_factory()
+
+    def _aggregate_sample(self) -> Optional[float]:
+        watts = [m.sample(self.sim.now) for m in self.monitors.values()]
+        if any(w is None for w in watts):
+            return None
+        return sum(watts)
+
+    def run(self, duration_s: float, dt: float = 1.0) -> AttackOutcome:
+        """Sample every step; burst when the aggregate power crests."""
+        start = self.sim.now
+        outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
+        last_burst = -1e18
+        while self.sim.now - start < duration_s:
+            self.sim.run(dt, dt=dt)
+            aggregate = self._aggregate_sample()
+            is_crest = aggregate is not None and self.detector.observe(aggregate)
+            armed = self.sim.now - start >= self.learn_s
+            trials_left = (
+                self.max_trials is None or outcome.trials < self.max_trials
+            )
+            if (
+                is_crest
+                and armed
+                and trials_left
+                and self.sim.now - last_burst >= self.cooldown_s
+            ):
+                self._burst()
+                outcome.trials += 1
+                last_burst = self.sim.now
+                self.sim.run(self.burst_s, dt=dt)
+                spike = self.sim.aggregate_trace.window(
+                    self.sim.now - self.burst_s, self.sim.now + 1
+                )
+                if len(spike):
+                    outcome.spike_watts.append(spike.peak)
+                self._reap()
+                # re-prime monitors: our own burst polluted the series
+                for monitor in self.monitors.values():
+                    monitor.sample(self.sim.now)
+        return self._finish(outcome, start)

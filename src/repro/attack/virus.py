@@ -1,0 +1,47 @@
+"""Power viruses: workloads crafted to maximize power draw.
+
+Ganesan et al.'s SYMPO/MAMPO (cited in Section IV-A) use genetic search to
+find instruction mixes that burn more power than any stress benchmark; the
+profiles here encode the result of that search in activity-vector space —
+a saturated pipeline plus heavy DRAM traffic — without re-running it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.benchmarks import power_virus  # re-export: canonical virus
+from repro.runtime.workload import Workload, constant
+
+__all__ = ["power_virus", "moderate_virus", "stress_ng_like"]
+
+
+def moderate_virus(duration: Optional[float] = None) -> Workload:
+    """A stealthier virus: Prime95-class power, less obviously synthetic.
+
+    Used when the attacker wants spikes that blend into benign compute
+    (Section IV-B's stealthiness concern).
+    """
+    return constant(
+        "prime-attack",
+        cpu_demand=1.0,
+        ipc=2.6,
+        cache_miss_per_kinst=0.1,
+        branch_miss_per_kinst=0.3,
+        rss_mb=30.0,
+        duration=duration,
+    )
+
+
+def stress_ng_like(duration: Optional[float] = None) -> Workload:
+    """A stress(1)-style memory hog: the baseline the paper's power
+    viruses are measured against."""
+    return constant(
+        "stress-attack",
+        cpu_demand=1.0,
+        ipc=0.6,
+        cache_miss_per_kinst=25.0,
+        branch_miss_per_kinst=2.0,
+        rss_mb=1024.0,
+        duration=duration,
+    )

@@ -1,0 +1,216 @@
+"""Command-line interface: the paper's tooling as a shippable utility.
+
+Subcommands mirror the workflow of the paper's figures:
+
+- ``repro scan``     — cross-validate a local testbed (Figure 1, left).
+- ``repro rank``     — U/V/M assessment and Table II ranking.
+- ``repro inspect``  — probe the provider profiles (Table I).
+- ``repro attack``   — a small synergistic-vs-periodic comparison (Fig 3).
+- ``repro defend``   — train the model, install the namespace, report
+  transparency and accuracy (Figures 8/9, abridged).
+
+Run via ``python -m repro <subcommand>`` or the ``containerleaks``
+console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.detection.crossvalidate import CrossValidator, LeakClass
+    from repro.kernel.kernel import Machine
+    from repro.runtime.engine import ContainerEngine
+
+    machine = Machine(seed=args.seed)
+    engine = ContainerEngine(machine.kernel)
+    probe = engine.create(name="probe")
+    machine.run(5, dt=1.0)
+    report = CrossValidator(engine.vfs, probe).run()
+    for leak_class in LeakClass:
+        paths = report.paths_in(leak_class)
+        print(f"{leak_class.value:<12} {len(paths):>4} files")
+    print(f"leaking channels: {len(report.leaking_channels())}")
+    if args.verbose:
+        for path in report.leaks:
+            print(f"  LEAK {path}")
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    from repro.detection.metrics import ChannelAssessor, Manipulation
+
+    assessor = ChannelAssessor(
+        seed=args.seed, snapshots=args.snapshots, interval_s=5.0
+    )
+    glyph = {Manipulation.DIRECT: "●", Manipulation.INDIRECT: "◐",
+             Manipulation.NONE: "○"}
+    print(f"{'rank':<5}{'channel':<46}{'U':<3}{'V':<3}{'M':<3}{'group'}")
+    for rank, a in enumerate(assessor.assess_all(), start=1):
+        print(
+            f"{rank:<5}{a.channel_id:<46}"
+            f"{'●' if a.unique else '○':<3}{'●' if a.varies else '○':<3}"
+            f"{glyph[a.manipulation]:<3}{a.group.value}"
+        )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.detection.inspector import format_table1, inspect_all
+    from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
+
+    wanted = args.providers or sorted(PROVIDER_PROFILES)
+    unknown = [p for p in wanted if p not in PROVIDER_PROFILES]
+    if unknown:
+        print(f"unknown providers: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(PROVIDER_PROFILES))}",
+              file=sys.stderr)
+        return 2
+    clouds = {
+        name: ContainerCloud(PROVIDER_PROFILES[name], seed=args.seed, servers=1)
+        for name in wanted
+    }
+    print(format_table1(inspect_all(clouds)))
+    print("\nlegend: ● available  ◐ partial  ○ masked/absent")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attack.monitor import CrestDetector
+    from repro.attack.strategies import PeriodicAttack, SynergisticAttack
+    from repro.datacenter.simulation import DatacenterSimulation
+    from repro.datacenter.tenants import DiurnalProfile
+
+    tenants = DiurnalProfile(
+        base_cores=1.0, peak_cores=1.5, bursts_per_day=200.0,
+        burst_cores=5.0, burst_duration_s=45.0, noise=0.05,
+    )
+
+    def setup():
+        sim = DatacenterSimulation(
+            servers=args.servers, seed=args.seed, sample_interval_s=1.0,
+            tenant_profile=tenants,
+        )
+        instances, covered = [], set()
+        while len(covered) < args.servers:
+            inst = sim.cloud.launch_instance("attacker")
+            if inst.host_index in covered:
+                sim.cloud.terminate_instance(inst)
+            else:
+                covered.add(inst.host_index)
+                instances.append(inst)
+        sim.run(300.0, dt=1.0)
+        return sim, instances
+
+    print(f"running synergistic attack on {args.servers} servers...")
+    sim_s, inst_s = setup()
+    syn = SynergisticAttack(
+        sim_s, inst_s, burst_s=30.0, cooldown_s=300.0, max_trials=2,
+        learn_s=400.0,
+        detector_factory=lambda: CrestDetector(
+            window=2000, threshold_fraction=0.85, min_band_watts=15.0
+        ),
+    ).run(args.duration)
+    print("running periodic baseline...")
+    sim_p, inst_p = setup()
+    per = PeriodicAttack(sim_p, inst_p, burst_s=30.0, period_s=300.0).run(
+        args.duration
+    )
+    print(f"\n{'strategy':>13}{'peak W':>9}{'trials':>8}{'cpu-s':>9}")
+    for out in (syn, per):
+        print(f"{out.strategy:>13}{out.peak_watts:>9.0f}{out.trials:>8}"
+              f"{out.attacker_cpu_seconds:>9.0f}")
+    return 0
+
+
+def _cmd_defend(args: argparse.Namespace) -> int:
+    from repro.defense.modeling import PowerModeler, TrainingHarness
+    from repro.defense.powerns import PowerNamespaceDriver
+    from repro.kernel.kernel import Machine
+    from repro.kernel.rapl import unwrap_delta
+    from repro.runtime.benchmarks import SPEC_BENCHMARKS
+    from repro.runtime.engine import ContainerEngine
+
+    print("training the Formula 2 power model...")
+    harness = TrainingHarness(seed=args.seed, window_s=5.0,
+                              windows_per_benchmark=8)
+    harness.run_all()
+    model = PowerModeler(form="paper").fit(harness)
+    print(f"  core R^2={model.core_model.r_squared:.4f} "
+          f"dram R^2={model.dram_model.r_squared:.4f}")
+
+    machine = Machine(seed=args.seed + 1)
+    engine = ContainerEngine(machine.kernel)
+    PowerNamespaceDriver(machine.kernel, model).watch_engine(engine)
+    worker = engine.create(name="worker", cpus=4)
+    for core in range(4):
+        worker.exec(f"w{core}",
+                    workload=SPEC_BENCHMARKS["401.bzip2"].workload())
+    machine.run(5, dt=1.0)
+
+    path = "/sys/class/powercap/intel-rapl:0/energy_uj"
+    pkg = machine.kernel.rapl.package(0).package
+    h0, c0 = pkg.energy_uj, int(worker.read(path))
+    machine.run(60, dt=1.0)
+    e_rapl = unwrap_delta(pkg.energy_uj, h0) / 1e6
+    e_container = unwrap_delta(int(worker.read(path)), c0) / 1e6
+    xi = abs(e_rapl - e_container) / e_rapl
+    print(f"accuracy: host {e_rapl:.0f} J vs container {e_container:.0f} J "
+          f"-> xi={xi:.4f} (paper bound 0.05)")
+    return 0 if xi < 0.05 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="containerleaks",
+        description="ContainerLeaks (DSN'17) reproduction tooling",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0,
+                        help="deterministic simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_scan = sub.add_parser("scan", parents=[common],
+                            help="cross-validate a local testbed")
+    p_scan.add_argument("-v", "--verbose", action="store_true",
+                        help="list every leaking path")
+    p_scan.set_defaults(func=_cmd_scan)
+
+    p_rank = sub.add_parser("rank", parents=[common],
+                           help="U/V/M channel ranking (Table II)")
+    p_rank.add_argument("--snapshots", type=int, default=8,
+                        help="snapshots per channel probe")
+    p_rank.set_defaults(func=_cmd_rank)
+
+    p_inspect = sub.add_parser("inspect", parents=[common],
+                               help="probe provider profiles (Table I)")
+    p_inspect.add_argument("providers", nargs="*",
+                           help="provider names (default: all)")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_attack = sub.add_parser("attack", parents=[common],
+                              help="synergistic vs periodic comparison")
+    p_attack.add_argument("--servers", type=int, default=4)
+    p_attack.add_argument("--duration", type=float, default=1200.0,
+                          help="attack window in simulated seconds")
+    p_attack.set_defaults(func=_cmd_attack)
+
+    p_defend = sub.add_parser("defend", parents=[common],
+                              help="train + install the power namespace")
+    p_defend.set_defaults(func=_cmd_defend)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

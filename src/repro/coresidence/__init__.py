@@ -1,0 +1,33 @@
+"""Co-residence detection toolkit (Section III-C / IV-C).
+
+Four verification techniques, one orchestration loop:
+
+- :mod:`repro.coresidence.fingerprint` — static host identifiers
+  (boot_id, the ifpriomap device list).
+- :mod:`repro.coresidence.implant` — crafted signatures planted into
+  host-global tables (timer_list, locks, sched_debug).
+- :mod:`repro.coresidence.trace` — simultaneous snapshot-trace matching of
+  time-varying channels (MemFree et al.).
+- :mod:`repro.coresidence.uptime` — boot-time proximity and idle-time
+  distinctness from ``/proc/uptime``.
+- :mod:`repro.coresidence.orchestrator` — the launch/verify/terminate loop
+  that aggregates a tenant's instances onto one physical server.
+"""
+
+from repro.coresidence.fingerprint import HostFingerprint, fingerprint_instance
+from repro.coresidence.implant import ImplantVerifier
+from repro.coresidence.orchestrator import CoResidenceOrchestrator, OrchestrationResult
+from repro.coresidence.trace import TraceCorrelator
+from repro.coresidence.uptime import UptimeObservation, boot_proximity, read_uptime
+
+__all__ = [
+    "CoResidenceOrchestrator",
+    "HostFingerprint",
+    "ImplantVerifier",
+    "OrchestrationResult",
+    "TraceCorrelator",
+    "UptimeObservation",
+    "boot_proximity",
+    "fingerprint_instance",
+    "read_uptime",
+]

@@ -1,0 +1,72 @@
+"""Static host fingerprints: Table II's group-1 channels.
+
+``boot_id`` is a per-boot UUID identical for every container on a host;
+``net_prio.ifpriomap`` leaks the host's interface list through the
+Case Study I bug. Either alone identifies a machine; together they are
+robust to one channel being masked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class HostFingerprint:
+    """Static identifiers read from inside one container."""
+
+    boot_id: Optional[str]
+    interface_list: Optional[str]
+
+    @property
+    def empty(self) -> bool:
+        """True when every channel was masked (no identifier available)."""
+        return self.boot_id is None and self.interface_list is None
+
+    def matches(self, other: "HostFingerprint") -> bool:
+        """Same-host verdict from the available identifiers.
+
+        Comparison uses every identifier both sides managed to read; two
+        empty fingerprints are *not* a match (no evidence is not
+        evidence of co-residence).
+        """
+        comparable = []
+        if self.boot_id is not None and other.boot_id is not None:
+            comparable.append(self.boot_id == other.boot_id)
+        if self.interface_list is not None and other.interface_list is not None:
+            comparable.append(self.interface_list == other.interface_list)
+        if not comparable:
+            return False
+        return all(comparable)
+
+
+def _try_read(reader, path: str) -> Optional[str]:
+    try:
+        return reader.read(path)
+    except ReproError:
+        return None
+
+
+def fingerprint_instance(instance) -> HostFingerprint:
+    """Fingerprint the host of a cloud instance (or a bare container).
+
+    ``instance`` needs only a ``read(path)`` method, so this works for
+    :class:`repro.runtime.cloud.Instance` and
+    :class:`repro.runtime.container.Container` alike.
+    """
+    boot_id = _try_read(instance, "/proc/sys/kernel/random/boot_id")
+    ifpriomap = _try_read(instance, "/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+    interface_list = None
+    if ifpriomap is not None:
+        # priorities are per-cgroup; only the leaked device names identify
+        # the host
+        interface_list = ",".join(
+            line.split()[0] for line in ifpriomap.splitlines() if line.split()
+        )
+    return HostFingerprint(
+        boot_id=boot_id.strip() if boot_id else None,
+        interface_list=interface_list,
+    )

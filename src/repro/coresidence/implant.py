@@ -1,0 +1,85 @@
+"""Signature implantation: the active co-residence verification.
+
+A tenant starts a process with a uniquely crafted name and arms a timer
+(or takes a file lock); the (name, pid) pair lands in the *host-global*
+``/proc/timer_list`` / ``/proc/locks`` / ``/proc/sched_debug``, where any
+co-resident container can grep for it. This is the method the paper used
+for its CC1 experiment (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AttackError, ReproError
+from repro.runtime.container import Container
+
+_SIGNATURE_COUNTER = itertools.count(1)
+
+#: channels an implant verifier can use, with the container-side plant op
+#: and the probe path
+_CHANNELS = {
+    "timer_list": "/proc/timer_list",
+    "locks": "/proc/locks",
+    "sched_debug": "/proc/sched_debug",
+}
+
+
+@dataclass(frozen=True)
+class Implant:
+    """One planted signature."""
+
+    signature: str
+    channel: str
+    probe_path: str
+
+
+class ImplantVerifier:
+    """Plant-and-probe co-residence verification."""
+
+    def __init__(self, channel: str = "timer_list"):
+        if channel not in _CHANNELS:
+            raise AttackError(
+                f"no implant strategy for channel {channel!r}; "
+                f"choose one of {sorted(_CHANNELS)}"
+            )
+        self.channel = channel
+        self.probe_path = _CHANNELS[channel]
+
+    def plant(self, container: Container, signature: Optional[str] = None) -> Implant:
+        """Plant a signature from inside ``container``."""
+        if signature is None:
+            signature = f"xsig{next(_SIGNATURE_COUNTER):06d}q"
+        if self.channel == "timer_list":
+            container.arm_timer(signature, delay_seconds=7200.0)
+        elif self.channel == "locks":
+            container.take_lock(
+                inode=self._inode_for(signature), task_name=signature
+            )
+        else:  # sched_debug: the crafted task name itself is the signature
+            from repro.runtime.workload import constant
+
+            container.exec(
+                signature,
+                workload=constant(signature, cpu_demand=0.2, ipc=1.0),
+            )
+        return Implant(
+            signature=signature, channel=self.channel, probe_path=self.probe_path
+        )
+
+    def probe(self, observer, implant: Implant) -> bool:
+        """Check for the signature from another instance/container."""
+        try:
+            content = observer.read(implant.probe_path)
+        except ReproError:
+            return False
+        if implant.channel == "locks":
+            return f":{self._inode_for(implant.signature)} " in content
+        return implant.signature in content
+
+    @staticmethod
+    def _inode_for(signature: str) -> int:
+        """Deterministic inode encoding of a signature (locks channel)."""
+        return sum(ord(c) * 131**i for i, c in enumerate(signature)) % 99_999_989

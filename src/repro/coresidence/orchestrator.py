@@ -1,0 +1,101 @@
+"""The launch/verify/terminate loop that aggregates instances on one host.
+
+"We repeatedly create container instances and terminate instances that are
+not on the same physical server. By doing this, we succeed in deploying
+three containers on the same server with trivial effort." (Section IV-C.)
+
+The orchestrator is verifier-agnostic: it takes any callable deciding
+whether two instances are co-resident, with the fingerprint comparison as
+the default (a strong indicator channel alone is enough — the paper's
+footnote 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.coresidence.fingerprint import fingerprint_instance
+from repro.errors import AttackError, CapacityError
+from repro.runtime.cloud import ContainerCloud, Instance
+
+Verifier = Callable[[ContainerCloud, Instance, Instance], bool]
+
+
+def fingerprint_verifier(
+    cloud: ContainerCloud, pivot: Instance, candidate: Instance
+) -> bool:
+    """Default verifier: compare static host fingerprints."""
+    return fingerprint_instance(pivot).matches(fingerprint_instance(candidate))
+
+
+@dataclass
+class OrchestrationResult:
+    """Outcome of one aggregation campaign."""
+
+    instances: List[Instance] = field(default_factory=list)
+    launches: int = 0
+    terminations: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def achieved(self) -> int:
+        """Co-resident instances obtained (including the pivot)."""
+        return len(self.instances)
+
+
+class CoResidenceOrchestrator:
+    """Aggregates a tenant's instances onto a single physical server."""
+
+    def __init__(
+        self,
+        cloud: ContainerCloud,
+        tenant: str = "attacker",
+        verifier: Optional[Verifier] = None,
+        settle_s: float = 1.0,
+    ):
+        self.cloud = cloud
+        self.tenant = tenant
+        self.verifier = verifier or fingerprint_verifier
+        self.settle_s = settle_s
+
+    def aggregate(self, target: int, max_launches: int = 100) -> OrchestrationResult:
+        """Obtain ``target`` co-resident instances.
+
+        Launches a pivot, then candidates; keeps candidates the verifier
+        confirms co-resident with the pivot and terminates the rest.
+        Raises :class:`AttackError` if the launch budget runs out first.
+        """
+        if target < 2:
+            raise AttackError(f"aggregation target must be >= 2: {target}")
+        start = self.cloud.clock.now
+        result = OrchestrationResult()
+
+        pivot = self.cloud.launch_instance(self.tenant)
+        result.launches += 1
+        result.instances.append(pivot)
+        self.cloud.run(self.settle_s)
+
+        while len(result.instances) < target:
+            if result.launches >= max_launches:
+                raise AttackError(
+                    f"launch budget exhausted: {result.launches} launches "
+                    f"yielded {len(result.instances)}/{target} co-resident "
+                    f"instances"
+                )
+            try:
+                candidate = self.cloud.launch_instance(self.tenant)
+            except CapacityError:
+                # free up by terminating nothing we own: the cloud is full
+                # of other tenants; wait and retry
+                self.cloud.run(10.0)
+                continue
+            result.launches += 1
+            self.cloud.run(self.settle_s)
+            if self.verifier(self.cloud, pivot, candidate):
+                result.instances.append(candidate)
+            else:
+                self.cloud.terminate_instance(candidate)
+                result.terminations += 1
+        result.elapsed_s = self.cloud.clock.now - start
+        return result

@@ -1,0 +1,60 @@
+"""Boot-time proximity analysis from ``/proc/uptime`` (Section IV-C).
+
+``/proc/uptime`` exposes (seconds since boot, aggregate idle seconds).
+Servers in a datacenter rarely reboot, so similar uptimes mean the
+machines were installed and powered on in the same maintenance window —
+strong evidence of physical adjacency (same rack, same breaker) — while a
+differing idle time proves the readers are *not* on the same machine.
+The attacker uses this to aim instances at servers sharing a circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AttackError, ReproError
+
+
+@dataclass(frozen=True)
+class UptimeObservation:
+    """One parsed /proc/uptime reading."""
+
+    uptime_s: float
+    idle_s: float
+
+    def same_host(self, other: "UptimeObservation", tolerance_s: float = 0.5) -> bool:
+        """Same machine iff both accumulated fields agree.
+
+        Readings must be taken at the same instant; both uptime and the
+        aggregate idle counter are then host-unique.
+        """
+        return (
+            abs(self.uptime_s - other.uptime_s) <= tolerance_s
+            and abs(self.idle_s - other.idle_s) <= tolerance_s * 16
+        )
+
+
+def read_uptime(instance) -> UptimeObservation:
+    """Parse /proc/uptime from inside an instance/container."""
+    try:
+        content = instance.read("/proc/uptime")
+    except ReproError as exc:
+        raise AttackError(f"/proc/uptime unreadable: {exc}") from exc
+    fields = content.split()
+    if len(fields) < 2:
+        raise AttackError(f"malformed uptime content: {content!r}")
+    return UptimeObservation(uptime_s=float(fields[0]), idle_s=float(fields[1]))
+
+
+def boot_proximity(
+    a: UptimeObservation, b: UptimeObservation, window_s: float = 300.0
+) -> bool:
+    """Were the two hosts booted within one maintenance window?
+
+    True for *distinct* machines (different idle trajectories) whose boot
+    times fall within ``window_s`` of each other — the paper's heuristic
+    for rack adjacency.
+    """
+    same_window = abs(a.uptime_s - b.uptime_s) <= window_s
+    distinct_machines = not a.same_host(b)
+    return same_window and distinct_machines

@@ -1,0 +1,23 @@
+"""Datacenter power infrastructure: servers → racks → PDUs → breakers.
+
+Models the facility side of the paper's threat: power oversubscription,
+inverse-time circuit breakers, benign tenant load with diurnal swings, and
+the wall-power accounting that decides whether a synergistic power spike
+trips a branch breaker (Section II-C, Figures 2–4).
+"""
+
+from repro.datacenter.breaker import BreakerState, CircuitBreaker
+from repro.datacenter.topology import Rack, ServerPowerConfig, wall_power_watts
+from repro.datacenter.tenants import DiurnalTenantDriver
+from repro.datacenter.simulation import DatacenterSimulation, PowerTrace
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DatacenterSimulation",
+    "DiurnalTenantDriver",
+    "PowerTrace",
+    "Rack",
+    "ServerPowerConfig",
+    "wall_power_watts",
+]

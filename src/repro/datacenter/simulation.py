@@ -1,0 +1,220 @@
+"""The fleet simulation used by the Figure 2–4 experiments.
+
+Wires a :class:`repro.runtime.cloud.ContainerCloud` into racks with
+breakers, attaches a benign tenant driver per host, and records wall-power
+traces at a configurable sampling interval — the facility-side ground
+truth against which the attacker's RAPL-derived view is compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.datacenter.breaker import CircuitBreaker
+from repro.datacenter.tenants import DiurnalProfile, DiurnalTenantDriver
+from repro.datacenter.topology import Rack, ServerPowerConfig, wall_power_watts
+from repro.errors import SimulationError
+from repro.runtime.cloud import ContainerCloud, PROVIDER_PROFILES, ProviderProfile
+
+
+@dataclass
+class PowerTrace:
+    """A sampled power time series with averaging helpers."""
+
+    times: List[float] = field(default_factory=list)
+    watts: List[float] = field(default_factory=list)
+
+    def append(self, t: float, w: float) -> None:
+        """Record one sample (timestamps must be nondecreasing)."""
+        if self.times and t < self.times[-1]:
+            raise SimulationError(f"trace timestamps must not decrease: {t}")
+        self.times.append(t)
+        self.watts.append(w)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def peak(self) -> float:
+        """Maximum sampled power."""
+        return max(self.watts)
+
+    @property
+    def trough(self) -> float:
+        """Minimum sampled power."""
+        return min(self.watts)
+
+    @property
+    def mean(self) -> float:
+        """Mean sampled power."""
+        return sum(self.watts) / len(self.watts)
+
+    @property
+    def swing_fraction(self) -> float:
+        """(peak − trough)/trough — Figure 2 reports 34.72%."""
+        return (self.peak - self.trough) / self.trough
+
+    def averaged(self, window_s: float) -> "PowerTrace":
+        """Resample by averaging fixed windows (Figure 2's 30 s view)."""
+        if window_s <= 0:
+            raise SimulationError(f"window must be positive: {window_s}")
+        if not self.times:
+            return PowerTrace()
+        out = PowerTrace()
+        start = self.times[0]
+        bucket: List[float] = []
+        bucket_index = 0
+        for t, w in zip(self.times, self.watts):
+            index = int((t - start) // window_s)
+            if index != bucket_index and bucket:
+                out.append(start + bucket_index * window_s, sum(bucket) / len(bucket))
+                bucket = []
+                bucket_index = index
+            bucket.append(w)
+        if bucket:
+            out.append(start + bucket_index * window_s, sum(bucket) / len(bucket))
+        return out
+
+    def window(self, t0: float, t1: float) -> "PowerTrace":
+        """The sub-trace with t0 <= t < t1."""
+        out = PowerTrace()
+        for t, w in zip(self.times, self.watts):
+            if t0 <= t < t1:
+                out.append(t, w)
+        return out
+
+
+class DatacenterSimulation:
+    """A cloud fleet + racks + breakers + benign tenants + tracing."""
+
+    def __init__(
+        self,
+        profile: Optional[ProviderProfile] = None,
+        servers: int = 8,
+        rack_size: int = 8,
+        breaker_rated_watts: float = 1300.0,
+        seed: int = 0,
+        tenant_profile: Optional[DiurnalProfile] = None,
+        power_config: Optional[ServerPowerConfig] = None,
+        sample_interval_s: float = 1.0,
+    ):
+        if servers < 1 or rack_size < 1:
+            raise SimulationError("need at least one server and rack slot")
+        self.profile = profile or PROVIDER_PROFILES["CC1"]
+        self.cloud = ContainerCloud(self.profile, seed=seed, servers=servers)
+        self.power_config = power_config or ServerPowerConfig()
+        self.sample_interval_s = sample_interval_s
+
+        self.racks: List[Rack] = []
+        kernels = [h.kernel for h in self.cloud.hosts]
+        for start in range(0, servers, rack_size):
+            group = kernels[start : start + rack_size]
+            rack = Rack(
+                name=f"rack-{start // rack_size}",
+                kernels=group,
+                breaker=CircuitBreaker(
+                    name=f"breaker-{start // rack_size}",
+                    rated_watts=breaker_rated_watts * len(group) / rack_size,
+                ),
+                power_config=self.power_config,
+            )
+            self.racks.append(rack)
+
+        self.tenants: List[DiurnalTenantDriver] = [
+            DiurnalTenantDriver(
+                kernel=host.kernel,
+                rng=self.cloud.rng.fork(f"tenant-{i}"),
+                profile=tenant_profile,
+                engine=host.engine,
+            )
+            for i, host in enumerate(self.cloud.hosts)
+        ]
+
+        self.aggregate_trace = PowerTrace()
+        self.server_traces: Dict[int, PowerTrace] = {
+            i: PowerTrace() for i in range(servers)
+        }
+        self._next_sample = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.cloud.clock.now
+
+    def server_wall_watts(self, index: int) -> float:
+        """Ground-truth wall power of one server."""
+        return wall_power_watts(self.cloud.hosts[index].kernel, self.power_config)
+
+    def aggregate_wall_watts(self) -> float:
+        """Ground-truth wall power of the whole fleet."""
+        return sum(self.server_wall_watts(i) for i in range(len(self.cloud.hosts)))
+
+    def _dark_indices(self) -> set:
+        """Servers currently without power (their rack breaker opened)."""
+        index_of = {id(h.kernel): i for i, h in enumerate(self.cloud.hosts)}
+        dark = set()
+        for rack in self.racks:
+            if rack.breaker.tripped:
+                dark.update(index_of[id(k)] for k in rack.kernels)
+        return dark
+
+    def run(
+        self,
+        seconds: float,
+        dt: float = 1.0,
+        on_tick: Optional[Callable[["DatacenterSimulation"], None]] = None,
+    ) -> None:
+        """Advance the fleet, tenants, breakers, and traces.
+
+        A tripped rack breaker has consequences: its servers go dark —
+        they stop executing (no kernel ticks) and draw no wall power —
+        which is exactly the outage the power attack aims to cause
+        ("forced shutdowns for servers on the same rack", Section II-C).
+        """
+        if seconds <= 0:
+            raise SimulationError(f"run needs positive duration: {seconds}")
+        remaining = seconds
+        while remaining > 1e-9:
+            step = min(dt, remaining)
+            dark = self._dark_indices()
+            for i, tenant in enumerate(self.tenants):
+                if i not in dark:
+                    tenant.step(self.now, step)
+            self.cloud.clock.advance(step)
+            for i, host in enumerate(self.cloud.hosts):
+                if i not in dark:
+                    host.kernel.tick(step)
+            for rack in self.racks:
+                rack.observe(step, self.now)
+            if self.now >= self._next_sample:
+                self._sample()
+                self._next_sample = self.now + self.sample_interval_s
+            if on_tick is not None:
+                on_tick(self)
+            remaining -= step
+
+    def _sample(self) -> None:
+        dark = self._dark_indices()
+        total = 0.0
+        for i in range(len(self.cloud.hosts)):
+            watts = 0.0 if i in dark else self.server_wall_watts(i)
+            self.server_traces[i].append(self.now, watts)
+            total += watts
+        self.aggregate_trace.append(self.now, total)
+
+    # ------------------------------------------------------------------
+
+    def any_breaker_tripped(self) -> bool:
+        """Whether any rack breaker has opened."""
+        return any(rack.breaker.tripped for rack in self.racks)
+
+    def trip_log(self) -> List[str]:
+        """Human-readable breaker events."""
+        return [
+            f"{rack.breaker.name} tripped at t={rack.breaker.tripped_at:.0f}s"
+            for rack in self.racks
+            if rack.breaker.tripped
+        ]

@@ -1,0 +1,178 @@
+"""Benign tenant load: the diurnal background the attacker rides on.
+
+Real datacenter utilization averages 20–30% (Barroso et al., cited in
+Section IV-A) but swings hard with time of day and with day-to-day demand
+shocks; the paper's Figure 2 shows a 34.7% band (899–1199 W) over one week
+with two high-demand days. :class:`DiurnalTenantDriver` reproduces that
+structure: a sinusoidal daily cycle, per-day demand factors, Poisson batch
+bursts, and noise — realized as actual containers running mixed workloads,
+so every kernel counter (not just power) moves like a shared production
+host.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Task
+from repro.runtime.engine import ContainerEngine
+from repro.runtime.workload import Workload, constant
+from repro.sim.rng import DeterministicRNG
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Shape of one host's benign load."""
+
+    #: demand floor, in cores
+    base_cores: float = 0.3
+    #: additional cores at the daily peak (before day factor)
+    peak_cores: float = 3.4
+    #: hour of day (0-24) at which load peaks
+    peak_hour: float = 14.0
+    #: mean per-day multiplicative demand factor range
+    day_factor_range: tuple = (0.7, 1.45)
+    #: expected batch bursts per day
+    bursts_per_day: float = 3.0
+    #: burst size in cores and duration in seconds
+    burst_cores: float = 2.0
+    burst_duration_s: float = 1800.0
+    #: relative noise on the target demand
+    noise: float = 0.08
+
+
+def _web_workload() -> Workload:
+    """A web-serving worker: branchy, syscall-y, some network."""
+    return constant(
+        "web-worker",
+        cpu_demand=1.0,
+        ipc=1.3,
+        cache_miss_per_kinst=3.0,
+        branch_miss_per_kinst=4.0,
+        rss_mb=200.0,
+        syscalls_per_sec=20_000.0,
+        voluntary_switches_per_sec=5_000.0,
+        net_kbps=20_000.0,
+        io_ops_per_sec=50.0,
+    )
+
+
+def _batch_workload() -> Workload:
+    """A batch/analytics worker: compute with real memory traffic."""
+    return constant(
+        "batch-worker",
+        cpu_demand=1.0,
+        ipc=1.8,
+        cache_miss_per_kinst=6.0,
+        branch_miss_per_kinst=2.0,
+        rss_mb=800.0,
+        syscalls_per_sec=500.0,
+        voluntary_switches_per_sec=50.0,
+        io_ops_per_sec=200.0,
+    )
+
+
+class DiurnalTenantDriver:
+    """Keeps one host's benign load tracking a diurnal demand target."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        rng: DeterministicRNG,
+        profile: Optional[DiurnalProfile] = None,
+        engine: Optional[ContainerEngine] = None,
+        adjust_interval_s: float = 60.0,
+    ):
+        self.kernel = kernel
+        self.rng = rng
+        self.profile = profile or DiurnalProfile()
+        self.adjust_interval_s = adjust_interval_s
+        self._engine = engine
+        self._container = None
+        self._workers: List[Task] = []
+        self._next_adjust = 0.0
+        self._burst_until = -1.0
+        self._day_factors = {}
+        self._phase_shift = rng.uniform("phase", -1.5, 1.5)
+
+    # ------------------------------------------------------------------
+
+    def _day_factor(self, day: int) -> float:
+        factor = self._day_factors.get(day)
+        if factor is None:
+            lo, hi = self.profile.day_factor_range
+            factor = self.rng.stream("day-factor").uniform(lo, hi)
+            self._day_factors[day] = factor
+        return factor
+
+    def target_cores(self, now: float) -> float:
+        """The demand target (in cores) at virtual time ``now``."""
+        p = self.profile
+        day = int(now // SECONDS_PER_DAY)
+        hour = (now % SECONDS_PER_DAY) / 3600.0 + self._phase_shift
+        # daily shape: raised cosine peaking at peak_hour
+        shape = 0.5 * (1.0 + math.cos(2 * math.pi * (hour - p.peak_hour) / 24.0))
+        target = p.base_cores + p.peak_cores * shape * self._day_factor(day)
+        if now < self._burst_until:
+            target += p.burst_cores
+        noise = self.rng.stream("demand-noise").gauss(0.0, p.noise)
+        target *= max(0.0, 1.0 + noise)
+        return min(target, self.kernel.config.total_cores * 0.9)
+
+    # ------------------------------------------------------------------
+
+    def _container_for_workers(self):
+        if self._engine is None:
+            return None
+        if self._container is None:
+            self._container = self._engine.create(name="benign-tenant")
+        return self._container
+
+    def _spawn_worker(self) -> Task:
+        kind = self.rng.stream("worker-kind").random()
+        workload = _web_workload() if kind < 0.6 else _batch_workload()
+        container = self._container_for_workers()
+        if container is not None:
+            return container.exec(workload.name, workload=workload)
+        return self.kernel.spawn(workload.name, workload=workload)
+
+    def _kill_worker(self, task: Task) -> None:
+        if self._container is not None:
+            self._container.kill_task(task)
+        else:
+            self.kernel.kill(task)
+
+    def step(self, now: float, dt: float) -> None:
+        """Advance the driver; call once per simulation tick."""
+        if dt <= 0:
+            raise SimulationError(f"tenant step needs positive dt: {dt}")
+        if now < self._next_adjust:
+            return
+        self._next_adjust = now + self.adjust_interval_s
+
+        # Poisson burst arrivals, checked once per adjustment
+        p_burst = self.profile.bursts_per_day * self.adjust_interval_s / SECONDS_PER_DAY
+        if now >= self._burst_until and self.rng.stream("burst").random() < p_burst:
+            self._burst_until = now + self.profile.burst_duration_s
+
+        target = self.target_cores(now)
+        current = len(self._workers)
+        want = int(round(target))
+        while current < want:
+            self._workers.append(self._spawn_worker())
+            current += 1
+        while current > want and self._workers:
+            victim = self._workers.pop()
+            self._kill_worker(victim)
+            current -= 1
+
+    @property
+    def worker_count(self) -> int:
+        """Number of live benign workers."""
+        return len(self._workers)

@@ -1,0 +1,44 @@
+"""The two-stage defense (Section V).
+
+Stage 1 — :mod:`repro.defense.masking`: generate masking policies from
+cross-validation reports and verify they close the discovered channels
+(the quick fix: AppArmor-style denies, no kernel change).
+
+Stage 2 — the power-based namespace, the paper's kernel modification:
+
+- :mod:`repro.defense.collection` — per-container performance data
+  collection over perf_event cgroups (Section V-B-1).
+- :mod:`repro.defense.modeling` — the Formula 2 power model and its
+  regression training harness (Figures 6/7).
+- :mod:`repro.defense.calibration` — Formula 3's on-the-fly calibration.
+- :mod:`repro.defense.powerns` — the namespace driver that installs the
+  modified RAPL read path and serves per-container energy.
+- :mod:`repro.defense.unixbench` — the Table III overhead harness.
+"""
+
+from repro.defense.billing import PowerBiller, PowerThrottler
+from repro.defense.calibration import CalibratedAttribution, RawAttribution
+from repro.defense.collection import ContainerPerfCollector
+from repro.defense.kernel_patches import apply_all_patches, apply_patch
+from repro.defense.masking import generate_masking_policy, verify_masking
+from repro.defense.modeling import PowerModeler, TrainedPowerModel, TrainingHarness
+from repro.defense.powerns import PowerNamespaceDriver
+from repro.defense.unixbench import UnixBenchRun, UnixBenchRunner
+
+__all__ = [
+    "CalibratedAttribution",
+    "PowerBiller",
+    "PowerThrottler",
+    "apply_all_patches",
+    "apply_patch",
+    "ContainerPerfCollector",
+    "PowerModeler",
+    "PowerNamespaceDriver",
+    "RawAttribution",
+    "TrainedPowerModel",
+    "TrainingHarness",
+    "UnixBenchRun",
+    "UnixBenchRunner",
+    "generate_masking_policy",
+    "verify_masking",
+]

@@ -1,0 +1,181 @@
+"""Power-based billing and throttling on top of the power namespace.
+
+The paper's Section V-B motivates the namespace with two operator-side
+applications beyond closing the leak: "we can dynamically throttle the
+computing power (or increase the usage fee) of containers that exceed
+their predefined power thresholds. It is possible for container cloud
+administrators to design a finer-grained billing model based on this
+power-based namespace." Both are implemented here, driven exclusively by
+the namespace's per-container virtual counters — the same data a tenant
+sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.defense.powerns import PowerNamespaceDriver
+from repro.errors import DefenseError
+from repro.kernel.cgroups import CpuQuotaState
+from repro.kernel.rapl import unwrap_delta
+from repro.runtime.container import Container
+
+ENERGY_PATH = "/sys/class/powercap/intel-rapl:0/energy_uj"
+
+
+@dataclass
+class PowerBill:
+    """One container's power-metered bill."""
+
+    container: str
+    joules: float
+    rate_per_kwh: float
+
+    @property
+    def kwh(self) -> float:
+        return self.joules / 3.6e6
+
+    @property
+    def dollars(self) -> float:
+        return self.kwh * self.rate_per_kwh
+
+
+class PowerBiller:
+    """Energy-metered billing from per-container namespace counters.
+
+    Like any real RAPL consumer, the biller must observe the counter more
+    often than it wraps (``max_energy_range_uj`` ≈ 262 kJ — about 45
+    minutes at 100 W): :meth:`poll` each metered container at that cadence
+    (or simply call :meth:`bill`, which polls). A missed wrap
+    under-charges, exactly as it would on hardware.
+    """
+
+    def __init__(self, driver: PowerNamespaceDriver, rate_per_kwh: float = 0.24):
+        if rate_per_kwh <= 0:
+            raise DefenseError(f"rate must be positive: {rate_per_kwh}")
+        self.driver = driver
+        self.rate_per_kwh = rate_per_kwh
+        self._marks: Dict[str, int] = {}
+        self._accumulated_j: Dict[str, float] = {}
+
+    def _read_uj(self, container: Container) -> int:
+        return int(container.read(ENERGY_PATH))
+
+    def start_metering(self, container: Container) -> None:
+        """Open a billing period for a container."""
+        if container.name in self._marks:
+            raise DefenseError(f"already metering: {container.name}")
+        self._marks[container.name] = self._read_uj(container)
+        self._accumulated_j[container.name] = 0.0
+
+    def poll(self, container: Container) -> None:
+        """Fold the counter delta since the last poll into the meter."""
+        mark = self._marks.get(container.name)
+        if mark is None:
+            raise DefenseError(f"not metering: {container.name}")
+        current = self._read_uj(container)
+        self._accumulated_j[container.name] += unwrap_delta(current, mark) / 1e6
+        self._marks[container.name] = current
+
+    def bill(self, container: Container) -> PowerBill:
+        """The bill since metering started (meter keeps running)."""
+        self.poll(container)
+        return PowerBill(
+            container=container.name,
+            joules=self._accumulated_j[container.name],
+            rate_per_kwh=self.rate_per_kwh,
+        )
+
+
+@dataclass
+class ThrottleDecision:
+    """One evaluation of a container against its power cap."""
+
+    container: str
+    watts: float
+    limit_watts: float
+    quota_cores: Optional[float]
+
+    @property
+    def throttled(self) -> bool:
+        return self.quota_cores is not None
+
+
+class PowerThrottler:
+    """Feedback throttling of containers that exceed a power cap.
+
+    Each :meth:`evaluate` call measures every capped container's power
+    over the elapsed window through its namespace counter and adjusts the
+    container's cpu-cgroup quota: multiplicative backoff above the cap,
+    gradual release below it — the "power-based feedback loop" the paper
+    describes at the host level.
+    """
+
+    BACKOFF = 0.75
+    RELEASE = 1.15
+
+    def __init__(self, driver: PowerNamespaceDriver):
+        self.driver = driver
+        self._limits: Dict[str, float] = {}
+        self._containers: Dict[str, Container] = {}
+        self._marks: Dict[str, tuple] = {}
+
+    def cap(self, container: Container, limit_watts: float) -> None:
+        """Register a power cap for one container."""
+        if limit_watts <= 0:
+            raise DefenseError(f"power cap must be positive: {limit_watts}")
+        self._limits[container.name] = limit_watts
+        self._containers[container.name] = container
+        self._marks[container.name] = (
+            int(container.read(ENERGY_PATH)),
+            self.driver.kernel.clock.now,
+        )
+
+    def uncap(self, container: Container) -> None:
+        """Remove the cap and any active throttle."""
+        if container.name not in self._limits:
+            raise DefenseError(f"no cap registered: {container.name}")
+        del self._limits[container.name]
+        del self._marks[container.name]
+        del self._containers[container.name]
+        self._quota_state(container).set_quota(None)
+
+    @staticmethod
+    def _quota_state(container: Container) -> CpuQuotaState:
+        state = container.cgroup_set["cpu"].state
+        assert isinstance(state, CpuQuotaState)
+        return state
+
+    def evaluate(self) -> List[ThrottleDecision]:
+        """Measure every capped container and adjust its quota."""
+        decisions = []
+        now = self.driver.kernel.clock.now
+        ncores = self.driver.kernel.config.total_cores
+        for name, limit in self._limits.items():
+            container = self._containers[name]
+            mark_uj, mark_t = self._marks[name]
+            dt = now - mark_t
+            if dt <= 0:
+                continue
+            current_uj = int(container.read(ENERGY_PATH))
+            watts = unwrap_delta(current_uj, mark_uj) / 1e6 / dt
+            self._marks[name] = (current_uj, now)
+
+            state = self._quota_state(container)
+            quota = state.quota_cores
+            if watts > limit:
+                base = quota if quota is not None else float(ncores)
+                state.set_quota(max(0.1, base * self.BACKOFF))
+            elif quota is not None and watts < limit * 0.7:
+                released = quota * self.RELEASE
+                state.set_quota(None if released >= ncores else released)
+            decisions.append(
+                ThrottleDecision(
+                    container=name,
+                    watts=watts,
+                    limit_watts=limit,
+                    quota_cores=state.quota_cores,
+                )
+            )
+        return decisions

@@ -1,0 +1,99 @@
+"""On-the-fly calibration (Section V-B-3, Formula 3).
+
+The model's absolute scale is imperfect (form error, parameter drift,
+architecture effects). Calibration sidesteps that by modelling *both* the
+container and the whole host over the same window and scaling by the
+measured RAPL truth:
+
+    E_container = (M_container / M_host) · E_RAPL.
+
+Model-form errors common to numerator and denominator cancel, which is
+why the paper's errors stay under 5% despite a simple F. The
+uncalibrated :class:`RawAttribution` is kept for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.defense.collection import PerfWindow
+from repro.defense.modeling import TrainedPowerModel
+from repro.errors import DefenseError
+
+
+class CalibratedAttribution:
+    """Formula 3: scale modelled shares by the measured host energy."""
+
+    def __init__(self, model: TrainedPowerModel, idle_share: str = "none"):
+        if idle_share not in ("none", "full"):
+            raise DefenseError(f"unknown idle_share policy: {idle_share}")
+        self.model = model
+        self.idle_share = idle_share
+
+    def attribute_j(
+        self,
+        container_window: PerfWindow,
+        host_window: PerfWindow,
+        e_rapl_j: float,
+        dt: float,
+    ) -> float:
+        """Energy (J) to credit a container for one window.
+
+        ``e_rapl_j`` is the measured host package energy over the window.
+        The container receives its calibrated share of the *active* energy
+        plus, under ``idle_share="full"``, the host idle floor — the
+        presentation Figure 9 uses (an idle container reads the same level
+        as an idle host).
+        """
+        if dt <= 0:
+            raise DefenseError(f"window must have positive duration: {dt}")
+        if e_rapl_j < 0:
+            raise DefenseError(f"negative measured energy: {e_rapl_j}")
+        m_container = self.model.active_j(container_window)
+        m_host_active = self.model.active_j(host_window)
+        idle_j = (
+            self.model.idle_core_watts
+            + self.model.idle_dram_watts
+            + self.model.lambda_watts
+        ) * dt
+        e_active = max(0.0, e_rapl_j - idle_j)
+        if m_host_active <= 0.0:
+            share = 0.0
+        else:
+            share = min(1.0, m_container / m_host_active) * e_active
+        if self.idle_share == "full":
+            return share + min(idle_j, e_rapl_j)
+        return share
+
+
+class RawAttribution:
+    """The ablation baseline: trust the model's absolute output.
+
+    No rescaling by measured RAPL — model-form error lands directly in
+    the reading. The calibration ablation benchmark compares this against
+    :class:`CalibratedAttribution`.
+    """
+
+    def __init__(self, model: TrainedPowerModel, idle_share: str = "none"):
+        if idle_share not in ("none", "full"):
+            raise DefenseError(f"unknown idle_share policy: {idle_share}")
+        self.model = model
+        self.idle_share = idle_share
+
+    def attribute_j(
+        self,
+        container_window: PerfWindow,
+        host_window: PerfWindow,
+        e_rapl_j: float,
+        dt: float,
+    ) -> float:
+        """Energy (J) to credit a container: the model's raw output."""
+        if dt <= 0:
+            raise DefenseError(f"window must have positive duration: {dt}")
+        share = self.model.active_j(container_window)
+        if self.idle_share == "full":
+            idle_j = (
+                self.model.idle_core_watts
+                + self.model.idle_dram_watts
+                + self.model.lambda_watts
+            ) * dt
+            return share + idle_j
+        return share

@@ -1,0 +1,99 @@
+"""Per-container performance data collection (Section V-B-1).
+
+The driver creates perf events for each container's perf_event cgroup —
+owned by ``TASK_TOMBSTONE`` so the accounting outlives any tenant process —
+and exposes *windowed deltas*: each call returns the counters accumulated
+since the previous call, which is exactly what the modelling stage needs
+to turn counters into energy-per-window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import DefenseError
+from repro.kernel.cgroups import Cgroup, PerfCounters
+from repro.kernel.kernel import Kernel
+from repro.kernel.perf import TASK_TOMBSTONE
+
+
+@dataclass(frozen=True)
+class PerfWindow:
+    """Counters accumulated over one collection window."""
+
+    cycles: int
+    instructions: int
+    cache_misses: int
+    branch_misses: int
+
+    @property
+    def cache_miss_rate(self) -> float:
+        """CM/C — the first argument of Formula 2's F."""
+        return self.cache_misses / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_miss_rate(self) -> float:
+        """BM/C — the second argument of Formula 2's F."""
+        return self.branch_misses / self.cycles if self.cycles else 0.0
+
+
+def _window(delta: PerfCounters) -> PerfWindow:
+    return PerfWindow(
+        cycles=delta.cycles,
+        instructions=delta.instructions,
+        cache_misses=delta.cache_misses,
+        branch_misses=delta.branch_misses,
+    )
+
+
+class ContainerPerfCollector:
+    """Windowed perf-counter collection, per container and host-wide."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self._container_marks: Dict[Cgroup, PerfCounters] = {}
+        self._host_mark: PerfCounters = kernel.perf.host_counters.snapshot()
+
+    def attach(self, perf_cgroup: Cgroup) -> None:
+        """Start accounting for one container's perf_event cgroup."""
+        if perf_cgroup in self._container_marks:
+            raise DefenseError(f"collector already attached: {perf_cgroup}")
+        self.kernel.perf.enable(perf_cgroup, owner=TASK_TOMBSTONE)
+        state = perf_cgroup.state
+        self._container_marks[perf_cgroup] = state.counters.snapshot()
+
+    def detach(self, perf_cgroup: Cgroup) -> None:
+        """Stop accounting (container removed)."""
+        if perf_cgroup not in self._container_marks:
+            raise DefenseError(f"collector not attached: {perf_cgroup}")
+        self.kernel.perf.disable(perf_cgroup)
+        del self._container_marks[perf_cgroup]
+
+    def attached(self, perf_cgroup: Cgroup) -> bool:
+        """Whether a cgroup is under collection."""
+        return perf_cgroup in self._container_marks
+
+    def collect(self, perf_cgroup: Cgroup) -> PerfWindow:
+        """Counters since the last collect() for this container."""
+        mark = self._container_marks.get(perf_cgroup)
+        if mark is None:
+            raise DefenseError(f"collector not attached: {perf_cgroup}")
+        current = perf_cgroup.state.counters
+        delta = current.delta(mark)
+        self._container_marks[perf_cgroup] = current.snapshot()
+        return _window(delta)
+
+    def peek(self, perf_cgroup: Cgroup) -> PerfWindow:
+        """Like collect() but without advancing the mark."""
+        mark = self._container_marks.get(perf_cgroup)
+        if mark is None:
+            raise DefenseError(f"collector not attached: {perf_cgroup}")
+        return _window(perf_cgroup.state.counters.delta(mark))
+
+    def collect_host(self) -> PerfWindow:
+        """Host-wide counters since the last collect_host()."""
+        current = self.kernel.perf.host_counters
+        delta = current.delta(self._host_mark)
+        self._host_mark = current.snapshot()
+        return _window(delta)

@@ -1,0 +1,76 @@
+"""Stage-1 defense: mask the discovered channels (Section V-A).
+
+``generate_masking_policy`` turns a cross-validation report into a deny
+policy covering every leaking path — what a cloud operator can deploy
+*today* without kernel changes. ``verify_masking`` re-runs the detector
+under the policy and reports any channel still open.
+
+The stage's inherent cost is also modelled: masking breaks legitimate
+in-container monitoring (``free``, ``top``, Prometheus node exporters all
+read masked files), quantified by :func:`functionality_impact`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.detection.crossvalidate import CrossValidationReport, CrossValidator, LeakClass
+from repro.procfs.vfs import PseudoVFS
+from repro.runtime.container import Container
+from repro.runtime.policy import MaskingPolicy
+
+#: pseudo-files that common legitimate tooling reads inside containers;
+#: masking these degrades tenant functionality (the stage-1 trade-off the
+#: paper concedes: "it may add restrictions for the functionality").
+LEGITIMATE_USES: Dict[str, str] = {
+    "/proc/meminfo": "free(1), container memory dashboards",
+    "/proc/stat": "top(1), CPU utilization exporters",
+    "/proc/cpuinfo": "runtime feature detection (nproc, OpenMP)",
+    "/proc/loadavg": "load-based autoscalers",
+    "/proc/uptime": "health checks",
+    "/proc/version": "support tooling, bug reports",
+}
+
+
+def generate_masking_policy(
+    report: CrossValidationReport, name: str = "stage1-masking"
+) -> MaskingPolicy:
+    """Deny every path the cross-validation classified as leaking."""
+    policy = MaskingPolicy(name=name)
+    for path in report.leaks:
+        policy.deny(path)
+    return policy
+
+
+def verify_masking(vfs: PseudoVFS, container: Container) -> List[str]:
+    """Re-run the detector against a masked container; returns open leaks.
+
+    An empty list means stage 1 closed everything the detector can see.
+    """
+    report = CrossValidator(vfs, container).run()
+    return report.leaks
+
+
+def functionality_impact(policy: MaskingPolicy) -> Dict[str, str]:
+    """Legitimate uses broken by a policy: path -> what stops working."""
+
+    class _Probe:
+        """Minimal stand-in node for policy evaluation."""
+
+        channel = None
+        namespaced = False
+
+    broken = {}
+    for path, use in LEGITIMATE_USES.items():
+        decision = policy.check(path, _Probe())
+        if decision.denied or decision.hidden:
+            broken[path] = use
+    return broken
+
+
+def mask_everything_policy(paths: Iterable[str]) -> MaskingPolicy:
+    """The maximal stage-1 policy: deny every known channel path."""
+    policy = MaskingPolicy(name="mask-all-channels")
+    for path in paths:
+        policy.deny(path)
+    return policy

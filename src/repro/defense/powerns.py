@@ -1,0 +1,215 @@
+"""The power-based namespace driver (Section V-B, Figure 5).
+
+This is the reproduction of the paper's kernel modification. Installing
+the driver:
+
+1. registers the new POWER namespace type (new containers get an instance
+   automatically; existing ones are adopted),
+2. hooks the RAPL ``energy_uj`` read path — the same seam the paper's
+   modified ``get_energy_counter`` patches,
+3. on every containerized read, runs the Figure 5 pipeline: *data
+   collection* (per-cgroup perf deltas) → *power modelling* (Formula 2) →
+   *on-the-fly calibration* (Formula 3) — and serves the container its
+   own accumulated energy through the **unchanged interface**.
+
+Host-context reads still see the hardware counter, so host tooling (and
+the cloud's own power management) keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.defense.calibration import CalibratedAttribution
+from repro.defense.collection import ContainerPerfCollector
+from repro.defense.modeling import TrainedPowerModel
+from repro.errors import DefenseError
+from repro.kernel.cgroups import PerfCounters
+from repro.kernel.kernel import Kernel
+from repro.kernel.namespaces import Namespace, NamespaceType
+from repro.kernel.process import Task
+from repro.kernel.rapl import RaplDomain, unwrap_delta
+from repro.runtime.container import Container
+from repro.runtime.engine import ContainerEngine
+
+
+@dataclass
+class _ContainerPowerState:
+    """Per-container virtual RAPL counters and collection marks."""
+
+    container: Container
+    power_ns: Namespace
+    #: virtual energy counters in µJ, keyed by (package_id, domain kind)
+    energy_uj: Dict[tuple, float] = field(default_factory=dict)
+    host_perf_mark: Optional[PerfCounters] = None
+    #: hardware package counter marks, one per package
+    rapl_pkg_marks_uj: Dict[int, int] = field(default_factory=dict)
+    last_update: float = 0.0
+
+
+class PowerNamespaceDriver:
+    """Installs and operates the power-based namespace on one kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        model: TrainedPowerModel,
+        attribution_factory: Callable[..., object] = CalibratedAttribution,
+        idle_share: str = "full",
+    ):
+        self.kernel = kernel
+        if not kernel.rapl.present:
+            raise DefenseError("power namespace needs RAPL hardware")
+        self.model = model
+        self.attribution = attribution_factory(model, idle_share=idle_share)
+        self.idle_share = idle_share
+        self.collector = ContainerPerfCollector(kernel)
+        self._states: Dict[Namespace, _ContainerPowerState] = {}
+        kernel.namespaces.enable_type(NamespaceType.POWER)
+        kernel.rapl_read_hook = self._read_energy
+        self.installed = True
+
+    # ------------------------------------------------------------------
+    # container lifecycle
+
+    def adopt(self, container: Container) -> None:
+        """Bring a container under the power namespace.
+
+        Containers created *before* the driver was installed lack a POWER
+        namespace; adoption creates one and rewires the container's tasks,
+        mirroring how cgroup/v2-era kernels migrate running workloads.
+        """
+        registry = self.kernel.namespaces
+        power_ns = container.namespaces.get(NamespaceType.POWER)
+        if power_ns is None or power_ns.is_root:
+            power_ns = registry.create(NamespaceType.POWER)
+            container.namespaces[NamespaceType.POWER] = power_ns
+            for task in container.tasks:
+                task.namespaces[NamespaceType.POWER] = power_ns
+        if power_ns in self._states:
+            raise DefenseError(f"container already adopted: {container.name}")
+
+        perf_cgroup = container.cgroup_set["perf_event"]
+        if not self.collector.attached(perf_cgroup):
+            self.collector.attach(perf_cgroup)
+        state = _ContainerPowerState(container=container, power_ns=power_ns)
+        state.host_perf_mark = self.kernel.perf.host_counters.snapshot()
+        for pkg in self.kernel.rapl.packages:
+            state.rapl_pkg_marks_uj[pkg.package_id] = pkg.package.energy_uj
+            for kind in ("package", "core", "dram"):
+                state.energy_uj[(pkg.package_id, kind)] = 0.0
+        state.last_update = self.kernel.clock.now
+        self._states[power_ns] = state
+
+    def release(self, container: Container) -> None:
+        """Detach a (stopping) container from the namespace."""
+        power_ns = container.namespaces.get(NamespaceType.POWER)
+        state = self._states.pop(power_ns, None)
+        if state is None:
+            raise DefenseError(f"container not adopted: {container.name}")
+        perf_cgroup = container.cgroup_set["perf_event"]
+        if self.collector.attached(perf_cgroup):
+            self.collector.detach(perf_cgroup)
+
+    def watch_engine(self, engine: ContainerEngine) -> None:
+        """Auto-adopt every container this engine creates from now on."""
+        engine.container_created_listeners.append(self.adopt)
+
+    @property
+    def adopted_count(self) -> int:
+        """Number of containers currently under the namespace."""
+        return len(self._states)
+
+    # ------------------------------------------------------------------
+    # the modified read path
+
+    def _read_energy(self, reader: Optional[Task], domain: RaplDomain) -> int:
+        """The hooked ``get_energy_counter``."""
+        state = self._state_for(reader)
+        if state is None:
+            # host context (or an unadopted legacy container): hardware view
+            return domain.energy_uj
+        self._update(state)
+        kind = self._domain_kind(domain)
+        key = (domain.package_id, kind)
+        return int(state.energy_uj[key] % domain.max_energy_range_uj)
+
+    def _state_for(self, reader: Optional[Task]) -> Optional[_ContainerPowerState]:
+        if reader is None:
+            return None
+        power_ns = reader.namespaces.get(NamespaceType.POWER)
+        if power_ns is None or power_ns.is_root:
+            return None
+        return self._states.get(power_ns)
+
+    @staticmethod
+    def _domain_kind(domain: RaplDomain) -> str:
+        if domain.name.startswith("package"):
+            return "package"
+        if domain.name in ("core", "dram"):
+            return domain.name
+        raise DefenseError(f"unknown RAPL domain: {domain.name}")
+
+    def _update(self, state: _ContainerPowerState) -> None:
+        """Figure 5's pipeline for one container, once per time step."""
+        now = self.kernel.clock.now
+        dt = now - state.last_update
+        if dt <= 0:
+            return
+
+        # data collection
+        container_window = self.collector.collect(
+            state.container.cgroup_set["perf_event"]
+        )
+        host_delta = self.kernel.perf.host_counters.delta(state.host_perf_mark)
+        state.host_perf_mark = self.kernel.perf.host_counters.snapshot()
+        from repro.defense.collection import PerfWindow
+
+        host_window = PerfWindow(
+            cycles=host_delta.cycles,
+            instructions=host_delta.instructions,
+            cache_misses=host_delta.cache_misses,
+            branch_misses=host_delta.branch_misses,
+        )
+
+        # measured hardware energy, per package and in total
+        pkg_deltas_j: Dict[int, float] = {}
+        for pkg in self.kernel.rapl.packages:
+            hw_now = pkg.package.energy_uj
+            mark = state.rapl_pkg_marks_uj[pkg.package_id]
+            pkg_deltas_j[pkg.package_id] = unwrap_delta(hw_now, mark) / 1e6
+            state.rapl_pkg_marks_uj[pkg.package_id] = hw_now
+        e_rapl_j = sum(pkg_deltas_j.values())
+
+        # power modelling + on-the-fly calibration (host-wide)
+        e_total_j = self.attribution.attribute_j(
+            container_window, host_window, e_rapl_j, dt
+        )
+
+        # split the credit across packages in proportion to measured
+        # per-package energy (perf counters are not package-local, so the
+        # measured split is the best available attribution), then into
+        # core/dram in proportion to the modelled components (+ idle
+        # floors when the namespace presents them)
+        m_core = self.model.core_active_j(container_window)
+        m_dram = self.model.dram_active_j(container_window)
+        if self.idle_share == "full":
+            m_core += self.model.idle_core_watts * dt
+            m_dram += self.model.idle_dram_watts * dt
+        total_model = m_core + m_dram
+        core_fraction = m_core / total_model if total_model > 0 else 0.5
+
+        for package_id, delta_j in pkg_deltas_j.items():
+            share = delta_j / e_rapl_j if e_rapl_j > 0 else 1.0 / max(
+                1, len(pkg_deltas_j)
+            )
+            e_pkg_j = e_total_j * share
+            state.energy_uj[(package_id, "package")] += e_pkg_j * 1e6
+            state.energy_uj[(package_id, "core")] += (
+                e_pkg_j * core_fraction * 1e6
+            )
+            state.energy_uj[(package_id, "dram")] += (
+                e_pkg_j * (1.0 - core_fraction) * 1e6
+            )
+        state.last_update = now

@@ -1,0 +1,29 @@
+"""Leakage-channel detection: the paper's primary tooling.
+
+- :mod:`repro.detection.walker` / :mod:`repro.detection.crossvalidate` —
+  the cross-validation tool of Figure 1 (left): walk every pseudo-file in
+  host and container contexts and diff.
+- :mod:`repro.detection.channels` — the channel registry with Table I's
+  metadata (leaked information, potential vulnerability classes).
+- :mod:`repro.detection.inspector` — cloud inspection (Figure 1, right):
+  probe provider instances and produce the Table I availability matrix.
+- :mod:`repro.detection.metrics` — the U/V/M metrics and joint-entropy
+  ranking of Table II.
+"""
+
+from repro.detection.channels import CHANNELS, Channel, channel_by_id
+from repro.detection.crossvalidate import CrossValidator, LeakClass
+from repro.detection.inspector import Availability, CloudInspector
+from repro.detection.metrics import ChannelAssessment, ChannelAssessor
+
+__all__ = [
+    "Availability",
+    "CHANNELS",
+    "Channel",
+    "ChannelAssessment",
+    "ChannelAssessor",
+    "CloudInspector",
+    "CrossValidator",
+    "LeakClass",
+    "channel_by_id",
+]

@@ -1,0 +1,205 @@
+"""The leakage-channel registry: Table I's rows as data.
+
+Each :class:`Channel` carries the paper's metadata — what information the
+file leaks and which vulnerability classes it feeds (co-residence, DoS,
+info-leak) — plus a representative pseudo-path pattern used by the probes.
+The *behavioural* properties (U/V/M, entropy) are never stored here; they
+are measured by :mod:`repro.detection.metrics`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One leakage channel (one row of Table I)."""
+
+    channel_id: str
+    #: the path as Table I prints it
+    table_label: str
+    #: glob over concrete pseudo paths belonging to this channel
+    path_pattern: str
+    leaked_information: str
+    #: potential vulnerability classes (Table I columns)
+    coresidence: bool
+    dos: bool
+    info_leak: bool
+    #: channels that require hardware support to exist at all
+    requires_rapl: bool = False
+    requires_dts: bool = False
+
+    def matches(self, path: str) -> bool:
+        """Whether a concrete pseudo path belongs to this channel."""
+        return fnmatch.fnmatchcase(path, self.path_pattern)
+
+
+#: Table I, in the paper's row order.
+CHANNELS: Tuple[Channel, ...] = (
+    Channel(
+        "proc.locks", "/proc/locks", "/proc/locks",
+        "Files locked by the kernel", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.zoneinfo", "/proc/zoneinfo", "/proc/zoneinfo",
+        "Physical RAM information", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.modules", "/proc/modules", "/proc/modules",
+        "Loaded kernel modules information", coresidence=False, dos=False,
+        info_leak=True,
+    ),
+    Channel(
+        "proc.timer_list", "/proc/timer_list", "/proc/timer_list",
+        "Configured clocks and timers", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.sched_debug", "/proc/sched_debug", "/proc/sched_debug",
+        "Task scheduler behavior", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.softirqs", "/proc/softirqs", "/proc/softirqs",
+        "Number of invoked softirq handler", coresidence=True, dos=True,
+        info_leak=True,
+    ),
+    Channel(
+        "proc.uptime", "/proc/uptime", "/proc/uptime",
+        "Up and idle time", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.version", "/proc/version", "/proc/version",
+        "Kernel, gcc, distribution version", coresidence=False, dos=False,
+        info_leak=True,
+    ),
+    Channel(
+        "proc.stat", "/proc/stat", "/proc/stat",
+        "Kernel activities", coresidence=True, dos=True, info_leak=True,
+    ),
+    Channel(
+        "proc.meminfo", "/proc/meminfo", "/proc/meminfo",
+        "Memory information", coresidence=True, dos=True, info_leak=True,
+    ),
+    Channel(
+        "proc.loadavg", "/proc/loadavg", "/proc/loadavg",
+        "CPU and IO utilization over time", coresidence=True, dos=False,
+        info_leak=True,
+    ),
+    Channel(
+        "proc.interrupts", "/proc/interrupts", "/proc/interrupts",
+        "Number of interrupts per IRQ", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.cpuinfo", "/proc/cpuinfo", "/proc/cpuinfo",
+        "CPU information", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.schedstat", "/proc/schedstat", "/proc/schedstat",
+        "Schedule statistics", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.sys.fs.dentry-state", "/proc/sys/fs/*", "/proc/sys/fs/dentry-state",
+        "File system information", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.sys.fs.inode-nr", "/proc/sys/fs/*", "/proc/sys/fs/inode-nr",
+        "File system information", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.sys.fs.file-nr", "/proc/sys/fs/*", "/proc/sys/fs/file-nr",
+        "File system information", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.sys.kernel.random.boot_id", "/proc/sys/kernel/random/*",
+        "/proc/sys/kernel/random/boot_id",
+        "Random number generation info", coresidence=True, dos=False,
+        info_leak=True,
+    ),
+    Channel(
+        "proc.sys.kernel.random.entropy_avail", "/proc/sys/kernel/random/*",
+        "/proc/sys/kernel/random/entropy_avail",
+        "Random number generation info", coresidence=True, dos=False,
+        info_leak=True,
+    ),
+    Channel(
+        "proc.sys.kernel.sched_domain", "/proc/sys/kernel/sched_domain/*",
+        "/proc/sys/kernel/sched_domain/cpu*/domain0/max_newidle_lb_cost",
+        "Schedule domain info", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "proc.fs.ext4.mb_groups", "/proc/fs/ext4/*",
+        "/proc/fs/ext4/*/mb_groups",
+        "Ext4 file system info", coresidence=True, dos=False, info_leak=True,
+    ),
+    Channel(
+        "sys.fs.cgroup.net_prio.ifpriomap", "/sys/fs/cgroup/net_prio/*",
+        "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+        "Priorities assigned to traffic", coresidence=True, dos=False,
+        info_leak=True,
+    ),
+    Channel(
+        "sys.devices.system.node.numastat", "/sys/devices/*",
+        "/sys/devices/system/node/node*/numastat",
+        "System device information", coresidence=True, dos=True, info_leak=True,
+    ),
+    Channel(
+        "sys.devices.system.node.vmstat", "/sys/devices/*",
+        "/sys/devices/system/node/node*/vmstat",
+        "System device information", coresidence=True, dos=True, info_leak=True,
+    ),
+    Channel(
+        "sys.devices.system.node.meminfo", "/sys/devices/*",
+        "/sys/devices/system/node/node*/meminfo",
+        "System device information", coresidence=True, dos=True, info_leak=True,
+    ),
+    Channel(
+        "sys.devices.system.cpu.cpuidle.usage", "/sys/devices/*",
+        "/sys/devices/system/cpu/cpu*/cpuidle/state*/usage",
+        "System device information", coresidence=True, dos=True, info_leak=True,
+    ),
+    Channel(
+        "sys.devices.system.cpu.cpuidle.time", "/sys/devices/*",
+        "/sys/devices/system/cpu/cpu*/cpuidle/state*/time",
+        "System device information", coresidence=True, dos=True, info_leak=True,
+    ),
+    Channel(
+        "sys.devices.platform.coretemp.temp_input", "/sys/devices/*",
+        "/sys/devices/platform/coretemp.*/hwmon/hwmon*/temp*_input",
+        "System device information", coresidence=True, dos=True, info_leak=True,
+        requires_dts=True,
+    ),
+    Channel(
+        "sys.class.powercap.energy_uj", "/sys/class/*",
+        "/sys/class/powercap/intel-rapl*/energy_uj",
+        "System device information", coresidence=True, dos=True, info_leak=True,
+        requires_rapl=True,
+    ),
+    Channel(
+        "sys.class.net.statistics", "/sys/class/*",
+        "/sys/class/net/*/statistics/*",
+        "System device information", coresidence=False, dos=True, info_leak=True,
+    ),
+)
+
+_BY_ID: Dict[str, Channel] = {c.channel_id: c for c in CHANNELS}
+
+
+def channel_by_id(channel_id: str) -> Channel:
+    """Look up a channel by its stable id (KeyError for typos)."""
+    return _BY_ID[channel_id]
+
+
+def channels_for_path(path: str) -> List[Channel]:
+    """All registered channels a concrete path belongs to."""
+    return [c for c in CHANNELS if c.matches(path)]
+
+
+def representative_paths(vfs, channel: Channel) -> List[str]:
+    """Concrete paths of one channel present on a given host's VFS."""
+    return [
+        path
+        for path, node in vfs.walk()
+        if node.channel == channel.channel_id and channel.matches(path)
+    ]

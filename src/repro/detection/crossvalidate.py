@@ -1,0 +1,117 @@
+"""Cross-validation: the differential leak detector of Figure 1 (left).
+
+The tool reads every pseudo-file in two execution contexts — an
+unprivileged container and the host — *within the same instant* (no clock
+advance between the paired reads), aligns by path, and diffs:
+
+- identical content in both contexts ⇒ both readers reached the same
+  global kernel data ⇒ **leak** (case ② of Figure 1);
+- differing content ⇒ the kernel served namespaced views (case ①);
+- a same-context double read that differs ⇒ the file is per-read volatile
+  (e.g. ``/proc/sys/kernel/random/uuid``) and is excluded — identical
+  pairs cannot be expected from it even when it leaks nothing.
+
+The detector works purely from file contents; it never consults the
+renderer's ``namespaced`` flag, which the test suite instead uses to
+validate the detector's verdicts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.detection.walker import PseudoWalker, ReadOutcome
+from repro.procfs.node import ReadContext
+from repro.procfs.vfs import PseudoVFS
+from repro.runtime.container import Container
+
+
+class LeakClass(enum.Enum):
+    """Verdict for one pseudo path."""
+
+    LEAK = "leak"  # same global kernel data in both contexts
+    NAMESPACED = "namespaced"  # container got a private view
+    VOLATILE = "volatile"  # differs between two same-context reads
+    MASKED = "masked"  # denied/hidden inside the container
+    HOST_ONLY = "host-only"  # absent in the container view entirely
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Cross-validation result for one path."""
+
+    path: str
+    leak_class: LeakClass
+    channel: Optional[str]
+
+
+@dataclass
+class CrossValidationReport:
+    """All verdicts of one run, with convenience accessors."""
+
+    verdicts: Dict[str, Verdict] = field(default_factory=dict)
+
+    def paths_in(self, leak_class: LeakClass) -> List[str]:
+        """All paths with the given verdict, sorted."""
+        return sorted(
+            path for path, v in self.verdicts.items() if v.leak_class is leak_class
+        )
+
+    @property
+    def leaks(self) -> List[str]:
+        """Paths classified as leaking host data."""
+        return self.paths_in(LeakClass.LEAK)
+
+    def leaking_channels(self) -> List[str]:
+        """Distinct channel ids with at least one leaking path, sorted."""
+        return sorted(
+            {
+                v.channel
+                for v in self.verdicts.values()
+                if v.leak_class is LeakClass.LEAK and v.channel
+            }
+        )
+
+    def verdict_for(self, path: str) -> Verdict:
+        """The verdict of one path (KeyError if never walked)."""
+        return self.verdicts[path]
+
+
+class CrossValidator:
+    """Pairs a host context with a container context and diffs the trees."""
+
+    def __init__(self, vfs: PseudoVFS, container: Container):
+        self.vfs = vfs
+        self.container = container
+        self.host_walker = PseudoWalker(vfs, ReadContext(kernel=vfs.kernel))
+        self.container_walker = PseudoWalker(vfs, container.read_context())
+
+    def run(self, paths: Optional[List[str]] = None) -> CrossValidationReport:
+        """Walk both contexts and classify every path."""
+        if paths is None:
+            paths = [path for path, _ in self.vfs.walk()]
+        report = CrossValidationReport()
+        for path in paths:
+            report.verdicts[path] = self._classify(path)
+        return report
+
+    def _classify(self, path: str) -> Verdict:
+        host_first = self.host_walker.read_one(path)
+        host_second = self.host_walker.read_one(path)
+        inside = self.container_walker.read_one(path)
+        channel = host_first.channel or inside.channel
+
+        if inside.outcome is ReadOutcome.DENIED:
+            return Verdict(path=path, leak_class=LeakClass.MASKED, channel=channel)
+        if inside.outcome is ReadOutcome.ABSENT:
+            return Verdict(path=path, leak_class=LeakClass.HOST_ONLY, channel=channel)
+        if host_first.outcome is not ReadOutcome.OK:
+            # readable inside but not on the host: treat as namespaced
+            return Verdict(path=path, leak_class=LeakClass.NAMESPACED, channel=channel)
+        if host_first.content != host_second.content:
+            return Verdict(path=path, leak_class=LeakClass.VOLATILE, channel=channel)
+        if host_first.content == inside.content:
+            return Verdict(path=path, leak_class=LeakClass.LEAK, channel=channel)
+        return Verdict(path=path, leak_class=LeakClass.NAMESPACED, channel=channel)

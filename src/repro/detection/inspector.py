@@ -1,0 +1,130 @@
+"""Cloud inspection: Figure 1 (right) — produce the Table I matrix.
+
+For each provider, launch an instance and probe every registered channel
+from inside it. A channel is *available* (●) when the tenant reads the
+same bytes the host kernel would serve, *partial* (◐) when the tenant
+reads a transformed/restricted view that still derives from host state,
+and *masked/absent* (○) when the read errors or the hardware lacks the
+interface.
+
+The partial/full distinction uses experimenter-side ground truth (a
+host-context read on the same simulated kernel), mirroring the paper's
+manual analysis of CC5's customized files.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.detection.channels import CHANNELS, Channel, representative_paths
+from repro.detection.walker import PseudoWalker, ReadOutcome
+from repro.procfs.node import ReadContext
+from repro.runtime.cloud import ContainerCloud
+
+
+class Availability(enum.Enum):
+    """One Table I cell."""
+
+    FULL = "●"
+    PARTIAL = "◐"
+    MASKED = "○"
+
+
+@dataclass
+class InspectionReport:
+    """Channel availability for one provider."""
+
+    provider: str
+    cells: Dict[str, Availability] = field(default_factory=dict)
+
+    def available_channels(self) -> List[str]:
+        """Channel ids fully available to tenants."""
+        return sorted(
+            cid for cid, a in self.cells.items() if a is Availability.FULL
+        )
+
+    def masked_channels(self) -> List[str]:
+        """Channel ids masked or absent."""
+        return sorted(
+            cid for cid, a in self.cells.items() if a is Availability.MASKED
+        )
+
+
+class CloudInspector:
+    """Probes provider clouds and builds the Table I availability matrix."""
+
+    def __init__(self, tenant: str = "inspector"):
+        self.tenant = tenant
+
+    def inspect(self, cloud: ContainerCloud) -> InspectionReport:
+        """Launch one probe instance and classify every channel."""
+        instance = cloud.launch_instance(self.tenant)
+        cloud.run(2.0, dt=1.0)  # let counters move before probing
+        report = InspectionReport(provider=cloud.profile.name)
+        host = cloud.host_of(instance)
+        vfs = host.engine.vfs
+        host_walker = PseudoWalker(vfs, ReadContext(kernel=host.kernel))
+        tenant_walker = PseudoWalker(vfs, instance.container.read_context())
+
+        for channel in CHANNELS:
+            report.cells[channel.channel_id] = self._probe(
+                channel, vfs, host_walker, tenant_walker
+            )
+        cloud.terminate_instance(instance)
+        return report
+
+    def _probe(
+        self,
+        channel: Channel,
+        vfs,
+        host_walker: PseudoWalker,
+        tenant_walker: PseudoWalker,
+    ) -> Availability:
+        paths = representative_paths(vfs, channel)
+        if not paths:
+            # hardware on this provider lacks the interface entirely
+            return Availability.MASKED
+        verdicts: List[Availability] = []
+        for path in paths:
+            host_entry = host_walker.read_one(path)
+            tenant_entry = tenant_walker.read_one(path)
+            if tenant_entry.outcome is not ReadOutcome.OK:
+                verdicts.append(Availability.MASKED)
+            elif (
+                host_entry.outcome is ReadOutcome.OK
+                and host_entry.content == tenant_entry.content
+            ):
+                verdicts.append(Availability.FULL)
+            else:
+                verdicts.append(Availability.PARTIAL)
+        if all(v is Availability.MASKED for v in verdicts):
+            return Availability.MASKED
+        if all(v is Availability.FULL for v in verdicts):
+            return Availability.FULL
+        return Availability.PARTIAL
+
+
+def inspect_all(
+    clouds: Dict[str, ContainerCloud]
+) -> Dict[str, InspectionReport]:
+    """Inspect several providers (the full Table I sweep)."""
+    inspector = CloudInspector()
+    return {name: inspector.inspect(cloud) for name, cloud in clouds.items()}
+
+
+def format_table1(reports: Dict[str, InspectionReport]) -> str:
+    """Render the availability matrix as the paper's Table I."""
+    providers = sorted(reports)
+    header = f"{'Leakage Channels':<42}" + "".join(
+        f"{p:>6}" for p in providers
+    )
+    lines = [header, "-" * len(header)]
+    for channel in CHANNELS:
+        row = f"{channel.table_label:<42}"
+        for provider in providers:
+            cell = reports[provider].cells[channel.channel_id]
+            row += f"{cell.value:>6}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,431 @@
+"""The U/V/M channel metrics and entropy ranking of Table II.
+
+Every metric is measured *behaviourally*, never looked up:
+
+- **U (uniqueness)** — can the channel uniquely identify a host? Three
+  behavioural routes, matching the paper's three groups: a static
+  identifier (equal across co-resident containers, stable over time,
+  different across hosts), an implantable signature (the tenant writes a
+  crafted name into the global table and another container finds it), or
+  a unique accumulator (monotone counters whose trajectory is host-unique).
+- **V (variation)** — do the contents change over time under normal host
+  activity, enabling snapshot-trace matching?
+- **M (manipulation)** — can a tenant implant data directly (●), only
+  influence it indirectly through its own resource usage (◐), or not at
+  all (○)?
+- **entropy** — Formula 1's joint Shannon entropy over the channel's
+  changing fields, used to rank the V-only group.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.entropy import field_entropy, quantize
+from repro.detection.channels import CHANNELS, Channel, representative_paths
+from repro.errors import ReproError
+from repro.kernel.kernel import Machine
+from repro.runtime.container import Container
+from repro.runtime.engine import ContainerEngine
+from repro.runtime.workload import constant, idle
+
+_NUMBER = re.compile(r"-?\d+(?:\.\d+)?")
+
+
+class Manipulation(enum.Enum):
+    """The M metric's three levels."""
+
+    DIRECT = "direct"  # ● implant crafted data
+    INDIRECT = "indirect"  # ◐ influence via own resource usage
+    NONE = "none"  # ○
+
+
+class UniquenessGroup(enum.Enum):
+    """Which of the paper's three U groups a channel falls into."""
+
+    STATIC_ID = "static-id"
+    IMPLANTABLE = "implantable"
+    ACCUMULATOR = "accumulator"
+    NOT_UNIQUE = "not-unique"
+
+
+@dataclass(frozen=True)
+class ChannelAssessment:
+    """Table II's row for one channel."""
+
+    channel_id: str
+    unique: bool
+    group: UniquenessGroup
+    varies: bool
+    manipulation: Manipulation
+    entropy: float
+    growth_rate: float
+
+    @property
+    def rank_key(self) -> Tuple[int, float]:
+        """Sort key reproducing Table II's ordering (lower = higher rank)."""
+        group_order = {
+            UniquenessGroup.STATIC_ID: 0,
+            UniquenessGroup.IMPLANTABLE: 1,
+            UniquenessGroup.ACCUMULATOR: 2,
+            UniquenessGroup.NOT_UNIQUE: 3,
+        }
+        if self.group is UniquenessGroup.ACCUMULATOR:
+            tiebreak = -self.growth_rate
+        elif self.group is UniquenessGroup.IMPLANTABLE:
+            # richer implant surface first: sched_debug > timer_list > locks
+            tiebreak = -self.entropy
+        elif self.group is UniquenessGroup.NOT_UNIQUE:
+            tiebreak = -self.entropy
+            if not self.varies:
+                return (4, 0.0)
+        else:
+            tiebreak = 0.0
+        return (group_order[self.group], tiebreak)
+
+
+# ----------------------------------------------------------------------
+# implant strategies (the M=direct probes)
+
+
+def _implant_timer(container: Container, signature: str) -> None:
+    container.arm_timer(signature, delay_seconds=3600.0)
+
+
+def _implant_lock(container: Container, signature: str) -> None:
+    # encode the signature in the inode number
+    container.take_lock(inode=abs(hash(signature)) % 10_000_000, task_name=signature)
+
+
+def _implant_task_name(container: Container, signature: str) -> None:
+    container.exec(signature, workload=idle())
+
+
+def _find_lock_signature(content: str, signature: str) -> bool:
+    inode = abs(hash(signature)) % 10_000_000
+    return f":{inode} " in content
+
+
+IMPLANTS: Dict[str, Tuple[Callable[[Container, str], None], Callable[[str, str], bool]]] = {
+    "proc.timer_list": (_implant_timer, lambda text, sig: sig in text),
+    "proc.locks": (_implant_lock, _find_lock_signature),
+    "proc.sched_debug": (_implant_task_name, lambda text, sig: sig in text),
+}
+
+
+# ----------------------------------------------------------------------
+
+
+def _tokens(content: str) -> List[float]:
+    """All numeric tokens of a rendering, in order."""
+    return [float(m.group(0)) for m in _NUMBER.finditer(content)]
+
+
+class ChannelAssessor:
+    """Measures U/V/M and entropy for every channel on a live testbed.
+
+    The testbed is two simulated hosts: host A carries two co-resident
+    containers plus fluctuating background activity (CPU, IO, network,
+    timer/lock churn), host B provides the cross-host comparison.
+    """
+
+    def __init__(self, seed: int = 0, snapshots: int = 12, interval_s: float = 5.0):
+        if snapshots < 4:
+            raise ReproError(f"need at least 4 snapshots: {snapshots}")
+        self.snapshots = snapshots
+        self.interval_s = interval_s
+
+        from repro.kernel.config import HostConfig
+
+        self.machine_a = Machine(seed=seed)
+        # Host B is a *different machine*: other NIC names, disk layout,
+        # and RAM size, as two arbitrary servers in a fleet would be. The
+        # cross-host leg of the U probe needs this hardware diversity
+        # (e.g. ifpriomap is unique because interface lists differ).
+        self.machine_b = Machine(
+            seed=seed + 1,
+            config=HostConfig(
+                hostname="host-b",
+                memory_mb=32768,
+                net_interfaces=("lo", "ens1f0", "ens1f1", "docker0"),
+                disks=("sda", "sdb"),
+            ),
+        )
+        self.engine_a = ContainerEngine(self.machine_a.kernel)
+        self.engine_b = ContainerEngine(self.machine_b.kernel)
+        self.container_1 = self.engine_a.create(name="probe-1")
+        self.container_2 = self.engine_a.create(name="probe-2")
+        self.container_b = self.engine_b.create(name="probe-remote")
+        self._implant_counter = 0
+        self._start_background()
+
+    def _start_background(self) -> None:
+        """Host activity that makes time-varying channels actually vary."""
+        for machine in (self.machine_a, self.machine_b):
+            kernel = machine.kernel
+            kernel.spawn(
+                "bg-web",
+                workload=constant(
+                    "bg-web", cpu_demand=0.6, ipc=1.3, cache_miss_per_kinst=3.0,
+                    branch_miss_per_kinst=4.0, rss_mb=300.0,
+                    syscalls_per_sec=10_000.0, voluntary_switches_per_sec=2_000.0,
+                    net_kbps=10_000.0, io_ops_per_sec=300.0,
+                ),
+            )
+            kernel.spawn(
+                "bg-batch",
+                workload=constant(
+                    "bg-batch", cpu_demand=0.8, ipc=1.9, cache_miss_per_kinst=6.0,
+                    branch_miss_per_kinst=2.0, rss_mb=600.0, io_ops_per_sec=150.0,
+                ),
+            )
+            # lock/timer churn: host daemons keep the global tables moving
+            churner = kernel.spawn("bg-churn", workload=idle())
+            lock = kernel.locks.acquire(churner, inode=42)
+
+            def churn(kernel=kernel, churner=churner, state={"lock": lock, "n": 0}):
+                def listener(result):
+                    state["n"] += 1
+                    if state["n"] % 7 == 0:
+                        kernel.locks.release(state["lock"])
+                        state["lock"] = kernel.locks.acquire(
+                            churner, inode=42 + state["n"] % 5
+                        )
+                    if state["n"] % 5 == 0:
+                        kernel.timers.arm(churner, delay_seconds=9.0)
+
+                return listener
+
+            kernel.tick_listeners.append(churn())
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, seconds: float) -> None:
+        self.machine_a.run(seconds, dt=1.0)
+        self.machine_b.run(seconds, dt=1.0)
+
+    def _read(self, container: Container, path: str) -> Optional[str]:
+        try:
+            return container.read(path)
+        except ReproError:
+            return None
+
+    def _paths_for(self, channel: Channel) -> List[str]:
+        return representative_paths(self.engine_a.vfs, channel)
+
+    def _pick_path(self, channel: Channel) -> Optional[str]:
+        """The channel path to probe: prefer one whose content moves.
+
+        Multi-path channels mix live and dead files (``lo`` vs ``eth0``
+        statistics, C-states never entered); assessing a dead file would
+        understate the channel, so a quick two-read variation scan picks a
+        live representative.
+        """
+        paths = self._paths_for(channel)
+        if not paths:
+            return None
+        candidates = paths[:8]
+        first = {p: self._read(self.container_1, p) for p in candidates}
+        self._advance(self.interval_s)
+        for path in candidates:
+            if self._read(self.container_1, path) != first[path]:
+                return path
+        return candidates[0]
+
+    def assess(self, channel: Channel) -> ChannelAssessment:
+        """Measure one channel's Table II row."""
+        path = self._pick_path(channel)
+        if path is None:
+            return ChannelAssessment(
+                channel_id=channel.channel_id, unique=False,
+                group=UniquenessGroup.NOT_UNIQUE, varies=False,
+                manipulation=Manipulation.NONE, entropy=0.0, growth_rate=0.0,
+            )
+
+        # --- paired snapshots over time ---
+        series_local: List[str] = []
+        series_remote: List[str] = []
+        for _ in range(self.snapshots):
+            a = self._read(self.container_1, path)
+            b = self._read(self.container_b, paths_b[0]) if (
+                paths_b := representative_paths(self.engine_b.vfs, channel)
+            ) else None
+            series_local.append(a or "")
+            series_remote.append(b or "")
+            self._advance(self.interval_s)
+
+        co_resident_equal = self._read(self.container_1, path) == self._read(
+            self.container_2, path
+        )
+        cross_host_diff = series_local[0] != series_remote[0]
+
+        varies = len(set(series_local)) > 1
+        stable = not varies
+
+        # --- implantation (M direct) ---
+        direct = self._probe_implant(channel)
+
+        # --- indirect influence ---
+        indirect = False if direct else self._probe_indirect(channel, path)
+
+        # --- accumulator analysis ---
+        monotone, growth_rate = self._accumulator_stats(series_local)
+
+        if direct:
+            group = UniquenessGroup.IMPLANTABLE
+            unique = True
+        elif stable and co_resident_equal and cross_host_diff:
+            group = UniquenessGroup.STATIC_ID
+            unique = True
+        elif varies and monotone and co_resident_equal and cross_host_diff:
+            group = UniquenessGroup.ACCUMULATOR
+            unique = True
+        else:
+            group = UniquenessGroup.NOT_UNIQUE
+            unique = False
+
+        manipulation = (
+            Manipulation.DIRECT
+            if direct
+            else Manipulation.INDIRECT
+            if indirect
+            else Manipulation.NONE
+        )
+        entropy = self._entropy(series_local)
+        return ChannelAssessment(
+            channel_id=channel.channel_id,
+            unique=unique,
+            group=group,
+            varies=varies,
+            manipulation=manipulation,
+            entropy=entropy,
+            growth_rate=growth_rate,
+        )
+
+    def assess_all(self) -> List[ChannelAssessment]:
+        """Assess every registered channel and sort into Table II order."""
+        assessments = [self.assess(channel) for channel in CHANNELS]
+        return sorted(assessments, key=lambda a: a.rank_key)
+
+    # ------------------------------------------------------------------
+
+    def _probe_implant(self, channel: Channel) -> bool:
+        implant = IMPLANTS.get(channel.channel_id)
+        if implant is None:
+            return False
+        implant_fn, finder = implant
+        self._implant_counter += 1
+        signature = f"cl-sig-{self._implant_counter:04d}x"
+        implant_fn(self.container_1, signature)
+        self._advance(1.0)
+        paths = self._paths_for(channel)
+        content = self._read(self.container_2, paths[0])
+        return bool(content) and finder(content, signature)
+
+    def _probe_indirect(self, channel: Channel, path: str) -> bool:
+        """Does the tenant's own load shift how the channel moves?
+
+        Observes the channel's per-field deltas over a rest window and
+        over a window with the tenant's own heavy load running (the
+        paper's ``taskset`` example), and reports influence when any
+        field's rate of change differs markedly — in *either* direction:
+        a loaded host accumulates idle time more slowly, which is just as
+        much a signal as a counter accelerating.
+        """
+        before = self._read(self.container_1, path)
+        self._advance(5.0)
+        after_rest = self._read(self.container_1, path)
+        if before is None or after_rest is None:
+            return False
+        rest_deltas = self._field_deltas(before, after_rest)
+
+        # Four heavy tasks: enough load to shift slow-moving channels.
+        for i in range(4):
+            self.container_2.exec(
+                f"influence-probe-{i}",
+                workload=constant(
+                    "influence", cpu_demand=1.0, ipc=2.5, cache_miss_per_kinst=10.0,
+                    branch_miss_per_kinst=5.0, rss_mb=1024.0, io_ops_per_sec=2_000.0,
+                    net_kbps=20_000.0, syscalls_per_sec=50_000.0, duration=5.0,
+                ),
+            )
+        before_load = self._read(self.container_1, path)
+        self._advance(5.0)
+        after_load = self._read(self.container_1, path)
+        self.container_2.reap_finished()
+        if before_load is None or after_load is None:
+            return False
+        load_deltas = self._field_deltas(before_load, after_load)
+
+        if rest_deltas is None or load_deltas is None or (
+            len(rest_deltas) != len(load_deltas)
+        ):
+            # structure changed; fall back to whole-content comparison
+            return (before != after_rest) != (before_load != after_load)
+        for rest, load in zip(rest_deltas, load_deltas):
+            scale = max(abs(rest), abs(load))
+            if scale < 1e-12:
+                continue
+            if abs(load - rest) > 0.5 * scale and abs(load - rest) > 1e-9:
+                return True
+        return False
+
+    @staticmethod
+    def _field_deltas(before: str, after: str) -> Optional[List[float]]:
+        """Per-field relative deltas between two snapshots."""
+        ta, tb = _tokens(before), _tokens(after)
+        if len(ta) != len(tb) or not ta:
+            return None
+        return [
+            (y - x) / max(abs(x), abs(y), 1.0) for x, y in zip(ta, tb)
+        ]
+
+    def _accumulator_stats(self, series: Sequence[str]) -> Tuple[bool, float]:
+        """Monotonicity + growth rate of the channel's changing fields."""
+        token_rows = [_tokens(s) for s in series if s]
+        if len(token_rows) < 3:
+            return False, 0.0
+        length = len(token_rows[0])
+        if any(len(row) != length for row in token_rows) or length == 0:
+            return False, 0.0
+        columns = list(zip(*token_rows))
+        changing = [col for col in columns if len(set(col)) > 1]
+        if not changing:
+            return False, 0.0
+        nondecreasing = [
+            col for col in changing
+            if all(b >= a for a, b in zip(col, col[1:]))
+        ]
+        increasing = [
+            col for col in nondecreasing
+            if col[-1] > col[0]
+        ]
+        monotone = (
+            len(nondecreasing) / len(changing) > 0.5 and len(increasing) > 0
+        )
+        if not increasing:
+            return monotone, 0.0
+        window = self.interval_s * (len(series) - 1)
+        rates = [
+            (col[-1] - col[0]) / max(abs(col[0]), 1.0) / window for col in increasing
+        ]
+        return monotone, max(rates)
+
+    def _entropy(self, series: Sequence[str]) -> float:
+        """Formula 1 over the channel's changing numeric fields."""
+        token_rows = [_tokens(s) for s in series if s]
+        if len(token_rows) < 2:
+            return 0.0
+        length = len(token_rows[0])
+        if any(len(row) != length for row in token_rows) or length == 0:
+            # structure changes between snapshots: hash whole contents
+            return field_entropy([hash(s) for s in series])
+        columns = list(zip(*token_rows))
+        total = 0.0
+        for col in columns:
+            if len(set(col)) > 1:
+                total += field_entropy(quantize(list(col)))
+        return total

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ContainerLeaks reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """A simulation invariant was violated (e.g. time moved backwards)."""
+
+
+class KernelError(ReproError):
+    """A simulated-kernel operation failed (bad pid, missing subsystem...)."""
+
+
+class PseudoFileError(KernelError):
+    """A pseudo-filesystem operation failed."""
+
+
+class PermissionDeniedError(PseudoFileError):
+    """Read access to a pseudo file was denied by a masking policy.
+
+    This mirrors the ``EACCES`` a real container sees when AppArmor or a
+    read-only/unreadable mount masks a ``/proc`` or ``/sys`` entry.
+    """
+
+    def __init__(self, path: str):
+        super().__init__(f"permission denied: {path}")
+        self.path = path
+
+
+class FileNotFoundPseudoError(PseudoFileError):
+    """The pseudo path does not exist in the mounted view (``ENOENT``)."""
+
+    def __init__(self, path: str):
+        super().__init__(f"no such file or directory: {path}")
+        self.path = path
+
+
+class ContainerError(ReproError):
+    """A container-runtime operation failed."""
+
+
+class CloudError(ReproError):
+    """A cloud-level operation (placement, tenancy, billing) failed."""
+
+
+class CapacityError(CloudError):
+    """The cloud has no server with room for the requested instance."""
+
+
+class DefenseError(ReproError):
+    """A defense-subsystem operation failed (modelling, calibration...)."""
+
+
+class AttackError(ReproError):
+    """An attack-toolkit operation failed (no channel, no co-residence...)."""

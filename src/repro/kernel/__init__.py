@@ -1,0 +1,19 @@
+"""Simulated Linux kernel substrate.
+
+This package models the kernel subsystems whose state the paper's leakage
+channels expose: the scheduler, memory management, interrupts, timers, file
+locks, the RNG, ext4, network devices, cpuidle, coretemp, and the Intel RAPL
+energy counters — plus the container-enabling machinery (namespaces,
+cgroups, perf_event) and a host power model that drives RAPL.
+
+The central object is :class:`repro.kernel.kernel.Kernel`; everything else
+hangs off it. The crucial design property, mirrored from Linux, is that each
+subsystem keeps *host-global* state, and only some subsystems additionally
+know how to present a *namespaced* view — exactly the incomplete coverage
+the paper identifies as the root cause of the leaks.
+"""
+
+from repro.kernel.config import CpuSpec, HostConfig
+from repro.kernel.kernel import Kernel
+
+__all__ = ["Kernel", "HostConfig", "CpuSpec"]

@@ -1,0 +1,44 @@
+"""Hardware activity samples.
+
+Lives in the kernel package (not the runtime) because every kernel
+subsystem consumes these — the scheduler produces them, the power model,
+perf counters, memory, and interrupt subsystems account them. The runtime's
+workload machinery imports from here, never the other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ActivitySample:
+    """Hardware activity produced by one task during one scheduler tick."""
+
+    cpu_ns: int = 0
+    cycles: int = 0
+    instructions: int = 0
+    cache_misses: int = 0
+    branch_misses: int = 0
+    syscalls: int = 0
+    voluntary_switches: int = 0
+    rss_bytes: int = 0
+    net_bytes: int = 0
+    io_ops: int = 0
+    #: abstract useful-work units completed (benchmark scoring hook)
+    work_units: float = 0.0
+
+    def __add__(self, other: "ActivitySample") -> "ActivitySample":
+        return ActivitySample(
+            cpu_ns=self.cpu_ns + other.cpu_ns,
+            cycles=self.cycles + other.cycles,
+            instructions=self.instructions + other.instructions,
+            cache_misses=self.cache_misses + other.cache_misses,
+            branch_misses=self.branch_misses + other.branch_misses,
+            syscalls=self.syscalls + other.syscalls,
+            voluntary_switches=self.voluntary_switches + other.voluntary_switches,
+            rss_bytes=max(self.rss_bytes, other.rss_bytes),
+            net_bytes=self.net_bytes + other.net_bytes,
+            io_ops=self.io_ops + other.io_ops,
+            work_units=self.work_units + other.work_units,
+        )

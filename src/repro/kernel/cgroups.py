@@ -1,0 +1,287 @@
+"""Control groups: per-container resource accounting and control.
+
+The defense's data-collection stage (Section V-B-1) hangs off two
+controllers modelled here: *cpuacct* (accumulated CPU cycles per container)
+and *perf_event* (retired instructions, cache misses, branch misses per
+container). *net_prio* is modelled because its ``net_prio.ifpriomap`` file
+is the paper's Case Study I leak; *cpuset* and *memory* bound container
+resources.
+
+Each controller is its own hierarchy, as in cgroup-v1 (which is what Docker
+used at the paper's kernel version, 4.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from repro.errors import KernelError
+from repro.kernel.process import Task
+
+
+@dataclass
+class PerfCounters:
+    """Hardware performance counters accumulated for a cgroup."""
+
+    cycles: int = 0
+    instructions: int = 0
+    cache_misses: int = 0
+    branch_misses: int = 0
+
+    def add(self, cycles: int, instructions: int, cache_misses: int, branch_misses: int) -> None:
+        """Accumulate one activity sample."""
+        self.cycles += cycles
+        self.instructions += instructions
+        self.cache_misses += cache_misses
+        self.branch_misses += branch_misses
+
+    def snapshot(self) -> "PerfCounters":
+        """An immutable-by-convention copy of the current values."""
+        return PerfCounters(
+            cycles=self.cycles,
+            instructions=self.instructions,
+            cache_misses=self.cache_misses,
+            branch_misses=self.branch_misses,
+        )
+
+    def delta(self, earlier: "PerfCounters") -> "PerfCounters":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return PerfCounters(
+            cycles=self.cycles - earlier.cycles,
+            instructions=self.instructions - earlier.instructions,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+            branch_misses=self.branch_misses - earlier.branch_misses,
+        )
+
+
+@dataclass
+class CpuAcctState:
+    """State of a *cpuacct* cgroup: accumulated CPU time per CPU."""
+
+    usage_ns: int = 0
+    per_cpu_ns: Dict[int, int] = field(default_factory=dict)
+
+    def charge(self, cpu: int, ns: int) -> None:
+        """Account ``ns`` nanoseconds of CPU time on ``cpu``."""
+        self.usage_ns += ns
+        self.per_cpu_ns[cpu] = self.per_cpu_ns.get(cpu, 0) + ns
+
+
+@dataclass
+class PerfEventState:
+    """State of a *perf_event* cgroup.
+
+    ``enabled`` is False on an unmodified kernel — per-cgroup performance
+    accounting runs only when something (the defense's data-collection
+    stage) creates the perf events. Enabling it is what introduces the
+    inter-cgroup context-switch overhead measured in Table III.
+    """
+
+    counters: PerfCounters = field(default_factory=PerfCounters)
+    enabled: bool = False
+
+    def charge(self, cycles: int, instructions: int, cache_misses: int, branch_misses: int) -> None:
+        """Accumulate counters if accounting is enabled."""
+        if self.enabled:
+            self.counters.add(cycles, instructions, cache_misses, branch_misses)
+
+
+@dataclass
+class NetPrioState:
+    """State of a *net_prio* cgroup: priorities assigned per interface.
+
+    Only explicitly-set priorities are stored; the pseudo-file *renderer*
+    iterates the host's device list (the Case Study I bug), defaulting
+    unset interfaces to priority 0 — so the stored map being per-cgroup
+    does not prevent the leak.
+    """
+
+    prios: Dict[str, int] = field(default_factory=dict)
+
+    def set_prio(self, ifname: str, prio: int) -> None:
+        """Assign a priority to traffic leaving on ``ifname``."""
+        if prio < 0:
+            raise KernelError(f"negative net_prio priority: {prio}")
+        self.prios[ifname] = prio
+
+
+@dataclass
+class MemoryState:
+    """State of a *memory* cgroup."""
+
+    limit_bytes: Optional[int] = None
+    usage_bytes: int = 0
+    max_usage_bytes: int = 0
+
+    def set_usage(self, usage: int) -> None:
+        """Update current usage, tracking the high-water mark."""
+        self.usage_bytes = usage
+        self.max_usage_bytes = max(self.max_usage_bytes, usage)
+
+
+@dataclass
+class CpusetState:
+    """State of a *cpuset* cgroup: CPUs the group may run on."""
+
+    cpus: Optional[FrozenSet[int]] = None
+
+
+@dataclass
+class CpuQuotaState:
+    """State of a *cpu* cgroup: a CFS-bandwidth-style quota.
+
+    ``quota_cores`` caps the group's aggregate CPU consumption in cores
+    (the cfs_quota_us/cfs_period_us ratio); ``None`` means unlimited.
+    ``throttled_ns`` accumulates the CPU time the cap denied — the
+    ``nr_throttled``-style statistic the power-based throttler reports.
+    """
+
+    quota_cores: Optional[float] = None
+    throttled_ns: int = 0
+
+    def set_quota(self, cores: Optional[float]) -> None:
+        """Set (or clear) the bandwidth cap."""
+        if cores is not None and cores <= 0:
+            raise KernelError(f"cpu quota must be positive: {cores}")
+        self.quota_cores = cores
+
+
+#: controller name -> state factory
+_CONTROLLER_STATE = {
+    "cpuacct": CpuAcctState,
+    "perf_event": PerfEventState,
+    "net_prio": NetPrioState,
+    "memory": MemoryState,
+    "cpuset": CpusetState,
+    "cpu": CpuQuotaState,
+}
+
+CONTROLLERS = tuple(_CONTROLLER_STATE)
+
+
+class Cgroup:
+    """One node in one controller's hierarchy."""
+
+    def __init__(self, controller: str, name: str, parent: Optional["Cgroup"]):
+        if controller not in _CONTROLLER_STATE:
+            raise KernelError(f"unknown cgroup controller: {controller}")
+        self.controller = controller
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, "Cgroup"] = {}
+        self.tasks: Set[Task] = set()
+        self.state = _CONTROLLER_STATE[controller]()
+
+    @property
+    def path(self) -> str:
+        """Slash-separated path from the hierarchy root (root is '/')."""
+        if self.parent is None:
+            return "/"
+        parts: List[str] = []
+        node: Optional[Cgroup] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    def walk(self) -> Iterator["Cgroup"]:
+        """Depth-first iteration over this subtree (self first)."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cgroup({self.controller}:{self.path})"
+
+
+class Hierarchy:
+    """One controller's cgroup tree plus task membership."""
+
+    def __init__(self, controller: str):
+        self.controller = controller
+        self.root = Cgroup(controller, "", parent=None)
+        self._membership: Dict[Task, Cgroup] = {}
+
+    def create(self, path: str) -> Cgroup:
+        """Create (or return) the cgroup at ``path`` ('/a/b' style)."""
+        if not path.startswith("/"):
+            raise KernelError(f"cgroup path must be absolute: {path!r}")
+        node = self.root
+        for part in [p for p in path.split("/") if p]:
+            child = node.children.get(part)
+            if child is None:
+                child = Cgroup(self.controller, part, parent=node)
+                node.children[part] = child
+            node = child
+        return node
+
+    def lookup(self, path: str) -> Cgroup:
+        """Return the cgroup at ``path``, raising if absent."""
+        node = self.root
+        for part in [p for p in path.split("/") if p]:
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise KernelError(f"no such cgroup: {self.controller}:{path}")
+        return node
+
+    def attach(self, task: Task, cgroup: Cgroup) -> None:
+        """Move ``task`` into ``cgroup`` (out of its previous group)."""
+        if cgroup.controller != self.controller:
+            raise KernelError(
+                f"cgroup {cgroup} belongs to controller {cgroup.controller}, "
+                f"not {self.controller}"
+            )
+        previous = self._membership.get(task)
+        if previous is not None:
+            previous.tasks.discard(task)
+        cgroup.tasks.add(task)
+        self._membership[task] = cgroup
+
+    def cgroup_of(self, task: Task) -> Cgroup:
+        """The cgroup a task belongs to (root if never attached)."""
+        return self._membership.get(task, self.root)
+
+    def detach(self, task: Task) -> None:
+        """Remove a (dying) task from the hierarchy."""
+        previous = self._membership.pop(task, None)
+        if previous is not None:
+            previous.tasks.discard(task)
+
+
+class CgroupManager:
+    """All controller hierarchies of one kernel."""
+
+    def __init__(self) -> None:
+        self.hierarchies: Dict[str, Hierarchy] = {
+            name: Hierarchy(name) for name in CONTROLLERS
+        }
+
+    def hierarchy(self, controller: str) -> Hierarchy:
+        """The hierarchy for ``controller``."""
+        try:
+            return self.hierarchies[controller]
+        except KeyError:
+            raise KernelError(f"unknown cgroup controller: {controller}")
+
+    def create_group_set(self, name: str) -> Dict[str, Cgroup]:
+        """Create a same-named cgroup under every controller.
+
+        This is what the container runtime does per container (e.g.
+        ``/docker/<id>`` under each controller in cgroup-v1).
+        """
+        return {
+            controller: hierarchy.create(f"/{name}")
+            for controller, hierarchy in self.hierarchies.items()
+        }
+
+    def attach_all(self, task: Task, groups: Dict[str, Cgroup]) -> None:
+        """Attach a task to one cgroup per controller."""
+        for controller, cgroup in groups.items():
+            self.hierarchy(controller).attach(task, cgroup)
+
+    def detach_all(self, task: Task) -> None:
+        """Remove a task from every hierarchy."""
+        for hierarchy in self.hierarchies.values():
+            hierarchy.detach(task)

@@ -1,0 +1,184 @@
+"""Host hardware and kernel configuration.
+
+A :class:`HostConfig` fully describes one simulated physical server: CPU
+model and topology, memory and NUMA layout, network devices, storage, which
+hardware sensors exist (RAPL, coretemp), and the kernel/distro version
+strings surfaced by ``/proc/version``.
+
+Provider profiles (Section III-B of the paper, Table I) differ both in
+masking policy *and* in hardware: e.g. a cloud on pre-Sandy-Bridge Intel or
+AMD machines simply has no RAPL sysfs tree, so the ``energy_uj`` channel is
+absent there regardless of policy. Hardware absence and policy masking are
+therefore modelled independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import KernelError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """CPU package specification (one socket).
+
+    ``supports_rapl`` tracks the paper's observation that RAPL exists only
+    on Intel Sandy Bridge and later; ``supports_dts`` likewise for the
+    Digital Temperature Sensor interface.
+    """
+
+    model_name: str = "Intel(R) Core(TM) i7-6700 CPU @ 3.40GHz"
+    vendor_id: str = "GenuineIntel"
+    cpu_family: int = 6
+    model: int = 94
+    stepping: int = 3
+    frequency_mhz: float = 3400.0
+    cores: int = 8
+    cache_size_kb: int = 8192
+    supports_rapl: bool = True
+    supports_dts: bool = True
+
+    @property
+    def frequency_hz(self) -> float:
+        """Clock frequency in Hz (cycles per second)."""
+        return self.frequency_mhz * 1e6
+
+
+#: CPU specs used by the provider profiles. The pre-Sandy-Bridge and AMD
+#: entries exist so that Table I's "channel unavailable due to hardware"
+#: cells arise for the same reason as in the paper.
+INTEL_SKYLAKE = CpuSpec()
+INTEL_XEON_CLOUD = CpuSpec(
+    model_name="Intel(R) Xeon(R) CPU E5-2697A @ 3.40GHz",
+    cpu_family=6,
+    model=79,
+    stepping=1,
+    frequency_mhz=3400.0,
+    cores=16,
+    cache_size_kb=40960,
+    supports_rapl=True,
+    supports_dts=True,
+)
+INTEL_PRE_SANDY_BRIDGE = CpuSpec(
+    model_name="Intel(R) Xeon(R) CPU X5570 @ 2.93GHz",
+    cpu_family=6,
+    model=26,
+    stepping=5,
+    frequency_mhz=2930.0,
+    cores=8,
+    supports_rapl=False,
+    supports_dts=True,
+)
+AMD_OPTERON = CpuSpec(
+    model_name="AMD Opteron(tm) Processor 6276",
+    vendor_id="AuthenticAMD",
+    cpu_family=21,
+    model=1,
+    stepping=2,
+    frequency_mhz=2300.0,
+    cores=8,
+    cache_size_kb=2048,
+    supports_rapl=False,
+    supports_dts=False,
+)
+
+
+@dataclass(frozen=True)
+class PowerModelParams:
+    """Parameters of the host's *true* (hardware) power behaviour.
+
+    These generate the ground-truth energy that RAPL reports. The defense's
+    software model (``repro.defense.modeling``) must *learn* an
+    approximation of this; it never reads these parameters directly.
+
+    Units: energy in joules, counts in raw events.
+
+    - ``core_idle_watts``: static power of the core domain at zero load.
+    - ``energy_per_cycle``: dynamic core energy per busy CPU cycle.
+    - ``energy_per_cache_miss``: core-domain stall energy per LLC miss.
+    - ``energy_per_branch_miss``: pipeline-flush energy per branch miss.
+    - ``dram_idle_watts``: DRAM background (refresh) power.
+    - ``dram_energy_per_miss``: DRAM access energy per LLC miss.
+    - ``uncore_watts``: constant package power outside core+DRAM (λ's
+      physical counterpart in Formula 2).
+    - ``noise_fraction``: multiplicative Gaussian measurement noise applied
+      to RAPL readings, as fraction of the increment.
+    """
+
+    core_idle_watts: float = 6.0
+    energy_per_cycle: float = 2.9e-9
+    energy_per_cache_miss: float = 6.0e-9
+    energy_per_branch_miss: float = 9.0e-9
+    dram_idle_watts: float = 2.5
+    dram_energy_per_miss: float = 5.1e-8
+    uncore_watts: float = 4.5
+    noise_fraction: float = 0.01
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Complete description of one simulated physical server."""
+
+    hostname: str = "host-0"
+    cpu: CpuSpec = field(default_factory=lambda: INTEL_SKYLAKE)
+    packages: int = 1
+    memory_mb: int = 16384
+    numa_nodes: int = 1
+    disks: Tuple[str, ...] = ("sda",)
+    net_interfaces: Tuple[str, ...] = ("lo", "eth0", "eth1", "docker0")
+    kernel_version: str = "4.7.0"
+    gcc_version: str = "5.4.0 20160609"
+    distribution: str = "Ubuntu 16.04"
+    kernel_build: str = "#1 SMP"
+    #: modules loaded at boot (name, size_bytes, refcount)
+    modules: Tuple[Tuple[str, int, int], ...] = (
+        ("xt_conntrack", 16384, 1),
+        ("br_netfilter", 24576, 0),
+        ("bridge", 126976, 1),
+        ("stp", 16384, 1),
+        ("llc", 16384, 2),
+        ("overlay", 49152, 0),
+        ("nf_nat", 24576, 2),
+        ("nf_conntrack", 106496, 3),
+        ("intel_rapl", 20480, 0),
+        ("x86_pkg_temp_thermal", 16384, 0),
+        ("coretemp", 16384, 0),
+        ("ext4", 585728, 1),
+        ("mbcache", 16384, 1),
+        ("jbd2", 106496, 1),
+    )
+    power: PowerModelParams = field(default_factory=PowerModelParams)
+    #: scheduler tick rate (Linux CONFIG_HZ)
+    hz: int = 250
+
+    def __post_init__(self) -> None:
+        if self.packages < 1:
+            raise KernelError(f"need at least one CPU package: {self.packages}")
+        if self.cpu.cores < 1:
+            raise KernelError(f"need at least one core: {self.cpu.cores}")
+        if self.memory_mb < 64:
+            raise KernelError(f"memory too small to boot: {self.memory_mb} MB")
+        if self.numa_nodes < 1 or self.numa_nodes > self.packages * 4:
+            raise KernelError(f"implausible NUMA node count: {self.numa_nodes}")
+
+    @property
+    def total_cores(self) -> int:
+        """Total logical CPUs across all packages."""
+        return self.packages * self.cpu.cores
+
+    @property
+    def memory_bytes(self) -> int:
+        """Installed RAM in bytes."""
+        return self.memory_mb * 1024 * 1024
+
+    @property
+    def has_rapl(self) -> bool:
+        """Whether the RAPL powercap sysfs tree exists on this host."""
+        return self.cpu.supports_rapl
+
+    @property
+    def has_coretemp(self) -> bool:
+        """Whether the coretemp hwmon sysfs tree exists on this host."""
+        return self.cpu.supports_dts

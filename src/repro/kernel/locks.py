@@ -1,0 +1,100 @@
+"""File-lock table behind ``/proc/locks``.
+
+``/proc/locks`` lists every POSIX/flock lock in the kernel with the holder's
+*host* pid and the locked inode. Linux 4.7 prints the table host-globally
+regardless of the reader's namespaces (this is one of the bugs the paper
+reported; the fix became CVE-2017-5967-adjacent work in later kernels).
+Tenants implant a recognizable lock (a crafted device:inode is visible via
+the pid + file position pattern) and co-resident containers grep for it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import KernelError
+from repro.kernel.process import Task
+
+
+@dataclass
+class LockEntry:
+    """One row of /proc/locks."""
+
+    lock_id: int
+    lock_type: str  # "POSIX" | "FLOCK"
+    mode: str  # "ADVISORY" | "MANDATORY"
+    access: str  # "READ" | "WRITE"
+    host_pid: int
+    device: str  # "MAJOR:MINOR"
+    inode: int
+    start: int
+    end: Optional[int]  # None renders as EOF
+
+    def render(self) -> str:
+        """Format as one /proc/locks line."""
+        end = "EOF" if self.end is None else str(self.end)
+        return (
+            f"{self.lock_id}: {self.lock_type}  {self.mode}  {self.access} "
+            f"{self.host_pid} 08:01:{self.inode} {self.start} {end}"
+        )
+
+
+class LockSubsystem:
+    """Host-global file lock table."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._entries: List[LockEntry] = []
+
+    def acquire(
+        self,
+        task: Task,
+        inode: int,
+        lock_type: str = "POSIX",
+        access: str = "WRITE",
+        start: int = 0,
+        end: Optional[int] = None,
+    ) -> LockEntry:
+        """Take a lock owned by ``task`` on the given inode."""
+        if lock_type not in ("POSIX", "FLOCK"):
+            raise KernelError(f"unknown lock type: {lock_type}")
+        if access not in ("READ", "WRITE"):
+            raise KernelError(f"unknown lock access: {access}")
+        entry = LockEntry(
+            lock_id=next(self._ids),
+            lock_type=lock_type,
+            mode="ADVISORY",
+            access=access,
+            host_pid=task.pid,
+            device="08:01",
+            inode=inode,
+            start=start,
+            end=end,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def release(self, entry: LockEntry) -> None:
+        """Drop a lock."""
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            raise KernelError(f"lock not held: {entry}")
+
+    def release_owned_by(self, host_pid: int) -> int:
+        """Drop all locks of a (dying) process; returns the count dropped."""
+        owned = [e for e in self._entries if e.host_pid == host_pid]
+        for entry in owned:
+            self._entries.remove(entry)
+        return len(owned)
+
+    @property
+    def entries(self) -> List[LockEntry]:
+        """All current locks (host-global)."""
+        return list(self._entries)
+
+    def find_by_inode(self, inode: int) -> List[LockEntry]:
+        """Probe the global table for an implanted inode signature."""
+        return [e for e in self._entries if e.inode == inode]

@@ -1,0 +1,71 @@
+"""Loaded-module list behind ``/proc/modules``.
+
+The module list is host-global and static in practice, which is why
+Table II marks the channel U=V=M=False ("hard to exploit"): most servers in
+one datacenter run the same image with the same modules, so the list leaks
+host configuration without uniquely identifying a machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import KernelError
+
+
+@dataclass
+class Module:
+    """One kernel module entry."""
+
+    name: str
+    size: int
+    refcount: int
+    dependencies: Tuple[str, ...] = ()
+    state: str = "Live"
+
+    def render(self, base_address: int) -> str:
+        """Format as one /proc/modules line."""
+        deps = ",".join(self.dependencies) + "," if self.dependencies else "-"
+        return (
+            f"{self.name} {self.size} {self.refcount} {deps} "
+            f"{self.state} 0x{base_address:016x}"
+        )
+
+
+class ModuleSubsystem:
+    """The host's loaded-module table."""
+
+    def __init__(self, modules: Tuple[Tuple[str, int, int], ...]):
+        self._modules: List[Module] = [
+            Module(name=name, size=size, refcount=refs) for name, size, refs in modules
+        ]
+
+    @property
+    def modules(self) -> List[Module]:
+        """All loaded modules in load order."""
+        return list(self._modules)
+
+    def find(self, name: str) -> Optional[Module]:
+        """Look up a module by name."""
+        for module in self._modules:
+            if module.name == name:
+                return module
+        return None
+
+    def load(self, name: str, size: int = 16384) -> Module:
+        """Load a module (host-admin operation; containers cannot)."""
+        if self.find(name) is not None:
+            raise KernelError(f"module already loaded: {name}")
+        module = Module(name=name, size=size, refcount=0)
+        self._modules.insert(0, module)
+        return module
+
+    def unload(self, name: str) -> None:
+        """Unload a module with zero references."""
+        module = self.find(name)
+        if module is None:
+            raise KernelError(f"module not loaded: {name}")
+        if module.refcount > 0:
+            raise KernelError(f"module in use: {name} (refcount={module.refcount})")
+        self._modules.remove(module)

@@ -1,0 +1,134 @@
+"""Namespace machinery: the kernel's per-container view mechanism.
+
+Linux virtualizes system resources through seven namespace types. A process
+is associated with one namespace instance of each type; kernel code that is
+"namespace aware" consults the calling process's namespace to present a
+restricted view, while unaware code reads global state — the incomplete
+coverage that produces every leakage channel in the paper.
+
+This module provides the namespace registry; the per-subsystem *content* of
+a namespace (e.g. the device list of a NET namespace) lives with the
+subsystem, keyed by the namespace instance.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.errors import KernelError
+
+
+class NamespaceType(enum.Enum):
+    """The namespace types of Linux 4.x, plus the paper's proposed POWER.
+
+    ``POWER`` does not exist in any mainline kernel; it is the namespace the
+    paper's defense introduces (Section V-B). A freshly booted kernel does
+    not support it until :class:`repro.defense.powerns.PowerNamespaceDriver`
+    is installed.
+    """
+
+    MNT = "mnt"
+    UTS = "uts"
+    PID = "pid"
+    NET = "net"
+    IPC = "ipc"
+    USER = "user"
+    CGROUP = "cgroup"
+    POWER = "power"
+
+
+#: Namespace types supported by an unmodified kernel.
+VANILLA_TYPES = frozenset(t for t in NamespaceType if t is not NamespaceType.POWER)
+
+
+@dataclass(eq=False)
+class Namespace:
+    """One namespace instance.
+
+    ``inum`` mirrors the inode number a real kernel exposes via
+    ``/proc/<pid>/ns/<type>``; two processes share a namespace iff they
+    reference the same instance (and hence the same ``inum``).
+    """
+
+    ns_type: NamespaceType
+    inum: int
+    parent: Optional["Namespace"] = None
+    #: free-form per-subsystem payload (e.g. hostname for UTS)
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_root(self) -> bool:
+        """True for the initial (host) namespace of this type."""
+        return self.parent is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        root = " root" if self.is_root else ""
+        return f"Namespace({self.ns_type.value}:{self.inum}{root})"
+
+
+class NamespaceRegistry:
+    """Allocates namespace instances and tracks the root set.
+
+    The registry also records which types the kernel *supports*; creating a
+    namespace of an unsupported type raises, which is exactly what happens
+    on a real kernel when userspace requests an unimplemented CLONE flag.
+    """
+
+    #: base for inode numbers, matching the look of real /proc/*/ns values
+    _INUM_BASE = 4026531835
+
+    def __init__(self) -> None:
+        self._inums = itertools.count(self._INUM_BASE)
+        self._supported = set(VANILLA_TYPES)
+        self._roots: Dict[NamespaceType, Namespace] = {
+            t: Namespace(ns_type=t, inum=next(self._inums)) for t in VANILLA_TYPES
+        }
+
+    @property
+    def supported_types(self) -> frozenset:
+        """Namespace types this kernel can create."""
+        return frozenset(self._supported)
+
+    def enable_type(self, ns_type: NamespaceType) -> Namespace:
+        """Register support for a new namespace type (kernel 'patch').
+
+        Used by the defense to install the POWER namespace. Returns the new
+        root instance. Idempotent.
+        """
+        if ns_type in self._supported:
+            return self._roots[ns_type]
+        self._supported.add(ns_type)
+        root = Namespace(ns_type=ns_type, inum=next(self._inums))
+        self._roots[ns_type] = root
+        return root
+
+    def root(self, ns_type: NamespaceType) -> Namespace:
+        """The initial (host) namespace of ``ns_type``."""
+        try:
+            return self._roots[ns_type]
+        except KeyError:
+            raise KernelError(f"namespace type not supported: {ns_type.value}")
+
+    def create(self, ns_type: NamespaceType, parent: Optional[Namespace] = None) -> Namespace:
+        """Create a child namespace (the CLONE_NEW* path)."""
+        if ns_type not in self._supported:
+            raise KernelError(f"namespace type not supported: {ns_type.value}")
+        if parent is None:
+            parent = self._roots[ns_type]
+        if parent.ns_type is not ns_type:
+            raise KernelError(
+                f"parent namespace type mismatch: {parent.ns_type.value} != {ns_type.value}"
+            )
+        return Namespace(ns_type=ns_type, inum=next(self._inums), parent=parent)
+
+    def roots(self) -> Iterator[Namespace]:
+        """Iterate over all root namespaces."""
+        return iter(self._roots.values())
+
+
+def root_namespace_set(registry: NamespaceRegistry) -> Dict[NamespaceType, Namespace]:
+    """The namespace association of a host (non-containerized) process."""
+    return {t: registry.root(t) for t in registry.supported_types}

@@ -1,0 +1,114 @@
+"""Network devices and the NET namespace.
+
+The device list is the subject of the paper's Case Study I: the
+``net_prio.ifpriomap`` read handler calls ``for_each_netdev_rcu`` on
+``&init_net`` — the *root* NET namespace — so a container reads the names
+of every physical interface on the host even though its own NET namespace
+holds only ``lo`` and a veth pair.
+
+This module therefore keeps device lists per NET namespace and explicitly
+exposes both the correct (namespaced) and the buggy (init_net) lookup;
+which one a pseudo-file renderer uses is what decides whether it leaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import KernelError
+from repro.kernel.namespaces import Namespace, NamespaceType
+from repro.kernel.scheduler import TickResult
+
+
+@dataclass
+class NetDevice:
+    """One network interface."""
+
+    name: str
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+    rx_packets: int = 0
+    tx_packets: int = 0
+    mtu: int = 1500
+
+
+class NetSubsystem:
+    """Per-NET-namespace device registry with a global ``init_net``."""
+
+    def __init__(self, root_ns: Namespace, host_interfaces) -> None:
+        if root_ns.ns_type is not NamespaceType.NET:
+            raise KernelError(f"root namespace must be NET, got {root_ns.ns_type}")
+        self._root_ns = root_ns
+        self._devices: Dict[Namespace, List[NetDevice]] = {
+            root_ns: [NetDevice(name=ifname) for ifname in host_interfaces]
+        }
+
+    @property
+    def init_net(self) -> Namespace:
+        """The root NET namespace (the kernel's ``init_net``)."""
+        return self._root_ns
+
+    def register_namespace(self, ns: Namespace) -> None:
+        """Set up a fresh NET namespace with loopback + veth, like Docker."""
+        if ns.ns_type is not NamespaceType.NET:
+            raise KernelError(f"not a NET namespace: {ns}")
+        if ns in self._devices:
+            raise KernelError(f"NET namespace already registered: {ns}")
+        self._devices[ns] = [NetDevice(name="lo"), NetDevice(name="eth0")]
+
+    def devices_in(self, ns: Namespace) -> List[NetDevice]:
+        """The *correct*, namespace-aware device lookup."""
+        try:
+            return list(self._devices[ns])
+        except KeyError:
+            raise KernelError(f"NET namespace not registered: {ns}")
+
+    def for_each_netdev_init_net(self) -> List[NetDevice]:
+        """The *buggy* lookup: iterate ``init_net`` regardless of caller.
+
+        This mirrors ``read_priomap`` → ``for_each_netdev_rcu(&init_net)``
+        — the root cause traced in Case Study I.
+        """
+        return list(self._devices[self._root_ns])
+
+    def device(self, ns: Namespace, name: str) -> NetDevice:
+        """One device in one namespace."""
+        for dev in self._devices.get(ns, []):
+            if dev.name == name:
+                return dev
+        raise KernelError(f"no device {name!r} in {ns}")
+
+    def charge_traffic(self, ns: Namespace, nbytes: int) -> None:
+        """Account traffic from a namespace's workloads.
+
+        Container traffic leaves via the namespace's ``eth0`` (veth) and
+        then crosses the host bridge and physical uplink, so host-side
+        counters move too — which is how host ``/sys/class/net`` statistics
+        leak co-resident activity.
+        """
+        if nbytes <= 0:
+            return
+        packets = max(1, nbytes // 1400)
+        for dev in self._devices.get(ns, []):
+            if dev.name == "eth0":
+                dev.tx_bytes += nbytes // 2
+                dev.rx_bytes += nbytes - nbytes // 2
+                dev.tx_packets += packets // 2
+                dev.rx_packets += packets - packets // 2
+        if ns is not self._root_ns:
+            for dev in self._devices[self._root_ns]:
+                if dev.name in ("docker0", "eth0"):
+                    dev.tx_bytes += nbytes // 2
+                    dev.rx_bytes += nbytes - nbytes // 2
+                    dev.tx_packets += packets // 2
+                    dev.rx_packets += packets - packets // 2
+
+    def tick(self, result: TickResult, task_ns_lookup) -> None:
+        """Distribute this tick's traffic to the owning namespaces.
+
+        ``task_ns_lookup`` maps a task to its NET namespace.
+        """
+        for task, sample in result.task_samples:
+            if sample.net_bytes:
+                self.charge_traffic(task_ns_lookup(task), sample.net_bytes)

@@ -1,0 +1,99 @@
+"""The host's ground-truth power behaviour.
+
+This is the "hardware": it converts each tick's activity into joules for
+the core, DRAM, and package RAPL domains using the
+:class:`repro.kernel.config.PowerModelParams` of the host. The defense's
+*software* model (``repro.defense.modeling``) must learn an approximation
+of this mapping from perf counters — it never sees these parameters.
+
+The linearity structure is chosen to match the paper's measurements:
+energy is linear in retired instructions *within* a workload (Figure 6,
+slope set by the workload's IPC and miss mix) and DRAM energy is linear in
+LLC misses across workloads (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import KernelError
+from repro.kernel.config import HostConfig
+from repro.kernel.scheduler import TickResult
+from repro.kernel.activity import ActivitySample
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules consumed during one tick, by RAPL domain, per package."""
+
+    core_j: float
+    dram_j: float
+    uncore_j: float
+
+    @property
+    def package_j(self) -> float:
+        """Package = core + DRAM-controller + uncore, as RAPL sums it."""
+        return self.core_j + self.dram_j + self.uncore_j
+
+
+class PowerModel:
+    """Activity → energy conversion for one host."""
+
+    def __init__(self, config: HostConfig):
+        self.config = config
+        self.params = config.power
+        self._cpu_to_package = {
+            cpu: cpu // config.cpu.cores for cpu in range(config.total_cores)
+        }
+
+    def package_of(self, cpu: int) -> int:
+        """Which package a CPU belongs to."""
+        try:
+            return self._cpu_to_package[cpu]
+        except KeyError:
+            raise KernelError(f"no such cpu: {cpu}")
+
+    def energy_for_sample(self, sample: ActivitySample, dt: float) -> EnergyBreakdown:
+        """Energy attributable to one activity sample (dynamic part only).
+
+        Static (idle/uncore) power is per-package and added in
+        :meth:`tick_energy`; this method is exposed separately because the
+        accuracy evaluation (Figure 8) needs ground-truth active energy per
+        container.
+        """
+        p = self.params
+        core = (
+            p.energy_per_cycle * sample.cycles
+            + p.energy_per_cache_miss * sample.cache_misses
+            + p.energy_per_branch_miss * sample.branch_misses
+        )
+        dram = p.dram_energy_per_miss * sample.cache_misses
+        return EnergyBreakdown(core_j=core, dram_j=dram, uncore_j=0.0)
+
+    def tick_energy(self, result: TickResult) -> Dict[int, EnergyBreakdown]:
+        """Energy per package for one tick (static + dynamic)."""
+        p = self.params
+        dt = result.dt
+        packages = self.config.packages
+        core_j: List[float] = [p.core_idle_watts * dt] * packages
+        dram_j: List[float] = [p.dram_idle_watts * dt] * packages
+        uncore_j: List[float] = [p.uncore_watts * dt] * packages
+
+        for cpu, sample in result.cpu_samples.items():
+            pkg = self.package_of(cpu)
+            dynamic = self.energy_for_sample(sample, dt)
+            core_j[pkg] += dynamic.core_j
+            dram_j[pkg] += dynamic.dram_j
+
+        return {
+            pkg: EnergyBreakdown(
+                core_j=core_j[pkg], dram_j=dram_j[pkg], uncore_j=uncore_j[pkg]
+            )
+            for pkg in range(packages)
+        }
+
+    def idle_package_watts(self) -> float:
+        """Package power of a completely idle package."""
+        p = self.params
+        return p.core_idle_watts + p.dram_idle_watts + p.uncore_watts

@@ -1,0 +1,63 @@
+"""Kernel RNG state behind ``/proc/sys/kernel/random/*``.
+
+``boot_id`` is the paper's #1-ranked co-residence channel (Table II): a
+random UUID generated once per kernel boot, identical for every reader on
+the host, different across hosts, and not namespaced. ``entropy_avail``
+fluctuates with interrupt arrival and entropy consumption, providing a
+time-varying (V=True) channel.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import DeterministicRNG
+
+
+def _format_uuid(hex32: str) -> str:
+    """Format 32 hex chars as 8-4-4-4-12."""
+    return "-".join(
+        [hex32[0:8], hex32[8:12], hex32[12:16], hex32[16:20], hex32[20:32]]
+    )
+
+
+class RandomSubsystem:
+    """The kernel entropy pool and its sysctl-visible state."""
+
+    POOLSIZE = 4096
+
+    def __init__(self, rng: DeterministicRNG):
+        self._rng = rng
+        #: generated once at boot; THE host fingerprint
+        self.boot_id: str = _format_uuid(rng.hex_token("boot-id", 16))
+        self.entropy_avail: int = 3000
+        self._uuid_counter = 0
+
+    def fresh_uuid(self) -> str:
+        """``/proc/sys/kernel/random/uuid``: a new UUID per read.
+
+        Unlike boot_id this is useless for co-residence (every read
+        differs), a distinction the channel metrics must get right.
+        """
+        self._uuid_counter += 1
+        return _format_uuid(
+            self._rng.hex_token(f"uuid-{self._uuid_counter}", 16)
+        )
+
+    def tick(self, dt: float, interrupt_count: int, syscall_count: int) -> None:
+        """Entropy credit from interrupts, debit from consumers.
+
+        A mean-reverting term models the kernel's pool management (readers
+        block / reseeds happen long before the pool pins at a bound), so
+        the value *fluctuates* under load instead of sticking at a clamp —
+        the paper's Table II needs entropy_avail to be a V=True channel.
+        """
+        credit = min(interrupt_count // 64, int(48 * dt) + 1)
+        debit = min(syscall_count // 256, int(48 * dt) + 1)
+        jitter = self._rng.stream("entropy-jitter").randint(-16, 16)
+        reversion = int((3000 - self.entropy_avail) * min(0.2, 0.05 * dt))
+        self.entropy_avail = max(
+            128,
+            min(
+                self.POOLSIZE,
+                self.entropy_avail + reversion + credit - debit + jitter,
+            ),
+        )

@@ -1,0 +1,388 @@
+"""A CFS-flavoured scheduler over the simulated CPU topology.
+
+Each tick the scheduler grants CPU time to runnable tasks
+(proportional-fair per CPU, respecting affinity and cpuset), converts the
+grants into hardware activity via each task's workload, charges cgroups and
+perf counters, and accumulates the per-CPU statistics that the leakage
+channels render: ``/proc/stat``, ``/proc/loadavg``, ``/proc/schedstat``,
+``/proc/sched_debug``, ``/proc/uptime``'s idle field, and cpuidle times.
+
+The perf-accounting overhead model lives here because its costs are paid in
+scheduler time: counter toggles on inter-cgroup switches, event wiring on
+spawn, and per-event bookkeeping — see :class:`repro.kernel.perf.PerfTuning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import KernelError
+from repro.kernel.cgroups import Cgroup, CgroupManager, CpuAcctState, CpusetState, MemoryState
+from repro.kernel.config import HostConfig
+from repro.kernel.perf import PerfSubsystem
+from repro.kernel.process import Task, TaskState
+from repro.kernel.activity import ActivitySample
+
+
+@dataclass
+class CpuStat:
+    """Accumulated per-CPU time accounting (clock-tick style, ns here)."""
+
+    user_ns: int = 0
+    system_ns: int = 0
+    idle_ns: int = 0
+    iowait_ns: int = 0
+    irq_ns: int = 0
+    softirq_ns: int = 0
+    nr_switches: int = 0
+    #: schedstat: time tasks spent waiting on the runqueue
+    wait_ns: int = 0
+    #: schedstat: number of timeslices handed out
+    timeslices: int = 0
+
+
+@dataclass
+class TickResult:
+    """Everything one scheduler tick produced, for other subsystems."""
+
+    dt: float
+    #: per-task activity this tick
+    task_samples: List[Tuple[Task, ActivitySample]] = field(default_factory=list)
+    #: host-wide totals
+    total: ActivitySample = field(default_factory=ActivitySample)
+    #: per-CPU busy seconds this tick
+    busy_seconds: Dict[int, float] = field(default_factory=dict)
+    #: per-CPU utilization in [0,1]
+    utilization: Dict[int, float] = field(default_factory=dict)
+    #: per-CPU aggregated activity this tick
+    cpu_samples: Dict[int, ActivitySample] = field(default_factory=dict)
+
+
+class Scheduler:
+    """Proportional-fair CPU time allocation with perf-overhead modelling."""
+
+    def __init__(
+        self,
+        config: HostConfig,
+        cgroups: CgroupManager,
+        perf: PerfSubsystem,
+        rng=None,
+    ):
+        from repro.sim.rng import DeterministicRNG
+
+        self.config = config
+        self.cgroups = cgroups
+        self.perf = perf
+        self._rng = rng or DeterministicRNG(seed=0)
+        self.ncpus = config.total_cores
+        self.frequency_hz = config.cpu.frequency_hz
+        self.cpu_stats: Dict[int, CpuStat] = {c: CpuStat() for c in range(self.ncpus)}
+        self.loadavg_1 = 0.0
+        self.loadavg_5 = 0.0
+        self.loadavg_15 = 0.0
+        self._tasks: List[Task] = []
+        self._placement: Dict[Task, int] = {}
+        #: CPU-time debt (ns) charged to tasks for perf event setup at spawn
+        self._spawn_debt_ns: Dict[Task, int] = {}
+        self.total_forks = 0
+        self.nr_switches_total = 0
+        #: /proc/sys/kernel/sched_domain/cpu#/domain0/max_newidle_lb_cost —
+        #: a per-CPU cost estimate the kernel updates continuously, leaked
+        #: host-globally (Table II lists it as a V=True channel)
+        self.max_newidle_lb_cost: Dict[int, int] = {
+            c: 12000 + 700 * c for c in range(self.ncpus)
+        }
+
+    # ------------------------------------------------------------------
+    # task admission / placement
+
+    def _allowed_cpus(self, task: Task) -> List[int]:
+        allowed = set(range(self.ncpus))
+        if task.affinity is not None:
+            allowed &= set(task.affinity)
+        cpuset = self.cgroups.hierarchy("cpuset").cgroup_of(task).state
+        assert isinstance(cpuset, CpusetState)
+        if cpuset.cpus is not None:
+            allowed &= set(cpuset.cpus)
+        if not allowed:
+            raise KernelError(f"task {task.name!r} has an empty CPU mask")
+        return sorted(allowed)
+
+    def _cpu_load(self, cpu: int) -> float:
+        return sum(
+            t.workload.demand()
+            for t, c in self._placement.items()
+            if c == cpu and t.workload is not None
+        )
+
+    def add_task(self, task: Task) -> None:
+        """Admit a task: pick the least-loaded allowed CPU."""
+        if task in self._placement:
+            raise KernelError(f"task already scheduled: {task}")
+        allowed = self._allowed_cpus(task)
+        cpu = min(allowed, key=self._cpu_load)
+        self._placement[task] = cpu
+        self._tasks.append(task)
+        self.total_forks += 1
+        # Spawning into a monitored cgroup wires the task into the cgroup's
+        # perf events; the cost is paid out of the task's first grants.
+        perf_cg = self.cgroups.hierarchy("perf_event").cgroup_of(task)
+        if self.perf.is_monitored(perf_cg):
+            self._spawn_debt_ns[task] = self.perf.tuning.spawn_ns
+
+    def remove_task(self, task: Task) -> None:
+        """Withdraw a (dead or stopped) task from scheduling."""
+        self._placement.pop(task, None)
+        self._spawn_debt_ns.pop(task, None)
+        try:
+            self._tasks.remove(task)
+        except ValueError:
+            raise KernelError(f"task not scheduled: {task}")
+
+    def placement_of(self, task: Task) -> Optional[int]:
+        """The CPU a task is currently placed on."""
+        return self._placement.get(task)
+
+    def tasks_on_cpu(self, cpu: int) -> List[Task]:
+        """Tasks currently placed on ``cpu`` (for sched_debug rendering)."""
+        return [t for t, c in self._placement.items() if c == cpu]
+
+    @property
+    def tasks(self) -> List[Task]:
+        """All tasks known to the scheduler."""
+        return list(self._tasks)
+
+    def rebalance(self) -> None:
+        """Re-place every task (cheap global rebalance after churn)."""
+        tasks = list(self._tasks)
+        self._placement.clear()
+        for task in tasks:
+            allowed = self._allowed_cpus(task)
+            self._placement[task] = min(allowed, key=self._cpu_load)
+
+    # ------------------------------------------------------------------
+    # the tick
+
+    def tick(self, dt: float) -> TickResult:
+        """Advance all runnable tasks by ``dt`` seconds of virtual time."""
+        if dt <= 0:
+            raise KernelError(f"scheduler tick needs positive dt: {dt}")
+        result = TickResult(dt=dt)
+        perf_h = self.cgroups.hierarchy("perf_event")
+        cpuacct_h = self.cgroups.hierarchy("cpuacct")
+        memory_h = self.cgroups.hierarchy("memory")
+        contention = self.perf.contention_slowdown()
+        quota_scale = self._quota_scales(dt)
+
+        nr_running = 0.0
+        for cpu in range(self.ncpus):
+            on_cpu = [
+                t
+                for t in self.tasks_on_cpu(cpu)
+                if t.state is TaskState.RUNNING and t.workload is not None
+                and not t.workload.finished
+            ]
+            demands = {
+                t: t.workload.demand() * quota_scale.get(t, 1.0) for t in on_cpu
+            }
+            total_demand = sum(demands.values())
+            nr_running += total_demand
+
+            scale = 1.0 if total_demand <= 1.0 else 1.0 / total_demand
+            idle_fraction = max(0.0, 1.0 - total_demand)
+            busy_seconds = 0.0
+            stat = self.cpu_stats[cpu]
+            switches_this_cpu = 0
+            cpu_sample = ActivitySample()
+
+            for task in on_cpu:
+                demand = demands[task]
+                granted = demand * scale * dt
+                if granted <= 0:
+                    continue
+                overhead_s = self._overhead_seconds(
+                    task, granted, dt, demands, idle_fraction, perf_h, contention
+                )
+                useful = max(0.0, granted - overhead_s)
+                sample = task.workload.consume(useful, dt, self.frequency_hz)
+                # Overhead is busy (system) time even though it does no work.
+                busy_ns = int(granted * 1e9)
+                task.cpu_time_ns += busy_ns
+                task.vruntime_ns += busy_ns
+                task.rss_bytes = sample.rss_bytes
+
+                system_ns = min(
+                    int(busy_ns * 0.8),
+                    int(sample.syscalls * 500) + int(overhead_s * 1e9),
+                )
+                stat.system_ns += system_ns
+                stat.user_ns += busy_ns - system_ns
+
+                # Context switches: voluntary from the workload; involuntary
+                # preemptions when the CPU is oversubscribed.
+                vol = sample.voluntary_switches
+                invol = int(self.config.hz * dt) if total_demand > 1.0 else 0
+                task.nvcsw += vol
+                task.nivcsw += invol
+                switches_this_cpu += vol + invol
+
+                # waiting time while oversubscribed (for schedstat)
+                stat.wait_ns += int(max(0.0, demand * dt - granted) * 1e9)
+                stat.timeslices += max(1, vol + invol)
+
+                self._charge(task, cpu, sample, busy_ns, cpuacct_h, perf_h, memory_h)
+                result.task_samples.append((task, sample))
+                result.total = result.total + sample
+                cpu_sample = cpu_sample + sample
+                busy_seconds += granted
+
+            stat.nr_switches += switches_this_cpu
+            self.nr_switches_total += switches_this_cpu
+            stat.idle_ns += int(max(0.0, dt - busy_seconds) * 1e9)
+            result.busy_seconds[cpu] = busy_seconds
+            result.utilization[cpu] = min(1.0, busy_seconds / dt)
+            result.cpu_samples[cpu] = cpu_sample
+
+        self._update_loadavg(nr_running, dt)
+        self._update_sched_domain_costs(result)
+        self.perf.finish_tick(dt)
+        self._reap_finished()
+        return result
+
+    def _update_sched_domain_costs(self, result: TickResult) -> None:
+        """Drift max_newidle_lb_cost with per-CPU load, as CFS does.
+
+        The kernel raises the cost estimate when idle balancing finds work
+        (busy neighbours) and decays it ~1%/s otherwise; individual balance
+        attempts measure wildly varying durations (cache state, lock
+        contention), so the estimate is a noisy host-load-correlated
+        random-walk — never a constant.
+        """
+        stream = self._rng.stream("newidle-cost")
+        for cpu in range(self.ncpus):
+            util = result.utilization.get(cpu, 0.0)
+            cost = self.max_newidle_lb_cost[cpu]
+            cost = int(cost * (1.0 - 0.01 * result.dt))
+            cost += int(4000 * util * result.dt)
+            cost += stream.randint(-120, 120) + int(util * stream.randint(0, 600))
+            self.max_newidle_lb_cost[cpu] = max(2000, min(cost, 5_000_000))
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _quota_scales(self, dt: float) -> Dict[Task, float]:
+        """CFS bandwidth control: per-task demand scale from cpu quotas.
+
+        For each cpu cgroup with a quota, aggregate its runnable demand
+        host-wide; when it exceeds the quota, every member's demand is
+        scaled down proportionally and the denied time is accounted as
+        throttled.
+        """
+        from repro.kernel.cgroups import CpuQuotaState
+
+        scales: Dict[Task, float] = {}
+        cpu_h = self.cgroups.hierarchy("cpu")
+        for cgroup in cpu_h.root.walk():
+            state = cgroup.state
+            assert isinstance(state, CpuQuotaState)
+            if state.quota_cores is None or not cgroup.tasks:
+                continue
+            runnable = [
+                t
+                for t in cgroup.tasks
+                if t.state is TaskState.RUNNING and t.workload is not None
+                and not t.workload.finished
+            ]
+            total = sum(t.workload.demand() for t in runnable)
+            if total <= state.quota_cores or total <= 0:
+                continue
+            scale = state.quota_cores / total
+            for task in runnable:
+                scales[task] = scale
+            state.throttled_ns += int((total - state.quota_cores) * dt * 1e9)
+        return scales
+
+    def _overhead_seconds(
+        self,
+        task: Task,
+        granted: float,
+        dt: float,
+        demands: Dict[Task, float],
+        idle_fraction: float,
+        perf_h,
+        contention: float,
+    ) -> float:
+        """Perf-accounting overhead charged against one task's grant."""
+        perf_cg = perf_h.cgroup_of(task)
+        if not self.perf.is_monitored(perf_cg):
+            return 0.0
+        overhead = granted * contention
+
+        # Pay off any perf-event spawn debt first.
+        debt = self._spawn_debt_ns.pop(task, 0)
+        if debt:
+            overhead += debt / 1e9
+
+        # Counter toggling on inter-cgroup switches: estimate the chance
+        # that the context we switch to is outside our perf cgroup. Peers
+        # in the same cgroup on this CPU absorb switches cheaply; idle
+        # time and foreign tasks force a disable/enable pair.
+        phase = task.workload.current_phase if task.workload else None
+        if phase is not None and phase.voluntary_switches_per_sec > 0:
+            same = sum(
+                d
+                for t, d in demands.items()
+                if t is not task and perf_h.cgroup_of(t) is perf_cg
+            )
+            other = sum(
+                d
+                for t, d in demands.items()
+                if t is not task and perf_h.cgroup_of(t) is not perf_cg
+            )
+            denom = same + other + idle_fraction
+            p_inter = (other + idle_fraction) / denom if denom > 0 else 1.0
+            switches = phase.voluntary_switches_per_sec * dt
+            overhead += switches * p_inter * self.perf.tuning.toggle_ns / 1e9
+        return min(overhead, granted)
+
+    def _charge(
+        self,
+        task: Task,
+        cpu: int,
+        sample: ActivitySample,
+        busy_ns: int,
+        cpuacct_h,
+        perf_h,
+        memory_h,
+    ) -> None:
+        cpuacct = cpuacct_h.cgroup_of(task).state
+        assert isinstance(cpuacct, CpuAcctState)
+        cpuacct.charge(cpu, busy_ns)
+
+        self.perf.charge(
+            perf_h.cgroup_of(task),
+            sample.cycles,
+            sample.instructions,
+            sample.cache_misses,
+            sample.branch_misses,
+        )
+
+        mem_cg = memory_h.cgroup_of(task)
+        mem_state = mem_cg.state
+        assert isinstance(mem_state, MemoryState)
+        usage = sum(t.rss_bytes for t in mem_cg.tasks)
+        mem_state.set_usage(usage)
+
+    def _update_loadavg(self, nr_running: float, dt: float) -> None:
+        """Exponentially-damped load averages, as the kernel computes them."""
+        import math
+
+        for attr, period in (("loadavg_1", 60.0), ("loadavg_5", 300.0), ("loadavg_15", 900.0)):
+            decay = math.exp(-dt / period)
+            current = getattr(self, attr)
+            setattr(self, attr, current * decay + nr_running * (1.0 - decay))
+
+    def _reap_finished(self) -> None:
+        for task in [t for t in self._tasks if t.workload is not None and t.workload.finished]:
+            task.state = TaskState.SLEEPING

@@ -1,0 +1,101 @@
+"""Kernel timer bookkeeping behind ``/proc/timer_list``.
+
+``/proc/timer_list`` dumps every armed hrtimer on every CPU together with
+the *owning task's command name and host pid*. The file is host-global —
+there is no timer namespace — so a tenant who arms a timer from a process
+with a uniquely crafted name makes that name readable by every container on
+the host. This is the implantation channel the paper uses for co-residence
+verification in its CC1 experiment (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import KernelError
+from repro.kernel.process import Task
+
+
+@dataclass
+class TimerEntry:
+    """One armed timer visible in /proc/timer_list."""
+
+    timer_id: int
+    task_name: str
+    host_pid: int
+    cpu: int
+    expires_ns: int
+    function: str = "hrtimer_wakeup"
+
+    def owner_label(self) -> str:
+        """The ``<comm>/<pid>`` label timer_list prints."""
+        return f"{self.task_name}/{self.host_pid}"
+
+
+class TimerSubsystem:
+    """Host-global table of armed timers."""
+
+    def __init__(self, ncpus: int):
+        self.ncpus = ncpus
+        self._ids = itertools.count(1)
+        self._entries: List[TimerEntry] = []
+        self.now_ns: int = 0
+        #: jiffies counter (for the header line)
+        self.jiffies: int = 4294667296
+
+    def arm(
+        self,
+        task: Task,
+        delay_seconds: float,
+        cpu: Optional[int] = None,
+        function: str = "hrtimer_wakeup",
+    ) -> TimerEntry:
+        """Arm a timer owned by ``task`` expiring ``delay_seconds`` away.
+
+        The entry records the task's *host* pid and its command name —
+        i.e. exactly the information a real timer_list leaks.
+        """
+        if delay_seconds <= 0:
+            raise KernelError(f"timer delay must be positive: {delay_seconds}")
+        entry = TimerEntry(
+            timer_id=next(self._ids),
+            task_name=task.name,
+            host_pid=task.pid,
+            cpu=cpu if cpu is not None else task.pid % self.ncpus,
+            expires_ns=self.now_ns + int(delay_seconds * 1e9),
+            function=function,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def cancel(self, entry: TimerEntry) -> None:
+        """Disarm a timer."""
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            raise KernelError(f"timer not armed: {entry}")
+
+    def tick(self, dt: float) -> None:
+        """Advance timer time; expired timers fall out of the list."""
+        self.now_ns += int(dt * 1e9)
+        self.jiffies += int(dt * 250)
+        self._entries = [e for e in self._entries if e.expires_ns > self.now_ns]
+
+    @property
+    def entries(self) -> List[TimerEntry]:
+        """All currently armed timers (host-global)."""
+        return list(self._entries)
+
+    def entries_on_cpu(self, cpu: int) -> List[TimerEntry]:
+        """Armed timers whose base lives on ``cpu``."""
+        return [e for e in self._entries if e.cpu == cpu]
+
+    def find_by_name(self, task_name: str) -> List[TimerEntry]:
+        """Search the global table by owner command name.
+
+        This is the co-residence probe: another container greps the file
+        for the crafted name.
+        """
+        return [e for e in self._entries if e.task_name == task_name]

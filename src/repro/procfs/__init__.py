@@ -1,0 +1,15 @@
+"""The memory-based pseudo-filesystem layer (procfs + sysfs).
+
+Every leakage channel in the paper is a file under ``/proc`` or ``/sys``.
+This package renders the simulated kernel's state into the byte formats of
+real Linux 4.7 pseudo-files, with each renderer explicitly either
+*namespace-aware* (it consults the reading process's namespaces) or
+*host-global* (it reads the kernel's global tables — the leak).
+
+Entry point: :class:`repro.procfs.vfs.PseudoVFS` — ``vfs.read(path, ctx)``.
+"""
+
+from repro.procfs.node import PseudoDir, PseudoFile, ReadContext
+from repro.procfs.vfs import PseudoVFS
+
+__all__ = ["PseudoVFS", "PseudoFile", "PseudoDir", "ReadContext"]

@@ -1,0 +1,7 @@
+"""Renderers: kernel state → real-Linux pseudo-file text.
+
+One module per subsystem area. Every renderer takes a
+:class:`repro.procfs.node.ReadContext` and returns the file body as a
+string; whether it consults the context's namespaces is what decides
+whether the corresponding channel leaks.
+"""

@@ -1,0 +1,103 @@
+"""Namespace-aware (patched) renderers for the implantation channels.
+
+These are the stage-2 "fix missing namespace context checks" handlers
+(Section V-A): the same files, rendered against the *reader's* PID
+namespace instead of the global tables. The paper reported these
+disclosure bugs to the kernel maintainers, who "quickly released a new
+patch for one of the problems ([CVE-2017-5967])" — the timer_list fix.
+
+Each patched renderer filters table entries to tasks visible from the
+reading process's PID namespace and translates pids into that namespace,
+which is exactly what upstream namespace-aware ``/proc`` handlers do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.namespaces import NamespaceType
+from repro.kernel.process import Task
+from repro.procfs.node import ReadContext
+
+
+def _visible_pid(ctx: ReadContext, host_pid: int) -> Optional[int]:
+    """The pid as the reader sees it, or None if outside the reader's ns."""
+    pid_ns = ctx.namespace(NamespaceType.PID)
+    try:
+        task = ctx.kernel.processes.get(host_pid)
+    except Exception:
+        return None
+    return task.pid_in(pid_ns)
+
+
+def render_timer_list_patched(ctx: ReadContext) -> str:
+    """The CVE-2017-5967-class fix: only the reader's namespace's timers."""
+    k = ctx.kernel
+    out = [
+        "Timer List Version: v0.8",
+        "HRTIMER_MAX_CLOCK_BASES: 4",
+        f"now at {k.timers.now_ns} nsecs",
+        "",
+    ]
+    for cpu in range(k.config.total_cores):
+        out.append(f"cpu: {cpu}")
+        out.append(" clock 0:")
+        out.append("  active timers:")
+        index = 0
+        for entry in k.timers.entries_on_cpu(cpu):
+            ns_pid = _visible_pid(ctx, entry.host_pid)
+            if ns_pid is None:
+                continue  # foreign namespace: hidden, as the patch does
+            out.append(f" #{index}: <0000000000000000>, {entry.function}, S:01")
+            out.append(
+                f" # expires at {entry.expires_ns}-{entry.expires_ns} nsecs, "
+                f"{entry.task_name}/{ns_pid}"
+            )
+            index += 1
+        out.append("")
+    return "\n".join(out) + "\n"
+
+
+def render_locks_patched(ctx: ReadContext) -> str:
+    """/proc/locks filtered to locks held by namespace-visible tasks."""
+    k = ctx.kernel
+    rows = []
+    for entry in k.locks.entries:
+        ns_pid = _visible_pid(ctx, entry.host_pid)
+        if ns_pid is None:
+            continue
+        end = "EOF" if entry.end is None else str(entry.end)
+        rows.append(
+            f"{entry.lock_id}: {entry.lock_type}  {entry.mode}  {entry.access} "
+            f"{ns_pid} 08:01:{entry.inode} {entry.start} {end}"
+        )
+    return "".join(row + "\n" for row in rows)
+
+
+def render_sched_debug_patched(ctx: ReadContext) -> str:
+    """/proc/sched_debug restricted to the reader's PID namespace."""
+    k = ctx.kernel
+    pid_ns = ctx.namespace(NamespaceType.PID)
+    out = [
+        "Sched Debug Version: v0.11, " + k.config.kernel_version,
+        f"ktime                                   : {k.timers.now_ns / 1e6:.6f}",
+        "",
+    ]
+    for cpu in range(k.config.total_cores):
+        tasks = [
+            t
+            for t in k.scheduler.tasks_on_cpu(cpu)
+            if t.workload is not None
+            and not t.workload.finished
+            and t.visible_from(pid_ns)
+        ]
+        out.append(f"cpu#{cpu}")
+        out.append(f"  .nr_running                    : {len(tasks)}")
+        out.append("runnable tasks:")
+        for t in tasks:
+            out.append(
+                f"{t.name:>16} {t.pid_in(pid_ns):>5} "
+                f"{t.vruntime_ns / 1e6:>16.6f}"
+            )
+        out.append("")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,199 @@
+"""Renderers for the core ``/proc`` status files.
+
+Everything in this module renders *host-global* kernel state — none of
+these files is namespaced in Linux 4.7, which is why each appears in
+Table I (``uptime``, ``version``, ``stat``, ``meminfo``, ``loadavg``,
+``cpuinfo``, ``zoneinfo``).
+"""
+
+from __future__ import annotations
+
+from repro.procfs.node import ReadContext
+
+#: Linux counts CPU time in USER_HZ ticks (100/s) in /proc/stat
+USER_HZ = 100
+
+
+def render_uptime(ctx: ReadContext) -> str:
+    """``/proc/uptime``: seconds since boot and aggregate idle seconds.
+
+    Both fields are accumulated host-global values — the paper uses the
+    pair (similar boot time, different idle time) to find distinct servers
+    racked at the same moment (Section IV-C).
+    """
+    k = ctx.kernel
+    return f"{k.uptime_seconds:.2f} {k.idle_seconds:.2f}\n"
+
+
+def render_version(ctx: ReadContext) -> str:
+    """``/proc/version``: kernel, gcc, and distribution versions."""
+    c = ctx.kernel.config
+    # the builder string names the *distro build host*, identical on every
+    # machine running the same kernel package — which is why Table II puts
+    # /proc/version in the hard-to-exploit group despite it leaking.
+    return (
+        f"Linux version {c.kernel_version} (buildd@lgw01-amd64-031) "
+        f"(gcc version {c.gcc_version} ({c.distribution})) "
+        f"{c.kernel_build} {c.distribution}\n"
+    )
+
+
+def render_loadavg(ctx: ReadContext) -> str:
+    """``/proc/loadavg``: the three load averages + task counts.
+
+    The trailing ``running/total last_pid`` fields come from the
+    *host-global* process table, so even the pid counter leaks host
+    process-creation activity.
+    """
+    k = ctx.kernel
+    sched = k.scheduler
+    running = sum(
+        1
+        for t in sched.tasks
+        if t.workload is not None and not t.workload.finished and t.workload.demand() > 0.05
+    )
+    total = len(k.processes)
+    last_pid = max((t.pid for t in k.processes), default=1)
+    return (
+        f"{sched.loadavg_1:.2f} {sched.loadavg_5:.2f} {sched.loadavg_15:.2f} "
+        f"{running}/{total} {last_pid}\n"
+    )
+
+
+def render_stat(ctx: ReadContext) -> str:
+    """``/proc/stat``: per-CPU time, interrupts, context switches, btime."""
+    k = ctx.kernel
+    lines = []
+
+    def ticks(ns: int) -> int:
+        return int(ns / 1e9 * USER_HZ)
+
+    totals = [0] * 7
+    per_cpu_rows = []
+    for cpu in range(k.config.total_cores):
+        s = k.scheduler.cpu_stats[cpu]
+        fields = [
+            ticks(s.user_ns),
+            0,  # nice
+            ticks(s.system_ns),
+            ticks(s.idle_ns),
+            ticks(s.iowait_ns),
+            ticks(s.irq_ns),
+            ticks(s.softirq_ns),
+        ]
+        totals = [a + b for a, b in zip(totals, fields)]
+        per_cpu_rows.append(
+            f"cpu{cpu} " + " ".join(str(f) for f in fields) + " 0 0 0"
+        )
+    lines.append("cpu  " + " ".join(str(f) for f in totals) + " 0 0 0")
+    lines.extend(per_cpu_rows)
+
+    irq_totals = " ".join(str(l.total) for l in k.interrupts.lines)
+    lines.append(f"intr {k.interrupts.total_interrupts} {irq_totals}")
+    lines.append(f"ctxt {k.scheduler.nr_switches_total}")
+    lines.append(f"btime {k.btime}")
+    lines.append(f"processes {k.scheduler.total_forks}")
+    running = sum(
+        1
+        for t in k.scheduler.tasks
+        if t.workload is not None and not t.workload.finished
+    )
+    lines.append(f"procs_running {max(1, running)}")
+    lines.append("procs_blocked 0")
+    softirq_per_type = " ".join(
+        str(sum(v)) for v in k.interrupts.softirqs.values()
+    )
+    lines.append(f"softirq {k.interrupts.total_softirqs} {softirq_per_type}")
+    return "\n".join(lines) + "\n"
+
+
+def render_meminfo(ctx: ReadContext) -> str:
+    """``/proc/meminfo``: host-wide memory counters.
+
+    The paper's trace-correlation co-residence check snapshots ``MemFree``
+    here once per second from two containers and matches the traces.
+    """
+    m = ctx.kernel.memory
+    active = int(m.task_rss_pages * 0.7 + m.page_cache_pages * 0.4) * 4
+    inactive = int(m.task_rss_pages * 0.3 + m.page_cache_pages * 0.6) * 4
+    rows = [
+        ("MemTotal", m.mem_total_kb),
+        ("MemFree", m.mem_free_kb),
+        ("MemAvailable", m.mem_available_kb),
+        ("Buffers", m.buffers_kb),
+        ("Cached", m.cached_kb),
+        ("SwapCached", 0),
+        ("Active", active),
+        ("Inactive", inactive),
+        ("SwapTotal", 0),
+        ("SwapFree", 0),
+        ("Dirty", max(0, m.page_cache_pages // 200) * 4),
+        ("Writeback", 0),
+        ("AnonPages", m.task_rss_pages * 4),
+        ("Mapped", m.task_rss_pages * 4 // 3),
+        ("Shmem", 1024),
+        ("Slab", m.slab_kb),
+        ("KernelStack", 8192),
+        ("PageTables", max(1024, m.task_rss_pages // 128) * 4),
+        ("CommitLimit", m.mem_total_kb // 2),
+        ("VmallocTotal", 34359738367),
+    ]
+    return "".join(f"{name}:{value:>15} kB\n" for name, value in rows)
+
+
+def render_zoneinfo(ctx: ReadContext) -> str:
+    """``/proc/zoneinfo``: per-node, per-zone page counts and watermarks."""
+    m = ctx.kernel.memory
+    out = []
+    for node in m.nodes:
+        for zone in node.zones:
+            out.append(f"Node {node.node_id}, zone {zone.name:>8}")
+            out.append(f"  pages free     {zone.free_pages}")
+            out.append(f"        min      {zone.min_pages}")
+            out.append(f"        low      {zone.low_pages}")
+            out.append(f"        high     {zone.high_pages}")
+            out.append(f"        spanned  {zone.spanned()}")
+            out.append(f"        present  {zone.managed_pages}")
+            out.append(f"        managed  {zone.managed_pages}")
+            out.append(f"    nr_free_pages {zone.free_pages}")
+            out.append(f"    numa_hit      {node.numa_hit}")
+            out.append(f"    numa_miss     {node.numa_miss}")
+            out.append(f"    numa_local    {node.local_node}")
+            out.append("  pagesets")
+            for cpu, count in sorted(m.pcp_count.items()):
+                out.append(f"    cpu: {cpu}")
+                out.append(f"              count: {count}")
+                out.append("              high:  186")
+                out.append("              batch: 31")
+    return "\n".join(out) + "\n"
+
+
+def render_cpuinfo(ctx: ReadContext) -> str:
+    """``/proc/cpuinfo``: one block per logical CPU, host hardware."""
+    c = ctx.kernel.config
+    blocks = []
+    for cpu in range(c.total_cores):
+        package = cpu // c.cpu.cores
+        core_id = cpu % c.cpu.cores
+        mhz = c.cpu.frequency_mhz
+        blocks.append(
+            "\n".join(
+                [
+                    f"processor\t: {cpu}",
+                    f"vendor_id\t: {c.cpu.vendor_id}",
+                    f"cpu family\t: {c.cpu.cpu_family}",
+                    f"model\t\t: {c.cpu.model}",
+                    f"model name\t: {c.cpu.model_name}",
+                    f"stepping\t: {c.cpu.stepping}",
+                    f"cpu MHz\t\t: {mhz:.3f}",
+                    f"cache size\t: {c.cpu.cache_size_kb} KB",
+                    f"physical id\t: {package}",
+                    f"siblings\t: {c.cpu.cores}",
+                    f"core id\t\t: {core_id}",
+                    f"cpu cores\t: {c.cpu.cores}",
+                    "fpu\t\t: yes",
+                    f"bogomips\t: {mhz * 2:.2f}",
+                ]
+            )
+        )
+    return "\n\n".join(blocks) + "\n"

@@ -1,0 +1,138 @@
+"""Renderers for ``/proc``'s kernel-event tables: the scheduler debug
+files, timers, locks, interrupts, softirqs, and modules.
+
+``sched_debug``, ``timer_list``, and ``locks`` are the paper's signature
+*implantation* channels (Table II, M=filled): they print host-global tables
+keyed by task name / host pid, so a tenant's crafted entry is readable by
+every other container.
+"""
+
+from __future__ import annotations
+
+from repro.procfs.node import ReadContext
+
+
+def render_sched_debug(ctx: ReadContext) -> str:
+    """``/proc/sched_debug``: per-CPU runqueues with *all* host tasks.
+
+    Every active process on the machine appears here with its command name
+    and host pid, regardless of the reader's PID namespace.
+    """
+    k = ctx.kernel
+    out = [
+        "Sched Debug Version: v0.11, " + k.config.kernel_version,
+        f"ktime                                   : {k.timers.now_ns / 1e6:.6f}",
+        f"jiffies                                 : {k.timers.jiffies}",
+        "",
+    ]
+    for cpu in range(k.config.total_cores):
+        tasks = [
+            t
+            for t in k.scheduler.tasks_on_cpu(cpu)
+            if t.workload is not None and not t.workload.finished
+        ]
+        stat = k.scheduler.cpu_stats[cpu]
+        out.append(f"cpu#{cpu}, {k.config.cpu.frequency_mhz:.3f} MHz")
+        out.append(f"  .nr_running                    : {len(tasks)}")
+        out.append(f"  .nr_switches                   : {stat.nr_switches}")
+        out.append(f"  .nr_load_updates               : {stat.timeslices}")
+        out.append(f"  .curr->pid                     : {tasks[0].pid if tasks else 0}")
+        out.append("")
+        out.append("runnable tasks:")
+        out.append(
+            "            task   PID         tree-key  switches  prio"
+            "     wait-time             sum-exec        sum-sleep"
+        )
+        out.append("-" * 95)
+        for t in tasks:
+            out.append(
+                f"{t.name:>16} {t.pid:>5} {t.vruntime_ns / 1e6:>16.6f} "
+                f"{t.nvcsw + t.nivcsw:>9} {120:>5} "
+                f"{0.0:>13.6f} {t.cpu_time_ns / 1e6:>16.6f} {0.0:>16.6f}"
+            )
+        out.append("")
+    return "\n".join(out) + "\n"
+
+
+def render_schedstat(ctx: ReadContext) -> str:
+    """``/proc/schedstat``: cumulative scheduler statistics per CPU."""
+    k = ctx.kernel
+    out = ["version 15", f"timestamp {k.timers.jiffies}"]
+    for cpu in range(k.config.total_cores):
+        s = k.scheduler.cpu_stats[cpu]
+        run_ns = s.user_ns + s.system_ns
+        out.append(
+            f"cpu{cpu} 0 0 0 0 0 0 {run_ns} {s.wait_ns} {s.timeslices}"
+        )
+        out.append("domain0 ff 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0")
+    return "\n".join(out) + "\n"
+
+
+def render_timer_list(ctx: ReadContext) -> str:
+    """``/proc/timer_list``: every armed hrtimer with owner ``comm/pid``."""
+    k = ctx.kernel
+    out = [
+        "Timer List Version: v0.8",
+        f"HRTIMER_MAX_CLOCK_BASES: 4",
+        f"now at {k.timers.now_ns} nsecs",
+        "",
+    ]
+    for cpu in range(k.config.total_cores):
+        out.append(f"cpu: {cpu}")
+        out.append(" clock 0:")
+        out.append("  .base:       ffff88021eb0c9c0")
+        out.append("  .index:      0")
+        out.append("  .resolution: 1 nsecs")
+        out.append("  active timers:")
+        for i, entry in enumerate(k.timers.entries_on_cpu(cpu)):
+            out.append(
+                f" #{i}: <0000000000000000>, {entry.function}, S:01"
+            )
+            out.append(
+                f" # expires at {entry.expires_ns}-{entry.expires_ns} nsecs "
+                f"[in {entry.expires_ns - k.timers.now_ns} to "
+                f"{entry.expires_ns - k.timers.now_ns} nsecs], "
+                f"{entry.owner_label()}"
+            )
+        out.append("")
+    return "\n".join(out) + "\n"
+
+
+def render_locks(ctx: ReadContext) -> str:
+    """``/proc/locks``: the host-global file-lock table."""
+    k = ctx.kernel
+    return "".join(entry.render() + "\n" for entry in k.locks.entries)
+
+
+def render_modules(ctx: ReadContext) -> str:
+    """``/proc/modules``: loaded modules (static, host-global)."""
+    k = ctx.kernel
+    base = 0xFFFFFFFFC0000000
+    out = []
+    for i, module in enumerate(k.modules.modules):
+        out.append(module.render(base + i * 0x4000))
+    return "\n".join(out) + "\n"
+
+
+def render_interrupts(ctx: ReadContext) -> str:
+    """``/proc/interrupts``: per-IRQ, per-CPU counters."""
+    k = ctx.kernel
+    ncpus = k.config.total_cores
+    header = " " * 11 + "".join(f"CPU{c:<11}" for c in range(ncpus))
+    out = [header.rstrip()]
+    for irq, counts, desc in k.interrupts.rows():
+        row = f"{irq:>4}: " + "".join(f"{c:>10} " for c in counts) + f"  {desc}"
+        out.append(row.rstrip())
+    return "\n".join(out) + "\n"
+
+
+def render_softirqs(ctx: ReadContext) -> str:
+    """``/proc/softirqs``: per-type, per-CPU softirq counts."""
+    k = ctx.kernel
+    ncpus = k.config.total_cores
+    header = " " * 10 + "".join(f"CPU{c:<11}" for c in range(ncpus))
+    out = [header.rstrip()]
+    for name, counts in k.interrupts.softirqs.items():
+        row = f"{name + ':':>10}" + "".join(f"{c:>11}" for c in counts)
+        out.append(row)
+    return "\n".join(out) + "\n"

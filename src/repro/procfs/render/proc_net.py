@@ -1,0 +1,59 @@
+"""Renderers for ``/proc/net/*`` and ``/proc/self/*`` — the *correctly
+namespaced* control group.
+
+``/proc/net/dev`` consults the reader's NET namespace and
+``/proc/self/cgroup`` the reader's cgroup membership; the cross-validation
+detector must classify both as case ① of Figure 1 (private, customized
+kernel data), in contrast to the host-global channels.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.namespaces import NamespaceType
+from repro.procfs.node import ReadContext
+
+
+def render_net_dev(ctx: ReadContext) -> str:
+    """``/proc/net/dev``: device statistics *of the reader's NET namespace*."""
+    ns = ctx.namespace(NamespaceType.NET)
+    devices = ctx.kernel.netdev.devices_in(ns)
+    out = [
+        "Inter-|   Receive                                                |  Transmit",
+        " face |bytes    packets errs drop fifo frame compressed multicast|bytes    "
+        "packets errs drop fifo colls carrier compressed",
+    ]
+    for dev in devices:
+        out.append(
+            f"{dev.name:>6}: {dev.rx_bytes:>8} {dev.rx_packets:>7} 0 0 0 0 0 0 "
+            f"{dev.tx_bytes:>8} {dev.tx_packets:>7} 0 0 0 0 0 0"
+        )
+    return "\n".join(out) + "\n"
+
+
+def render_self_cgroup(ctx: ReadContext) -> str:
+    """``/proc/self/cgroup``: the reader's own cgroup memberships.
+
+    With a CGROUP namespace (as Docker sets up), paths are shown relative
+    to the container's cgroup, hiding the host hierarchy.
+    """
+    k = ctx.kernel
+    task = ctx.task
+    rows = []
+    controllers = list(k.cgroups.hierarchies)
+    for index, controller in enumerate(reversed(controllers), start=1):
+        if task is None:
+            # a root shell on the host sits in its systemd session scope
+            path = "/user.slice/user-0.slice/session-1.scope"
+        else:
+            cgroup = k.cgroups.hierarchy(controller).cgroup_of(task)
+            path = cgroup.path
+            # CGROUP-namespaced readers see their own subtree as "/"
+            cgroup_ns = ctx.namespace(NamespaceType.CGROUP)
+            ns_root = cgroup_ns.payload.get("root_path")
+            if isinstance(ns_root, str) and ns_root != "/":
+                if path == ns_root:
+                    path = "/"
+                elif path.startswith(ns_root + "/"):
+                    path = path[len(ns_root):]
+        rows.append(f"{index}:{controller}:{path}")
+    return "\n".join(rows) + "\n"

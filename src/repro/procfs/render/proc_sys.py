@@ -1,0 +1,117 @@
+"""Renderers for ``/proc/sys/*`` and ``/proc/fs/ext4/*``.
+
+Covers the sysctl-style channels of Tables I/II: the VFS cache counters
+(``dentry-state``, ``inode-nr``, ``file-nr``), the RNG files (``boot_id``,
+``entropy_avail``, ``uuid``, ``poolsize``), the per-CPU scheduler-domain
+tunables, and the ext4 multiblock-allocator statistics — plus the
+*namespaced* ``hostname`` (UTS) used as a correctness control.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PseudoFileError
+from repro.kernel.namespaces import NamespaceType
+from repro.procfs.node import ReadContext
+
+
+def render_dentry_state(ctx: ReadContext) -> str:
+    """``/proc/sys/fs/dentry-state``: host dentry cache counters."""
+    return ctx.kernel.filesystem.vfs.dentry_state()
+
+
+def render_inode_nr(ctx: ReadContext) -> str:
+    """``/proc/sys/fs/inode-nr``: host inode counts."""
+    return ctx.kernel.filesystem.vfs.inode_nr()
+
+
+def render_file_nr(ctx: ReadContext) -> str:
+    """``/proc/sys/fs/file-nr``: host open-file counts."""
+    return ctx.kernel.filesystem.vfs.file_nr()
+
+
+def render_boot_id(ctx: ReadContext) -> str:
+    """``/proc/sys/kernel/random/boot_id``: the per-boot host UUID.
+
+    Static, unique, host-global: the highest-ranked co-residence channel
+    in Table II. Two containers reading the same boot_id share a kernel.
+    """
+    return ctx.kernel.random.boot_id + "\n"
+
+
+def render_entropy_avail(ctx: ReadContext) -> str:
+    """``/proc/sys/kernel/random/entropy_avail``: current pool entropy."""
+    return f"{ctx.kernel.random.entropy_avail}\n"
+
+
+def render_poolsize(ctx: ReadContext) -> str:
+    """``/proc/sys/kernel/random/poolsize``: pool capacity (static)."""
+    return f"{ctx.kernel.random.POOLSIZE}\n"
+
+
+def render_uuid(ctx: ReadContext) -> str:
+    """``/proc/sys/kernel/random/uuid``: a fresh UUID per read.
+
+    Deliberately useless for co-residence — a control the channel-metric
+    machinery must *not* rank as unique-static.
+    """
+    return ctx.kernel.random.fresh_uuid() + "\n"
+
+
+def render_hostname(ctx: ReadContext) -> str:
+    """``/proc/sys/kernel/hostname``: UTS-namespaced (no leak).
+
+    One of the correctly-namespaced files the cross-validation detector
+    must classify as case ① of Figure 1.
+    """
+    uts = ctx.namespace(NamespaceType.UTS)
+    hostname = uts.payload.get("hostname")
+    if hostname is None:
+        hostname = ctx.kernel.config.hostname
+    return f"{hostname}\n"
+
+
+def render_ns_last_pid(ctx: ReadContext) -> str:
+    """``/proc/sys/kernel/ns_last_pid``: PID-namespaced last pid."""
+    pid_ns = ctx.namespace(NamespaceType.PID)
+    visible = ctx.kernel.processes.tasks_visible_from(pid_ns)
+    last = max((t.ns_pids[pid_ns] for t in visible if pid_ns in t.ns_pids), default=0)
+    return f"{last}\n"
+
+
+def make_sched_domain_renderer(cpu: int, field: str):
+    """Renderer factory for ``/proc/sys/kernel/sched_domain/cpu<N>/domain0/<field>``."""
+
+    def render(ctx: ReadContext) -> str:
+        sched = ctx.kernel.scheduler
+        if field == "max_newidle_lb_cost":
+            return f"{sched.max_newidle_lb_cost[cpu]}\n"
+        if field == "min_interval":
+            return "1\n"
+        if field == "max_interval":
+            return f"{2 * ctx.kernel.config.total_cores}\n"
+        if field == "name":
+            return "MC\n"
+        raise PseudoFileError(f"unknown sched_domain field: {field}")
+
+    return render
+
+
+def make_mb_groups_renderer(disk: str):
+    """Renderer factory for ``/proc/fs/ext4/<disk>/mb_groups``."""
+
+    def render(ctx: ReadContext) -> str:
+        fs = ctx.kernel.filesystem.ext4_for(disk)
+        out = [
+            "#group: free  frags first ["
+            " 2^0   2^1   2^2   2^3   2^4   2^5   2^6   2^7   2^8   2^9 "
+            " 2^10  2^11  2^12  2^13 ]"
+        ]
+        for g in fs.groups:
+            buddy = "  ".join(f"{b:>4}" for b in g.buddy)
+            out.append(
+                f"#{g.group:<5}: {g.free_blocks:<5} {g.fragments:<5} "
+                f"{g.first_free:<5} [ {buddy} ]"
+            )
+        return "\n".join(out) + "\n"
+
+    return render

@@ -1,0 +1,54 @@
+"""Renderer for ``/sys/fs/cgroup/net_prio/net_prio.ifpriomap`` —
+the paper's Case Study I.
+
+The real kernel bug: ``read_priomap`` iterates ``for_each_netdev_rcu``
+starting from ``&init_net``, i.e. the *root* NET namespace, instead of the
+reader's. The renderer below reproduces that call chain faithfully: it
+takes the reader's *cgroup* (for the priority values) but the *host's*
+device list (the leak) — so a container that only owns ``lo``/``eth0``
+reads the names of every physical interface on the machine.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.cgroups import NetPrioState
+from repro.procfs.node import ReadContext
+
+
+def render_ifpriomap(ctx: ReadContext) -> str:
+    """``net_prio.ifpriomap``: ``<ifname> <priority>`` per host device."""
+    k = ctx.kernel
+    if ctx.task is not None:
+        cgroup = k.cgroups.hierarchy("net_prio").cgroup_of(ctx.task)
+    else:
+        cgroup = k.cgroups.hierarchy("net_prio").root
+    state = cgroup.state
+    assert isinstance(state, NetPrioState)
+
+    # BUG (reproduced deliberately): device iteration ignores the reader's
+    # NET namespace and walks init_net — for_each_netdev_rcu(&init_net).
+    devices = k.netdev.for_each_netdev_init_net()
+    return "".join(
+        f"{dev.name} {state.prios.get(dev.name, 0)}\n" for dev in devices
+    )
+
+
+def render_ifpriomap_fixed(ctx: ReadContext) -> str:
+    """The *patched* handler: iterate the reader's NET namespace.
+
+    Used by the stage-2 defense tests to show what the namespace-aware fix
+    changes: a container sees only its own veth pair.
+    """
+    from repro.kernel.namespaces import NamespaceType
+
+    k = ctx.kernel
+    if ctx.task is not None:
+        cgroup = k.cgroups.hierarchy("net_prio").cgroup_of(ctx.task)
+    else:
+        cgroup = k.cgroups.hierarchy("net_prio").root
+    state = cgroup.state
+    assert isinstance(state, NetPrioState)
+    devices = k.netdev.devices_in(ctx.namespace(NamespaceType.NET))
+    return "".join(
+        f"{dev.name} {state.prios.get(dev.name, 0)}\n" for dev in devices
+    )

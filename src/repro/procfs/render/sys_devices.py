@@ -1,0 +1,114 @@
+"""Renderers for ``/sys/devices/*``: NUMA node statistics, cpuidle state
+residency, and coretemp sensors.
+
+All host-global (Table I's ``/sys/devices/*`` row): per-node ``numastat`` /
+``vmstat`` / ``meminfo``, per-CPU ``cpuidle/state*/{usage,time}``, and the
+DTS ``temp*_input`` millidegree files.
+"""
+
+from __future__ import annotations
+
+from repro.procfs.node import ReadContext
+
+
+def make_numastat_renderer(node_id: int):
+    """``/sys/devices/system/node/node<N>/numastat``."""
+
+    def render(ctx: ReadContext) -> str:
+        node = ctx.kernel.memory.node(node_id)
+        return (
+            f"numa_hit {node.numa_hit}\n"
+            f"numa_miss {node.numa_miss}\n"
+            f"numa_foreign {node.numa_foreign}\n"
+            f"interleave_hit {node.interleave_hit}\n"
+            f"local_node {node.local_node}\n"
+            f"other_node {node.other_node}\n"
+        )
+
+    return render
+
+
+def make_node_meminfo_renderer(node_id: int):
+    """``/sys/devices/system/node/node<N>/meminfo``."""
+
+    def render(ctx: ReadContext) -> str:
+        m = ctx.kernel.memory
+        node = m.node(node_id)
+        total_kb = node.total_pages * 4
+        free_kb = node.free_pages * 4
+        n = node_id
+        return (
+            f"Node {n} MemTotal:       {total_kb} kB\n"
+            f"Node {n} MemFree:        {free_kb} kB\n"
+            f"Node {n} MemUsed:        {total_kb - free_kb} kB\n"
+            f"Node {n} Active:         {int((total_kb - free_kb) * 0.6)} kB\n"
+            f"Node {n} Inactive:       {int((total_kb - free_kb) * 0.3)} kB\n"
+            f"Node {n} Dirty:          64 kB\n"
+            f"Node {n} FilePages:      {m.cached_kb // max(1, len(m.nodes))} kB\n"
+            f"Node {n} AnonPages:      {m.task_rss_pages * 4 // max(1, len(m.nodes))} kB\n"
+        )
+
+    return render
+
+
+def make_node_vmstat_renderer(node_id: int):
+    """``/sys/devices/system/node/node<N>/vmstat``."""
+
+    def render(ctx: ReadContext) -> str:
+        m = ctx.kernel.memory
+        node = m.node(node_id)
+        pcp_total = sum(m.pcp_count.values())
+        return (
+            f"nr_free_pages {node.free_pages}\n"
+            f"nr_alloc_batch 63\n"
+            f"nr_dirty {max(0, m.page_cache_pages // 197)}\n"
+            f"nr_pcp_free {pcp_total}\n"
+            f"nr_inactive_anon {int(node.total_pages * 0.01)}\n"
+            f"nr_active_anon {int((node.total_pages - node.free_pages) * 0.5)}\n"
+            f"nr_inactive_file {int((node.total_pages - node.free_pages) * 0.2)}\n"
+            f"nr_active_file {int((node.total_pages - node.free_pages) * 0.15)}\n"
+            f"numa_hit {node.numa_hit}\n"
+            f"numa_miss {node.numa_miss}\n"
+            f"numa_local {node.local_node}\n"
+            f"numa_other {node.other_node}\n"
+        )
+
+    return render
+
+
+def make_cpuidle_renderer(cpu: int, state_index: int, field: str):
+    """``/sys/devices/system/cpu/cpu<C>/cpuidle/state<S>/<field>``."""
+
+    def render(ctx: ReadContext) -> str:
+        state = ctx.kernel.cpuidle.cpu(cpu).states[state_index]
+        if field == "usage":
+            return f"{state.usage}\n"
+        if field == "time":
+            return f"{state.time_us}\n"
+        if field == "name":
+            return f"{state.name}\n"
+        if field == "latency":
+            return f"{state.latency_us}\n"
+        raise AssertionError(f"unknown cpuidle field: {field}")
+
+    return render
+
+
+def make_coretemp_renderer(core: int, field: str):
+    """``/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp<N>_<field>``.
+
+    ``temp1_*`` is the package sensor; ``temp<N>_*`` for N >= 2 maps to
+    core N-2, following the real coretemp numbering.
+    """
+
+    def render(ctx: ReadContext) -> str:
+        thermal = ctx.kernel.thermal
+        if field == "label":
+            if core < 0:
+                return "Package id 0\n"
+            return f"Core {core}\n"
+        if core < 0:
+            return f"{int(thermal.package_temp() * 1000)}\n"
+        return f"{thermal.sensor(core).millidegrees}\n"
+
+    return render

@@ -1,0 +1,63 @@
+"""Renderers for ``/sys/class/powercap/intel-rapl*`` — Case Study II.
+
+``energy_uj`` reads flow through :meth:`repro.kernel.kernel.Kernel.read_energy_uj`,
+the seam where the defense's power-based namespace installs its hook. With
+no hook (vanilla kernel) every reader receives the host-global MSR-backed
+counter: the leak that enables the synergistic power attack.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.rapl import RaplDomain
+from repro.procfs.node import ReadContext
+
+
+def make_energy_uj_renderer(domain: RaplDomain):
+    """``intel-rapl:*/energy_uj``: the accumulated microjoule counter."""
+
+    def render(ctx: ReadContext) -> str:
+        value = ctx.kernel.read_energy_uj(domain, reader=ctx.task)
+        return f"{value}\n"
+
+    return render
+
+
+def make_rapl_name_renderer(domain: RaplDomain):
+    """``intel-rapl:*/name``: the domain label (package-0 / core / dram)."""
+
+    def render(ctx: ReadContext) -> str:
+        return f"{domain.name}\n"
+
+    return render
+
+
+def make_rapl_range_renderer(domain: RaplDomain):
+    """``intel-rapl:*/max_energy_range_uj``: the counter wrap point."""
+
+    def render(ctx: ReadContext) -> str:
+        return f"{domain.max_energy_range_uj}\n"
+
+    return render
+
+
+def make_netclass_stat_renderer(ifname: str, field: str):
+    """``/sys/class/net/<if>/statistics/{rx_bytes,tx_bytes,...}``.
+
+    Rendered from the *host* device list (Table I's ``/sys/class/*`` row):
+    the sysfs tree a container sees is the one mounted from the host, so
+    host NIC counters leak co-resident traffic volumes.
+    """
+
+    def render(ctx: ReadContext) -> str:
+        k = ctx.kernel
+        dev = k.netdev.device(k.netdev.init_net, ifname)
+        value = {
+            "rx_bytes": dev.rx_bytes,
+            "tx_bytes": dev.tx_bytes,
+            "rx_packets": dev.rx_packets,
+            "tx_packets": dev.tx_packets,
+            "mtu": dev.mtu,
+        }[field]
+        return f"{value}\n"
+
+    return render

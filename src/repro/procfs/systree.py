@@ -1,0 +1,134 @@
+"""Assembly of the ``/sys`` tree for one kernel.
+
+Hardware-dependent subtrees (RAPL, coretemp) are created only when the
+host supports them, so provider profiles on pre-Sandy-Bridge or AMD
+hardware naturally lack the corresponding channels — matching the "absent
+due to hardware" cells of Table I.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+from repro.procfs.node import PseudoDir
+from repro.procfs.render import sys_cgroup, sys_devices, sys_powercap
+
+
+def build_sys_tree(kernel: "Kernel") -> PseudoDir:
+    """Build the ``/sys`` pseudo-tree matching this kernel's hardware."""
+    sys_root = PseudoDir("sys")
+
+    # --- /sys/fs/cgroup/net_prio (Case Study I) ---
+    net_prio = sys_root.dir("fs").dir("cgroup").dir("net_prio")
+    net_prio.file(
+        "net_prio.ifpriomap",
+        sys_cgroup.render_ifpriomap,
+        channel="sys.fs.cgroup.net_prio.ifpriomap",
+    )
+
+    # --- /sys/devices/system/node ---
+    node_dir = sys_root.dir("devices").dir("system").dir("node")
+    for node in kernel.memory.nodes:
+        n = node_dir.dir(f"node{node.node_id}")
+        n.file(
+            "numastat",
+            sys_devices.make_numastat_renderer(node.node_id),
+            channel="sys.devices.system.node.numastat",
+        )
+        n.file(
+            "meminfo",
+            sys_devices.make_node_meminfo_renderer(node.node_id),
+            channel="sys.devices.system.node.meminfo",
+        )
+        n.file(
+            "vmstat",
+            sys_devices.make_node_vmstat_renderer(node.node_id),
+            channel="sys.devices.system.node.vmstat",
+        )
+
+    # --- /sys/devices/system/cpu/cpu*/cpuidle ---
+    cpu_dir = sys_root.dir("devices").dir("system").dir("cpu")
+    for cpu in range(kernel.config.total_cores):
+        cpuidle = cpu_dir.dir(f"cpu{cpu}").dir("cpuidle")
+        for state_index, state in enumerate(kernel.cpuidle.cpu(cpu).states):
+            sdir = cpuidle.dir(f"state{state_index}")
+            sdir.file(
+                "usage",
+                sys_devices.make_cpuidle_renderer(cpu, state_index, "usage"),
+                channel="sys.devices.system.cpu.cpuidle.usage",
+            )
+            sdir.file(
+                "time",
+                sys_devices.make_cpuidle_renderer(cpu, state_index, "time"),
+                channel="sys.devices.system.cpu.cpuidle.time",
+            )
+            sdir.file(
+                "name", sys_devices.make_cpuidle_renderer(cpu, state_index, "name")
+            )
+            sdir.file(
+                "latency",
+                sys_devices.make_cpuidle_renderer(cpu, state_index, "latency"),
+            )
+
+    # --- /sys/devices/platform/coretemp.0 (DTS, hardware-dependent) ---
+    if kernel.config.has_coretemp:
+        hwmon = (
+            sys_root.dir("devices")
+            .dir("platform")
+            .dir("coretemp.0")
+            .dir("hwmon")
+            .dir("hwmon1")
+        )
+        hwmon.file(
+            "temp1_input",
+            sys_devices.make_coretemp_renderer(-1, "input"),
+            channel="sys.devices.platform.coretemp.temp_input",
+        )
+        hwmon.file("temp1_label", sys_devices.make_coretemp_renderer(-1, "label"))
+        for core in range(kernel.config.total_cores):
+            hwmon.file(
+                f"temp{core + 2}_input",
+                sys_devices.make_coretemp_renderer(core, "input"),
+                channel="sys.devices.platform.coretemp.temp_input",
+            )
+            hwmon.file(
+                f"temp{core + 2}_label",
+                sys_devices.make_coretemp_renderer(core, "label"),
+            )
+
+    # --- /sys/class/powercap/intel-rapl (Case Study II, hw-dependent) ---
+    if kernel.rapl.present:
+        powercap = sys_root.dir("class").dir("powercap")
+        for pkg in kernel.rapl.packages:
+            pkg_dir = powercap.dir(pkg.package.sysfs_name)
+            _add_rapl_domain(pkg_dir, pkg.package)
+            for sub in (pkg.core, pkg.dram):
+                sub_dir = pkg_dir.dir(sub.sysfs_name)
+                _add_rapl_domain(sub_dir, sub)
+
+    # --- /sys/class/net/<if>/statistics (host device list) ---
+    class_net = sys_root.dir("class").dir("net")
+    for dev in kernel.netdev.for_each_netdev_init_net():
+        stats = class_net.dir(dev.name).dir("statistics")
+        for field in ("rx_bytes", "tx_bytes", "rx_packets", "tx_packets"):
+            stats.file(
+                field,
+                sys_powercap.make_netclass_stat_renderer(dev.name, field),
+                channel="sys.class.net.statistics",
+            )
+
+    return sys_root
+
+
+def _add_rapl_domain(directory: PseudoDir, domain) -> None:
+    directory.file(
+        "energy_uj",
+        sys_powercap.make_energy_uj_renderer(domain),
+        channel="sys.class.powercap.energy_uj",
+    )
+    directory.file("name", sys_powercap.make_rapl_name_renderer(domain))
+    directory.file(
+        "max_energy_range_uj", sys_powercap.make_rapl_range_renderer(domain)
+    )

@@ -1,0 +1,99 @@
+"""The pseudo-VFS: path resolution, policy enforcement, reads.
+
+:class:`PseudoVFS` is the mount point Docker/LXC give a container: both
+``/proc`` and ``/sys`` trees plus the access-control layer. Container
+reads pass through the container's masking policy first — the stage-1
+defense (and the per-provider restrictions of CC1–CC5) act here, exactly
+like AppArmor deny rules or unreadable bind-mounts act in front of real
+pseudo-files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import FileNotFoundPseudoError, PermissionDeniedError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+from repro.procfs.node import PseudoDir, PseudoFile, ReadContext, split_path
+from repro.procfs.proctree import build_proc_tree
+from repro.procfs.systree import build_sys_tree
+
+
+class PseudoVFS:
+    """Unified view over one kernel's ``/proc`` and ``/sys`` trees."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.proc = build_proc_tree(kernel)
+        self.sys = build_sys_tree(kernel)
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, path: str) -> Optional[object]:
+        parts = split_path(path)
+        if not parts:
+            return None
+        root = {"proc": self.proc, "sys": self.sys}.get(parts[0])
+        if root is None:
+            return None
+        return root.resolve(parts[1:])
+
+    def lookup(self, path: str) -> PseudoFile:
+        """Resolve a path to a file node (no policy applied)."""
+        node = self._resolve(path)
+        if node is None or not isinstance(node, PseudoFile):
+            raise FileNotFoundPseudoError(path)
+        return node
+
+    def exists(self, path: str) -> bool:
+        """Whether a path resolves (file or directory), pre-policy."""
+        return self._resolve(path) is not None
+
+    def read(self, path: str, ctx: Optional[ReadContext] = None) -> str:
+        """Read a pseudo-file as the given context.
+
+        Container contexts are filtered through the container's masking
+        policy: a DENY rule raises :class:`PermissionDeniedError`, a HIDE
+        rule raises :class:`FileNotFoundPseudoError`, and a PARTIAL rule
+        substitutes the policy's transformed view.
+        """
+        if ctx is None:
+            ctx = ReadContext(kernel=self.kernel)
+        node = self.lookup(path)
+        if ctx.container is not None:
+            policy = ctx.container.policy
+            decision = policy.check(path, node)
+            if decision.denied:
+                raise PermissionDeniedError(path)
+            if decision.hidden:
+                raise FileNotFoundPseudoError(path)
+            if decision.transform is not None:
+                return decision.transform(node.read(ctx), ctx)
+        return node.read(ctx)
+
+    # ------------------------------------------------------------------
+
+    def walk(self) -> Iterator[Tuple[str, PseudoFile]]:
+        """All (path, file) pairs under /proc and /sys, pre-policy."""
+        yield from self.proc.walk("/proc")
+        yield from self.sys.walk("/sys")
+
+    def walk_visible(self, ctx: ReadContext) -> Iterator[str]:
+        """File paths visible to a context (policy HIDEs filtered out).
+
+        DENYed paths remain listed (like a real ``ls`` against an
+        AppArmor-masked file) — only HIDEs disappear.
+        """
+        for path, node in self.walk():
+            if ctx.container is not None:
+                decision = ctx.container.policy.check(path, node)
+                if decision.hidden:
+                    continue
+            yield path
+
+    def leak_channel_files(self) -> List[Tuple[str, PseudoFile]]:
+        """(path, node) for every file tagged with a channel id."""
+        return [(path, node) for path, node in self.walk() if node.channel]

@@ -1,0 +1,22 @@
+"""Container runtime: containers, the engine, workloads, and the cloud.
+
+This package plays the role Docker/LXC play in the paper: it assembles
+namespaces, cgroups, pseudo-filesystem mounts, and masking policies into
+containers, binds workloads to them, and — at the top — models multi-tenant
+container cloud providers (the CC1-CC5 profiles of Table I).
+"""
+
+from repro.runtime.container import Container
+from repro.runtime.engine import ContainerEngine
+from repro.runtime.policy import MaskingPolicy, docker_default_policy
+from repro.runtime.workload import ActivitySample, Workload, WorkloadPhase
+
+__all__ = [
+    "ActivitySample",
+    "Container",
+    "ContainerEngine",
+    "MaskingPolicy",
+    "Workload",
+    "WorkloadPhase",
+    "docker_default_policy",
+]

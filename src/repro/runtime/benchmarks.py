@@ -1,0 +1,230 @@
+"""Named benchmark profiles: the workloads of the paper's evaluation.
+
+Three families:
+
+- **Power-modelling benchmarks** (Figures 6/7): the idle C loop, Prime95,
+  462.libquantum, and ``stress`` memory variants. Their activity vectors
+  span the (IPC, cache-miss, branch-miss) space so energy-per-instruction
+  differs across them — the distinct slopes of Figure 6.
+- **SPEC CPU2006 subset** (Figure 8): held-out workloads for evaluating
+  modelling accuracy; no overlap with the modelling set, as in the paper.
+- **UnixBench micro-suite** (Table III): twelve tests characterized by the
+  OS primitives they stress (context switches, spawns, syscalls, file IO),
+  which is what determines their sensitivity to the defense's
+  perf-accounting overhead.
+
+Activity parameters are synthetic but ordered like published
+characterization data: e.g. mcf/libquantum are the classic LLC-miss
+monsters, hmmer/namd are high-IPC compute, gobmk/sjeng are branchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.runtime.workload import Workload, WorkloadPhase, constant
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Activity characterization of one named benchmark."""
+
+    name: str
+    ipc: float
+    cache_miss_per_kinst: float
+    branch_miss_per_kinst: float
+    rss_mb: float = 50.0
+    syscalls_per_sec: float = 50.0
+    voluntary_switches_per_sec: float = 10.0
+    io_ops_per_sec: float = 0.0
+
+    def workload(
+        self, duration: Optional[float] = None, cpu_demand: float = 1.0
+    ) -> Workload:
+        """Instantiate a runnable workload from this profile."""
+        return constant(
+            self.name,
+            cpu_demand=cpu_demand,
+            ipc=self.ipc,
+            cache_miss_per_kinst=self.cache_miss_per_kinst,
+            branch_miss_per_kinst=self.branch_miss_per_kinst,
+            rss_mb=self.rss_mb,
+            duration=duration,
+            syscalls_per_sec=self.syscalls_per_sec,
+            voluntary_switches_per_sec=self.voluntary_switches_per_sec,
+            io_ops_per_sec=self.io_ops_per_sec,
+        )
+
+
+#: Figure 6/7 modelling set: "the idle loop written in C, prime,
+#: 462.libquantum in SPECCPU2006, and stress with different memory
+#: configurations".
+MODELING_BENCHMARKS: Dict[str, BenchmarkProfile] = {
+    "idle-loop": BenchmarkProfile(
+        "idle-loop", ipc=3.5, cache_miss_per_kinst=0.01, branch_miss_per_kinst=0.05,
+        rss_mb=2.0,
+    ),
+    "prime": BenchmarkProfile(
+        "prime", ipc=2.6, cache_miss_per_kinst=0.1, branch_miss_per_kinst=0.3,
+        rss_mb=30.0,
+    ),
+    "libquantum": BenchmarkProfile(
+        "libquantum", ipc=1.2, cache_miss_per_kinst=12.0, branch_miss_per_kinst=1.5,
+        rss_mb=100.0,
+    ),
+    "stress-m1": BenchmarkProfile(
+        "stress-m1", ipc=0.6, cache_miss_per_kinst=25.0, branch_miss_per_kinst=2.0,
+        rss_mb=256.0,
+    ),
+    "stress-m4": BenchmarkProfile(
+        "stress-m4", ipc=0.5, cache_miss_per_kinst=35.0, branch_miss_per_kinst=2.5,
+        rss_mb=1024.0,
+    ),
+}
+
+#: Figure 8 evaluation set: SPEC CPU2006 workloads runnable in a container,
+#: disjoint from the modelling set.
+SPEC_BENCHMARKS: Dict[str, BenchmarkProfile] = {
+    "401.bzip2": BenchmarkProfile(
+        "401.bzip2", ipc=1.6, cache_miss_per_kinst=4.0, branch_miss_per_kinst=4.0,
+        rss_mb=850.0,
+    ),
+    "429.mcf": BenchmarkProfile(
+        "429.mcf", ipc=0.5, cache_miss_per_kinst=30.0, branch_miss_per_kinst=3.0,
+        rss_mb=1700.0,
+    ),
+    "445.gobmk": BenchmarkProfile(
+        "445.gobmk", ipc=1.3, cache_miss_per_kinst=2.0, branch_miss_per_kinst=8.0,
+        rss_mb=30.0,
+    ),
+    "456.hmmer": BenchmarkProfile(
+        "456.hmmer", ipc=2.2, cache_miss_per_kinst=1.0, branch_miss_per_kinst=1.5,
+        rss_mb=60.0,
+    ),
+    "458.sjeng": BenchmarkProfile(
+        "458.sjeng", ipc=1.6, cache_miss_per_kinst=1.5, branch_miss_per_kinst=6.0,
+        rss_mb=180.0,
+    ),
+    "433.milc": BenchmarkProfile(
+        "433.milc", ipc=1.0, cache_miss_per_kinst=18.0, branch_miss_per_kinst=1.0,
+        rss_mb=700.0,
+    ),
+    "444.namd": BenchmarkProfile(
+        "444.namd", ipc=2.3, cache_miss_per_kinst=0.8, branch_miss_per_kinst=1.0,
+        rss_mb=50.0,
+    ),
+    "450.soplex": BenchmarkProfile(
+        "450.soplex", ipc=0.9, cache_miss_per_kinst=15.0, branch_miss_per_kinst=2.0,
+        rss_mb=440.0,
+    ),
+    "453.povray": BenchmarkProfile(
+        "453.povray", ipc=2.0, cache_miss_per_kinst=0.5, branch_miss_per_kinst=3.0,
+        rss_mb=7.0,
+    ),
+    "471.omnetpp": BenchmarkProfile(
+        "471.omnetpp", ipc=0.8, cache_miss_per_kinst=20.0, branch_miss_per_kinst=4.0,
+        rss_mb=170.0,
+    ),
+    "473.astar": BenchmarkProfile(
+        "473.astar", ipc=1.1, cache_miss_per_kinst=8.0, branch_miss_per_kinst=5.0,
+        rss_mb=330.0,
+    ),
+    "483.xalancbmk": BenchmarkProfile(
+        "483.xalancbmk", ipc=1.1, cache_miss_per_kinst=12.0, branch_miss_per_kinst=6.0,
+        rss_mb=430.0,
+    ),
+}
+
+
+def power_virus(duration: Optional[float] = None) -> Workload:
+    """A SYMPO/MAMPO-style synthetic power virus (Section IV-A).
+
+    Maximizes energy per second: saturated pipeline *and* heavy LLC/DRAM
+    traffic — drawing roughly twice a Prime95 core's power.
+    """
+    return constant(
+        "power-virus",
+        cpu_demand=1.0,
+        ipc=3.0,
+        cache_miss_per_kinst=20.0,
+        branch_miss_per_kinst=5.0,
+        rss_mb=512.0,
+        duration=duration,
+        syscalls_per_sec=10.0,
+        voluntary_switches_per_sec=2.0,
+    )
+
+
+@dataclass(frozen=True)
+class UnixBenchTest:
+    """One UnixBench micro-benchmark, characterized by primitive costs.
+
+    ``base_ops_per_cpu_sec`` is throughput on an unmodified kernel;
+    ``switches_per_op`` / ``spawns_per_op`` determine exposure to the
+    defense's toggle and perf-event-setup costs; ``cache_miss_per_kinst``
+    exposure to the per-event bookkeeping tax.
+    """
+
+    name: str
+    base_ops_per_cpu_sec: float
+    switches_per_op: float = 0.0
+    spawns_per_op: float = 0.0
+    syscalls_per_op: float = 0.0
+    ipc: float = 2.0
+    cache_miss_per_kinst: float = 0.5
+    branch_miss_per_kinst: float = 1.0
+
+    def workload(self, duration: Optional[float] = None) -> Workload:
+        """A runnable workload approximating one copy of this test."""
+        switches = min(200_000.0, self.base_ops_per_cpu_sec * self.switches_per_op)
+        syscalls = min(500_000.0, self.base_ops_per_cpu_sec * self.syscalls_per_op)
+        return constant(
+            self.name,
+            cpu_demand=1.0 if self.switches_per_op == 0 else 0.5,
+            ipc=self.ipc,
+            cache_miss_per_kinst=self.cache_miss_per_kinst,
+            branch_miss_per_kinst=self.branch_miss_per_kinst,
+            duration=duration,
+            syscalls_per_sec=syscalls,
+            voluntary_switches_per_sec=switches,
+            work_rate=1.0,
+        )
+
+
+#: The twelve UnixBench tests of Table III.
+UNIXBENCH_TESTS: Tuple[UnixBenchTest, ...] = (
+    UnixBenchTest("Dhrystone 2 using register variables", 4.0e7, ipc=3.2,
+                  cache_miss_per_kinst=0.05, branch_miss_per_kinst=0.5),
+    UnixBenchTest("Double-Precision Whetstone", 9.0e5, ipc=2.4,
+                  cache_miss_per_kinst=0.1, branch_miss_per_kinst=0.3),
+    UnixBenchTest("Execl Throughput", 3.0e3, spawns_per_op=1.0,
+                  syscalls_per_op=40.0, ipc=1.2, cache_miss_per_kinst=3.0),
+    UnixBenchTest("File Copy 1024 bufsize 2000 maxblocks", 9.0e5,
+                  syscalls_per_op=0.3, ipc=0.9, cache_miss_per_kinst=18.0),
+    UnixBenchTest("File Copy 256 bufsize 500 maxblocks", 5.5e5,
+                  syscalls_per_op=0.9, ipc=0.8, cache_miss_per_kinst=22.0),
+    UnixBenchTest("File Copy 4096 bufsize 8000 maxblocks", 1.5e6,
+                  syscalls_per_op=0.1, ipc=1.0, cache_miss_per_kinst=14.0),
+    UnixBenchTest("Pipe Throughput", 1.2e6, syscalls_per_op=2.0, ipc=1.4,
+                  cache_miss_per_kinst=1.0),
+    UnixBenchTest("Pipe-based Context Switching", 1.6e5, switches_per_op=1.0,
+                  syscalls_per_op=2.0, ipc=1.0, cache_miss_per_kinst=1.0),
+    UnixBenchTest("Process Creation", 9.0e3, spawns_per_op=1.0,
+                  syscalls_per_op=10.0, ipc=1.2, cache_miss_per_kinst=3.0),
+    UnixBenchTest("Shell Scripts (1 concurrent)", 2.0e3, spawns_per_op=1.0,
+                  syscalls_per_op=200.0, ipc=1.3, cache_miss_per_kinst=2.0),
+    UnixBenchTest("Shell Scripts (8 concurrent)", 2.5e2, spawns_per_op=8.0,
+                  syscalls_per_op=1600.0, ipc=1.3, cache_miss_per_kinst=2.0),
+    UnixBenchTest("System Call Overhead", 4.0e6, syscalls_per_op=1.0,
+                  ipc=1.1, cache_miss_per_kinst=0.2),
+)
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a profile across the modelling and SPEC sets."""
+    profile = MODELING_BENCHMARKS.get(name) or SPEC_BENCHMARKS.get(name)
+    if profile is None:
+        raise SimulationError(f"unknown benchmark: {name}")
+    return profile

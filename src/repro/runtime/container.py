@@ -1,0 +1,180 @@
+"""The container object: namespaces + cgroups + mounts + policy.
+
+A :class:`Container` is what ``docker run`` produces: a bundle of fresh
+namespaces, one cgroup per controller, a read-only view of the host's
+pseudo-filesystems filtered by a masking policy, and a process tree rooted
+at an init task. Tenants interact with it like they would over
+``docker exec``: run workloads, read pseudo-files, arm timers, take locks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, TYPE_CHECKING
+
+from repro.errors import ContainerError
+from repro.kernel.cgroups import Cgroup, CpusetState
+from repro.kernel.namespaces import Namespace, NamespaceType
+from repro.kernel.process import Task, TaskState
+from repro.kernel.timers import TimerEntry
+from repro.kernel.locks import LockEntry
+from repro.procfs.node import ReadContext
+from repro.runtime.policy import MaskingPolicy
+from repro.runtime.workload import Workload, idle as idle_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import ContainerEngine
+
+
+class Container:
+    """One running container. Construct via :class:`ContainerEngine`."""
+
+    def __init__(
+        self,
+        engine: "ContainerEngine",
+        container_id: str,
+        name: str,
+        namespaces: Dict[NamespaceType, Namespace],
+        cgroup_set: Dict[str, Cgroup],
+        policy: MaskingPolicy,
+        cpus: Optional[FrozenSet[int]] = None,
+    ):
+        self.engine = engine
+        self.container_id = container_id
+        self.name = name
+        self.namespaces = namespaces
+        self.cgroup_set = cgroup_set
+        self.policy = policy
+        self.cpus = cpus
+        self.tasks: List[Task] = []
+        self.running = True
+        self.init_task: Optional[Task] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel(self):
+        """The host kernel this container runs on."""
+        return self.engine.kernel
+
+    def _require_running(self) -> None:
+        if not self.running:
+            raise ContainerError(f"container not running: {self.name}")
+
+    def start_init(self) -> Task:
+        """Spawn the init process (pid 1 inside the PID namespace)."""
+        self._require_running()
+        if self.init_task is not None:
+            raise ContainerError(f"init already started: {self.name}")
+        self.init_task = self.exec("sh", workload=idle_workload())
+        return self.init_task
+
+    def exec(
+        self,
+        name: str,
+        workload: Optional[Workload] = None,
+        affinity: Optional[FrozenSet[int]] = None,
+    ) -> Task:
+        """Run a process inside the container (``docker exec``).
+
+        ``affinity`` models in-container ``taskset``: it can only narrow
+        the container's cpuset, never escape it.
+        """
+        self._require_running()
+        if affinity is not None and self.cpus is not None:
+            affinity = frozenset(affinity) & self.cpus
+            if not affinity:
+                raise ContainerError(
+                    f"affinity outside the container cpuset: {self.name}"
+                )
+        task = self.kernel.spawn(
+            name,
+            namespaces=self.namespaces,
+            workload=workload,
+            affinity=affinity,
+            cgroup_set=self.cgroup_set,
+        )
+        self.tasks.append(task)
+        return task
+
+    def kill_task(self, task: Task) -> None:
+        """Terminate one process of this container."""
+        if task not in self.tasks:
+            raise ContainerError(f"task {task} not in container {self.name}")
+        self.tasks.remove(task)
+        self.kernel.kill(task)
+
+    def reap_finished(self) -> int:
+        """Remove tasks whose workloads completed; returns count reaped."""
+        finished = [
+            t
+            for t in self.tasks
+            if t is not self.init_task
+            and t.workload is not None
+            and t.workload.finished
+        ]
+        for task in finished:
+            self.kill_task(task)
+        return len(finished)
+
+    # ------------------------------------------------------------------
+    # tenant-visible operations
+
+    def read_context(self) -> ReadContext:
+        """A read context representing a process inside this container."""
+        self._require_running()
+        task = self.init_task if self.init_task is not None else None
+        return ReadContext(kernel=self.kernel, task=task, container=self)
+
+    def read(self, path: str) -> str:
+        """Read a pseudo-file from inside the container.
+
+        Raises :class:`repro.errors.PermissionDeniedError` or
+        :class:`repro.errors.FileNotFoundPseudoError` when the masking
+        policy (or missing hardware) blocks the path — the same errnos a
+        real tenant's ``cat`` would see.
+        """
+        return self.engine.vfs.read(path, self.read_context())
+
+    def list_pseudo_files(self) -> List[str]:
+        """All pseudo paths visible from inside (the detector's walk)."""
+        return list(self.engine.vfs.walk_visible(self.read_context()))
+
+    def arm_timer(
+        self, task_name: str, delay_seconds: float = 3600.0
+    ) -> TimerEntry:
+        """Start a process with a crafted name and arm a timer it owns.
+
+        The paper's implantation primitive: the (name, pid) pair becomes
+        visible in the *host-global* ``/proc/timer_list``.
+        """
+        task = self.exec(task_name, workload=idle_workload())
+        return self.kernel.timers.arm(task, delay_seconds)
+
+    def take_lock(self, inode: int, task_name: str = "flocker") -> LockEntry:
+        """Take a file lock visible in the host-global ``/proc/locks``."""
+        task = self.exec(task_name, workload=idle_workload())
+        return self.kernel.locks.acquire(task, inode=inode)
+
+    def set_net_prio(self, ifname: str, prio: int) -> None:
+        """Write this container's net_prio map (cgroup-side, no leak)."""
+        state = self.cgroup_set["net_prio"].state
+        state.set_prio(ifname, prio)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cpu_usage_ns(self) -> int:
+        """Accumulated CPU time of the container (cpuacct)."""
+        return self.cgroup_set["cpuacct"].state.usage_ns
+
+    def stop(self) -> None:
+        """Stop all processes; the engine removes the container."""
+        for task in list(self.tasks):
+            self.tasks.remove(task)
+            if task.state is not TaskState.DEAD:
+                self.kernel.kill(task)
+        self.running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"Container({self.name!r}, {state}, tasks={len(self.tasks)})"

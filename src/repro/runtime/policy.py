@@ -1,0 +1,139 @@
+"""Masking policies: the access-control layer in front of pseudo-files.
+
+This models what container runtimes and cloud providers actually deploy
+(AppArmor profiles, read-only/unreadable mount masks, seccomp): per-path
+rules that allow, deny (EACCES), hide (ENOENT), or substitute a partial
+view. The stage-1 defense of Section V-A is "generate a policy that denies
+every discovered channel"; the CC1–CC5 provider profiles of Table I differ
+precisely in which rules they ship.
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ContainerError
+from repro.procfs.node import PseudoFile, ReadContext
+
+#: transforms take (rendered_text, read_context) and return the masked text
+Transform = Callable[[str, ReadContext], str]
+
+
+class Action(enum.Enum):
+    """What a matching rule does to the read."""
+
+    ALLOW = "allow"
+    DENY = "deny"  # EACCES, like an AppArmor deny rule
+    HIDE = "hide"  # ENOENT, like an unreadable mount mask
+    PARTIAL = "partial"  # provider-customized restricted view
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One policy rule: glob pattern + action (+ transform for PARTIAL)."""
+
+    pattern: str
+    action: Action
+    transform: Optional[Transform] = None
+
+    def __post_init__(self) -> None:
+        if self.action is Action.PARTIAL and self.transform is None:
+            raise ContainerError(f"PARTIAL rule needs a transform: {self.pattern}")
+
+    def matches(self, path: str) -> bool:
+        """Glob match against the absolute pseudo path."""
+        return fnmatch.fnmatchcase(path, self.pattern)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The policy's verdict for one read."""
+
+    action: Action
+    transform: Optional[Transform] = None
+
+    @property
+    def denied(self) -> bool:
+        return self.action is Action.DENY
+
+    @property
+    def hidden(self) -> bool:
+        return self.action is Action.HIDE
+
+
+_ALLOW = Decision(action=Action.ALLOW)
+
+
+@dataclass
+class MaskingPolicy:
+    """An ordered rule list; first match wins, default allow."""
+
+    name: str = "default"
+    rules: List[Rule] = field(default_factory=list)
+
+    def deny(self, pattern: str) -> "MaskingPolicy":
+        """Append a DENY rule (chainable)."""
+        self.rules.append(Rule(pattern=pattern, action=Action.DENY))
+        return self
+
+    def hide(self, pattern: str) -> "MaskingPolicy":
+        """Append a HIDE rule (chainable)."""
+        self.rules.append(Rule(pattern=pattern, action=Action.HIDE))
+        return self
+
+    def allow(self, pattern: str) -> "MaskingPolicy":
+        """Append an explicit ALLOW (exception before a broader deny)."""
+        self.rules.append(Rule(pattern=pattern, action=Action.ALLOW))
+        return self
+
+    def partial(self, pattern: str, transform: Transform) -> "MaskingPolicy":
+        """Append a PARTIAL rule with the given view transform."""
+        self.rules.append(
+            Rule(pattern=pattern, action=Action.PARTIAL, transform=transform)
+        )
+        return self
+
+    def check(self, path: str, node: PseudoFile) -> Decision:
+        """Evaluate the rules for one path (first match wins)."""
+        for rule in self.rules:
+            if rule.matches(path):
+                if rule.action is Action.PARTIAL:
+                    return Decision(action=rule.action, transform=rule.transform)
+                return Decision(action=rule.action)
+        return _ALLOW
+
+    def copy(self, name: Optional[str] = None) -> "MaskingPolicy":
+        """An independent copy (providers derive per-container policies)."""
+        return MaskingPolicy(name=name or self.name, rules=list(self.rules))
+
+
+def docker_default_policy() -> MaskingPolicy:
+    """The out-of-the-box Docker masking of the paper's era.
+
+    Docker masked a handful of paths (``/proc/kcore``, ``/proc/timer_stats``
+    etc.) but *none* of the channels in Table I — that is the paper's
+    point. We model the default as an empty rule set over the files we
+    simulate, with the historical masks listed for documentation value.
+    """
+    policy = MaskingPolicy(name="docker-default")
+    for masked in ("/proc/kcore", "/proc/timer_stats", "/proc/sched_debug_disabled"):
+        policy.hide(masked)
+    return policy
+
+
+def first_field_only(text: str, ctx: ReadContext) -> str:
+    """A PARTIAL transform: keep only each line's first token.
+
+    Used by CC5-style providers that strip per-CPU detail but leave
+    aggregate fields — "partially leaks" (the half-filled cells of
+    Table I).
+    """
+    lines = []
+    for line in text.splitlines():
+        fields = line.split()
+        if fields:
+            lines.append(fields[0])
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,12 @@
+"""Simulation core: virtual time, deterministic randomness, event scheduling.
+
+Everything in the reproduction runs against a :class:`VirtualClock` — no
+wall-clock time is ever consulted, so every experiment is deterministic and
+can simulate a week of datacenter time in seconds.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventLoop, ScheduledEvent
+from repro.sim.rng import DeterministicRNG
+
+__all__ = ["VirtualClock", "DeterministicRNG", "EventLoop", "ScheduledEvent"]

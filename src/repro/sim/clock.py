@@ -1,0 +1,62 @@
+"""Virtual time for the simulated host and datacenter.
+
+A :class:`VirtualClock` tracks seconds since an arbitrary epoch. Simulated
+kernels boot at some clock reading and derive their uptime from it, exactly
+as ``/proc/uptime`` derives from the kernel's boot timestamp.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonic simulated clock measured in (float) seconds.
+
+    Parameters
+    ----------
+    start:
+        Initial reading of the clock in seconds. Defaults to ``0.0``; fleet
+        simulations typically use a large epoch so that server boot times
+        look like realistic absolute timestamps.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current reading in seconds since the epoch."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds and return the new reading.
+
+        ``dt`` must be strictly positive: virtual time never moves backwards
+        and zero-length steps usually indicate a driver bug, so both are
+        rejected loudly rather than silently tolerated.
+        """
+        if dt <= 0:
+            raise SimulationError(f"clock must advance by a positive dt, got {dt}")
+        self._now += dt
+        return self._now
+
+    def sleep_until(self, when: float) -> float:
+        """Advance the clock to the absolute time ``when``.
+
+        Returns the amount of time slept. A ``when`` in the past raises
+        :class:`SimulationError`; a ``when`` equal to now is a no-op.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot sleep until {when}: clock is already at {self._now}"
+            )
+        slept = when - self._now
+        if slept > 0:
+            self._now = when
+        return slept
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.3f})"

@@ -1,0 +1,124 @@
+"""A minimal discrete-event loop layered over :class:`VirtualClock`.
+
+The kernel itself advances in fixed ticks, but experiment drivers (attack
+campaigns, tenant churn, week-long fleet traces) want "at time T, do X"
+semantics. :class:`EventLoop` provides that: events fire in timestamp order,
+interleaved with periodic kernel ticks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An action scheduled at an absolute virtual time.
+
+    Ordering is (time, sequence) so ties fire in scheduling order.
+    """
+
+    when: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the queue, inert)."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Timestamp-ordered event execution over a shared virtual clock.
+
+    Parameters
+    ----------
+    clock:
+        The clock to advance. Multiple loops over one clock are not
+        supported; drivers should share a single loop.
+    """
+
+    def __init__(self, clock: VirtualClock):
+        self.clock = clock
+        self._queue: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def schedule_at(
+        self, when: float, action: Callable[[], None], name: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` at absolute time ``when`` (>= now)."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event {name!r} at {when}: clock is at {self.clock.now}"
+            )
+        event = ScheduledEvent(when=when, seq=next(self._seq), action=action, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, action: Callable[[], None], name: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay for event {name!r}: {delay}")
+        return self.schedule_at(self.clock.now + delay, action, name)
+
+    def schedule_every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        name: str = "",
+        first_delay: Optional[float] = None,
+    ) -> ScheduledEvent:
+        """Schedule a repeating action; returns the *first* event.
+
+        Cancelling the returned event stops only the firing that has already
+        been queued; to stop a repeating action permanently, make ``action``
+        raise :class:`StopIteration` — the loop swallows it and stops
+        rescheduling.
+        """
+        if interval <= 0:
+            raise SimulationError(f"repeat interval must be positive: {interval}")
+
+        def repeat() -> None:
+            try:
+                action()
+            except StopIteration:
+                return
+            self.schedule_in(interval, repeat, name)
+
+        delay = interval if first_delay is None else first_delay
+        return self.schedule_in(delay, repeat, name)
+
+    def run_until(self, deadline: float) -> int:
+        """Fire all events up to ``deadline``; returns the number fired.
+
+        The clock finishes exactly at ``deadline`` even if the last event
+        fires earlier (or no events exist at all).
+        """
+        if deadline < self.clock.now:
+            raise SimulationError(
+                f"deadline {deadline} is before current time {self.clock.now}"
+            )
+        fired = 0
+        while self._queue and self._queue[0].when <= deadline:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.sleep_until(event.when)
+            event.action()
+            fired += 1
+        self.clock.sleep_until(deadline)
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,82 @@
+"""Tests for the full synergistic campaign (cover → recon → strike)."""
+
+import pytest
+
+from repro.attack.campaign import SynergisticCampaign
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.datacenter.tenants import DiurnalProfile
+from repro.errors import AttackError
+
+FAST_TENANTS = DiurnalProfile(
+    base_cores=1.0, peak_cores=1.0, bursts_per_day=150.0,
+    burst_cores=4.0, burst_duration_s=60.0, noise=0.05,
+)
+
+
+@pytest.fixture
+def sim():
+    return DatacenterSimulation(
+        servers=4, seed=171, sample_interval_s=1.0, tenant_profile=FAST_TENANTS
+    )
+
+
+class TestCoverage:
+    def test_cover_servers_reaches_distinct_hosts(self, sim):
+        campaign = SynergisticCampaign(sim)
+        instances = campaign.cover_servers(target_servers=4, max_launches=80)
+        assert len({i.host_index for i in instances}) == 4
+
+    def test_cover_budget_enforced(self, sim):
+        campaign = SynergisticCampaign(sim)
+        with pytest.raises(AttackError):
+            campaign.cover_servers(target_servers=4, max_launches=2)
+
+    def test_reconnaissance_reads_uptime_everywhere(self, sim):
+        campaign = SynergisticCampaign(sim)
+        instances = campaign.cover_servers(target_servers=3, max_launches=80)
+        recon = campaign.reconnoiter(instances)
+        assert len(recon) == 3
+        for uptime, idle in recon.values():
+            assert uptime > 0
+            assert idle >= 0
+
+
+class TestExecution:
+    def test_full_campaign_strikes_crests(self, sim):
+        campaign = SynergisticCampaign(sim)
+        result = campaign.execute(
+            target_servers=4,
+            attack_duration_s=900.0,
+            burst_s=20.0,
+            cooldown_s=120.0,
+            settle_s=200.0,
+        )
+        assert result.servers_covered == 4
+        assert result.attack is not None
+        assert result.attack.trials >= 1
+        assert result.attack.peak_watts > 0
+        assert len(result.reconnaissance) == 4
+
+    def test_campaign_can_cause_an_outage(self):
+        """The end game: a tight rack rating + synchronized crest strike
+        trips the breaker and darkens the rack."""
+        sim = DatacenterSimulation(
+            servers=4,
+            rack_size=4,
+            breaker_rated_watts=620.0,  # oversubscribed for 4 servers
+            seed=172,
+            sample_interval_s=1.0,
+            tenant_profile=FAST_TENANTS,
+        )
+        campaign = SynergisticCampaign(sim)
+        result = campaign.execute(
+            target_servers=4,
+            attack_duration_s=1200.0,
+            burst_s=120.0,  # long enough to beat the thermal element
+            cooldown_s=200.0,
+            settle_s=200.0,
+        )
+        assert result.attack.breaker_tripped
+        assert sim.any_breaker_tripped()
+        # the outage is visible in the trace: the fleet went dark
+        assert sim.aggregate_trace.watts[-1] == 0.0

@@ -1,0 +1,94 @@
+"""Tests for the Section VII-A utilization-based power estimator."""
+
+import pytest
+
+from repro.attack.estimator import UtilizationPowerEstimator
+from repro.attack.monitor import CrestDetector
+from repro.errors import AttackError
+from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
+from repro.runtime.workload import constant
+
+
+@pytest.fixture
+def cc4():
+    """The AMD provider: no RAPL, but /proc/stat and /proc/meminfo open."""
+    return ContainerCloud(PROVIDER_PROFILES["CC4"], seed=141, servers=1)
+
+
+class TestEstimator:
+    def test_available_without_rapl(self, cc4):
+        inst = cc4.launch_instance("t")
+        estimator = UtilizationPowerEstimator(inst)
+        assert estimator.available()
+
+    def test_first_sample_primes(self, cc4):
+        inst = cc4.launch_instance("t")
+        estimator = UtilizationPowerEstimator(inst)
+        assert estimator.sample(cc4.clock.now) is None
+
+    def test_estimate_tracks_host_load(self, cc4):
+        inst = cc4.launch_instance("t")
+        estimator = UtilizationPowerEstimator(inst)
+        estimator.sample(cc4.clock.now)
+        cc4.run(10)
+        quiet = estimator.sample(cc4.clock.now)
+        host = cc4.hosts[0].kernel
+        for _ in range(8):
+            host.spawn("burn", workload=constant("b", cpu_demand=1.0, ipc=2.0))
+        cc4.run(10)
+        busy = estimator.sample(cc4.clock.now)
+        assert busy > quiet + 0.3
+
+    def test_estimate_bounded(self, cc4):
+        inst = cc4.launch_instance("t")
+        estimator = UtilizationPowerEstimator(inst)
+        estimator.sample(cc4.clock.now)
+        host = cc4.hosts[0].kernel
+        for _ in range(16):
+            host.spawn(
+                "burn",
+                workload=constant("b", cpu_demand=1.0, rss_mb=4096.0),
+            )
+        for _ in range(5):
+            cc4.run(2)
+            value = estimator.sample(cc4.clock.now)
+            assert 0.0 <= value <= 1.0 + estimator.memory_churn_weight
+
+    def test_double_sample_rejected(self, cc4):
+        inst = cc4.launch_instance("t")
+        estimator = UtilizationPowerEstimator(inst)
+        estimator.sample(cc4.clock.now)
+        cc4.run(1)
+        estimator.sample(cc4.clock.now)
+        with pytest.raises(AttackError):
+            estimator.sample(cc4.clock.now)
+
+    def test_masked_stat_raises(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC5"], seed=142, servers=1)
+        inst = cloud.launch_instance("t")
+        estimator = UtilizationPowerEstimator(inst)
+        # CC5's partial stat strips the aggregate "cpu " line
+        with pytest.raises(AttackError):
+            estimator.sample(cloud.clock.now)
+
+    def test_feeds_crest_detector(self, cc4):
+        """The estimate drives the same crest machinery as RAPL watts."""
+        inst = cc4.launch_instance("t")
+        estimator = UtilizationPowerEstimator(inst)
+        detector = CrestDetector(window=120, threshold_fraction=0.7,
+                                 min_band_watts=0.2)
+        estimator.sample(cc4.clock.now)
+        host = cc4.hosts[0].kernel
+        fired = False
+        burners = []
+        for step in range(120):
+            cc4.run(1)
+            if step == 90:  # a benign surge arrives
+                for _ in range(10):
+                    burners.append(
+                        host.spawn("surge", workload=constant("s", cpu_demand=1.0))
+                    )
+            value = estimator.sample(cc4.clock.now)
+            if value is not None and detector.observe(value):
+                fired = True
+        assert fired

@@ -1,0 +1,100 @@
+"""Tests for RAPL monitoring and crest detection."""
+
+import pytest
+
+from repro.attack.monitor import CrestDetector, RaplPowerMonitor
+from repro.errors import AttackError
+from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
+from repro.runtime.workload import constant
+
+
+@pytest.fixture
+def cloud():
+    return ContainerCloud(PROVIDER_PROFILES["CC1"], seed=51, servers=1)
+
+
+class TestRaplPowerMonitor:
+    def test_first_sample_primes(self, cloud):
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst)
+        assert monitor.sample(cloud.clock.now) is None
+
+    def test_watts_track_host_power(self, cloud):
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst)
+        monitor.sample(cloud.clock.now)
+        cloud.run(5)
+        idle_watts = monitor.sample(cloud.clock.now)
+        host = cloud.hosts[0].kernel
+        for _ in range(8):
+            host.spawn("burn", workload=constant("b", cpu_demand=1.0, ipc=2.5))
+        cloud.run(5)
+        busy_watts = monitor.sample(cloud.clock.now)
+        assert busy_watts > idle_watts + 40
+
+    def test_available_detection(self, cloud):
+        inst = cloud.launch_instance("t")
+        assert RaplPowerMonitor(inst).available()
+        cc4 = ContainerCloud(PROVIDER_PROFILES["CC4"], seed=1, servers=1)
+        inst4 = cc4.launch_instance("t")
+        assert not RaplPowerMonitor(inst4).available()
+
+    def test_double_sample_same_instant_rejected(self, cloud):
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst)
+        monitor.sample(cloud.clock.now)
+        cloud.run(1)
+        monitor.sample(cloud.clock.now)
+        with pytest.raises(AttackError):
+            monitor.sample(cloud.clock.now)
+
+    def test_series_recorded(self, cloud):
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst)
+        monitor.sample(cloud.clock.now)
+        for _ in range(5):
+            cloud.run(1)
+            monitor.sample(cloud.clock.now)
+        assert len(monitor.watts) == 5
+        assert len(monitor.times) == 5
+
+
+class TestCrestDetector:
+    def test_needs_context_before_firing(self):
+        detector = CrestDetector(window=100)
+        assert not detector.observe(1000.0)
+
+    def test_fires_on_crest(self):
+        detector = CrestDetector(window=100, threshold_fraction=0.75)
+        for _ in range(50):
+            detector.observe(100.0)
+        for _ in range(10):
+            detector.observe(120.0)
+        assert detector.observe(130.0)
+
+    def test_quiet_band_never_fires(self):
+        detector = CrestDetector(window=100, min_band_watts=5.0)
+        fired = [detector.observe(100.0 + (i % 3)) for i in range(200)]
+        assert not any(fired)
+
+    def test_trough_does_not_fire(self):
+        detector = CrestDetector(window=100)
+        for i in range(100):
+            detector.observe(100.0 + (i % 50))
+        assert not detector.observe(101.0)
+
+    def test_window_slides(self):
+        detector = CrestDetector(window=20)
+        for _ in range(30):
+            detector.observe(1000.0)
+        # old high samples age out; a new lower regime re-arms the detector
+        for _ in range(25):
+            detector.observe(100.0)
+        assert detector.band[1] < 1000.0
+
+    def test_band_accessor(self):
+        detector = CrestDetector(window=10)
+        assert detector.band == (0.0, 0.0)
+        detector.observe(5.0)
+        detector.observe(15.0)
+        assert detector.band == (5.0, 15.0)

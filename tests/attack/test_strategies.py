@@ -1,0 +1,119 @@
+"""Tests for the attack strategies (Figure 3's comparison, in miniature)."""
+
+import pytest
+
+from repro.attack.strategies import ContinuousAttack, PeriodicAttack, SynergisticAttack
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.datacenter.tenants import DiurnalProfile
+from repro.errors import AttackError
+from repro.runtime.cloud import PROVIDER_PROFILES
+
+
+def simulation_with_attacker(servers=2, seed=61, warmup_s=120.0):
+    sim = DatacenterSimulation(servers=servers, seed=seed, sample_interval_s=1.0)
+    cloud = sim.cloud
+    instances, covered = [], set()
+    while len(covered) < servers:
+        inst = cloud.launch_instance("attacker")
+        if inst.host_index in covered:
+            cloud.terminate_instance(inst)
+        else:
+            covered.add(inst.host_index)
+            instances.append(inst)
+    sim.run(warmup_s, dt=1.0)
+    return sim, instances
+
+
+class TestContinuous:
+    def test_raises_power_for_whole_window(self):
+        sim, instances = simulation_with_attacker()
+        baseline = sim.aggregate_trace.mean
+        attack = ContinuousAttack(sim, instances, burst_s=30.0)
+        outcome = attack.run(120.0)
+        # skip the boundary sample taken just before the first burst
+        window = sim.aggregate_trace.window(sim.now - 118.0, sim.now + 1)
+        assert window.trough > baseline + 50.0
+        assert outcome.trials == 4  # back-to-back bursts
+        assert outcome.attacker_cpu_seconds > 0.9 * 120 * len(instances) * 4
+
+    def test_empty_instances_rejected(self):
+        sim, _ = simulation_with_attacker()
+        with pytest.raises(AttackError):
+            ContinuousAttack(sim, [])
+
+
+class TestPeriodic:
+    def test_period_must_exceed_burst(self):
+        sim, instances = simulation_with_attacker()
+        with pytest.raises(AttackError):
+            PeriodicAttack(sim, instances, burst_s=30.0, period_s=20.0)
+
+    def test_fires_on_schedule(self):
+        sim, instances = simulation_with_attacker()
+        attack = PeriodicAttack(sim, instances, burst_s=10.0, period_s=60.0)
+        outcome = attack.run(180.0)
+        assert outcome.trials == 3
+        assert len(outcome.spike_watts) == 3
+
+    def test_cheaper_than_continuous(self):
+        sim1, inst1 = simulation_with_attacker(seed=62)
+        continuous = ContinuousAttack(sim1, inst1, burst_s=30.0).run(180.0)
+        sim2, inst2 = simulation_with_attacker(seed=62)
+        periodic = PeriodicAttack(sim2, inst2, burst_s=10.0, period_s=60.0).run(180.0)
+        assert periodic.attacker_cpu_seconds < continuous.attacker_cpu_seconds / 2
+
+
+class TestSynergistic:
+    def test_needs_rapl_channel(self):
+        sim = DatacenterSimulation(
+            profile=PROVIDER_PROFILES["CC4"], servers=1, seed=63,
+            sample_interval_s=1.0,
+        )
+        inst = sim.cloud.launch_instance("attacker")
+        with pytest.raises(AttackError):
+            SynergisticAttack(sim, [inst])
+
+    def test_strikes_only_at_crests(self):
+        sim, instances = simulation_with_attacker(seed=64, warmup_s=60.0)
+        from repro.attack.monitor import CrestDetector
+
+        attack = SynergisticAttack(
+            sim,
+            instances,
+            burst_s=10.0,
+            cooldown_s=60.0,
+            max_trials=2,
+            detector_factory=lambda: CrestDetector(
+                window=120, threshold_fraction=0.6, min_band_watts=2.0
+            ),
+        )
+        outcome = attack.run(600.0)
+        assert outcome.trials <= 2
+        # every recorded spike exceeds the benign mean
+        benign_mean = sim.aggregate_trace.window(0, 60).mean
+        for spike in outcome.spike_watts:
+            assert spike > benign_mean
+
+    def test_max_trials_caps_bursts(self):
+        sim, instances = simulation_with_attacker(seed=65, warmup_s=60.0)
+        from repro.attack.monitor import CrestDetector
+
+        attack = SynergisticAttack(
+            sim,
+            instances,
+            burst_s=5.0,
+            cooldown_s=10.0,
+            max_trials=1,
+            detector_factory=lambda: CrestDetector(
+                window=60, threshold_fraction=0.5, min_band_watts=1.0
+            ),
+        )
+        outcome = attack.run(300.0)
+        assert outcome.trials <= 1
+
+    def test_outcome_records_billing(self):
+        sim, instances = simulation_with_attacker(seed=66, warmup_s=30.0)
+        attack = SynergisticAttack(sim, instances, burst_s=5.0, cooldown_s=30.0)
+        outcome = attack.run(60.0)
+        assert outcome.bill_dollars >= 0.0
+        assert outcome.strategy == "synergistic"

@@ -1,0 +1,49 @@
+"""Tests for the power-virus workload family."""
+
+import pytest
+
+from repro.attack.virus import moderate_virus, power_virus, stress_ng_like
+from repro.kernel.kernel import Machine
+from repro.kernel.rapl import unwrap_delta
+
+
+def joules_for(workload_factory, seconds=10, seed=261):
+    machine = Machine(seed=seed, spawn_daemons=False)
+    machine.kernel.spawn("w", workload=workload_factory())
+    pkg = machine.kernel.rapl.package(0).package
+    before = pkg.energy_uj
+    machine.run(seconds, dt=1.0)
+    return unwrap_delta(pkg.energy_uj, before) / 1e6
+
+
+class TestVirusFamily:
+    def test_power_ordering(self):
+        """The SYMPO claim: the virus beats both stress and prime."""
+        virus = joules_for(power_virus)
+        stress = joules_for(stress_ng_like)
+        prime = joules_for(moderate_virus)
+        assert virus > stress
+        assert virus > prime
+
+    def test_virus_roughly_doubles_prime(self):
+        virus = joules_for(power_virus)
+        prime = joules_for(moderate_virus)
+        # minus the shared idle floor, the virus draws ~2x prime's power
+        idle = joules_for(lambda: moderate_virus(duration=0.001), seconds=10)
+        assert (virus - idle) / (prime - idle) == pytest.approx(2.0, rel=0.35)
+
+    def test_durations_respected(self):
+        machine = Machine(seed=262, spawn_daemons=False)
+        task = machine.kernel.spawn("v", workload=power_virus(duration=5.0))
+        machine.run(10, dt=1.0)
+        assert task.workload.finished
+        assert task.workload.total.cpu_ns == pytest.approx(5e9, rel=0.02)
+
+    def test_moderate_virus_looks_like_prime(self):
+        """Stealth: the moderate virus's activity vector is Prime95's."""
+        from repro.runtime.benchmarks import MODELING_BENCHMARKS
+
+        prime_profile = MODELING_BENCHMARKS["prime"]
+        phase = moderate_virus().current_phase
+        assert phase.ipc == prime_profile.ipc
+        assert phase.cache_miss_per_kinst == prime_profile.cache_miss_per_kinst

@@ -1,0 +1,180 @@
+"""Tests for the co-residence toolkit."""
+
+import pytest
+
+from repro.coresidence.fingerprint import HostFingerprint, fingerprint_instance
+from repro.coresidence.implant import ImplantVerifier
+from repro.coresidence.orchestrator import CoResidenceOrchestrator
+from repro.coresidence.trace import TraceCorrelator, memfree_extractor
+from repro.coresidence.uptime import boot_proximity, read_uptime
+from repro.errors import AttackError
+from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
+
+
+@pytest.fixture
+def cloud():
+    return ContainerCloud(PROVIDER_PROFILES["CC1"], seed=41, servers=4)
+
+
+def two_coresident(cloud, tenant="t"):
+    """Provider-side helper: two instances guaranteed on one host."""
+    first = cloud.launch_instance(tenant)
+    while True:
+        second = cloud.launch_instance(tenant)
+        if second.host_index == first.host_index:
+            return first, second
+        cloud.terminate_instance(second)
+
+
+def two_separated(cloud, tenant="t"):
+    first = cloud.launch_instance(tenant)
+    while True:
+        second = cloud.launch_instance(tenant)
+        if second.host_index != first.host_index:
+            return first, second
+        cloud.terminate_instance(second)
+
+
+class TestFingerprint:
+    def test_coresident_fingerprints_match(self, cloud):
+        a, b = two_coresident(cloud)
+        assert fingerprint_instance(a).matches(fingerprint_instance(b))
+
+    def test_separated_fingerprints_differ(self, cloud):
+        a, b = two_separated(cloud)
+        assert not fingerprint_instance(a).matches(fingerprint_instance(b))
+
+    def test_empty_fingerprints_never_match(self):
+        empty = HostFingerprint(boot_id=None, interface_list=None)
+        assert not empty.matches(empty)
+        assert empty.empty
+
+    def test_fingerprint_survives_partial_masking(self, cloud):
+        """With ifpriomap masked, boot_id alone still fingerprints."""
+        a, b = two_coresident(cloud)
+        fp_a = fingerprint_instance(a)
+        masked = HostFingerprint(boot_id=fp_a.boot_id, interface_list=None)
+        assert masked.matches(fingerprint_instance(b))
+
+
+class TestImplant:
+    @pytest.mark.parametrize("channel", ["timer_list", "locks", "sched_debug"])
+    def test_implant_found_by_coresident(self, channel):
+        # CC3 leaves all three channels open
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC3"], seed=42, servers=4)
+        a, b = two_coresident(cloud)
+        verifier = ImplantVerifier(channel)
+        implant = verifier.plant(a.container)
+        cloud.run(1.0)
+        assert verifier.probe(b, implant)
+
+    @pytest.mark.parametrize("channel", ["timer_list", "locks", "sched_debug"])
+    def test_implant_not_found_across_hosts(self, channel):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC3"], seed=43, servers=4)
+        a, b = two_separated(cloud)
+        verifier = ImplantVerifier(channel)
+        implant = verifier.plant(a.container)
+        cloud.run(1.0)
+        assert not verifier.probe(b, implant)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(AttackError):
+            ImplantVerifier("meminfo")
+
+    def test_probe_handles_masked_channel(self, cloud):
+        """On CC1 sched_debug is denied: probe returns False, not an error."""
+        a, b = two_coresident(cloud)
+        verifier = ImplantVerifier("sched_debug")
+        implant = verifier.plant(a.container)
+        assert not verifier.probe(b, implant)
+
+    def test_signatures_unique_per_plant(self, cloud):
+        a, _ = two_coresident(cloud)
+        verifier = ImplantVerifier("timer_list")
+        s1 = verifier.plant(a.container).signature
+        s2 = verifier.plant(a.container).signature
+        assert s1 != s2
+
+
+class TestTraceCorrelation:
+    def test_coresident_traces_match(self, cloud):
+        a, b = two_coresident(cloud)
+        correlator = TraceCorrelator(samples=20)
+        assert correlator.verify(cloud, a, b)
+
+    def test_separated_traces_do_not_match(self, cloud):
+        a, b = two_separated(cloud)
+        correlator = TraceCorrelator(samples=20)
+        # independent hosts' MemFree movements are uncorrelated
+        trace_a, trace_b = correlator.collect(cloud, a, b)
+        assert correlator.score(trace_a, trace_b) < 0.9
+
+    def test_memfree_extractor(self):
+        assert memfree_extractor("MemTotal: 10 kB\nMemFree:    1234 kB\n") == 1234.0
+        with pytest.raises(AttackError):
+            memfree_extractor("nothing here")
+
+    def test_masked_channel_raises(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC5"], seed=44, servers=2)
+        a = cloud.launch_instance("t")
+        b = cloud.launch_instance("t")
+        correlator = TraceCorrelator(path="/proc/uptime", samples=5)
+        with pytest.raises(AttackError):
+            correlator.collect(cloud, a, b)
+
+    def test_sample_count_validated(self):
+        with pytest.raises(AttackError):
+            TraceCorrelator(samples=2)
+
+
+class TestUptime:
+    def test_coresident_same_host(self, cloud):
+        a, b = two_coresident(cloud)
+        assert read_uptime(a).same_host(read_uptime(b))
+
+    def test_separated_different_host(self, cloud):
+        a, b = two_separated(cloud)
+        assert not read_uptime(a).same_host(read_uptime(b))
+
+    def test_boot_proximity_same_window(self, cloud):
+        """Cloud servers boot within one maintenance window (<=120 s skew),
+        so distinct servers show proximity — the rack-adjacency signal."""
+        a, b = two_separated(cloud)
+        assert boot_proximity(read_uptime(a), read_uptime(b), window_s=300.0)
+
+    def test_boot_proximity_rejects_same_host(self, cloud):
+        a, b = two_coresident(cloud)
+        assert not boot_proximity(read_uptime(a), read_uptime(b))
+
+
+class TestOrchestrator:
+    def test_aggregation_reaches_target(self, cloud):
+        result = CoResidenceOrchestrator(cloud, tenant="attacker").aggregate(
+            target=3, max_launches=100
+        )
+        assert result.achieved == 3
+        hosts = {i.host_index for i in result.instances}
+        assert len(hosts) == 1  # ground truth: truly co-resident
+        assert result.launches == result.terminations + 3
+
+    def test_budget_exhaustion_raises(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC1"], seed=45, servers=8)
+        orchestrator = CoResidenceOrchestrator(cloud, tenant="attacker")
+        with pytest.raises(AttackError):
+            orchestrator.aggregate(target=4, max_launches=3)
+
+    def test_target_validation(self, cloud):
+        with pytest.raises(AttackError):
+            CoResidenceOrchestrator(cloud).aggregate(target=1)
+
+    def test_custom_verifier_used(self, cloud):
+        calls = []
+
+        def never(cloud_, pivot, candidate):
+            calls.append(candidate)
+            return False
+
+        orchestrator = CoResidenceOrchestrator(cloud, verifier=never)
+        with pytest.raises(AttackError):
+            orchestrator.aggregate(target=2, max_launches=5)
+        assert len(calls) == 4  # every candidate went through the verifier

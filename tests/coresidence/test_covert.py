@@ -1,0 +1,107 @@
+"""Tests for the covert channel over leaked pseudo-files."""
+
+import pytest
+
+from repro.coresidence.covert import (
+    CovertConfig,
+    CovertReceiver,
+    CovertSender,
+    loadavg_extractor,
+    run_transfer,
+)
+from repro.errors import AttackError
+from repro.kernel.kernel import Machine
+from repro.runtime.engine import ContainerEngine
+from repro.runtime.policy import MaskingPolicy
+
+
+@pytest.fixture
+def pair():
+    """Two co-resident containers on a quiet host, plus a run() driver."""
+    machine = Machine(seed=191, spawn_daemons=False)
+    engine = ContainerEngine(machine.kernel)
+    sender_c = engine.create(name="sender", cpus=4)
+    receiver_c = engine.create(name="receiver", cpus=2)
+    machine.run(5, dt=1.0)
+    return machine, sender_c, receiver_c
+
+
+class TestTransfer:
+    def test_framed_byte_transferred(self, pair):
+        machine, sender_c, receiver_c = pair
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        sender = CovertSender(sender_c)
+        receiver = CovertReceiver(receiver_c)
+        received = run_transfer(
+            lambda s: machine.run(s, dt=1.0), sender, receiver, bits
+        )
+        assert received == bits
+
+    def test_alternating_pattern(self, pair):
+        machine, sender_c, receiver_c = pair
+        bits = [1, 0] * 6
+        received = run_transfer(
+            lambda s: machine.run(s, dt=1.0),
+            CovertSender(sender_c),
+            CovertReceiver(receiver_c),
+            bits,
+        )
+        assert received == bits
+
+    def test_transfer_survives_moderate_background_noise(self, pair):
+        machine, sender_c, receiver_c = pair
+        from repro.runtime.workload import constant
+
+        # one noisy neighbour task: below the 4-core carrier's swing
+        machine.kernel.spawn(
+            "noise", workload=constant("noise", cpu_demand=0.8, ipc=1.5)
+        )
+        bits = [1, 1, 0, 1, 0, 0]
+        received = run_transfer(
+            lambda s: machine.run(s, dt=1.0),
+            CovertSender(sender_c),
+            CovertReceiver(receiver_c),
+            bits,
+        )
+        errors = sum(a != b for a, b in zip(bits, received))
+        assert errors <= 1  # near-lossless against one noisy core
+
+    def test_masked_channel_breaks_the_covert_channel(self, pair):
+        """Stage-1 masking of the carrier file kills the channel."""
+        machine, sender_c, _ = pair
+        engine = sender_c.engine
+        blind = engine.create(
+            name="blind", policy=MaskingPolicy().deny("/proc/loadavg")
+        )
+        receiver = CovertReceiver(blind)
+        with pytest.raises(AttackError):
+            receiver.sample()
+
+
+class TestComponents:
+    def test_bad_bits_rejected(self, pair):
+        machine, sender_c, _ = pair
+        sender = CovertSender(sender_c)
+        with pytest.raises(AttackError):
+            sender.transmit([2], lambda s: machine.run(s, dt=1.0))
+
+    def test_demodulate_needs_enough_samples(self, pair):
+        _, _, receiver_c = pair
+        receiver = CovertReceiver(receiver_c)
+        with pytest.raises(AttackError):
+            receiver.demodulate(4)
+
+    def test_flat_samples_decode_to_zeros(self, pair):
+        _, _, receiver_c = pair
+        receiver = CovertReceiver(receiver_c)
+        receiver.samples = [5.0] * 16
+        assert receiver.demodulate(4) == [0, 0, 0, 0]
+
+    def test_loadavg_extractor(self):
+        assert loadavg_extractor("0.52 0.30 0.10 3/123 4567\n") == 3.0
+        with pytest.raises(AttackError):
+            loadavg_extractor("garbage")
+
+    def test_bandwidth_reporting(self):
+        config = CovertConfig(symbol_period_s=2.0)
+        assert config.bits_per_second == 0.5

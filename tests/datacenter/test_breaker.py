@@ -1,0 +1,101 @@
+"""Tests for the circuit breaker trip model."""
+
+import pytest
+
+from repro.datacenter.breaker import BreakerState, CircuitBreaker
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def breaker():
+    return CircuitBreaker(name="b", rated_watts=1000.0)
+
+
+class TestTripping:
+    def test_under_rating_never_trips(self, breaker):
+        for t in range(10_000):
+            breaker.observe(999.0, dt=1.0, now=float(t))
+        assert not breaker.tripped
+
+    def test_instant_trip_on_gross_overload(self, breaker):
+        breaker.observe(2000.0, dt=1.0, now=0.0)
+        assert breaker.tripped
+        assert breaker.tripped_at == 0.0
+
+    def test_thermal_trip_strength_duration_tradeoff(self):
+        """A stronger spike trips faster: the Section II-C condition."""
+
+        def time_to_trip(watts):
+            b = CircuitBreaker(name="b", rated_watts=1000.0)
+            t = 0.0
+            while not b.tripped:
+                b.observe(watts, dt=1.0, now=t)
+                t += 1.0
+                assert t < 10_000
+            return t
+
+        assert time_to_trip(1500.0) < time_to_trip(1200.0) < time_to_trip(1100.0)
+
+    def test_seconds_to_trip_prediction(self, breaker):
+        predicted = breaker.seconds_to_trip(1250.0)
+        t = 0.0
+        while not breaker.tripped:
+            breaker.observe(1250.0, dt=1.0, now=t)
+            t += 1.0
+        assert t == pytest.approx(predicted, abs=1.5)
+
+    def test_seconds_to_trip_infinite_under_rating(self, breaker):
+        assert breaker.seconds_to_trip(900.0) == float("inf")
+
+    def test_short_spike_survives_long_spike_trips(self):
+        """The oversubscription gamble: brief coincident peaks are fine."""
+        b = CircuitBreaker(name="b", rated_watts=1000.0)
+        for t in range(30):  # 30 s at 25% overload: survives
+            b.observe(1250.0, dt=1.0, now=float(t))
+        assert not b.tripped
+        for t in range(30, 300):  # sustained: trips
+            b.observe(1250.0, dt=1.0, now=float(t))
+        assert b.tripped
+
+    def test_cooling_resets_thermal_state(self):
+        b = CircuitBreaker(name="b", rated_watts=1000.0)
+        for t in range(30):
+            b.observe(1250.0, dt=1.0, now=float(t))
+        hot = b.thermal_accumulator
+        for t in range(30, 100):
+            b.observe(500.0, dt=1.0, now=float(t))
+        assert b.thermal_accumulator < hot
+
+    def test_tripped_breaker_stays_tripped(self, breaker):
+        breaker.observe(5000.0, dt=1.0, now=0.0)
+        breaker.observe(100.0, dt=1.0, now=1.0)
+        assert breaker.tripped
+
+    def test_reset(self, breaker):
+        breaker.observe(5000.0, dt=1.0, now=0.0)
+        breaker.reset()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.thermal_accumulator == 0.0
+        assert breaker.trip_count == 1
+
+    def test_reset_requires_tripped(self, breaker):
+        with pytest.raises(SimulationError):
+            breaker.reset()
+
+
+class TestValidation:
+    def test_bad_rating_rejected(self):
+        with pytest.raises(SimulationError):
+            CircuitBreaker(name="b", rated_watts=0.0)
+
+    def test_bad_instant_ratio_rejected(self):
+        with pytest.raises(SimulationError):
+            CircuitBreaker(name="b", rated_watts=100.0, instant_trip_ratio=0.9)
+
+    def test_negative_load_rejected(self, breaker):
+        with pytest.raises(SimulationError):
+            breaker.observe(-1.0, dt=1.0, now=0.0)
+
+    def test_nonpositive_dt_rejected(self, breaker):
+        with pytest.raises(SimulationError):
+            breaker.observe(100.0, dt=0.0, now=0.0)

@@ -1,0 +1,64 @@
+"""Tests for outage consequences: a tripped breaker darkens its rack."""
+
+import pytest
+
+from repro.attack.virus import power_virus
+from repro.datacenter.simulation import DatacenterSimulation
+
+
+def overload_rack(sim):
+    """Provider-side: saturate every server with power viruses."""
+    for host in sim.cloud.hosts:
+        for _ in range(host.kernel.config.total_cores):
+            host.kernel.spawn("virus", workload=power_virus())
+
+
+class TestOutage:
+    def test_sustained_overload_trips_and_darkens(self):
+        sim = DatacenterSimulation(
+            servers=4, rack_size=4, breaker_rated_watts=500.0, seed=151,
+            sample_interval_s=1.0,
+        )
+        overload_rack(sim)
+        sim.run(300, dt=1.0)
+        assert sim.any_breaker_tripped()
+        assert len(sim.trip_log()) == 1
+        # after the trip, the rack draws nothing
+        assert sim.aggregate_trace.watts[-1] == 0.0
+
+    def test_dark_servers_stop_executing(self):
+        sim = DatacenterSimulation(
+            servers=2, rack_size=2, breaker_rated_watts=300.0, seed=152,
+            sample_interval_s=1.0,
+        )
+        overload_rack(sim)
+        sim.run(300, dt=1.0)
+        assert sim.any_breaker_tripped()
+        kernel = sim.cloud.hosts[0].kernel
+        instructions_at_trip = kernel.perf.host_counters.instructions
+        energy_at_trip = kernel.rapl.package(0).package.energy_uj
+        sim.run(60, dt=1.0)
+        # the kernel did not tick while dark: no instructions retired, no
+        # energy consumed
+        assert kernel.perf.host_counters.instructions == instructions_at_trip
+        assert kernel.rapl.package(0).package.energy_uj == energy_at_trip
+
+    def test_untouched_rack_stays_up(self):
+        sim = DatacenterSimulation(
+            servers=4, rack_size=2, breaker_rated_watts=460.0, seed=153,
+            sample_interval_s=1.0,
+        )
+        # overload only the first rack's servers
+        for host in sim.cloud.hosts[:2]:
+            for _ in range(host.kernel.config.total_cores):
+                host.kernel.spawn("virus", workload=power_virus())
+        sim.run(400, dt=1.0)
+        assert sim.racks[0].breaker.tripped
+        assert not sim.racks[1].breaker.tripped
+        # the second rack keeps serving (and drawing power)
+        assert sim.server_traces[2].watts[-1] > 50.0
+
+    def test_benign_fleet_never_trips(self):
+        sim = DatacenterSimulation(servers=4, seed=154, sample_interval_s=30.0)
+        sim.run(3600, dt=30.0)
+        assert not sim.any_breaker_tripped()

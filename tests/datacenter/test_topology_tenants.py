@@ -1,0 +1,162 @@
+"""Tests for rack topology, wall power, and tenant drivers."""
+
+import pytest
+
+from repro.datacenter.breaker import CircuitBreaker
+from repro.datacenter.tenants import SECONDS_PER_DAY, DiurnalProfile, DiurnalTenantDriver
+from repro.datacenter.topology import (
+    PDU,
+    Rack,
+    ServerPowerConfig,
+    package_power_watts,
+    wall_power_watts,
+)
+from repro.errors import SimulationError
+from repro.kernel.kernel import Machine
+from repro.runtime.workload import constant
+from repro.sim.rng import DeterministicRNG
+
+
+class TestWallPower:
+    def test_idle_wall_power(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        m.run(5, dt=1.0)
+        pkg = package_power_watts(m.kernel)
+        wall = wall_power_watts(m.kernel)
+        assert wall == pytest.approx(95.0 + pkg)
+
+    def test_wall_power_before_first_tick(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        assert wall_power_watts(m.kernel) == pytest.approx(
+            95.0 + m.kernel.power.idle_package_watts()
+        )
+
+    def test_load_raises_wall_power(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        m.run(5, dt=1.0)
+        idle = wall_power_watts(m.kernel)
+        m.kernel.spawn("w", workload=constant("w", cpu_demand=1.0, ipc=2.5))
+        m.run(5, dt=1.0)
+        assert wall_power_watts(m.kernel) > idle + 5
+
+    def test_bad_power_config_rejected(self):
+        with pytest.raises(SimulationError):
+            ServerPowerConfig(platform_base_watts=-1.0)
+
+
+class TestRack:
+    def _rack(self, n=2, rated=500.0):
+        machines = [Machine(seed=i, spawn_daemons=False) for i in range(n)]
+        for m in machines:
+            m.run(1, dt=1.0)
+        rack = Rack(
+            name="r0",
+            kernels=[m.kernel for m in machines],
+            breaker=CircuitBreaker(name="b0", rated_watts=rated),
+        )
+        return rack, machines
+
+    def test_rack_power_sums_servers(self):
+        rack, machines = self._rack(n=2)
+        expected = sum(wall_power_watts(m.kernel) for m in machines)
+        assert rack.wall_power() == pytest.approx(expected)
+
+    def test_rack_observe_feeds_breaker(self):
+        rack, _ = self._rack(n=2, rated=150.0)  # two idle servers overload it
+        for t in range(600):
+            rack.observe(dt=1.0, now=float(t))
+        assert rack.breaker.tripped
+
+    def test_oversubscription_ratio(self):
+        rack, _ = self._rack(n=2, rated=300.0)
+        # 2 servers x (95 + 13 idle + 20*8 peak) >> 300W
+        assert rack.oversubscription_ratio > 1.5
+
+
+class TestPDU:
+    def test_pdu_aggregates_racks(self):
+        m1 = Machine(seed=1, spawn_daemons=False)
+        m2 = Machine(seed=2, spawn_daemons=False)
+        for m in (m1, m2):
+            m.run(1, dt=1.0)
+        r1 = Rack(name="r1", kernels=[m1.kernel],
+                  breaker=CircuitBreaker(name="b1", rated_watts=400))
+        r2 = Rack(name="r2", kernels=[m2.kernel],
+                  breaker=CircuitBreaker(name="b2", rated_watts=400))
+        pdu = PDU(name="p", racks=[r1, r2],
+                  breaker=CircuitBreaker(name="bp", rated_watts=800))
+        assert pdu.wall_power() == pytest.approx(r1.wall_power() + r2.wall_power())
+        pdu.observe(dt=1.0, now=0.0)
+        assert not pdu.breaker.tripped
+
+
+class TestDiurnalTenants:
+    def test_target_peaks_at_peak_hour(self):
+        driver = DiurnalTenantDriver(
+            kernel=Machine(seed=3, spawn_daemons=False).kernel,
+            rng=DeterministicRNG(seed=3),
+            profile=DiurnalProfile(noise=0.0, bursts_per_day=0.0),
+        )
+        driver._phase_shift = 0.0
+        peak = driver.target_cores(14 * 3600.0)
+        trough = driver.target_cores(2 * 3600.0)
+        assert peak > trough * 2
+
+    def test_day_factors_vary(self):
+        driver = DiurnalTenantDriver(
+            kernel=Machine(seed=3, spawn_daemons=False).kernel,
+            rng=DeterministicRNG(seed=3),
+        )
+        factors = {driver._day_factor(d) for d in range(7)}
+        assert len(factors) == 7
+
+    def test_driver_spawns_workers_to_match_target(self):
+        machine = Machine(seed=4, spawn_daemons=False)
+        driver = DiurnalTenantDriver(
+            kernel=machine.kernel,
+            rng=DeterministicRNG(seed=4),
+            profile=DiurnalProfile(base_cores=3.0, peak_cores=0.0, noise=0.0,
+                                   bursts_per_day=0.0),
+        )
+        for _ in range(3):
+            driver.step(machine.clock.now, 60.0)
+            machine.run(60, dt=10.0)
+        assert driver.worker_count == 3
+
+    def test_driver_scales_down(self):
+        machine = Machine(seed=4, spawn_daemons=False)
+        profile = DiurnalProfile(base_cores=4.0, peak_cores=0.0, noise=0.0,
+                                 bursts_per_day=0.0)
+        driver = DiurnalTenantDriver(
+            kernel=machine.kernel, rng=DeterministicRNG(seed=4), profile=profile
+        )
+        driver.step(0.0, 60.0)
+        assert driver.worker_count == 4
+        driver.profile = DiurnalProfile(base_cores=1.0, peak_cores=0.0, noise=0.0,
+                                        bursts_per_day=0.0)
+        machine.run(61, dt=1.0)
+        driver.step(machine.clock.now, 60.0)
+        assert driver.worker_count == 1
+
+    def test_workers_run_in_container_when_engine_given(self):
+        from repro.runtime.engine import ContainerEngine
+
+        machine = Machine(seed=5, spawn_daemons=False)
+        engine = ContainerEngine(machine.kernel)
+        driver = DiurnalTenantDriver(
+            kernel=machine.kernel,
+            rng=DeterministicRNG(seed=5),
+            profile=DiurnalProfile(base_cores=2.0, peak_cores=0.0, noise=0.0,
+                                   bursts_per_day=0.0),
+            engine=engine,
+        )
+        driver.step(0.0, 60.0)
+        assert "benign-tenant" in [c.name for c in engine.list()]
+
+    def test_step_requires_positive_dt(self):
+        driver = DiurnalTenantDriver(
+            kernel=Machine(seed=3, spawn_daemons=False).kernel,
+            rng=DeterministicRNG(seed=3),
+        )
+        with pytest.raises(SimulationError):
+            driver.step(0.0, 0.0)

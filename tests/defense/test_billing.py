@@ -1,0 +1,180 @@
+"""Tests for power-based billing, throttling, and the cpu quota."""
+
+import pytest
+
+from repro.defense.billing import PowerBiller, PowerThrottler
+from repro.defense.modeling import PowerModeler, TrainingHarness
+from repro.defense.powerns import PowerNamespaceDriver
+from repro.errors import DefenseError, KernelError
+from repro.kernel.kernel import Machine
+from repro.runtime.benchmarks import power_virus
+from repro.runtime.engine import ContainerEngine
+from repro.runtime.workload import constant
+
+
+@pytest.fixture(scope="module")
+def model():
+    harness = TrainingHarness(seed=131, window_s=5.0, windows_per_benchmark=8)
+    harness.run_all()
+    return PowerModeler(form="paper").fit(harness)
+
+
+@pytest.fixture
+def defended(model):
+    machine = Machine(seed=132)
+    engine = ContainerEngine(machine.kernel)
+    driver = PowerNamespaceDriver(machine.kernel, model)
+    driver.watch_engine(engine)
+    return machine, engine, driver
+
+
+class TestCpuQuota:
+    def test_quota_caps_aggregate_usage(self):
+        machine = Machine(seed=133, spawn_daemons=False)
+        k = machine.kernel
+        groups = k.cgroups.create_group_set("capped")
+        groups["cpu"].state.set_quota(2.0)
+        tasks = [
+            k.spawn(f"w{i}", workload=constant(f"w{i}", cpu_demand=1.0),
+                    cgroup_set=groups)
+            for i in range(4)
+        ]
+        machine.run(10, dt=1.0)
+        total = sum(t.cpu_time_ns for t in tasks) / 1e9
+        assert total == pytest.approx(20.0, rel=0.05)  # 2 cores x 10 s
+        assert groups["cpu"].state.throttled_ns > 0
+
+    def test_quota_under_demand_is_inactive(self):
+        machine = Machine(seed=134, spawn_daemons=False)
+        k = machine.kernel
+        groups = k.cgroups.create_group_set("roomy")
+        groups["cpu"].state.set_quota(4.0)
+        task = k.spawn("w", workload=constant("w", cpu_demand=1.0),
+                       cgroup_set=groups)
+        machine.run(10, dt=1.0)
+        assert task.cpu_time_ns == pytest.approx(10e9, rel=0.02)
+        assert groups["cpu"].state.throttled_ns == 0
+
+    def test_invalid_quota_rejected(self):
+        machine = Machine(seed=135)
+        groups = machine.kernel.cgroups.create_group_set("bad")
+        with pytest.raises(KernelError):
+            groups["cpu"].state.set_quota(0.0)
+
+
+class TestPowerBiller:
+    def test_bill_tracks_consumption(self, defended):
+        machine, engine, driver = defended
+        c = engine.create(name="paying", cpus=4)
+        for i in range(4):
+            c.exec(f"v{i}", workload=power_virus())
+        machine.run(5, dt=1.0)
+        biller = PowerBiller(driver, rate_per_kwh=0.24)
+        biller.start_metering(c)
+        # poll inside the counter's wrap period, as a real meter must
+        for _ in range(6):
+            machine.run(600, dt=10.0)
+            biller.poll(c)
+        bill = biller.bill(c)
+        # ~80-95 W for one hour at $0.24/kWh
+        assert bill.dollars == pytest.approx(0.021, rel=0.35)
+        assert bill.kwh == pytest.approx(bill.joules / 3.6e6)
+
+    def test_unpolled_wrap_undercharges(self, defended):
+        """Document the hardware-faithful failure mode: a meter that
+        sleeps past a counter wrap loses a full wrap of energy."""
+        machine, engine, driver = defended
+        c = engine.create(name="sleepy", cpus=4)
+        for i in range(4):
+            c.exec(f"v{i}", workload=power_virus())
+        machine.run(5, dt=1.0)
+        biller = PowerBiller(driver)
+        biller.start_metering(c)
+        machine.run(3600, dt=10.0)  # ~288 kJ: wraps the 262 kJ counter
+        assert biller.bill(c).joules < 100_000.0
+
+    def test_idle_container_bills_only_idle_share(self, defended):
+        machine, engine, driver = defended
+        busy = engine.create(name="busy", cpus=4)
+        idle_c = engine.create(name="idle", cpus=2)
+        for i in range(4):
+            busy.exec(f"v{i}", workload=power_virus())
+        machine.run(5, dt=1.0)
+        biller = PowerBiller(driver)
+        biller.start_metering(busy)
+        biller.start_metering(idle_c)
+        machine.run(600, dt=10.0)
+        assert biller.bill(idle_c).joules < biller.bill(busy).joules / 3
+
+    def test_double_metering_rejected(self, defended):
+        machine, engine, driver = defended
+        c = engine.create(name="c1")
+        biller = PowerBiller(driver)
+        biller.start_metering(c)
+        with pytest.raises(DefenseError):
+            biller.start_metering(c)
+
+    def test_unmetered_bill_rejected(self, defended):
+        machine, engine, driver = defended
+        c = engine.create(name="c1")
+        with pytest.raises(DefenseError):
+            PowerBiller(driver).bill(c)
+
+    def test_bad_rate_rejected(self, defended):
+        _, _, driver = defended
+        with pytest.raises(DefenseError):
+            PowerBiller(driver, rate_per_kwh=0.0)
+
+
+class TestPowerThrottler:
+    def test_throttles_down_to_the_cap(self, defended):
+        machine, engine, driver = defended
+        c = engine.create(name="greedy", cpus=4)
+        for i in range(4):
+            c.exec(f"v{i}", workload=power_virus())
+        machine.run(5, dt=1.0)
+        throttler = PowerThrottler(driver)
+        throttler.cap(c, limit_watts=50.0)
+        decision = None
+        for _ in range(8):
+            machine.run(10, dt=1.0)
+            decision = throttler.evaluate()[0]
+        assert decision.throttled
+        assert decision.watts < 60.0  # converged near the cap
+
+    def test_quota_releases_when_load_drops(self, defended):
+        machine, engine, driver = defended
+        c = engine.create(name="bursty", cpus=4)
+        tasks = [c.exec(f"v{i}", workload=power_virus()) for i in range(4)]
+        machine.run(5, dt=1.0)
+        throttler = PowerThrottler(driver)
+        throttler.cap(c, limit_watts=40.0)
+        for _ in range(4):
+            machine.run(10, dt=1.0)
+            throttler.evaluate()
+        throttled_quota = c.cgroup_set["cpu"].state.quota_cores
+        assert throttled_quota is not None
+        for task in tasks:
+            c.kill_task(task)
+        for _ in range(12):
+            machine.run(10, dt=1.0)
+            throttler.evaluate()
+        quota_after = c.cgroup_set["cpu"].state.quota_cores
+        assert quota_after is None or quota_after > throttled_quota
+
+    def test_uncap_clears_quota(self, defended):
+        machine, engine, driver = defended
+        c = engine.create(name="c1", cpus=2)
+        throttler = PowerThrottler(driver)
+        throttler.cap(c, limit_watts=20.0)
+        c.cgroup_set["cpu"].state.set_quota(1.0)
+        throttler.uncap(c)
+        assert c.cgroup_set["cpu"].state.quota_cores is None
+        with pytest.raises(DefenseError):
+            throttler.uncap(c)
+
+    def test_bad_cap_rejected(self, defended):
+        machine, engine, driver = defended
+        c = engine.create(name="c1")
+        with pytest.raises(DefenseError):
+            PowerThrottler(driver).cap(c, limit_watts=-5.0)

@@ -1,0 +1,171 @@
+"""Tests for perf data collection and power modelling (Figures 6/7)."""
+
+import pytest
+
+from repro.analysis.regression import fit_linear
+from repro.defense.collection import ContainerPerfCollector
+from repro.defense.modeling import PowerModeler, TrainingHarness
+from repro.errors import DefenseError
+from repro.kernel.kernel import Machine
+from repro.runtime.benchmarks import MODELING_BENCHMARKS
+from repro.runtime.engine import ContainerEngine
+from repro.runtime.workload import constant
+
+
+class TestCollector:
+    def test_windowed_deltas(self, machine):
+        k = machine.kernel
+        engine = ContainerEngine(k)
+        c = engine.create(name="c1")
+        collector = ContainerPerfCollector(k)
+        collector.attach(c.cgroup_set["perf_event"])
+        c.exec("w", workload=constant("w", cpu_demand=1.0, ipc=2.0))
+        machine.run(5, dt=1.0)
+        w1 = collector.collect(c.cgroup_set["perf_event"])
+        assert w1.instructions > 0
+        machine.run(5, dt=1.0)
+        w2 = collector.collect(c.cgroup_set["perf_event"])
+        # steady workload: roughly equal windows (delta semantics)
+        assert w2.instructions == pytest.approx(w1.instructions, rel=0.2)
+
+    def test_peek_does_not_advance(self, machine):
+        k = machine.kernel
+        engine = ContainerEngine(k)
+        c = engine.create(name="c1")
+        collector = ContainerPerfCollector(k)
+        collector.attach(c.cgroup_set["perf_event"])
+        c.exec("w", workload=constant("w", cpu_demand=1.0))
+        machine.run(3, dt=1.0)
+        peeked = collector.peek(c.cgroup_set["perf_event"])
+        collected = collector.collect(c.cgroup_set["perf_event"])
+        assert peeked.instructions == collected.instructions
+
+    def test_double_attach_rejected(self, machine):
+        engine = ContainerEngine(machine.kernel)
+        c = engine.create(name="c1")
+        collector = ContainerPerfCollector(machine.kernel)
+        collector.attach(c.cgroup_set["perf_event"])
+        with pytest.raises(DefenseError):
+            collector.attach(c.cgroup_set["perf_event"])
+
+    def test_collect_unattached_rejected(self, machine):
+        engine = ContainerEngine(machine.kernel)
+        c = engine.create(name="c1")
+        collector = ContainerPerfCollector(machine.kernel)
+        with pytest.raises(DefenseError):
+            collector.collect(c.cgroup_set["perf_event"])
+
+    def test_host_collection_always_available(self, machine):
+        collector = ContainerPerfCollector(machine.kernel)
+        machine.run(3, dt=1.0)
+        window = collector.collect_host()
+        assert window.cycles > 0  # daemons ran
+
+    def test_miss_rates(self, machine):
+        engine = ContainerEngine(machine.kernel)
+        c = engine.create(name="c1")
+        collector = ContainerPerfCollector(machine.kernel)
+        collector.attach(c.cgroup_set["perf_event"])
+        c.exec(
+            "w",
+            workload=constant("w", cpu_demand=1.0, ipc=1.0, cache_miss_per_kinst=10.0),
+        )
+        machine.run(3, dt=1.0)
+        window = collector.collect(c.cgroup_set["perf_event"])
+        assert window.cache_miss_rate == pytest.approx(0.01, rel=0.1)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    h = TrainingHarness(seed=23, window_s=5.0, windows_per_benchmark=8)
+    h.run_all()
+    return h
+
+
+class TestTrainingHarness:
+    def test_idle_baseline_close_to_params(self, harness):
+        true_idle = harness.machine.kernel.config.power.core_idle_watts
+        assert harness.idle_core_watts == pytest.approx(true_idle, rel=0.15)
+
+    def test_samples_cover_all_benchmarks(self, harness):
+        assert set(harness.samples_by_benchmark) == set(MODELING_BENCHMARKS)
+        # 8 windows x 3 core counts per benchmark
+        assert all(
+            len(v) == 24 for v in harness.samples_by_benchmark.values()
+        )
+
+    def test_figure6_property_energy_linear_in_instructions(self, harness):
+        """Within one benchmark, core energy ~ instructions (R² ≈ 1)."""
+        for name, samples in harness.samples_by_benchmark.items():
+            model = fit_linear(
+                [[float(s.window.instructions)] for s in samples],
+                [s.e_core_active_j for s in samples],
+            )
+            assert model.r_squared > 0.95, name
+
+    def test_figure6_property_slopes_differ_by_benchmark(self, harness):
+        """Energy-per-instruction depends on the workload type."""
+        slopes = {}
+        for name, samples in harness.samples_by_benchmark.items():
+            total_i = sum(s.window.instructions for s in samples)
+            total_e = sum(s.e_core_active_j for s in samples)
+            slopes[name] = total_e / total_i
+        assert slopes["stress-m4"] > slopes["idle-loop"] * 3
+
+    def test_figure7_property_dram_linear_in_misses(self, harness):
+        """Across ALL benchmarks, DRAM energy ~ cache misses with one slope."""
+        model = fit_linear(
+            [[float(s.window.cache_misses)] for s in harness.samples],
+            [s.e_dram_active_j for s in harness.samples],
+        )
+        assert model.r_squared > 0.98
+
+    def test_no_rapl_rejected(self):
+        from repro.kernel.config import AMD_OPTERON, HostConfig
+
+        machine = Machine(config=HostConfig(cpu=AMD_OPTERON), seed=1)
+        with pytest.raises(DefenseError):
+            TrainingHarness(machine=machine)
+
+
+class TestPowerModeler:
+    def test_paper_form_fits_reasonably(self, harness):
+        model = PowerModeler(form="paper").fit(harness)
+        assert model.core_model.r_squared > 0.85
+        assert model.dram_model.r_squared > 0.98
+        assert model.lambda_watts == pytest.approx(4.5, rel=0.3)
+
+    def test_full_form_fits_better(self, harness):
+        paper = PowerModeler(form="paper").fit(harness)
+        full = PowerModeler(form="full").fit(harness)
+        assert full.core_model.r_squared >= paper.core_model.r_squared
+
+    def test_prediction_nonnegative(self, harness):
+        from repro.defense.collection import PerfWindow
+
+        model = PowerModeler(form="paper").fit(harness)
+        tiny = PerfWindow(cycles=100, instructions=100, cache_misses=0,
+                          branch_misses=0)
+        assert model.core_active_j(tiny) >= 0.0
+        assert model.dram_active_j(tiny) >= 0.0
+
+    def test_prediction_accuracy_on_held_out_windows(self, harness):
+        """Model applied to windows it never saw stays within ~15%."""
+        model = PowerModeler(form="paper").fit(harness)
+        samples = harness.samples_by_benchmark["libquantum"]
+        for s in samples[-3:]:
+            predicted = model.core_active_j(s.window)
+            assert predicted == pytest.approx(s.e_core_active_j, rel=0.2)
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(DefenseError):
+            PowerModeler(form="quantum")
+
+    def test_too_few_samples_rejected(self, harness):
+        modeler = PowerModeler(form="paper")
+        clone = TrainingHarness.__new__(TrainingHarness)
+        clone.samples = harness.samples[:3]
+        clone.idle_core_watts = harness.idle_core_watts
+        clone.idle_dram_watts = harness.idle_dram_watts
+        with pytest.raises(DefenseError):
+            modeler.fit(clone)

@@ -1,0 +1,68 @@
+"""Tests for the stage-1 masking defense."""
+
+import pytest
+
+from repro.detection.crossvalidate import CrossValidator
+from repro.defense.masking import (
+    functionality_impact,
+    generate_masking_policy,
+    mask_everything_policy,
+    verify_masking,
+)
+
+
+class TestGenerateAndVerify:
+    def test_generated_policy_closes_all_leaks(self, machine, engine):
+        probe = engine.create(name="probe")
+        machine.run(3, dt=1.0)
+        report = CrossValidator(engine.vfs, probe).run()
+        assert report.leaks  # the vanilla container leaks
+
+        policy = generate_masking_policy(report)
+        masked = engine.create(name="masked", policy=policy)
+        assert verify_masking(engine.vfs, masked) == []
+
+    def test_unmasked_container_fails_verification(self, machine, engine):
+        c = engine.create(name="open")
+        machine.run(2, dt=1.0)
+        assert len(verify_masking(engine.vfs, c)) > 100
+
+    def test_namespaced_files_stay_readable_under_masking(self, machine, engine):
+        probe = engine.create(name="probe")
+        machine.run(2, dt=1.0)
+        policy = generate_masking_policy(CrossValidator(engine.vfs, probe).run())
+        masked = engine.create(name="masked", policy=policy)
+        # stage 1 must not break correctly-namespaced files
+        assert masked.read("/proc/sys/kernel/hostname")
+        assert masked.read("/proc/net/dev")
+
+    def test_policy_blocks_the_rapl_channel(self, machine, engine):
+        from repro.errors import PermissionDeniedError
+
+        probe = engine.create(name="probe")
+        machine.run(2, dt=1.0)
+        policy = generate_masking_policy(CrossValidator(engine.vfs, probe).run())
+        masked = engine.create(name="masked", policy=policy)
+        with pytest.raises(PermissionDeniedError):
+            masked.read("/sys/class/powercap/intel-rapl:0/energy_uj")
+
+
+class TestFunctionalityImpact:
+    def test_masking_breaks_legitimate_monitoring(self, machine, engine):
+        """The paper's stage-1 caveat, quantified."""
+        probe = engine.create(name="probe")
+        machine.run(2, dt=1.0)
+        policy = generate_masking_policy(CrossValidator(engine.vfs, probe).run())
+        broken = functionality_impact(policy)
+        assert "/proc/meminfo" in broken  # free(1) stops working
+        assert "/proc/stat" in broken  # top(1) stops working
+
+    def test_empty_policy_breaks_nothing(self):
+        from repro.runtime.policy import MaskingPolicy
+
+        assert functionality_impact(MaskingPolicy()) == {}
+
+    def test_mask_everything_policy(self):
+        policy = mask_everything_policy(["/proc/meminfo", "/proc/stat"])
+        broken = functionality_impact(policy)
+        assert set(broken) == {"/proc/meminfo", "/proc/stat"}

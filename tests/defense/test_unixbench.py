@@ -1,0 +1,81 @@
+"""Tests for the Table III UnixBench overhead harness."""
+
+import pytest
+
+from repro.defense.unixbench import UnixBenchRun, UnixBenchRunner, format_table3
+from repro.errors import DefenseError
+from repro.runtime.benchmarks import UNIXBENCH_TESTS
+
+
+def _test(name):
+    return next(t for t in UNIXBENCH_TESTS if name in t.name)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return UnixBenchRunner(seed=81, run_seconds=20.0)
+
+
+class TestOverheadShapes:
+    """The qualitative Table III results, measured not scripted."""
+
+    def test_pipe_ctx_switching_huge_at_one_copy(self, runner):
+        run = runner.run_test(_test("Pipe-based Context Switching"), copies=1)
+        assert run.overhead_percent > 40.0
+
+    def test_pipe_ctx_switching_tiny_at_eight_copies(self, runner):
+        run = runner.run_test(_test("Pipe-based Context Switching"), copies=8)
+        assert run.overhead_percent < 5.0
+
+    def test_cpu_benchmarks_negligible(self, runner):
+        for name in ("Dhrystone", "Whetstone"):
+            run = runner.run_test(_test(name), copies=1)
+            assert abs(run.overhead_percent) < 3.0, name
+
+    def test_syscall_overhead_small(self, runner):
+        run = runner.run_test(_test("System Call Overhead"), copies=1)
+        assert run.overhead_percent < 3.0
+
+    def test_file_copy_overhead_grows_with_copies(self, runner):
+        one = runner.run_test(_test("File Copy 256"), copies=1)
+        eight = runner.run_test(_test("File Copy 256"), copies=8)
+        assert eight.overhead_percent > one.overhead_percent + 5.0
+
+    def test_spawn_heavy_tests_pay_wiring_cost(self, runner):
+        execl = runner.run_test(_test("Execl"), copies=1)
+        assert 2.0 < execl.overhead_percent < 20.0
+        creation = runner.run_test(_test("Process Creation"), copies=1)
+        assert 5.0 < creation.overhead_percent < 25.0
+
+    def test_index_overhead_single_digit_ballpark(self, runner):
+        """Paper: 9.66% (1 copy) and 7.03% (8 copies)."""
+        results = runner.run_suite((1, 8))
+        orig1, mod1 = runner.index_score(results[1])
+        orig8, mod8 = runner.index_score(results[8])
+        overhead1 = (orig1 - mod1) / orig1 * 100
+        overhead8 = (orig8 - mod8) / orig8 * 100
+        assert 4.0 < overhead1 < 16.0
+        assert 3.0 < overhead8 < 12.0
+        assert overhead8 < overhead1  # parallel copies amortize toggles
+
+
+class TestHarness:
+    def test_run_validates_copies(self, runner):
+        with pytest.raises(DefenseError):
+            runner.run_test(UNIXBENCH_TESTS[0], copies=0)
+
+    def test_overhead_requires_positive_score(self):
+        run = UnixBenchRun(test="x", copies=1, original_score=0.0,
+                           modified_score=0.0)
+        with pytest.raises(DefenseError):
+            run.overhead_fraction
+
+    def test_index_empty_rejected(self, runner):
+        with pytest.raises(DefenseError):
+            runner.index_score([])
+
+    def test_format_table3(self, runner):
+        results = {1: [runner.run_test(UNIXBENCH_TESTS[0], copies=1)]}
+        table = format_table3(results)
+        assert "Dhrystone" in table
+        assert "System Benchmarks Index Score" in table

@@ -1,0 +1,82 @@
+"""The paper's two root-cause case studies, as executable tests.
+
+Case Study I — ``net_prio.ifpriomap``: the read handler iterates
+``init_net`` instead of the reader's NET namespace.
+
+Case Study II — RAPL in containers: ``get_energy_counter`` returns the
+host's MSR-backed counter to any reader.
+"""
+
+import pytest
+
+from repro.kernel.namespaces import NamespaceType
+from repro.runtime.workload import constant
+
+
+class TestCaseStudyNetPrio:
+    def test_container_net_namespace_has_only_veth(self, engine):
+        """The container's own NET namespace is correctly small..."""
+        c = engine.create(name="c1")
+        ns = c.namespaces[NamespaceType.NET]
+        devices = [d.name for d in engine.kernel.netdev.devices_in(ns)]
+        assert devices == ["lo", "eth0"]
+
+    def test_ifpriomap_reads_init_net_regardless(self, engine):
+        """...but ifpriomap walks init_net — the leak."""
+        c = engine.create(name="c1")
+        content = c.read("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+        leaked = [line.split()[0] for line in content.splitlines()]
+        assert "eth1" in leaked  # a physical host interface
+        assert "docker0" in leaked  # the host bridge
+
+    def test_priorities_are_per_cgroup_but_names_are_global(self, engine):
+        c1 = engine.create(name="c1")
+        c2 = engine.create(name="c2")
+        c1.set_net_prio("eth0", 7)
+        map_1 = c1.read("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+        map_2 = c2.read("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+        assert "eth0 7" in map_1
+        assert "eth0 0" in map_2
+        names = lambda text: [l.split()[0] for l in text.splitlines()]
+        assert names(map_1) == names(map_2)  # same leaked device list
+
+    def test_patched_handler_closes_the_leak(self, engine):
+        from repro.procfs.render.sys_cgroup import render_ifpriomap_fixed
+
+        c = engine.create(name="c1")
+        fixed = render_ifpriomap_fixed(c.read_context())
+        assert "eth1" not in fixed
+        assert "docker0" not in fixed
+
+
+class TestCaseStudyRapl:
+    PATH = "/sys/class/powercap/intel-rapl:0/energy_uj"
+
+    def test_container_reads_host_counter(self, machine, engine):
+        c = engine.create(name="c1")
+        machine.run(5, dt=1.0)
+        inside = int(c.read(self.PATH))
+        host = machine.kernel.rapl.package(0).package.energy_uj
+        assert inside == host
+
+    def test_counter_reflects_other_tenants_load(self, machine, engine):
+        """The energy_raw pointer refers to the host's data: a busy
+        neighbour is visible to an idle container."""
+        observer = engine.create(name="observer")
+        victim = engine.create(name="victim")
+
+        def watts_over(seconds):
+            before = int(observer.read(self.PATH))
+            machine.run(seconds, dt=1.0)
+            return (int(observer.read(self.PATH)) - before) / 1e6 / seconds
+
+        baseline = watts_over(10)
+        victim.exec("burn", workload=constant("burn", cpu_demand=1.0, ipc=2.5))
+        loaded = watts_over(10)
+        assert loaded > baseline + 5.0
+
+    def test_two_containers_read_identical_energy(self, machine, engine):
+        c1 = engine.create(name="c1")
+        c2 = engine.create(name="c2")
+        machine.run(3, dt=1.0)
+        assert c1.read(self.PATH) == c2.read(self.PATH)

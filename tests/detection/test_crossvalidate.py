@@ -1,0 +1,78 @@
+"""Tests for the cross-validation leak detector (Figure 1, left)."""
+
+import pytest
+
+from repro.detection.crossvalidate import CrossValidator, LeakClass
+from repro.runtime.policy import MaskingPolicy
+
+
+@pytest.fixture
+def validated(machine, engine):
+    c = engine.create(name="probe")
+    machine.run(5, dt=1.0)
+    return CrossValidator(engine.vfs, c).run()
+
+
+class TestClassification:
+    def test_host_global_files_classified_as_leaks(self, validated):
+        for path in ("/proc/meminfo", "/proc/uptime", "/proc/stat",
+                     "/proc/timer_list", "/proc/sched_debug",
+                     "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+                     "/sys/class/powercap/intel-rapl:0/energy_uj"):
+            assert validated.verdict_for(path).leak_class is LeakClass.LEAK, path
+
+    def test_namespaced_files_not_leaks(self, validated):
+        for path in ("/proc/sys/kernel/hostname", "/proc/net/dev",
+                     "/proc/self/cgroup", "/proc/sys/kernel/ns_last_pid"):
+            assert validated.verdict_for(path).leak_class is LeakClass.NAMESPACED, path
+
+    def test_per_read_random_files_marked_volatile(self, validated):
+        verdict = validated.verdict_for("/proc/sys/kernel/random/uuid")
+        assert verdict.leak_class is LeakClass.VOLATILE
+
+    def test_detector_verdicts_match_renderer_ground_truth(
+        self, machine, engine
+    ):
+        """The behavioural detector must rediscover the namespaced flags."""
+        c = engine.create(name="probe")
+        machine.run(3, dt=1.0)
+        report = CrossValidator(engine.vfs, c).run()
+        for path, node in engine.vfs.walk():
+            verdict = report.verdict_for(path).leak_class
+            if verdict is LeakClass.VOLATILE:
+                continue  # per-read randomness is outside the flag's scope
+            if node.namespaced:
+                assert verdict is LeakClass.NAMESPACED, path
+            else:
+                assert verdict is LeakClass.LEAK, path
+
+    def test_leaking_channels_cover_table1(self, validated):
+        channels = set(validated.leaking_channels())
+        expected = {
+            "proc.locks", "proc.zoneinfo", "proc.modules", "proc.timer_list",
+            "proc.sched_debug", "proc.softirqs", "proc.uptime", "proc.version",
+            "proc.stat", "proc.meminfo", "proc.loadavg", "proc.interrupts",
+            "proc.cpuinfo", "proc.schedstat",
+            "sys.fs.cgroup.net_prio.ifpriomap",
+            "sys.class.powercap.energy_uj",
+        }
+        assert expected <= channels
+
+
+class TestPolicyInteraction:
+    def test_masked_paths_reported_masked(self, machine, engine):
+        policy = MaskingPolicy(name="m").deny("/proc/meminfo").hide("/proc/uptime")
+        c = engine.create(name="masked", policy=policy)
+        report = CrossValidator(engine.vfs, c).run()
+        assert report.verdict_for("/proc/meminfo").leak_class is LeakClass.MASKED
+        assert report.verdict_for("/proc/uptime").leak_class is LeakClass.HOST_ONLY
+        assert "/proc/meminfo" not in report.leaks
+
+    def test_paths_subset_can_be_given(self, machine, engine):
+        c = engine.create(name="probe")
+        report = CrossValidator(engine.vfs, c).run(paths=["/proc/meminfo"])
+        assert list(report.verdicts) == ["/proc/meminfo"]
+
+    def test_paths_in_accessor_sorted(self, validated):
+        leaks = validated.paths_in(LeakClass.LEAK)
+        assert leaks == sorted(leaks)

@@ -1,0 +1,79 @@
+"""Tests for cloud inspection (the Table I matrix)."""
+
+import pytest
+
+from repro.detection.channels import CHANNELS
+from repro.detection.inspector import (
+    Availability,
+    CloudInspector,
+    format_table1,
+    inspect_all,
+)
+from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
+
+
+@pytest.fixture(scope="module")
+def reports():
+    clouds = {
+        name: ContainerCloud(profile, seed=31, servers=1)
+        for name, profile in PROVIDER_PROFILES.items()
+    }
+    return inspect_all(clouds)
+
+
+class TestInspection:
+    def test_every_channel_has_a_cell_per_provider(self, reports):
+        for report in reports.values():
+            assert set(report.cells) == {c.channel_id for c in CHANNELS}
+
+    def test_cc1_leaves_most_channels_open(self, reports):
+        cc1 = reports["CC1"]
+        assert len(cc1.available_channels()) >= 20
+        assert "proc.sched_debug" in cc1.masked_channels()
+        assert "proc.uptime" in cc1.available_channels()
+
+    def test_cc3_masks_fs_and_netprio(self, reports):
+        cc3 = reports["CC3"]
+        masked = cc3.masked_channels()
+        assert "proc.sys.fs.file-nr" in masked
+        assert "sys.fs.cgroup.net_prio.ifpriomap" in masked
+
+    def test_cc4_lacks_hardware_channels(self, reports):
+        cc4 = reports["CC4"]
+        masked = cc4.masked_channels()
+        assert "sys.class.powercap.energy_uj" in masked
+        assert "sys.devices.platform.coretemp.temp_input" in masked
+
+    def test_cc5_partial_cells(self, reports):
+        cc5 = reports["CC5"]
+        assert cc5.cells["proc.meminfo"] is Availability.PARTIAL
+        assert cc5.cells["proc.cpuinfo"] is Availability.PARTIAL
+        assert cc5.cells["proc.stat"] is Availability.PARTIAL
+        assert cc5.cells["proc.uptime"] is Availability.MASKED
+
+    def test_version_and_modules_open_everywhere(self, reports):
+        """Table I: /proc/modules and /proc/version are ● in all clouds."""
+        for report in reports.values():
+            assert report.cells["proc.modules"] is Availability.FULL
+            assert report.cells["proc.version"] is Availability.FULL
+
+    def test_rapl_open_on_intel_clouds(self, reports):
+        for name in ("CC1", "CC2", "CC3"):
+            assert reports[name].cells["sys.class.powercap.energy_uj"] is (
+                Availability.FULL
+            )
+
+    def test_inspection_cleans_up_probe_instance(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC1"], seed=5, servers=1)
+        CloudInspector().inspect(cloud)
+        assert cloud.instances_of("inspector") == []
+
+
+class TestFormatting:
+    def test_format_table1_renders_all_rows(self, reports):
+        table = format_table1(reports)
+        for channel in CHANNELS:
+            assert channel.table_label in table
+        for provider in PROVIDER_PROFILES:
+            assert provider in table
+        assert "●" in table and "○" in table and "◐" in table

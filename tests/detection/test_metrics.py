@@ -1,0 +1,133 @@
+"""Tests for the U/V/M metrics and Table II ranking.
+
+The assessor is expensive to build (it runs live probes), so one
+module-scoped instance backs all assertions.
+"""
+
+import pytest
+
+from repro.detection.channels import channel_by_id
+from repro.detection.metrics import (
+    ChannelAssessor,
+    Manipulation,
+    UniquenessGroup,
+)
+
+
+@pytest.fixture(scope="module")
+def assessments():
+    assessor = ChannelAssessor(seed=17, snapshots=8, interval_s=5.0)
+    rows = assessor.assess_all()
+    return {a.channel_id: a for a in rows}, rows
+
+
+class TestUniqueness:
+    def test_boot_id_is_static_unique(self, assessments):
+        by_id, _ = assessments
+        a = by_id["proc.sys.kernel.random.boot_id"]
+        assert a.unique
+        assert a.group is UniquenessGroup.STATIC_ID
+        assert not a.varies
+
+    def test_ifpriomap_is_static_unique(self, assessments):
+        by_id, _ = assessments
+        assert by_id["sys.fs.cgroup.net_prio.ifpriomap"].group is (
+            UniquenessGroup.STATIC_ID
+        )
+
+    def test_implantable_group(self, assessments):
+        by_id, _ = assessments
+        for cid in ("proc.sched_debug", "proc.timer_list", "proc.locks"):
+            assert by_id[cid].group is UniquenessGroup.IMPLANTABLE, cid
+            assert by_id[cid].manipulation is Manipulation.DIRECT
+
+    def test_accumulator_group(self, assessments):
+        by_id, _ = assessments
+        for cid in ("proc.uptime", "proc.stat", "proc.schedstat",
+                    "proc.softirqs", "proc.interrupts",
+                    "sys.devices.system.node.numastat",
+                    "sys.class.powercap.energy_uj",
+                    "sys.devices.system.cpu.cpuidle.usage",
+                    "sys.devices.system.cpu.cpuidle.time",
+                    "proc.sys.fs.file-nr"):
+            assert by_id[cid].group is UniquenessGroup.ACCUMULATOR, cid
+            assert by_id[cid].unique
+
+    def test_not_unique_group(self, assessments):
+        by_id, _ = assessments
+        for cid in ("proc.zoneinfo", "proc.meminfo", "proc.loadavg",
+                    "proc.fs.ext4.mb_groups",
+                    "sys.devices.platform.coretemp.temp_input",
+                    "proc.sys.kernel.random.entropy_avail"):
+            assert not by_id[cid].unique, cid
+            assert by_id[cid].varies, cid
+
+    def test_inert_channels(self, assessments):
+        """Table II's bottom group: modules, cpuinfo, version."""
+        by_id, _ = assessments
+        for cid in ("proc.modules", "proc.cpuinfo", "proc.version"):
+            a = by_id[cid]
+            assert not a.unique and not a.varies, cid
+            assert a.manipulation is Manipulation.NONE, cid
+
+
+class TestManipulation:
+    def test_direct_channels(self, assessments):
+        by_id, _ = assessments
+        assert by_id["proc.timer_list"].manipulation is Manipulation.DIRECT
+
+    def test_indirect_channels(self, assessments):
+        by_id, _ = assessments
+        for cid in ("proc.stat", "proc.meminfo",
+                    "sys.class.powercap.energy_uj",
+                    "sys.devices.platform.coretemp.temp_input"):
+            assert by_id[cid].manipulation is Manipulation.INDIRECT, cid
+
+    def test_static_ids_not_manipulable(self, assessments):
+        by_id, _ = assessments
+        assert by_id["proc.sys.kernel.random.boot_id"].manipulation is (
+            Manipulation.NONE
+        )
+
+
+class TestRanking:
+    def test_table2_group_ordering(self, assessments):
+        _, rows = assessments
+        order = [a.channel_id for a in rows]
+        # static ids first
+        assert order[0] in ("proc.sys.kernel.random.boot_id",
+                            "sys.fs.cgroup.net_prio.ifpriomap")
+        assert order[1] in ("proc.sys.kernel.random.boot_id",
+                            "sys.fs.cgroup.net_prio.ifpriomap")
+        # then the implantable trio, richest surface first
+        assert order[2:5] == ["proc.sched_debug", "proc.timer_list", "proc.locks"]
+        # inert channels dead last
+        assert set(order[-3:]) == {"proc.modules", "proc.cpuinfo", "proc.version"}
+
+    def test_unique_channels_rank_above_varying_only(self, assessments):
+        _, rows = assessments
+        order = [a.channel_id for a in rows]
+        assert order.index("proc.uptime") < order.index("proc.meminfo")
+        assert order.index("sys.class.powercap.energy_uj") < order.index(
+            "proc.loadavg"
+        )
+
+    def test_v_group_ranked_by_entropy(self, assessments):
+        _, rows = assessments
+        v_group = [
+            a for a in rows
+            if a.group is UniquenessGroup.NOT_UNIQUE and a.varies
+        ]
+        entropies = [a.entropy for a in v_group]
+        assert entropies == sorted(entropies, reverse=True)
+
+    def test_zoneinfo_entropy_exceeds_loadavg(self, assessments):
+        """Table II ranks zoneinfo far above loadavg in the V group."""
+        by_id, _ = assessments
+        assert by_id["proc.zoneinfo"].entropy > by_id["proc.loadavg"].entropy
+
+    def test_accumulators_ranked_by_growth(self, assessments):
+        _, rows = assessments
+        acc = [a for a in rows if a.group is UniquenessGroup.ACCUMULATOR]
+        rates = [a.growth_rate for a in acc]
+        assert rates == sorted(rates, reverse=True)

@@ -1,0 +1,136 @@
+"""Unit tests for the metric assessor's internal analyses."""
+
+import pytest
+
+from repro.detection.metrics import (
+    ChannelAssessment,
+    ChannelAssessor,
+    Manipulation,
+    UniquenessGroup,
+    _tokens,
+)
+from repro.errors import ReproError
+
+
+def make_assessment(**overrides):
+    defaults = dict(
+        channel_id="x",
+        unique=False,
+        group=UniquenessGroup.NOT_UNIQUE,
+        varies=True,
+        manipulation=Manipulation.NONE,
+        entropy=1.0,
+        growth_rate=0.0,
+    )
+    defaults.update(overrides)
+    return ChannelAssessment(**defaults)
+
+
+class TestTokenizer:
+    def test_integers_and_floats(self):
+        assert _tokens("cpu 12 3.5 -7\n") == [12.0, 3.5, -7.0]
+
+    def test_no_numbers(self):
+        assert _tokens("hello world") == []
+
+    def test_embedded_numbers(self):
+        assert _tokens("eth0: 1024 bytes") == [0.0, 1024.0]
+
+
+class TestAccumulatorStats:
+    @pytest.fixture(scope="class")
+    def assessor(self):
+        # snapshots/interval only matter for series collection; internals
+        # are exercised directly here
+        return ChannelAssessor(seed=231, snapshots=4, interval_s=1.0)
+
+    def test_monotone_series_detected(self, assessor):
+        series = ["10 100", "12 100", "15 100", "19 100"]
+        monotone, rate = assessor._accumulator_stats(series)
+        assert monotone
+        assert rate > 0
+
+    def test_fluctuating_series_rejected(self, assessor):
+        series = ["10 5", "12 3", "11 9", "13 2"]
+        monotone, _ = assessor._accumulator_stats(series)
+        assert not monotone
+
+    def test_constant_series_rejected(self, assessor):
+        monotone, rate = assessor._accumulator_stats(["5 5", "5 5", "5 5"])
+        assert not monotone
+        assert rate == 0.0
+
+    def test_structure_change_rejected(self, assessor):
+        monotone, _ = assessor._accumulator_stats(["1 2", "1 2 3", "1 2"])
+        assert not monotone
+
+    def test_mixed_majority_rule(self, assessor):
+        # two monotone columns vs one fluctuating: majority monotone
+        series = ["1 10 7", "2 11 3", "3 12 9", "4 13 1"]
+        monotone, _ = assessor._accumulator_stats(series)
+        assert monotone
+        # one monotone vs two fluctuating: not an accumulator
+        series = ["1 10 7", "2 4 3", "3 12 9", "4 2 1"]
+        monotone, _ = assessor._accumulator_stats(series)
+        assert not monotone
+
+
+class TestEntropyInternals:
+    @pytest.fixture(scope="class")
+    def assessor(self):
+        return ChannelAssessor(seed=232, snapshots=4, interval_s=1.0)
+
+    def test_constant_channel_zero_entropy(self, assessor):
+        assert assessor._entropy(["abc 1", "abc 1", "abc 1"]) == 0.0
+
+    def test_more_changing_fields_more_entropy(self, assessor):
+        one_field = ["1 5", "2 5", "3 5", "4 5"]
+        two_fields = ["1 5", "2 6", "3 7", "4 8"]
+        assert assessor._entropy(two_fields) > assessor._entropy(one_field)
+
+    def test_structure_change_falls_back_to_hash(self, assessor):
+        series = ["a 1", "b 1 2", "a 1", "c 1 2 3"]
+        assert assessor._entropy(series) > 0.0
+
+
+class TestFieldDeltas:
+    def test_relative_deltas(self):
+        deltas = ChannelAssessor._field_deltas("10 100", "20 100")
+        assert deltas == [pytest.approx(0.5), 0.0]
+
+    def test_structure_change_returns_none(self):
+        assert ChannelAssessor._field_deltas("1 2", "1 2 3") is None
+
+    def test_no_numbers_returns_none(self):
+        assert ChannelAssessor._field_deltas("abc", "def") is None
+
+
+class TestRankKey:
+    def test_group_order(self):
+        static = make_assessment(group=UniquenessGroup.STATIC_ID, unique=True)
+        implant = make_assessment(group=UniquenessGroup.IMPLANTABLE, unique=True)
+        acc = make_assessment(group=UniquenessGroup.ACCUMULATOR, unique=True)
+        varying = make_assessment(group=UniquenessGroup.NOT_UNIQUE)
+        inert = make_assessment(group=UniquenessGroup.NOT_UNIQUE, varies=False)
+        keys = [a.rank_key for a in (static, implant, acc, varying, inert)]
+        assert keys == sorted(keys)
+
+    def test_accumulators_tiebreak_by_growth(self):
+        fast = make_assessment(
+            group=UniquenessGroup.ACCUMULATOR, unique=True, growth_rate=2.0
+        )
+        slow = make_assessment(
+            group=UniquenessGroup.ACCUMULATOR, unique=True, growth_rate=0.1
+        )
+        assert fast.rank_key < slow.rank_key
+
+    def test_v_group_tiebreak_by_entropy(self):
+        rich = make_assessment(entropy=50.0)
+        poor = make_assessment(entropy=2.0)
+        assert rich.rank_key < poor.rank_key
+
+
+class TestAssessorValidation:
+    def test_too_few_snapshots_rejected(self):
+        with pytest.raises(ReproError):
+            ChannelAssessor(seed=1, snapshots=2)

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scan_defaults(self):
+        args = build_parser().parse_args(["scan"])
+        assert args.seed == 0
+        assert not args.verbose
+
+    def test_seed_after_subcommand(self):
+        args = build_parser().parse_args(["scan", "--seed", "9"])
+        assert args.seed == 9
+
+    def test_inspect_providers_positional(self):
+        args = build_parser().parse_args(["inspect", "CC1", "CC4"])
+        assert args.providers == ["CC1", "CC4"]
+
+    def test_attack_options(self):
+        args = build_parser().parse_args(
+            ["attack", "--servers", "2", "--duration", "600"]
+        )
+        assert args.servers == 2
+        assert args.duration == 600.0
+
+
+class TestExecution:
+    def test_scan_runs_and_reports(self, capsys):
+        assert main(["scan", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "leaking channels: 31" in out
+        assert "namespaced" in out
+
+    def test_scan_verbose_lists_paths(self, capsys):
+        assert main(["scan", "-v"]) == 0
+        assert "LEAK /proc/meminfo" in capsys.readouterr().out
+
+    def test_inspect_one_provider(self, capsys):
+        assert main(["inspect", "CC4"]) == 0
+        out = capsys.readouterr().out
+        assert "CC4" in out
+        assert "○" in out  # CC4 masks plenty
+
+    def test_inspect_unknown_provider(self, capsys):
+        assert main(["inspect", "CC9"]) == 2
+        assert "unknown providers: CC9" in capsys.readouterr().err
+
+    def test_rank_prints_table2(self, capsys):
+        assert main(["rank", "--snapshots", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "proc.sys.kernel.random.boot_id" in out
+        assert "static-id" in out
+
+    def test_defend_reports_accuracy(self, capsys):
+        assert main(["defend"]) == 0
+        out = capsys.readouterr().out
+        assert "xi=" in out

@@ -1,0 +1,129 @@
+"""End-to-end integration: the paper's storyline as executable scenarios.
+
+Each test walks a full arc: discover leaks → exploit them (co-residence,
+synergistic power attack) → deploy the defense → verify the attack dies.
+"""
+
+import pytest
+
+from repro.attack.monitor import RaplPowerMonitor
+from repro.coresidence.orchestrator import CoResidenceOrchestrator
+from repro.defense.masking import generate_masking_policy, verify_masking
+from repro.defense.modeling import PowerModeler, TrainingHarness
+from repro.defense.powerns import PowerNamespaceDriver
+from repro.detection.crossvalidate import CrossValidator, LeakClass
+from repro.errors import AttackError, PermissionDeniedError
+from repro.kernel.kernel import Machine
+from repro.kernel.rapl import unwrap_delta
+from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
+from repro.runtime.engine import ContainerEngine
+from repro.runtime.workload import constant
+
+
+class TestDiscoveryToExploit:
+    def test_detector_finds_the_attack_channel(self):
+        """The RAPL channel the attack needs is discoverable by the tool."""
+        machine = Machine(seed=91)
+        engine = ContainerEngine(machine.kernel)
+        probe = engine.create(name="probe")
+        machine.run(3, dt=1.0)
+        report = CrossValidator(engine.vfs, probe).run()
+        assert "sys.class.powercap.energy_uj" in report.leaking_channels()
+
+    def test_coresidence_then_monitoring(self):
+        """Aggregate instances, then watch host power through the leak."""
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC1"], seed=92, servers=4)
+        result = CoResidenceOrchestrator(cloud, tenant="attacker").aggregate(
+            target=2, max_launches=60
+        )
+        monitor = RaplPowerMonitor(result.instances[0])
+        monitor.sample(cloud.clock.now)
+        cloud.run(10)
+        watts = monitor.sample(cloud.clock.now)
+        assert watts > 5.0  # a live power reading of the shared host
+
+
+class TestDefenseKillsTheAttack:
+    def test_stage1_masking_blocks_monitoring(self):
+        machine = Machine(seed=93)
+        engine = ContainerEngine(machine.kernel)
+        probe = engine.create(name="probe")
+        machine.run(3, dt=1.0)
+        policy = generate_masking_policy(CrossValidator(engine.vfs, probe).run())
+        attacker = engine.create(name="attacker", policy=policy)
+        with pytest.raises(PermissionDeniedError):
+            attacker.read("/sys/class/powercap/intel-rapl:0/energy_uj")
+        assert verify_masking(engine.vfs, attacker) == []
+
+    def test_stage2_power_namespace_blinds_the_monitor(self):
+        """With the power namespace, the attacker's monitor only sees its
+        own activity: benign crests become invisible, so there is nothing
+        to synchronize with."""
+        harness = TrainingHarness(seed=94, window_s=5.0, windows_per_benchmark=8)
+        harness.run_all()
+        model = PowerModeler(form="paper").fit(harness)
+
+        machine = Machine(seed=95)
+        engine = ContainerEngine(machine.kernel)
+        driver = PowerNamespaceDriver(machine.kernel, model)
+        driver.watch_engine(engine)
+
+        attacker = engine.create(name="attacker", cpus=2)
+        victim = engine.create(name="victim", cpus=4)
+        machine.run(10, dt=1.0)
+
+        path = "/sys/class/powercap/intel-rapl:0/energy_uj"
+
+        def attacker_watts(seconds):
+            before = int(attacker.read(path))
+            machine.run(seconds, dt=1.0)
+            return unwrap_delta(int(attacker.read(path)), before) / 1e6 / seconds
+
+        quiet = attacker_watts(10)
+        for i in range(4):
+            victim.exec(f"spike-{i}", workload=constant("s", cpu_demand=1.0, ipc=2.5))
+        during_crest = attacker_watts(10)
+        # the benign crest is invisible through the attacker's interface
+        assert during_crest == pytest.approx(quiet, rel=0.15)
+        # ...even though the host genuinely surged
+        assert machine.kernel.host_package_watts() > quiet * 2
+
+    def test_vanilla_kernel_shows_the_crest_for_contrast(self):
+        machine = Machine(seed=95)
+        engine = ContainerEngine(machine.kernel)
+        attacker = engine.create(name="attacker", cpus=2)
+        victim = engine.create(name="victim", cpus=4)
+        machine.run(10, dt=1.0)
+        path = "/sys/class/powercap/intel-rapl:0/energy_uj"
+
+        def attacker_watts(seconds):
+            before = int(attacker.read(path))
+            machine.run(seconds, dt=1.0)
+            return unwrap_delta(int(attacker.read(path)), before) / 1e6 / seconds
+
+        quiet = attacker_watts(10)
+        for i in range(4):
+            victim.exec(f"spike-{i}", workload=constant("s", cpu_demand=1.0, ipc=2.5))
+        during_crest = attacker_watts(10)
+        assert during_crest > quiet + 20.0  # the leak, plainly visible
+
+
+class TestCoResidenceDefense:
+    def test_masking_defeats_fingerprint_orchestration(self):
+        """With boot_id and ifpriomap masked, the fingerprint verifier has
+        no identifiers and aggregation cannot confirm anything."""
+        profile = PROVIDER_PROFILES["CC1"]
+        from dataclasses import replace
+        from repro.runtime.policy import MaskingPolicy
+
+        def hardened_policy():
+            policy = profile.policy_factory()
+            policy.deny("/proc/sys/kernel/random/boot_id")
+            policy.deny("/sys/fs/cgroup/net_prio/*")
+            return policy
+
+        hardened = replace(profile, policy_factory=hardened_policy)
+        cloud = ContainerCloud(hardened, seed=96, servers=4)
+        orchestrator = CoResidenceOrchestrator(cloud, tenant="attacker")
+        with pytest.raises(AttackError):
+            orchestrator.aggregate(target=2, max_launches=8)

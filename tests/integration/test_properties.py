@@ -1,0 +1,217 @@
+"""Property-based tests over cross-cutting invariants (hypothesis)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.datacenter.breaker import CircuitBreaker
+from repro.datacenter.simulation import PowerTrace
+from repro.kernel.kernel import Machine
+from repro.kernel.rapl import MAX_ENERGY_RANGE_UJ, RaplDomain, unwrap_delta
+from repro.runtime.policy import MaskingPolicy
+from repro.runtime.workload import constant
+
+# keep hypothesis example counts modest: each example boots a simulator
+SIM_SETTINGS = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestSchedulerConservation:
+    @SIM_SETTINGS
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.05, max_value=1.0), min_size=1, max_size=12
+        ),
+        seconds=st.integers(min_value=2, max_value=10),
+    )
+    def test_cpu_time_never_exceeds_capacity(self, demands, seconds):
+        """Σ granted CPU time <= cores × wall time, for any demand mix."""
+        machine = Machine(seed=1, spawn_daemons=False)
+        tasks = [
+            machine.kernel.spawn(
+                f"t{i}", workload=constant(f"t{i}", cpu_demand=demand)
+            )
+            for i, demand in enumerate(demands)
+        ]
+        machine.run(seconds, dt=1.0)
+        total_cpu_s = sum(t.cpu_time_ns for t in tasks) / 1e9
+        capacity = machine.kernel.config.total_cores * seconds
+        assert total_cpu_s <= capacity * 1.001
+
+    @SIM_SETTINGS
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.05, max_value=1.0), min_size=1, max_size=8
+        )
+    )
+    def test_busy_plus_idle_equals_wall_time(self, demands):
+        """Per CPU: busy + idle always sums to elapsed wall time."""
+        machine = Machine(seed=2, spawn_daemons=False)
+        for i, demand in enumerate(demands):
+            machine.kernel.spawn(
+                f"t{i}", workload=constant(f"t{i}", cpu_demand=demand)
+            )
+        machine.run(5, dt=1.0)
+        for stat in machine.kernel.scheduler.cpu_stats.values():
+            busy_idle_s = (stat.user_ns + stat.system_ns + stat.idle_ns) / 1e9
+            assert busy_idle_s == pytest.approx(5.0, abs=0.02)
+
+    @SIM_SETTINGS
+    @given(quota=st.floats(min_value=0.5, max_value=6.0))
+    def test_quota_always_respected(self, quota):
+        machine = Machine(seed=3, spawn_daemons=False)
+        groups = machine.kernel.cgroups.create_group_set("q")
+        groups["cpu"].state.set_quota(quota)
+        tasks = [
+            machine.kernel.spawn(
+                f"t{i}", workload=constant(f"t{i}", cpu_demand=1.0),
+                cgroup_set=groups,
+            )
+            for i in range(8)
+        ]
+        machine.run(5, dt=1.0)
+        total_s = sum(t.cpu_time_ns for t in tasks) / 1e9
+        assert total_s <= min(quota, 8.0) * 5 * 1.01
+
+
+class TestEnergyInvariants:
+    @SIM_SETTINGS
+    @given(
+        mixes=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=1.0),  # demand
+                st.floats(min_value=0.3, max_value=4.0),  # ipc
+                st.floats(min_value=0.0, max_value=40.0),  # cmpki
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    def test_rapl_counters_never_regress(self, mixes):
+        machine = Machine(seed=4, spawn_daemons=False)
+        for i, (demand, ipc, cmpki) in enumerate(mixes):
+            machine.kernel.spawn(
+                f"w{i}",
+                workload=constant(
+                    f"w{i}", cpu_demand=demand, ipc=ipc,
+                    cache_miss_per_kinst=cmpki,
+                ),
+            )
+        pkg = machine.kernel.rapl.package(0)
+        previous = [d.energy_uj for d in pkg.domains()]
+        for _ in range(5):
+            machine.run(1, dt=1.0)
+            current = [d.energy_uj for d in pkg.domains()]
+            for before, after in zip(previous, current):
+                assert unwrap_delta(after, before) >= 0
+            previous = current
+
+    @SIM_SETTINGS
+    @given(
+        demand=st.floats(min_value=0.0, max_value=1.0),
+        ipc=st.floats(min_value=0.2, max_value=4.0),
+    )
+    def test_power_at_least_idle_floor(self, demand, ipc):
+        machine = Machine(seed=5, spawn_daemons=False)
+        if demand > 0:
+            machine.kernel.spawn(
+                "w", workload=constant("w", cpu_demand=demand, ipc=ipc)
+            )
+        machine.run(3, dt=1.0)
+        floor = machine.kernel.power.idle_package_watts()
+        assert machine.kernel.host_package_watts() >= floor * 0.999
+
+
+class TestRaplArithmetic:
+    @given(
+        start=st.integers(min_value=0, max_value=MAX_ENERGY_RANGE_UJ - 1),
+        increment_j=st.floats(min_value=0.0, max_value=100_000.0),
+    )
+    def test_unwrap_recovers_any_single_wrap_delta(self, start, increment_j):
+        domain = RaplDomain(name="x", sysfs_name="x")
+        domain._energy_uj = float(start)
+        before = domain.energy_uj
+        domain.accumulate(increment_j)
+        recovered = unwrap_delta(domain.energy_uj, before)
+        assert recovered == pytest.approx(increment_j * 1e6, abs=2.0)
+
+
+class TestBreakerProperties:
+    @given(
+        rated=st.floats(min_value=100.0, max_value=10_000.0),
+        load_fraction=st.floats(min_value=0.0, max_value=0.999),
+    )
+    def test_below_rating_never_trips(self, rated, load_fraction):
+        breaker = CircuitBreaker(name="b", rated_watts=rated)
+        for t in range(200):
+            breaker.observe(rated * load_fraction, dt=10.0, now=float(t))
+        assert not breaker.tripped
+
+    @given(
+        overload=st.floats(min_value=1.05, max_value=5.0),
+    )
+    def test_any_sustained_overload_eventually_trips(self, overload):
+        breaker = CircuitBreaker(name="b", rated_watts=1000.0)
+        t = 0.0
+        while not breaker.tripped:
+            breaker.observe(1000.0 * overload, dt=10.0, now=t)
+            t += 10.0
+            assert t < 1e5
+        assert breaker.tripped
+
+
+class TestPowerTraceProperties:
+    @given(
+        watts=st.lists(
+            st.floats(min_value=0.0, max_value=5000.0), min_size=1, max_size=200
+        ),
+        window=st.floats(min_value=0.5, max_value=50.0),
+    )
+    def test_averaging_stays_within_envelope(self, watts, window):
+        trace = PowerTrace()
+        for t, w in enumerate(watts):
+            trace.append(float(t), w)
+        averaged = trace.averaged(window)
+        assert len(averaged) >= 1
+        assert averaged.peak <= trace.peak + 1e-9
+        assert averaged.trough >= trace.trough - 1e-9
+
+    @given(
+        watts=st.lists(
+            st.floats(min_value=1.0, max_value=5000.0), min_size=2, max_size=100
+        )
+    )
+    def test_mean_between_extremes(self, watts):
+        trace = PowerTrace()
+        for t, w in enumerate(watts):
+            trace.append(float(t), w)
+        # allow a few ulps: float summation can round the mean just past
+        # an extreme when all samples are (nearly) identical
+        slack = 1e-9 * max(1.0, abs(trace.peak))
+        assert trace.trough - slack <= trace.mean <= trace.peak + slack
+
+
+class TestPolicyProperties:
+    @given(
+        paths=st.lists(
+            st.sampled_from(
+                ["/proc/meminfo", "/proc/stat", "/proc/uptime",
+                 "/sys/class/net/eth0/statistics/rx_bytes"]
+            ),
+            min_size=0,
+            max_size=4,
+            unique=True,
+        )
+    )
+    def test_denied_paths_denied_others_allowed(self, paths):
+        from repro.procfs.node import PseudoFile
+
+        policy = MaskingPolicy()
+        for path in paths:
+            policy.deny(path)
+        probe = PseudoFile(name="x", render=lambda ctx: "")
+        universe = ["/proc/meminfo", "/proc/stat", "/proc/uptime",
+                    "/sys/class/net/eth0/statistics/rx_bytes", "/proc/version"]
+        for path in universe:
+            decision = policy.check(path, probe)
+            assert decision.denied == (path in paths)

@@ -1,0 +1,153 @@
+"""Tests for cgroup hierarchies and controller state."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.cgroups import (
+    CONTROLLERS,
+    CgroupManager,
+    CpuAcctState,
+    NetPrioState,
+    PerfCounters,
+    PerfEventState,
+)
+from repro.kernel.namespaces import NamespaceRegistry, root_namespace_set
+from repro.kernel.process import ProcessTable
+
+
+@pytest.fixture
+def manager():
+    return CgroupManager()
+
+
+@pytest.fixture
+def task():
+    registry = NamespaceRegistry()
+    return ProcessTable().spawn("t", root_namespace_set(registry), now=0.0)
+
+
+class TestHierarchy:
+    def test_all_controllers_exist(self, manager):
+        for controller in CONTROLLERS:
+            assert manager.hierarchy(controller).controller == controller
+
+    def test_unknown_controller_rejected(self, manager):
+        with pytest.raises(KernelError):
+            manager.hierarchy("blkio")
+
+    def test_create_nested_path(self, manager):
+        cg = manager.hierarchy("cpuacct").create("/docker/c1")
+        assert cg.path == "/docker/c1"
+        assert cg.parent.path == "/docker"
+
+    def test_create_is_idempotent(self, manager):
+        h = manager.hierarchy("cpuacct")
+        assert h.create("/a/b") is h.create("/a/b")
+
+    def test_relative_path_rejected(self, manager):
+        with pytest.raises(KernelError):
+            manager.hierarchy("cpuacct").create("a/b")
+
+    def test_lookup_missing_raises(self, manager):
+        with pytest.raises(KernelError):
+            manager.hierarchy("cpuacct").lookup("/nope")
+
+    def test_walk_covers_subtree(self, manager):
+        h = manager.hierarchy("memory")
+        h.create("/a/b")
+        h.create("/a/c")
+        paths = {cg.path for cg in h.root.walk()}
+        assert paths == {"/", "/a", "/a/b", "/a/c"}
+
+
+class TestMembership:
+    def test_task_defaults_to_root(self, manager, task):
+        h = manager.hierarchy("cpuacct")
+        assert h.cgroup_of(task) is h.root
+
+    def test_attach_moves_task(self, manager, task):
+        h = manager.hierarchy("cpuacct")
+        cg = h.create("/docker/c1")
+        h.attach(task, cg)
+        assert h.cgroup_of(task) is cg
+        assert task in cg.tasks
+
+    def test_reattach_leaves_old_group(self, manager, task):
+        h = manager.hierarchy("cpuacct")
+        a = h.create("/a")
+        b = h.create("/b")
+        h.attach(task, a)
+        h.attach(task, b)
+        assert task not in a.tasks
+        assert task in b.tasks
+
+    def test_cross_controller_attach_rejected(self, manager, task):
+        cg = manager.hierarchy("memory").create("/m")
+        with pytest.raises(KernelError):
+            manager.hierarchy("cpuacct").attach(task, cg)
+
+    def test_create_group_set_spans_controllers(self, manager):
+        groups = manager.create_group_set("docker/c9")
+        assert set(groups) == set(CONTROLLERS)
+        assert all(cg.path == "/docker/c9" for cg in groups.values())
+
+    def test_attach_all_and_detach_all(self, manager, task):
+        groups = manager.create_group_set("docker/c1")
+        manager.attach_all(task, groups)
+        for controller in CONTROLLERS:
+            assert manager.hierarchy(controller).cgroup_of(task).path == "/docker/c1"
+        manager.detach_all(task)
+        for controller in CONTROLLERS:
+            h = manager.hierarchy(controller)
+            assert h.cgroup_of(task) is h.root
+
+
+class TestControllerState:
+    def test_cpuacct_charge(self):
+        state = CpuAcctState()
+        state.charge(cpu=0, ns=500)
+        state.charge(cpu=1, ns=300)
+        state.charge(cpu=0, ns=200)
+        assert state.usage_ns == 1000
+        assert state.per_cpu_ns == {0: 700, 1: 300}
+
+    def test_perf_disabled_by_default(self):
+        state = PerfEventState()
+        state.charge(100, 200, 3, 4)
+        assert state.counters.instructions == 0
+
+    def test_perf_enabled_accumulates(self):
+        state = PerfEventState()
+        state.enabled = True
+        state.charge(100, 200, 3, 4)
+        state.charge(100, 200, 3, 4)
+        assert state.counters.cycles == 200
+        assert state.counters.instructions == 400
+        assert state.counters.cache_misses == 6
+        assert state.counters.branch_misses == 8
+
+    def test_perf_counter_delta(self):
+        counters = PerfCounters()
+        counters.add(10, 20, 1, 2)
+        snap = counters.snapshot()
+        counters.add(5, 7, 1, 1)
+        delta = counters.delta(snap)
+        assert (delta.cycles, delta.instructions) == (5, 7)
+        assert (delta.cache_misses, delta.branch_misses) == (1, 1)
+
+    def test_net_prio_set(self):
+        state = NetPrioState()
+        state.set_prio("eth0", 3)
+        assert state.prios == {"eth0": 3}
+
+    def test_net_prio_negative_rejected(self):
+        with pytest.raises(KernelError):
+            NetPrioState().set_prio("eth0", -1)
+
+    def test_memory_high_water_mark(self, manager):
+        state = manager.hierarchy("memory").create("/m").state
+        state.set_usage(100)
+        state.set_usage(500)
+        state.set_usage(50)
+        assert state.usage_bytes == 50
+        assert state.max_usage_bytes == 500

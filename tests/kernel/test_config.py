@@ -1,0 +1,69 @@
+"""Tests for host configuration validation and derived properties."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.config import (
+    AMD_OPTERON,
+    INTEL_PRE_SANDY_BRIDGE,
+    INTEL_SKYLAKE,
+    CpuSpec,
+    HostConfig,
+)
+
+
+class TestCpuSpec:
+    def test_default_is_the_papers_testbed(self):
+        # The paper's evaluation machine: i7-6700 @ 3.40GHz, 8 cores.
+        spec = INTEL_SKYLAKE
+        assert "i7-6700" in spec.model_name
+        assert spec.cores == 8
+        assert spec.supports_rapl
+
+    def test_frequency_conversion(self):
+        assert CpuSpec(frequency_mhz=2000.0).frequency_hz == 2.0e9
+
+    def test_pre_sandy_bridge_lacks_rapl(self):
+        assert not INTEL_PRE_SANDY_BRIDGE.supports_rapl
+
+    def test_amd_lacks_rapl_and_dts(self):
+        assert not AMD_OPTERON.supports_rapl
+        assert not AMD_OPTERON.supports_dts
+
+
+class TestHostConfig:
+    def test_defaults_are_valid(self):
+        config = HostConfig()
+        assert config.total_cores == 8
+        assert config.has_rapl
+        assert config.has_coretemp
+
+    def test_total_cores_scales_with_packages(self):
+        config = HostConfig(packages=2)
+        assert config.total_cores == 16
+
+    def test_memory_bytes(self):
+        config = HostConfig(memory_mb=1024)
+        assert config.memory_bytes == 1024 * 1024 * 1024
+
+    def test_rapl_follows_cpu_support(self):
+        config = HostConfig(cpu=AMD_OPTERON)
+        assert not config.has_rapl
+
+    def test_zero_packages_rejected(self):
+        with pytest.raises(KernelError):
+            HostConfig(packages=0)
+
+    def test_tiny_memory_rejected(self):
+        with pytest.raises(KernelError):
+            HostConfig(memory_mb=32)
+
+    def test_implausible_numa_rejected(self):
+        with pytest.raises(KernelError):
+            HostConfig(packages=1, numa_nodes=9)
+
+    def test_boot_modules_present(self):
+        config = HostConfig()
+        names = [name for name, _, _ in config.modules]
+        assert "intel_rapl" in names
+        assert "ext4" in names

@@ -1,0 +1,124 @@
+"""Tests for the Kernel aggregate and Machine harness."""
+
+import pytest
+
+from repro.errors import KernelError, SimulationError
+from repro.kernel.kernel import Kernel, Machine
+from repro.kernel.namespaces import NamespaceType
+from repro.runtime.workload import constant, idle
+
+
+class TestBoot:
+    def test_daemons_spawned(self):
+        k = Machine(seed=1).kernel
+        names = {t.name for t in k.processes}
+        assert {"systemd", "dockerd", "sshd"} <= names
+
+    def test_no_daemons_option(self):
+        k = Machine(seed=1, spawn_daemons=False).kernel
+        assert len(k.processes) == 0
+
+    def test_boot_time_recorded(self):
+        m = Machine(seed=1, start_time=1000.0)
+        assert m.kernel.btime == 1000
+        m.run(5, dt=1.0)
+        assert m.kernel.uptime_seconds == pytest.approx(5.0)
+
+    def test_hostname_in_root_uts(self):
+        k = Machine(seed=1).kernel
+        uts = k.namespaces.root(NamespaceType.UTS)
+        assert uts.payload["hostname"] == "host-0"
+
+
+class TestLifecycle:
+    def test_spawn_defaults_to_root_namespaces(self):
+        k = Machine(seed=1, spawn_daemons=False).kernel
+        task = k.spawn("t", workload=idle())
+        assert all(ns.is_root for ns in task.namespaces.values())
+
+    def test_kill_cleans_up_everywhere(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        k = m.kernel
+        task = k.spawn("t", workload=constant("t", cpu_demand=0.5))
+        k.locks.acquire(task, inode=5)
+        k.kill(task)
+        assert len(k.processes) == 0
+        assert k.scheduler.tasks == []
+        assert k.locks.entries == []
+        # killing twice is an error
+        with pytest.raises(KernelError):
+            k.kill(task)
+
+    def test_dead_task_stops_consuming(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        k = m.kernel
+        task = k.spawn("t", workload=constant("t", cpu_demand=1.0))
+        m.run(5, dt=1.0)
+        k.kill(task)
+        consumed = task.workload.total.cpu_ns
+        m.run(5, dt=1.0)
+        assert task.workload.total.cpu_ns == consumed
+
+
+class TestTick:
+    def test_tick_requires_positive_dt(self):
+        k = Machine(seed=1).kernel
+        with pytest.raises(KernelError):
+            k.tick(0.0)
+
+    def test_tick_listeners_called(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        seen = []
+        m.kernel.tick_listeners.append(lambda result: seen.append(result.dt))
+        m.run(3, dt=1.0)
+        assert seen == [1.0, 1.0, 1.0]
+
+    def test_run_partial_final_step(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        m.run(2.5, dt=1.0)
+        assert m.clock.now == pytest.approx(2.5)
+        assert m.kernel.uptime_seconds == pytest.approx(2.5)
+
+    def test_run_rejects_nonpositive(self):
+        m = Machine(seed=1)
+        with pytest.raises(KernelError):
+            m.run(0)
+
+    def test_determinism_across_machines(self):
+        def fingerprint(seed):
+            m = Machine(seed=seed)
+            m.kernel.spawn("w", workload=constant("w", cpu_demand=0.7))
+            m.run(20, dt=1.0)
+            k = m.kernel
+            return (
+                k.rapl.package(0).package.energy_uj,
+                k.memory.mem_free_kb,
+                k.random.entropy_avail,
+                round(k.scheduler.loadavg_1, 6),
+            )
+
+        assert fingerprint(42) == fingerprint(42)
+        assert fingerprint(42) != fingerprint(43)
+
+
+class TestRaplReadPath:
+    def test_vanilla_read_returns_host_counter(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        m.run(5, dt=1.0)
+        domain = m.kernel.rapl.package(0).package
+        assert m.kernel.read_energy_uj(domain) == domain.energy_uj
+
+    def test_hook_intercepts_reads(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        domain = m.kernel.rapl.package(0).package
+        m.kernel.rapl_read_hook = lambda reader, dom: 12345
+        assert m.kernel.read_energy_uj(domain) == 12345
+
+    def test_read_without_rapl_raises(self):
+        from repro.kernel.config import AMD_OPTERON, HostConfig
+
+        m = Machine(config=HostConfig(cpu=AMD_OPTERON), seed=1)
+        from repro.kernel.rapl import RaplDomain
+
+        with pytest.raises(KernelError):
+            m.kernel.read_energy_uj(RaplDomain(name="x", sysfs_name="x"))

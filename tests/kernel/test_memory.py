@@ -1,0 +1,94 @@
+"""Tests for the memory subsystem."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.config import HostConfig
+from repro.kernel.kernel import Machine
+from repro.kernel.memory import PAGE_SIZE, MemorySubsystem
+from repro.sim.rng import DeterministicRNG
+from repro.runtime.workload import constant
+
+
+@pytest.fixture
+def memory():
+    return MemorySubsystem(HostConfig(memory_mb=16384), DeterministicRNG(seed=1))
+
+
+class TestLayout:
+    def test_total_pages_match_config(self, memory):
+        assert memory.total_pages == 16384 * 1024 * 1024 // PAGE_SIZE
+
+    def test_node_zero_has_three_zones(self, memory):
+        names = [z.name for z in memory.node(0).zones]
+        assert names == ["DMA", "DMA32", "Normal"]
+
+    def test_multi_node_layout(self):
+        m = MemorySubsystem(
+            HostConfig(memory_mb=16384, numa_nodes=2, packages=2),
+            DeterministicRNG(seed=1),
+        )
+        assert len(m.nodes) == 2
+        assert [z.name for z in m.node(1).zones] == ["Normal"]
+
+    def test_unknown_node_rejected(self, memory):
+        with pytest.raises(KernelError):
+            memory.node(5)
+
+    def test_watermarks_ordered(self, memory):
+        for node in memory.nodes:
+            for zone in node.zones:
+                assert zone.min_pages <= zone.low_pages <= zone.high_pages
+
+
+class TestAccounting:
+    def test_memfree_below_total(self, memory):
+        assert 0 < memory.mem_free_kb < memory.mem_total_kb
+
+    def test_mem_available_at_least_free(self, memory):
+        assert memory.mem_available_kb >= memory.mem_free_kb
+
+    def test_task_rss_reduces_memfree(self):
+        m = Machine(seed=2, spawn_daemons=False)
+        before = m.kernel.memory.mem_free_kb
+        m.kernel.spawn(
+            "hog", workload=constant("hog", cpu_demand=0.1, rss_mb=2048)
+        )
+        m.run(5, dt=1.0)
+        after = m.kernel.memory.mem_free_kb
+        assert before - after > 1_900_000  # ~2GB in kB
+
+    def test_memfree_recovers_after_task_death(self):
+        m = Machine(seed=2, spawn_daemons=False)
+        task = m.kernel.spawn(
+            "hog", workload=constant("hog", cpu_demand=0.1, rss_mb=2048, duration=5)
+        )
+        m.run(5, dt=1.0)
+        low = m.kernel.memory.mem_free_kb
+        m.run(10, dt=1.0)
+        assert m.kernel.memory.mem_free_kb > low
+
+    def test_numa_counters_accumulate(self):
+        m = Machine(seed=2, spawn_daemons=False)
+        m.kernel.spawn("worker", workload=constant("w", cpu_demand=1.0))
+        m.run(5, dt=1.0)
+        node = m.kernel.memory.node(0)
+        assert node.numa_hit > 0
+        assert node.local_node > 0
+        # local allocations dominate on a healthy host
+        assert node.numa_hit > node.numa_miss
+
+    def test_zone_free_pages_track_host_free(self, memory):
+        total_zone_free = sum(z.free_pages for n in memory.nodes for z in n.zones)
+        assert total_zone_free == pytest.approx(memory.free_pages, rel=0.05)
+
+    def test_page_cache_bounded(self):
+        m = Machine(seed=3, spawn_daemons=False)
+        m.kernel.spawn(
+            "io-heavy",
+            workload=constant("io", cpu_demand=0.5, io_ops_per_sec=100_000),
+        )
+        m.run(100, dt=1.0)
+        mem = m.kernel.memory
+        assert mem.page_cache_pages <= mem.total_pages // 3
+        assert mem.free_pages >= 0

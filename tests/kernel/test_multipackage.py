@@ -1,0 +1,86 @@
+"""Tests for multi-package (multi-socket) hosts."""
+
+import pytest
+
+from repro.kernel.config import HostConfig
+from repro.kernel.kernel import Machine
+from repro.kernel.rapl import unwrap_delta
+from repro.procfs.vfs import PseudoVFS
+from repro.runtime.workload import constant
+
+
+@pytest.fixture
+def dual_socket():
+    return Machine(
+        config=HostConfig(packages=2, numa_nodes=2, memory_mb=32768),
+        seed=181,
+        spawn_daemons=False,
+    )
+
+
+class TestTopology:
+    def test_sixteen_cpus(self, dual_socket):
+        assert dual_socket.kernel.config.total_cores == 16
+
+    def test_package_mapping(self, dual_socket):
+        power = dual_socket.kernel.power
+        assert power.package_of(0) == 0
+        assert power.package_of(7) == 0
+        assert power.package_of(8) == 1
+        assert power.package_of(15) == 1
+
+    def test_two_rapl_packages(self, dual_socket):
+        rapl = dual_socket.kernel.rapl
+        assert len(rapl.packages) == 2
+        assert rapl.package(1).package.sysfs_name == "intel-rapl:1"
+
+    def test_sysfs_tree_has_both_packages(self, dual_socket):
+        vfs = PseudoVFS(dual_socket.kernel)
+        assert vfs.exists("/sys/class/powercap/intel-rapl:0/energy_uj")
+        assert vfs.exists("/sys/class/powercap/intel-rapl:1/energy_uj")
+
+    def test_two_numa_nodes_in_sysfs(self, dual_socket):
+        vfs = PseudoVFS(dual_socket.kernel)
+        assert vfs.exists("/sys/devices/system/node/node1/numastat")
+
+
+class TestPerPackageEnergy:
+    def test_load_lands_on_the_right_package(self, dual_socket):
+        k = dual_socket.kernel
+        # pin four hot tasks to package-1 cores
+        for i in range(4):
+            k.spawn(
+                f"w{i}",
+                workload=constant(f"w{i}", cpu_demand=1.0, ipc=2.5),
+                affinity=frozenset(range(8, 16)),
+            )
+        p0 = k.rapl.package(0).package
+        p1 = k.rapl.package(1).package
+        before = (p0.energy_uj, p1.energy_uj)
+        dual_socket.run(10, dt=1.0)
+        delta0 = unwrap_delta(p0.energy_uj, before[0])
+        delta1 = unwrap_delta(p1.energy_uj, before[1])
+        assert delta1 > delta0 * 2  # the loaded socket burns far more
+
+    def test_idle_packages_draw_idle_power(self, dual_socket):
+        k = dual_socket.kernel
+        p0 = k.rapl.package(0).package
+        before = p0.energy_uj
+        dual_socket.run(10, dt=1.0)
+        watts = unwrap_delta(p0.energy_uj, before) / 1e7
+        assert watts == pytest.approx(k.power.idle_package_watts(), rel=0.05)
+
+    def test_total_package_energy_sums(self, dual_socket):
+        k = dual_socket.kernel
+        dual_socket.run(5, dt=1.0)
+        total = k.rapl.total_package_energy_uj()
+        assert total == (
+            k.rapl.package(0).package.energy_uj
+            + k.rapl.package(1).package.energy_uj
+        )
+
+    def test_cpuinfo_physical_ids(self, dual_socket):
+        vfs = PseudoVFS(dual_socket.kernel)
+        content = vfs.read("/proc/cpuinfo")
+        assert "physical id\t: 0" in content
+        assert "physical id\t: 1" in content

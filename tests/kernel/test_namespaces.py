@@ -1,0 +1,76 @@
+"""Tests for the namespace registry."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.namespaces import (
+    VANILLA_TYPES,
+    Namespace,
+    NamespaceRegistry,
+    NamespaceType,
+    root_namespace_set,
+)
+
+
+@pytest.fixture
+def registry():
+    return NamespaceRegistry()
+
+
+class TestNamespaceRegistry:
+    def test_vanilla_kernel_supports_seven_types(self, registry):
+        assert registry.supported_types == VANILLA_TYPES
+        assert len(VANILLA_TYPES) == 7
+
+    def test_power_not_supported_by_default(self, registry):
+        assert NamespaceType.POWER not in registry.supported_types
+        with pytest.raises(KernelError):
+            registry.root(NamespaceType.POWER)
+        with pytest.raises(KernelError):
+            registry.create(NamespaceType.POWER)
+
+    def test_enable_power_type(self, registry):
+        root = registry.enable_type(NamespaceType.POWER)
+        assert root.is_root
+        assert registry.root(NamespaceType.POWER) is root
+        child = registry.create(NamespaceType.POWER)
+        assert child.parent is root
+
+    def test_enable_type_idempotent(self, registry):
+        first = registry.enable_type(NamespaceType.POWER)
+        second = registry.enable_type(NamespaceType.POWER)
+        assert first is second
+
+    def test_roots_are_distinct_per_type(self, registry):
+        inums = {registry.root(t).inum for t in VANILLA_TYPES}
+        assert len(inums) == 7
+
+    def test_create_child(self, registry):
+        child = registry.create(NamespaceType.PID)
+        assert not child.is_root
+        assert child.parent is registry.root(NamespaceType.PID)
+        assert child.inum != child.parent.inum
+
+    def test_create_grandchild(self, registry):
+        child = registry.create(NamespaceType.PID)
+        grandchild = registry.create(NamespaceType.PID, parent=child)
+        assert grandchild.parent is child
+
+    def test_parent_type_mismatch_rejected(self, registry):
+        net_child = registry.create(NamespaceType.NET)
+        with pytest.raises(KernelError):
+            registry.create(NamespaceType.PID, parent=net_child)
+
+    def test_inum_looks_like_proc_ns_inode(self, registry):
+        assert registry.root(NamespaceType.MNT).inum >= 4026531835
+
+    def test_root_namespace_set_covers_supported_types(self, registry):
+        ns_set = root_namespace_set(registry)
+        assert set(ns_set) == VANILLA_TYPES
+        assert all(ns.is_root for ns in ns_set.values())
+
+    def test_payload_is_per_instance(self, registry):
+        a = registry.create(NamespaceType.UTS)
+        b = registry.create(NamespaceType.UTS)
+        a.payload["hostname"] = "a"
+        assert "hostname" not in b.payload

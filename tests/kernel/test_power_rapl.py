@@ -1,0 +1,155 @@
+"""Tests for the ground-truth power model and RAPL counters."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.config import AMD_OPTERON, HostConfig
+from repro.kernel.kernel import Machine
+from repro.kernel.rapl import MAX_ENERGY_RANGE_UJ, RaplDomain, unwrap_delta
+from repro.runtime.workload import constant
+
+
+def watts_over(machine, seconds=10.0, dt=1.0):
+    """Average package watts over a window, via the RAPL counter."""
+    pkg = machine.kernel.rapl.package(0).package
+    before = pkg.energy_uj
+    machine.run(seconds, dt=dt)
+    return unwrap_delta(pkg.energy_uj, before) / 1e6 / seconds
+
+
+class TestPowerModel:
+    def test_idle_power_matches_params(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        p = m.kernel.config.power
+        expected = p.core_idle_watts + p.dram_idle_watts + p.uncore_watts
+        assert watts_over(m) == pytest.approx(expected, rel=0.05)
+
+    def test_busy_core_adds_power(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        idle_watts = m.kernel.power.idle_package_watts()
+        m.kernel.spawn(
+            "prime",
+            workload=constant(
+                "prime", cpu_demand=1.0, ipc=2.2,
+                cache_miss_per_kinst=0.2, branch_miss_per_kinst=0.5,
+            ),
+        )
+        assert watts_over(m) > idle_watts + 5
+
+    def test_power_scales_with_cores(self):
+        def with_n_tasks(n):
+            m = Machine(seed=1, spawn_daemons=False)
+            for i in range(n):
+                m.kernel.spawn(
+                    f"w{i}",
+                    workload=constant(f"w{i}", cpu_demand=1.0, ipc=2.0),
+                )
+            return watts_over(m)
+
+        w1, w2, w4 = with_n_tasks(1), with_n_tasks(2), with_n_tasks(4)
+        per_core = w2 - w1
+        assert w4 - w2 == pytest.approx(2 * per_core, rel=0.1)
+
+    def test_memory_bound_work_burns_dram_energy(self):
+        def dram_joules(cmpki):
+            m = Machine(seed=1, spawn_daemons=False)
+            m.kernel.spawn(
+                "w",
+                workload=constant(
+                    "w", cpu_demand=1.0, ipc=0.8, cache_miss_per_kinst=cmpki
+                ),
+            )
+            dram = m.kernel.rapl.package(0).dram
+            before = dram.energy_uj
+            m.run(10, dt=1.0)
+            return unwrap_delta(dram.energy_uj, before) / 1e6
+
+        assert dram_joules(30.0) > dram_joules(0.5) * 2
+
+    def test_energy_linear_in_instructions_within_workload(self):
+        """The Figure 6 property: fixed workload => energy ∝ instructions."""
+        m = Machine(seed=1, spawn_daemons=False)
+        task = m.kernel.spawn(
+            "bench",
+            workload=constant("b", cpu_demand=1.0, ipc=2.0, cache_miss_per_kinst=1.0),
+        )
+        core = m.kernel.rapl.package(0).core
+        points = []
+        for _ in range(5):
+            e0, i0 = core.energy_uj, task.workload.total.instructions
+            m.run(10, dt=1.0)
+            points.append(
+                (
+                    task.workload.total.instructions - i0,
+                    unwrap_delta(core.energy_uj, e0),
+                )
+            )
+        ratios = [e / i for i, e in points]
+        spread = (max(ratios) - min(ratios)) / min(ratios)
+        assert spread < 0.1  # near-constant energy per instruction
+
+    def test_package_of_validates_cpu(self):
+        m = Machine(seed=1)
+        with pytest.raises(KernelError):
+            m.kernel.power.package_of(99)
+
+
+class TestRapl:
+    def test_counter_monotone_modulo_wrap(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        pkg = m.kernel.rapl.package(0).package
+        readings = []
+        for _ in range(10):
+            m.run(1, dt=1.0)
+            readings.append(pkg.energy_uj)
+        deltas = [unwrap_delta(b, a) for a, b in zip(readings, readings[1:])]
+        assert all(d > 0 for d in deltas)
+
+    def test_counter_wraps(self):
+        domain = RaplDomain(name="package-0", sysfs_name="intel-rapl:0",
+                            max_energy_range_uj=1000)
+        domain.accumulate(0.0009)  # 900 uJ
+        domain.accumulate(0.0002)  # +200 -> wraps past 1000
+        assert domain.energy_uj == 100
+
+    def test_negative_energy_rejected(self):
+        domain = RaplDomain(name="x", sysfs_name="x")
+        with pytest.raises(KernelError):
+            domain.accumulate(-1.0)
+
+    def test_unwrap_delta(self):
+        assert unwrap_delta(150, 100, max_range=1000) == 50
+        assert unwrap_delta(50, 900, max_range=1000) == 150
+
+    def test_absent_on_amd(self):
+        m = Machine(config=HostConfig(cpu=AMD_OPTERON), seed=1)
+        assert not m.kernel.rapl.present
+        with pytest.raises(KernelError):
+            m.kernel.rapl.package(0)
+        with pytest.raises(KernelError):
+            m.kernel.rapl.total_package_energy_uj()
+
+    def test_core_dram_sum_below_package(self):
+        m = Machine(seed=1, spawn_daemons=False)
+        m.kernel.spawn("w", workload=constant("w", cpu_demand=1.0))
+        m.run(20, dt=1.0)
+        pkg = m.kernel.rapl.package(0)
+        assert pkg.package.energy_uj > pkg.core.energy_uj
+        assert pkg.package.energy_uj > pkg.dram.energy_uj
+
+    def test_noise_does_not_break_monotonicity(self):
+        m = Machine(seed=7, spawn_daemons=False)
+        pkg = m.kernel.rapl.package(0).package
+        previous = pkg.energy_uj
+        for _ in range(50):
+            m.run(1, dt=1.0)
+            current = pkg.energy_uj
+            assert unwrap_delta(current, previous) >= 0
+            previous = current
+
+    def test_max_energy_range_matches_hardware(self):
+        m = Machine(seed=1)
+        assert (
+            m.kernel.rapl.package(0).package.max_energy_range_uj
+            == MAX_ENERGY_RANGE_UJ
+        )

@@ -1,0 +1,121 @@
+"""Tests for tasks and per-PID-namespace pid allocation."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.namespaces import NamespaceRegistry, NamespaceType, root_namespace_set
+from repro.kernel.process import ProcessTable, TaskState
+
+
+@pytest.fixture
+def registry():
+    return NamespaceRegistry()
+
+
+@pytest.fixture
+def table():
+    return ProcessTable()
+
+
+def host_ns(registry):
+    return root_namespace_set(registry)
+
+
+def container_ns(registry):
+    ns = root_namespace_set(registry)
+    ns[NamespaceType.PID] = registry.create(NamespaceType.PID)
+    return ns
+
+
+class TestPidAllocation:
+    def test_host_pids_are_sequential(self, registry, table):
+        t1 = table.spawn("a", host_ns(registry), now=0.0)
+        t2 = table.spawn("b", host_ns(registry), now=0.0)
+        assert (t1.pid, t2.pid) == (1, 2)
+
+    def test_container_task_has_two_pids(self, registry, table):
+        ns = container_ns(registry)
+        task = table.spawn("init", ns, now=0.0)
+        inner = task.pid_in(ns[NamespaceType.PID])
+        outer = task.pid_in(registry.root(NamespaceType.PID))
+        assert inner == 1
+        assert outer == task.pid
+        assert outer != inner or task.pid == 1
+
+    def test_two_containers_both_start_at_pid_one(self, registry, table):
+        ns_a = container_ns(registry)
+        ns_b = container_ns(registry)
+        a = table.spawn("init-a", ns_a, now=0.0)
+        b = table.spawn("init-b", ns_b, now=0.0)
+        assert a.pid_in(ns_a[NamespaceType.PID]) == 1
+        assert b.pid_in(ns_b[NamespaceType.PID]) == 1
+        assert a.pid != b.pid
+
+    def test_nested_pid_namespaces(self, registry, table):
+        middle = registry.create(NamespaceType.PID)
+        inner = registry.create(NamespaceType.PID, parent=middle)
+        ns = root_namespace_set(registry)
+        ns[NamespaceType.PID] = inner
+        task = table.spawn("deep", ns, now=0.0)
+        # one pid per level of the ancestry chain
+        assert len(task.ns_pids) == 3
+
+    def test_missing_pid_namespace_rejected(self, registry, table):
+        ns = root_namespace_set(registry)
+        del ns[NamespaceType.PID]
+        with pytest.raises(KernelError):
+            table.spawn("broken", ns, now=0.0)
+
+
+class TestVisibility:
+    def test_host_sees_container_task(self, registry, table):
+        ns = container_ns(registry)
+        task = table.spawn("inner", ns, now=0.0)
+        root_pid_ns = registry.root(NamespaceType.PID)
+        assert task.visible_from(root_pid_ns)
+        assert task in table.tasks_visible_from(root_pid_ns)
+
+    def test_container_does_not_see_host_task(self, registry, table):
+        host_task = table.spawn("hostproc", host_ns(registry), now=0.0)
+        ns = container_ns(registry)
+        table.spawn("inner", ns, now=0.0)
+        container_pid_ns = ns[NamespaceType.PID]
+        assert not host_task.visible_from(container_pid_ns)
+        visible = table.tasks_visible_from(container_pid_ns)
+        assert host_task not in visible
+        assert len(visible) == 1
+
+    def test_sibling_containers_isolated(self, registry, table):
+        ns_a = container_ns(registry)
+        ns_b = container_ns(registry)
+        a = table.spawn("a", ns_a, now=0.0)
+        table.spawn("b", ns_b, now=0.0)
+        assert a.pid_in(ns_b[NamespaceType.PID]) is None
+
+
+class TestLifecycle:
+    def test_reap_removes_task(self, registry, table):
+        task = table.spawn("dying", host_ns(registry), now=0.0)
+        table.reap(task)
+        assert task.state is TaskState.DEAD
+        assert len(table) == 0
+        with pytest.raises(KernelError):
+            table.get(task.pid)
+
+    def test_double_reap_rejected(self, registry, table):
+        task = table.spawn("dying", host_ns(registry), now=0.0)
+        table.reap(task)
+        with pytest.raises(KernelError):
+            table.reap(task)
+
+    def test_find_by_name(self, registry, table):
+        table.spawn("worker", host_ns(registry), now=0.0)
+        table.spawn("worker", host_ns(registry), now=0.0)
+        table.spawn("other", host_ns(registry), now=0.0)
+        assert len(table.find_by_name("worker")) == 2
+
+    def test_pids_not_reused_after_reap(self, registry, table):
+        t1 = table.spawn("a", host_ns(registry), now=0.0)
+        table.reap(t1)
+        t2 = table.spawn("b", host_ns(registry), now=0.0)
+        assert t2.pid > t1.pid

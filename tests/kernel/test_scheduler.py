@@ -1,0 +1,225 @@
+"""Tests for the scheduler: allocation, accounting, loadavg, perf overhead."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.kernel import Machine
+from repro.runtime.workload import constant
+
+
+def spawn_cpu_task(kernel, name="worker", demand=1.0, **kwargs):
+    return kernel.spawn(
+        name,
+        workload=constant(
+            name,
+            cpu_demand=demand,
+            ipc=2.0,
+            cache_miss_per_kinst=0.5,
+            branch_miss_per_kinst=1.0,
+            **kwargs,
+        ),
+    )
+
+
+@pytest.fixture
+def quiet_machine():
+    """A machine without boot daemons, for exact accounting checks."""
+    return Machine(seed=5, spawn_daemons=False)
+
+
+class TestAllocation:
+    def test_single_task_gets_full_demand(self, quiet_machine):
+        k = quiet_machine.kernel
+        task = spawn_cpu_task(k)
+        quiet_machine.run(10, dt=1.0)
+        assert task.cpu_time_ns == pytest.approx(10e9, rel=0.01)
+
+    def test_half_demand_gets_half_time(self, quiet_machine):
+        k = quiet_machine.kernel
+        task = spawn_cpu_task(k, demand=0.5)
+        quiet_machine.run(10, dt=1.0)
+        assert task.cpu_time_ns == pytest.approx(5e9, rel=0.01)
+
+    def test_oversubscribed_cpu_shares_fairly(self, quiet_machine):
+        k = quiet_machine.kernel
+        cpu0 = frozenset([0])
+        a = k.spawn("a", workload=constant("a", cpu_demand=1.0), affinity=cpu0)
+        b = k.spawn("b", workload=constant("b", cpu_demand=1.0), affinity=cpu0)
+        quiet_machine.run(10, dt=1.0)
+        assert a.cpu_time_ns == pytest.approx(5e9, rel=0.02)
+        assert b.cpu_time_ns == pytest.approx(5e9, rel=0.02)
+
+    def test_tasks_spread_across_cpus(self, quiet_machine):
+        k = quiet_machine.kernel
+        tasks = [spawn_cpu_task(k, name=f"t{i}") for i in range(8)]
+        placements = {k.scheduler.placement_of(t) for t in tasks}
+        assert placements == set(range(8))
+
+    def test_empty_cpu_mask_rejected(self, quiet_machine):
+        k = quiet_machine.kernel
+        with pytest.raises(KernelError):
+            k.spawn("bad", workload=constant("bad"), affinity=frozenset())
+
+    def test_affinity_respected(self, quiet_machine):
+        k = quiet_machine.kernel
+        task = k.spawn("pinned", workload=constant("p"), affinity=frozenset([3]))
+        assert k.scheduler.placement_of(task) == 3
+
+
+class TestAccounting:
+    def test_idle_time_accumulates_on_idle_cpus(self, quiet_machine):
+        quiet_machine.run(10, dt=1.0)
+        k = quiet_machine.kernel
+        assert k.idle_seconds == pytest.approx(80.0, rel=0.01)
+
+    def test_busy_cpu_has_no_idle(self, quiet_machine):
+        k = quiet_machine.kernel
+        task = spawn_cpu_task(k)
+        cpu = k.scheduler.placement_of(task)
+        quiet_machine.run(10, dt=1.0)
+        assert k.scheduler.cpu_stats[cpu].idle_ns == 0
+
+    def test_instructions_follow_ipc(self, quiet_machine):
+        k = quiet_machine.kernel
+        task = spawn_cpu_task(k)
+        result = None
+        quiet_machine.run(1, dt=1.0)
+        freq = k.config.cpu.frequency_hz
+        expected = freq * 2.0  # ipc = 2.0
+        assert task.workload.total.instructions == pytest.approx(expected, rel=0.01)
+
+    def test_context_switches_counted(self, quiet_machine):
+        k = quiet_machine.kernel
+        task = k.spawn(
+            "switchy",
+            workload=constant("s", cpu_demand=0.5, voluntary_switches_per_sec=100),
+        )
+        quiet_machine.run(10, dt=1.0)
+        assert task.nvcsw == 1000
+        assert k.scheduler.nr_switches_total >= 1000
+
+    def test_utilization_reported(self, quiet_machine):
+        k = quiet_machine.kernel
+        task = spawn_cpu_task(k)
+        cpu = k.scheduler.placement_of(task)
+        result = k.scheduler.tick(1.0)
+        assert result.utilization[cpu] == pytest.approx(1.0)
+        other = (cpu + 1) % k.config.total_cores
+        assert result.utilization[other] == 0.0
+
+
+class TestLoadavg:
+    def test_loadavg_rises_toward_running_count(self, quiet_machine):
+        k = quiet_machine.kernel
+        for i in range(4):
+            spawn_cpu_task(k, name=f"l{i}")
+        quiet_machine.run(120, dt=1.0)
+        assert 3.0 < k.scheduler.loadavg_1 < 4.05
+        # slower averages lag behind
+        assert k.scheduler.loadavg_15 < k.scheduler.loadavg_1
+
+    def test_loadavg_decays_when_idle(self, quiet_machine):
+        k = quiet_machine.kernel
+        task = spawn_cpu_task(k, name="burst", duration=10.0)
+        quiet_machine.run(10, dt=1.0)
+        peak = k.scheduler.loadavg_1
+        quiet_machine.run(120, dt=1.0)
+        assert k.scheduler.loadavg_1 < peak / 2
+
+
+class TestSchedDomainCosts:
+    def test_cost_rises_under_load(self, quiet_machine):
+        k = quiet_machine.kernel
+        before = dict(k.scheduler.max_newidle_lb_cost)
+        task = spawn_cpu_task(k)
+        cpu = k.scheduler.placement_of(task)
+        quiet_machine.run(30, dt=1.0)
+        assert k.scheduler.max_newidle_lb_cost[cpu] > before[cpu]
+
+    def test_cost_decays_when_idle(self, quiet_machine):
+        k = quiet_machine.kernel
+        before = dict(k.scheduler.max_newidle_lb_cost)
+        quiet_machine.run(60, dt=1.0)
+        assert all(
+            k.scheduler.max_newidle_lb_cost[c] <= before[c]
+            for c in range(k.config.total_cores)
+        )
+
+
+class TestPerfOverhead:
+    """The Table III mechanisms, at the scheduler level."""
+
+    def _pipe_workload(self, name):
+        return constant(
+            name,
+            cpu_demand=0.5,
+            ipc=1.0,
+            voluntary_switches_per_sec=100_000,
+            syscalls_per_sec=200_000,
+        )
+
+    def test_no_overhead_without_monitoring(self, quiet_machine):
+        k = quiet_machine.kernel
+        groups = k.cgroups.create_group_set("docker/c1")
+        task = k.spawn(
+            "pipe", workload=self._pipe_workload("pipe"), cgroup_set=groups
+        )
+        quiet_machine.run(10, dt=1.0)
+        # full useful time: work_units == granted cpu seconds
+        assert task.workload.total.work_units == pytest.approx(5.0, rel=0.01)
+
+    def test_inter_cgroup_switching_costs_time_when_monitored(self, quiet_machine):
+        k = quiet_machine.kernel
+        groups = k.cgroups.create_group_set("docker/c1")
+        k.perf.enable(groups["perf_event"])
+        task = k.spawn(
+            "pipe", workload=self._pipe_workload("pipe"), cgroup_set=groups
+        )
+        quiet_machine.run(10, dt=1.0)
+        # 100k switches/s, all inter-cgroup (idle neighbour), toggle 2us
+        # => ~0.2s/s overhead against a 0.5s/s grant => ~40% work lost
+        useful = task.workload.total.work_units
+        assert useful < 3.5
+        assert useful > 2.0
+
+    def test_same_cgroup_peer_absorbs_switches(self, quiet_machine):
+        k = quiet_machine.kernel
+        groups = k.cgroups.create_group_set("docker/c1")
+        k.perf.enable(groups["perf_event"])
+        cpu0 = frozenset([0])
+        a = k.spawn(
+            "pipe-a",
+            workload=self._pipe_workload("a"),
+            affinity=cpu0,
+            cgroup_set=groups,
+        )
+        b = k.spawn(
+            "pipe-b",
+            workload=self._pipe_workload("b"),
+            affinity=cpu0,
+            cgroup_set=groups,
+        )
+        quiet_machine.run(10, dt=1.0)
+        # CPU fully occupied by same-cgroup tasks: p_inter == 0, only the
+        # one-off spawn debt remains.
+        assert a.workload.total.work_units == pytest.approx(5.0, rel=0.02)
+        assert b.workload.total.work_units == pytest.approx(5.0, rel=0.02)
+
+    def test_spawn_debt_charged_once(self, quiet_machine):
+        k = quiet_machine.kernel
+        groups = k.cgroups.create_group_set("docker/c1")
+        k.perf.enable(groups["perf_event"])
+        task = k.spawn(
+            "calm",
+            workload=constant(
+                "calm",
+                cpu_demand=1.0,
+                voluntary_switches_per_sec=0,
+                cache_miss_per_kinst=0.0,
+                branch_miss_per_kinst=0.0,
+            ),
+            cgroup_set=groups,
+        )
+        quiet_machine.run(2, dt=1.0)
+        lost = 2.0 - task.workload.total.work_units
+        assert 0 < lost < 0.001  # 50us spawn debt only

@@ -1,0 +1,155 @@
+"""Deeper format-fidelity checks: parsers written for real Linux must work.
+
+Each test parses a rendered pseudo-file the way common tooling does
+(psutil-style splitting, column arithmetic) and cross-checks the values
+against the owning subsystem.
+"""
+
+import re
+
+import pytest
+
+from repro.procfs.node import ReadContext
+from repro.procfs.vfs import PseudoVFS
+from repro.runtime.workload import constant
+
+
+@pytest.fixture
+def loaded(busy_machine):
+    vfs = PseudoVFS(busy_machine.kernel)
+    return busy_machine, vfs, ReadContext(kernel=busy_machine.kernel)
+
+
+class TestProcStatFidelity:
+    def test_psutil_style_cpu_percent_computation(self, loaded):
+        """The (busy, idle) delta arithmetic every monitor uses."""
+        machine, vfs, ctx = loaded
+
+        def snapshot():
+            first = vfs.read("/proc/stat", ctx).splitlines()[0]
+            fields = [int(x) for x in first.split()[1:]]
+            busy = fields[0] + fields[1] + fields[2]
+            idle = fields[3] + fields[4]
+            return busy, idle
+
+        b0, i0 = snapshot()
+        machine.run(10, dt=1.0)
+        b1, i1 = snapshot()
+        utilization = (b1 - b0) / max(1, (b1 - b0) + (i1 - i0))
+        # one 8-core host with one saturated core => ~1/8 utilization
+        assert utilization == pytest.approx(1.0 / 8.0, abs=0.04)
+
+    def test_btime_is_stable_across_reads(self, loaded):
+        machine, vfs, ctx = loaded
+        read_btime = lambda: int(
+            next(l for l in vfs.read("/proc/stat", ctx).splitlines()
+                 if l.startswith("btime")).split()[1]
+        )
+        first = read_btime()
+        machine.run(30, dt=1.0)
+        assert read_btime() == first
+
+    def test_ctxt_monotone(self, loaded):
+        machine, vfs, ctx = loaded
+        read_ctxt = lambda: int(
+            next(l for l in vfs.read("/proc/stat", ctx).splitlines()
+                 if l.startswith("ctxt")).split()[1]
+        )
+        first = read_ctxt()
+        machine.run(10, dt=1.0)
+        assert read_ctxt() >= first
+
+    def test_intr_first_field_is_total(self, loaded):
+        _, vfs, ctx = loaded
+        intr = next(l for l in vfs.read("/proc/stat", ctx).splitlines()
+                    if l.startswith("intr")).split()
+        total = int(intr[1])
+        assert total == sum(int(x) for x in intr[2:])
+
+
+class TestUptimeFidelity:
+    def test_uptime_monotone_and_idle_bounded(self, loaded):
+        machine, vfs, ctx = loaded
+        ncpus = machine.kernel.config.total_cores
+
+        def read():
+            up, idle = vfs.read("/proc/uptime", ctx).split()
+            return float(up), float(idle)
+
+        up0, idle0 = read()
+        machine.run(10, dt=1.0)
+        up1, idle1 = read()
+        assert up1 > up0
+        assert idle1 >= idle0
+        # aggregate idle can grow at most ncpus seconds per second
+        assert idle1 - idle0 <= (up1 - up0) * ncpus + 0.01
+
+
+class TestMeminfoFidelity:
+    def test_free_parses_like_procps(self, loaded):
+        """total = used + free + buff/cache must roughly balance."""
+        _, vfs, ctx = loaded
+        fields = {}
+        for line in vfs.read("/proc/meminfo", ctx).splitlines():
+            key, value = line.split(":")
+            fields[key] = int(value.strip().split()[0])
+        buff_cache = fields["Buffers"] + fields["Cached"] + fields["Slab"]
+        reconstructed = fields["MemFree"] + buff_cache + fields["AnonPages"]
+        # within the kernel-reserved fraction of the total
+        assert reconstructed <= fields["MemTotal"]
+        assert reconstructed > fields["MemTotal"] * 0.5
+
+
+class TestInterruptsFidelity:
+    def test_row_totals_match_subsystem(self, loaded):
+        machine, vfs, ctx = loaded
+        intr = machine.kernel.interrupts
+        content = vfs.read("/proc/interrupts", ctx)
+        ncpus = machine.kernel.config.total_cores
+        loc_row = next(l for l in content.splitlines() if l.startswith(" LOC:"))
+        counts = [int(x) for x in loc_row.split()[1 : 1 + ncpus]]
+        assert counts == intr.irq("LOC").per_cpu
+
+
+class TestTimerListFidelity:
+    def test_entry_count_matches_subsystem(self, loaded):
+        machine, vfs, ctx = loaded
+        from repro.runtime.workload import idle
+
+        k = machine.kernel
+        owner = k.spawn("towner", workload=idle())
+        for _ in range(5):
+            k.timers.arm(owner, delay_seconds=500)
+        content = vfs.read("/proc/timer_list", ctx)
+        rendered_entries = content.count("expires at")
+        assert rendered_entries == len(k.timers.entries)
+
+
+class TestZoneinfoFidelity:
+    def test_watermark_ordering_in_rendering(self, loaded):
+        _, vfs, ctx = loaded
+        content = vfs.read("/proc/zoneinfo", ctx)
+        for block in content.split("Node ")[1:]:
+            min_ = int(re.search(r"min\s+(\d+)", block).group(1))
+            low = int(re.search(r"low\s+(\d+)", block).group(1))
+            high = int(re.search(r"high\s+(\d+)", block).group(1))
+            assert min_ <= low <= high
+
+    def test_pagesets_listed_per_cpu(self, loaded):
+        machine, vfs, ctx = loaded
+        content = vfs.read("/proc/zoneinfo", ctx)
+        first_zone = content.split("Node 0, zone")[1]
+        ncpus = machine.kernel.config.total_cores
+        assert first_zone.count("cpu:") == ncpus
+
+
+class TestSchedDebugFidelity:
+    def test_running_tasks_listed_with_pids(self, busy_machine):
+        vfs = PseudoVFS(busy_machine.kernel)
+        k = busy_machine.kernel
+        task = k.spawn("fid-probe", workload=constant("p", cpu_demand=0.5))
+        busy_machine.run(2, dt=1.0)
+        content = vfs.read("/proc/sched_debug")
+        match = re.search(r"fid-probe\s+(\d+)", content)
+        assert match is not None
+        assert int(match.group(1)) == task.pid

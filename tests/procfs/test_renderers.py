@@ -1,0 +1,265 @@
+"""Tests for pseudo-file renderers: format fidelity and data correctness."""
+
+import re
+
+import pytest
+
+from repro.procfs.node import ReadContext
+from repro.runtime.workload import constant, idle
+
+
+@pytest.fixture
+def ctx(busy_machine):
+    return ReadContext(kernel=busy_machine.kernel)
+
+
+@pytest.fixture
+def vfs(busy_machine):
+    from repro.procfs.vfs import PseudoVFS
+
+    return PseudoVFS(busy_machine.kernel)
+
+
+class TestProcCore:
+    def test_uptime_format(self, vfs, ctx, busy_machine):
+        content = vfs.read("/proc/uptime", ctx)
+        up, idle_s = (float(x) for x in content.split())
+        assert up == pytest.approx(busy_machine.kernel.uptime_seconds, abs=0.01)
+        assert idle_s == pytest.approx(busy_machine.kernel.idle_seconds, abs=0.5)
+
+    def test_version_format(self, vfs, ctx):
+        content = vfs.read("/proc/version", ctx)
+        assert content.startswith("Linux version 4.7.0")
+        assert "gcc version" in content
+
+    def test_loadavg_format(self, vfs, ctx):
+        content = vfs.read("/proc/loadavg", ctx)
+        match = re.match(
+            r"^\d+\.\d{2} \d+\.\d{2} \d+\.\d{2} \d+/\d+ \d+\n$", content
+        )
+        assert match, content
+
+    def test_stat_structure(self, vfs, ctx, busy_machine):
+        lines = vfs.read("/proc/stat", ctx).splitlines()
+        assert lines[0].startswith("cpu  ")
+        ncpus = busy_machine.kernel.config.total_cores
+        for cpu in range(ncpus):
+            assert lines[1 + cpu].startswith(f"cpu{cpu} ")
+        keys = {line.split()[0] for line in lines}
+        assert {"intr", "ctxt", "btime", "processes", "softirq"} <= keys
+
+    def test_stat_totals_are_sums(self, vfs, ctx):
+        lines = vfs.read("/proc/stat", ctx).splitlines()
+        total = [int(x) for x in lines[0].split()[1:]]
+        per_cpu = [
+            [int(x) for x in line.split()[1:]]
+            for line in lines
+            if re.match(r"^cpu\d+ ", line)
+        ]
+        summed = [sum(col) for col in zip(*per_cpu)]
+        assert total[:7] == summed[:7]
+
+    def test_meminfo_format_and_consistency(self, vfs, ctx, busy_machine):
+        content = vfs.read("/proc/meminfo", ctx)
+        fields = {}
+        for line in content.splitlines():
+            match = re.match(r"^(\w+):\s+(\d+) kB$", line)
+            assert match, line
+            fields[match.group(1)] = int(match.group(2))
+        mem = busy_machine.kernel.memory
+        assert fields["MemTotal"] == mem.mem_total_kb
+        assert fields["MemFree"] < fields["MemTotal"]
+        assert fields["MemAvailable"] >= fields["MemFree"]
+
+    def test_zoneinfo_mentions_all_zones(self, vfs, ctx, busy_machine):
+        content = vfs.read("/proc/zoneinfo", ctx)
+        for node in busy_machine.kernel.memory.nodes:
+            for zone in node.zones:
+                assert f"zone {zone.name:>8}" in content
+        assert "pagesets" in content
+
+    def test_cpuinfo_lists_all_cpus(self, vfs, ctx, busy_machine):
+        content = vfs.read("/proc/cpuinfo", ctx)
+        ncpus = busy_machine.kernel.config.total_cores
+        assert content.count("processor\t:") == ncpus
+        assert "i7-6700" in content
+
+
+class TestProcKernelTables:
+    def test_sched_debug_lists_tasks_with_host_pids(self, vfs, busy_machine):
+        ctx = ReadContext(kernel=busy_machine.kernel)
+        content = vfs.read("/proc/sched_debug", ctx)
+        assert "cruncher" in content
+        task = busy_machine.kernel.processes.find_by_name("cruncher")[0]
+        assert str(task.pid) in content
+
+    def test_schedstat_version_header(self, vfs, ctx):
+        lines = vfs.read("/proc/schedstat", ctx).splitlines()
+        assert lines[0] == "version 15"
+        assert lines[1].startswith("timestamp ")
+
+    def test_timer_list_header_and_owner(self, vfs, busy_machine):
+        k = busy_machine.kernel
+        task = k.spawn("timerowner", workload=idle())
+        k.timers.arm(task, delay_seconds=500)
+        content = vfs_read = vfs = None  # placeholder avoided
+        from repro.procfs.vfs import PseudoVFS
+
+        content = PseudoVFS(k).read("/proc/timer_list")
+        assert content.startswith("Timer List Version: v0.8")
+        assert f"timerowner/{task.pid}" in content
+
+    def test_locks_rows(self, busy_machine):
+        from repro.procfs.vfs import PseudoVFS
+
+        k = busy_machine.kernel
+        task = k.spawn("locker", workload=idle())
+        k.locks.acquire(task, inode=777)
+        content = PseudoVFS(k).read("/proc/locks")
+        assert re.search(rf"\d+: POSIX  ADVISORY  WRITE {task.pid} 08:01:777 0 EOF", content)
+
+    def test_modules_rows(self, vfs, ctx):
+        content = vfs.read("/proc/modules", ctx)
+        assert re.search(r"^ext4 \d+ \d+ .* Live 0x[0-9a-f]{16}$", content, re.M)
+
+    def test_interrupts_columns(self, vfs, ctx, busy_machine):
+        lines = vfs.read("/proc/interrupts", ctx).splitlines()
+        ncpus = busy_machine.kernel.config.total_cores
+        assert lines[0].split() == [f"CPU{c}" for c in range(ncpus)]
+        loc = next(l for l in lines if l.startswith(" LOC:"))
+        counts = loc.split()[1 : 1 + ncpus]
+        assert all(int(c) >= 0 for c in counts)
+
+    def test_softirqs_rows(self, vfs, ctx):
+        content = vfs.read("/proc/softirqs", ctx)
+        for name in ("TIMER:", "NET_RX:", "SCHED:", "RCU:"):
+            assert name in content
+
+
+class TestProcSys:
+    def test_boot_id_is_uuid(self, vfs, ctx):
+        content = vfs.read("/proc/sys/kernel/random/boot_id", ctx).strip()
+        assert re.match(
+            r"^[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}$",
+            content,
+        )
+
+    def test_entropy_avail_in_range(self, vfs, ctx):
+        value = int(vfs.read("/proc/sys/kernel/random/entropy_avail", ctx))
+        assert 128 <= value <= 4096
+
+    def test_uuid_changes_every_read(self, vfs, ctx):
+        a = vfs.read("/proc/sys/kernel/random/uuid", ctx)
+        b = vfs.read("/proc/sys/kernel/random/uuid", ctx)
+        assert a != b
+
+    def test_boot_id_stable_across_reads(self, vfs, ctx):
+        a = vfs.read("/proc/sys/kernel/random/boot_id", ctx)
+        b = vfs.read("/proc/sys/kernel/random/boot_id", ctx)
+        assert a == b
+
+    def test_fs_counters(self, vfs, ctx):
+        dentry = vfs.read("/proc/sys/fs/dentry-state", ctx).split()
+        assert len(dentry) == 6
+        inode = vfs.read("/proc/sys/fs/inode-nr", ctx).split()
+        assert len(inode) == 2
+        file_nr = vfs.read("/proc/sys/fs/file-nr", ctx).split()
+        assert len(file_nr) == 3
+
+    def test_sched_domain_cost(self, vfs, ctx, busy_machine):
+        value = int(
+            vfs.read(
+                "/proc/sys/kernel/sched_domain/cpu0/domain0/max_newidle_lb_cost", ctx
+            )
+        )
+        assert value == busy_machine.kernel.scheduler.max_newidle_lb_cost[0]
+
+    def test_mb_groups_table(self, vfs, ctx):
+        content = vfs.read("/proc/fs/ext4/sda/mb_groups", ctx)
+        lines = content.splitlines()
+        assert lines[0].startswith("#group:")
+        assert len(lines) == 17  # header + 16 groups
+
+
+class TestSysfs:
+    def test_ifpriomap_leaks_host_devices(self, engine):
+        c = engine.create(name="c1")
+        content = c.read("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+        names = [line.split()[0] for line in content.splitlines()]
+        assert names == ["lo", "eth0", "eth1", "docker0"]
+
+    def test_fixed_ifpriomap_is_namespaced(self, engine):
+        from repro.procfs.render.sys_cgroup import render_ifpriomap_fixed
+
+        c = engine.create(name="c1")
+        content = render_ifpriomap_fixed(c.read_context())
+        names = [line.split()[0] for line in content.splitlines()]
+        assert names == ["lo", "eth0"]
+
+    def test_numastat(self, vfs, ctx):
+        content = vfs.read("/sys/devices/system/node/node0/numastat", ctx)
+        assert re.search(r"^numa_hit \d+$", content, re.M)
+
+    def test_cpuidle_files(self, vfs, ctx):
+        usage = int(vfs.read("/sys/devices/system/cpu/cpu1/cpuidle/state4/usage", ctx))
+        time_us = int(vfs.read("/sys/devices/system/cpu/cpu1/cpuidle/state4/time", ctx))
+        name = vfs.read("/sys/devices/system/cpu/cpu1/cpuidle/state4/name", ctx).strip()
+        assert name == "C6"
+        assert usage > 0
+        assert time_us > 0
+
+    def test_coretemp_millidegrees(self, vfs, ctx, busy_machine):
+        raw = int(
+            vfs.read(
+                "/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp2_input", ctx
+            )
+        )
+        assert 30_000 < raw < 80_000
+        label = vfs.read(
+            "/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp2_label", ctx
+        ).strip()
+        assert label == "Core 0"
+
+    def test_rapl_energy_uj(self, vfs, ctx, busy_machine):
+        raw = int(vfs.read("/sys/class/powercap/intel-rapl:0/energy_uj", ctx))
+        assert raw == busy_machine.kernel.rapl.package(0).package.energy_uj
+        name = vfs.read("/sys/class/powercap/intel-rapl:0/name", ctx).strip()
+        assert name == "package-0"
+        rng = int(vfs.read("/sys/class/powercap/intel-rapl:0/max_energy_range_uj", ctx))
+        assert rng == 262_143_328_850
+
+    def test_rapl_subdomains(self, vfs, ctx):
+        core = vfs.read(
+            "/sys/class/powercap/intel-rapl:0/intel-rapl:0:0/name", ctx
+        ).strip()
+        dram = vfs.read(
+            "/sys/class/powercap/intel-rapl:0/intel-rapl:0:1/name", ctx
+        ).strip()
+        assert (core, dram) == ("core", "dram")
+
+    def test_class_net_statistics(self, vfs, ctx, busy_machine):
+        raw = int(vfs.read("/sys/class/net/eth0/statistics/tx_bytes", ctx))
+        assert raw > 0  # busy machine sends traffic
+
+
+class TestNamespacedControls:
+    def test_net_dev_namespaced(self, engine):
+        c = engine.create(name="c1")
+        inside = c.read("/proc/net/dev")
+        assert "eth1" not in inside
+        assert "docker0" not in inside
+        outside = engine.vfs.read("/proc/net/dev")
+        assert "docker0" in outside
+
+    def test_self_cgroup_namespaced(self, engine):
+        c = engine.create(name="c1")
+        inside = c.read("/proc/self/cgroup")
+        # CGROUP namespace hides the host-side /docker/<id> prefix
+        assert f"/docker/{c.container_id}" not in inside
+        assert ":/" in inside
+
+    def test_ns_last_pid_namespaced(self, engine):
+        c = engine.create(name="c1")
+        inner = int(c.read("/proc/sys/kernel/ns_last_pid"))
+        outer = int(engine.vfs.read("/proc/sys/kernel/ns_last_pid"))
+        assert inner < outer

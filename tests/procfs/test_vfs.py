@@ -1,0 +1,106 @@
+"""Tests for the pseudo-VFS: resolution, policy enforcement, walking."""
+
+import pytest
+
+from repro.errors import FileNotFoundPseudoError, PermissionDeniedError
+from repro.kernel.config import AMD_OPTERON, HostConfig
+from repro.kernel.kernel import Machine
+from repro.procfs.vfs import PseudoVFS
+from repro.runtime.engine import ContainerEngine
+from repro.runtime.policy import MaskingPolicy, first_field_only
+
+
+class TestResolution:
+    def test_read_host_context_default(self, kernel):
+        vfs = PseudoVFS(kernel)
+        assert vfs.read("/proc/version").startswith("Linux version")
+
+    def test_missing_path_raises_enoent(self, kernel):
+        vfs = PseudoVFS(kernel)
+        with pytest.raises(FileNotFoundPseudoError):
+            vfs.read("/proc/nonexistent")
+
+    def test_directory_read_raises_enoent(self, kernel):
+        vfs = PseudoVFS(kernel)
+        with pytest.raises(FileNotFoundPseudoError):
+            vfs.read("/proc/sys")
+
+    def test_exists(self, kernel):
+        vfs = PseudoVFS(kernel)
+        assert vfs.exists("/proc/meminfo")
+        assert vfs.exists("/proc/sys")  # directories exist too
+        assert not vfs.exists("/proc/nope")
+
+    def test_relative_path_rejected(self, kernel):
+        vfs = PseudoVFS(kernel)
+        with pytest.raises(FileNotFoundPseudoError):
+            vfs.read("proc/meminfo")
+
+
+class TestHardwareDependence:
+    def test_no_rapl_tree_on_amd(self):
+        machine = Machine(config=HostConfig(cpu=AMD_OPTERON), seed=1)
+        vfs = PseudoVFS(machine.kernel)
+        assert not vfs.exists("/sys/class/powercap")
+        with pytest.raises(FileNotFoundPseudoError):
+            vfs.read("/sys/class/powercap/intel-rapl:0/energy_uj")
+
+    def test_no_coretemp_on_amd(self):
+        machine = Machine(config=HostConfig(cpu=AMD_OPTERON), seed=1)
+        vfs = PseudoVFS(machine.kernel)
+        assert not vfs.exists("/sys/devices/platform/coretemp.0")
+
+    def test_tree_scales_with_cpus(self):
+        machine = Machine(config=HostConfig(), seed=1)
+        vfs = PseudoVFS(machine.kernel)
+        assert vfs.exists("/sys/devices/system/cpu/cpu7/cpuidle/state0/usage")
+        assert not vfs.exists("/sys/devices/system/cpu/cpu8/cpuidle/state0/usage")
+
+    def test_tree_scales_with_disks(self):
+        machine = Machine(
+            config=HostConfig(disks=("sda", "sdb")), seed=1
+        )
+        vfs = PseudoVFS(machine.kernel)
+        assert vfs.exists("/proc/fs/ext4/sdb/mb_groups")
+
+
+class TestPolicyEnforcement:
+    def test_deny_raises_eacces(self, kernel):
+        engine = ContainerEngine(kernel)
+        c = engine.create(name="c1", policy=MaskingPolicy().deny("/proc/uptime"))
+        with pytest.raises(PermissionDeniedError):
+            engine.vfs.read("/proc/uptime", c.read_context())
+
+    def test_hide_raises_enoent(self, kernel):
+        engine = ContainerEngine(kernel)
+        c = engine.create(name="c1", policy=MaskingPolicy().hide("/proc/uptime"))
+        with pytest.raises(FileNotFoundPseudoError):
+            engine.vfs.read("/proc/uptime", c.read_context())
+
+    def test_partial_applies_transform(self, kernel):
+        engine = ContainerEngine(kernel)
+        policy = MaskingPolicy().partial("/proc/loadavg", first_field_only)
+        c = engine.create(name="c1", policy=policy)
+        content = engine.vfs.read("/proc/loadavg", c.read_context())
+        assert len(content.split()) == 1
+
+    def test_policy_not_applied_to_host(self, kernel):
+        engine = ContainerEngine(kernel)
+        engine.create(name="c1", policy=MaskingPolicy().deny("/proc/uptime"))
+        assert engine.vfs.read("/proc/uptime")  # host read unaffected
+
+
+class TestWalk:
+    def test_walk_covers_both_trees(self, kernel):
+        vfs = PseudoVFS(kernel)
+        paths = [path for path, _ in vfs.walk()]
+        assert any(p.startswith("/proc/") for p in paths)
+        assert any(p.startswith("/sys/") for p in paths)
+        assert len(paths) > 200
+
+    def test_channel_files_tagged(self, kernel):
+        vfs = PseudoVFS(kernel)
+        tagged = vfs.leak_channel_files()
+        channels = {node.channel for _, node in tagged}
+        assert "proc.meminfo" in channels
+        assert "sys.class.powercap.energy_uj" in channels

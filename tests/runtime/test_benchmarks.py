@@ -1,0 +1,85 @@
+"""Tests for benchmark profiles."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.benchmarks import (
+    MODELING_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    UNIXBENCH_TESTS,
+    get_profile,
+    power_virus,
+)
+
+
+class TestProfiles:
+    def test_modeling_set_matches_paper(self):
+        # "idle loop written in C, prime, 462.libquantum, and stress"
+        assert {"idle-loop", "prime", "libquantum"} <= set(MODELING_BENCHMARKS)
+        assert any(name.startswith("stress") for name in MODELING_BENCHMARKS)
+
+    def test_spec_set_disjoint_from_modeling(self):
+        assert not set(SPEC_BENCHMARKS) & set(MODELING_BENCHMARKS)
+
+    def test_spec_includes_bzip2(self):
+        # Figure 9 uses 401.bzip2
+        assert "401.bzip2" in SPEC_BENCHMARKS
+
+    def test_profiles_span_miss_rate_space(self):
+        rates = [p.cache_miss_per_kinst for p in MODELING_BENCHMARKS.values()]
+        assert max(rates) / max(min(rates), 1e-9) > 100
+
+    def test_workload_instantiation(self):
+        w = MODELING_BENCHMARKS["prime"].workload(duration=10.0)
+        assert w.demand() == 1.0
+        assert not w.finished
+
+    def test_get_profile_lookup(self):
+        assert get_profile("prime").name == "prime"
+        assert get_profile("429.mcf").name == "429.mcf"
+        with pytest.raises(SimulationError):
+            get_profile("nonexistent")
+
+
+class TestPowerVirus:
+    def test_virus_outdraws_prime(self):
+        """The virus must consume more power than Prime per core."""
+        from repro.kernel.kernel import Machine
+        from repro.kernel.rapl import unwrap_delta
+
+        def joules(workload_factory):
+            m = Machine(seed=1, spawn_daemons=False)
+            m.kernel.spawn("w", workload=workload_factory())
+            pkg = m.kernel.rapl.package(0).package
+            before = pkg.energy_uj
+            m.run(10, dt=1.0)
+            return unwrap_delta(pkg.energy_uj, before)
+
+        virus_j = joules(power_virus)
+        prime_j = joules(lambda: MODELING_BENCHMARKS["prime"].workload())
+        assert virus_j > prime_j * 1.3
+
+
+class TestUnixBenchTests:
+    def test_twelve_tests(self):
+        assert len(UNIXBENCH_TESTS) == 12
+
+    def test_names_match_table3(self):
+        names = [t.name for t in UNIXBENCH_TESTS]
+        assert "Pipe-based Context Switching" in names
+        assert "Execl Throughput" in names
+        assert "System Call Overhead" in names
+
+    def test_pipe_test_switch_heavy(self):
+        pipe = next(t for t in UNIXBENCH_TESTS if "Context Switching" in t.name)
+        assert pipe.switches_per_op > 0
+
+    def test_spawn_tests_marked(self):
+        spawny = [t.name for t in UNIXBENCH_TESTS if t.spawns_per_op > 0]
+        assert "Execl Throughput" in spawny
+        assert "Process Creation" in spawny
+
+    def test_file_copy_miss_heavy(self):
+        fc = next(t for t in UNIXBENCH_TESTS if "File Copy 256" in t.name)
+        dhry = next(t for t in UNIXBENCH_TESTS if "Dhrystone" in t.name)
+        assert fc.cache_miss_per_kinst > dhry.cache_miss_per_kinst * 50

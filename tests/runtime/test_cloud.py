@@ -1,0 +1,159 @@
+"""Tests for the multi-tenant cloud layer."""
+
+import pytest
+
+from repro.errors import CapacityError, CloudError, FileNotFoundPseudoError, PermissionDeniedError
+from repro.runtime.benchmarks import power_virus
+from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
+
+
+@pytest.fixture
+def cc1():
+    return ContainerCloud(PROVIDER_PROFILES["CC1"], seed=7, servers=4)
+
+
+class TestLaunch:
+    def test_instance_launches_on_some_host(self, cc1):
+        inst = cc1.launch_instance("tenant-a")
+        assert 0 <= inst.host_index < 4
+        assert inst.container.running
+
+    def test_placement_is_opaque_but_bounded(self, cc1):
+        # 16-core hosts, 4-core instances: at most 4 per host
+        instances = [cc1.launch_instance("t") for _ in range(16)]
+        per_host = {}
+        for inst in instances:
+            per_host[inst.host_index] = per_host.get(inst.host_index, 0) + 1
+        assert all(count <= 4 for count in per_host.values())
+
+    def test_capacity_exhaustion(self, cc1):
+        for _ in range(16):
+            cc1.launch_instance("t")
+        with pytest.raises(CapacityError):
+            cc1.launch_instance("t")
+
+    def test_terminate_frees_capacity(self, cc1):
+        instances = [cc1.launch_instance("t") for _ in range(16)]
+        cc1.terminate_instance(instances[0])
+        replacement = cc1.launch_instance("t")
+        assert replacement.host_index == instances[0].host_index
+
+    def test_double_terminate_rejected(self, cc1):
+        inst = cc1.launch_instance("t")
+        cc1.terminate_instance(inst)
+        with pytest.raises(CloudError):
+            cc1.terminate_instance(inst)
+
+    def test_terminated_instance_cannot_read(self, cc1):
+        inst = cc1.launch_instance("t")
+        cc1.terminate_instance(inst)
+        with pytest.raises(CloudError):
+            inst.read("/proc/uptime")
+
+    def test_instances_of_tracks_tenant(self, cc1):
+        cc1.launch_instance("alice")
+        cc1.launch_instance("alice")
+        cc1.launch_instance("bob")
+        assert len(cc1.instances_of("alice")) == 2
+
+    def test_boot_skew_across_servers(self, cc1):
+        uptimes = set()
+        for host in cc1.hosts:
+            uptimes.add(round(host.kernel.uptime_seconds, 3))
+        assert len(uptimes) == 4  # staggered boots
+
+
+class TestBilling:
+    def test_idle_instance_bills_little(self, cc1):
+        inst = cc1.launch_instance("cheap")
+        cc1.run(60)
+        assert cc1.bill("cheap") < 0.001
+
+    def test_virus_bills_by_cpu(self, cc1):
+        inst = cc1.launch_instance("spender")
+        for _ in range(4):
+            inst.container.exec("virus", workload=power_virus())
+        cc1.run(3600, dt=10.0)
+        # 4 cores x 1 hour x $0.05
+        assert cc1.bill("spender") == pytest.approx(0.2, rel=0.05)
+
+    def test_monitoring_is_nearly_free(self, cc1):
+        """Reading the RAPL channel costs (almost) no CPU: Section IV-B."""
+        inst = cc1.launch_instance("watcher")
+        for _ in range(100):
+            inst.read("/sys/class/powercap/intel-rapl:0/energy_uj")
+            cc1.run(1.0)
+        assert inst.billed_cpu_seconds < 1.0
+
+
+class TestProviderPolicies:
+    def test_cc1_denies_sched_debug_only(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC1"], seed=1, servers=1)
+        inst = cloud.launch_instance("t")
+        with pytest.raises(PermissionDeniedError):
+            inst.read("/proc/sched_debug")
+        inst.read("/proc/timer_list")  # open
+        inst.read("/proc/uptime")  # open
+
+    def test_cc3_masks_sysctl_fs(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC3"], seed=1, servers=1)
+        inst = cloud.launch_instance("t")
+        with pytest.raises(PermissionDeniedError):
+            inst.read("/proc/sys/fs/file-nr")
+        with pytest.raises(PermissionDeniedError):
+            inst.read("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+
+    def test_cc4_lacks_rapl_hardware(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC4"], seed=1, servers=1)
+        inst = cloud.launch_instance("t")
+        with pytest.raises(FileNotFoundPseudoError):
+            inst.read("/sys/class/powercap/intel-rapl:0/energy_uj")
+
+    def test_cc5_partial_views(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC5"], seed=1, servers=1)
+        inst = cloud.launch_instance("t")
+        cloud.run(2)
+        cpuinfo = inst.read("/proc/cpuinfo")
+        assert cpuinfo.count("processor") == 4  # tenant cores only
+        meminfo = inst.read("/proc/meminfo")
+        assert "MemTotal:" in meminfo
+        total_kb = int(meminfo.splitlines()[0].split()[1])
+        assert total_kb == 4 * 1024 * 1024  # scaled to the 4GB limit
+        with pytest.raises(PermissionDeniedError):
+            inst.read("/proc/uptime")
+
+    def test_cc5_partial_meminfo_still_tracks_host(self):
+        """The ◐ cells: partial views still leak host fluctuations."""
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC5"], seed=1, servers=1)
+        inst = cloud.launch_instance("t")
+        host = cloud.hosts[0].kernel
+
+        def memfree():
+            for line in inst.read("/proc/meminfo").splitlines():
+                if line.startswith("MemFree"):
+                    return int(line.split()[1])
+            raise AssertionError("no MemFree")
+
+        before = memfree()
+        from repro.runtime.workload import constant
+
+        host.spawn("hog", workload=constant("hog", cpu_demand=0.2, rss_mb=4096))
+        cloud.run(5)
+        after = memfree()
+        assert after < before  # host-side allocation visible through the scaling
+
+
+class TestCloudRun:
+    def test_run_advances_all_hosts(self, cc1):
+        before = [h.kernel.uptime_seconds for h in cc1.hosts]
+        cc1.run(30)
+        for b, host in zip(before, cc1.hosts):
+            assert host.kernel.uptime_seconds == pytest.approx(b + 30)
+
+    def test_nonpositive_run_rejected(self, cc1):
+        with pytest.raises(CloudError):
+            cc1.run(0)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(CloudError):
+            ContainerCloud(PROVIDER_PROFILES["CC1"], seed=1, servers=0)

@@ -1,0 +1,162 @@
+"""Tests for containers and the engine."""
+
+import pytest
+
+from repro.errors import ContainerError, PermissionDeniedError
+from repro.kernel.namespaces import NamespaceType
+from repro.runtime.policy import MaskingPolicy
+from repro.runtime.workload import constant, idle
+
+
+class TestEngineCreate:
+    def test_container_gets_fresh_namespaces(self, engine):
+        c = engine.create(name="c1")
+        for ns_type in (NamespaceType.PID, NamespaceType.NET, NamespaceType.MNT,
+                        NamespaceType.UTS, NamespaceType.IPC, NamespaceType.CGROUP):
+            assert not c.namespaces[ns_type].is_root
+
+    def test_user_namespace_stays_root(self, engine):
+        # Docker of the paper's era: no user namespaces by default
+        c = engine.create(name="c1")
+        assert c.namespaces[NamespaceType.USER].is_root
+
+    def test_container_cgroups_created(self, engine):
+        c = engine.create(name="c1")
+        assert c.cgroup_set["cpuacct"].path == f"/docker/{c.container_id}"
+
+    def test_init_task_is_pid_one_inside(self, engine):
+        c = engine.create(name="c1")
+        inner_pid = c.init_task.pid_in(c.namespaces[NamespaceType.PID])
+        assert inner_pid == 1
+        assert c.init_task.pid > 1  # host pid is global
+
+    def test_hostname_is_container_id(self, engine):
+        c = engine.create(name="webapp")
+        assert c.read("/proc/sys/kernel/hostname").strip() == c.container_id
+
+    def test_duplicate_name_rejected(self, engine):
+        engine.create(name="dup")
+        with pytest.raises(ContainerError):
+            engine.create(name="dup")
+
+    def test_dedicated_cpuset_allocation(self, engine):
+        a = engine.create(name="a", cpus=4)
+        b = engine.create(name="b", cpus=4)
+        assert len(a.cpus) == 4
+        assert not (a.cpus & b.cpus)
+        assert engine.free_cores == 0
+
+    def test_over_allocation_rejected(self, engine):
+        engine.create(name="a", cpus=8)
+        with pytest.raises(ContainerError):
+            engine.create(name="b", cpus=1)
+
+    def test_memory_limit_applied(self, engine):
+        c = engine.create(name="c1", memory_mb=512)
+        assert c.cgroup_set["memory"].state.limit_bytes == 512 * 1024 * 1024
+
+    def test_remove_frees_cores(self, engine):
+        c = engine.create(name="a", cpus=8)
+        engine.remove(c)
+        assert engine.free_cores == 8
+        assert not c.running
+
+    def test_creation_listener_fires(self, engine):
+        seen = []
+        engine.container_created_listeners.append(seen.append)
+        c = engine.create(name="c1")
+        assert seen == [c]
+
+
+class TestContainerExec:
+    def test_exec_joins_container_namespaces(self, engine):
+        c = engine.create(name="c1")
+        task = c.exec("worker", workload=idle())
+        assert task.namespaces[NamespaceType.PID] is c.namespaces[NamespaceType.PID]
+
+    def test_exec_joins_cgroups(self, engine, kernel):
+        c = engine.create(name="c1")
+        task = c.exec("worker", workload=idle())
+        assert kernel.cgroups.hierarchy("cpuacct").cgroup_of(task).path == (
+            f"/docker/{c.container_id}"
+        )
+
+    def test_cpuset_confines_tasks(self, machine, engine):
+        c = engine.create(name="c1", cpus=2)
+        task = c.exec("worker", workload=constant("w", cpu_demand=1.0))
+        assert machine.kernel.scheduler.placement_of(task) in c.cpus
+
+    def test_taskset_within_cpuset(self, engine, machine):
+        c = engine.create(name="c1", cpus=4)
+        core = min(c.cpus)
+        task = c.exec("pinned", workload=constant("w"), affinity=frozenset([core]))
+        assert machine.kernel.scheduler.placement_of(task) == core
+
+    def test_taskset_escape_rejected(self, engine):
+        c = engine.create(name="c1", cpus=2)
+        outside = frozenset(range(8)) - c.cpus
+        with pytest.raises(ContainerError):
+            c.exec("escape", workload=idle(), affinity=outside)
+
+    def test_exec_on_stopped_container_rejected(self, engine):
+        c = engine.create(name="c1")
+        engine.remove(c)
+        with pytest.raises(ContainerError):
+            c.exec("late", workload=idle())
+
+    def test_cpu_usage_accumulates(self, machine, engine):
+        c = engine.create(name="c1")
+        c.exec("burn", workload=constant("w", cpu_demand=1.0))
+        machine.run(5, dt=1.0)
+        assert c.cpu_usage_ns >= 4.9e9
+
+    def test_stop_kills_all_tasks(self, machine, engine):
+        c = engine.create(name="c1")
+        c.exec("w1", workload=constant("a"))
+        c.exec("w2", workload=constant("b"))
+        count_before = len(machine.kernel.processes)
+        engine.remove(c)
+        assert len(machine.kernel.processes) == count_before - 3  # 2 + init
+
+    def test_reap_finished(self, machine, engine):
+        c = engine.create(name="c1")
+        c.exec("short", workload=constant("s", duration=2.0))
+        machine.run(3, dt=1.0)
+        assert c.reap_finished() == 1
+        assert len(c.tasks) == 1  # init remains
+
+
+class TestContainerPseudoReads:
+    def test_policy_denial_surfaces_as_eacces(self, engine):
+        policy = MaskingPolicy(name="t").deny("/proc/meminfo")
+        c = engine.create(name="c1", policy=policy)
+        with pytest.raises(PermissionDeniedError):
+            c.read("/proc/meminfo")
+
+    def test_arm_timer_implants_host_visible_entry(self, machine, engine):
+        c1 = engine.create(name="c1")
+        c2 = engine.create(name="c2")
+        c1.arm_timer("sigzzz", delay_seconds=100)
+        assert "sigzzz" in c2.read("/proc/timer_list")
+
+    def test_take_lock_implants_entry(self, machine, engine):
+        c1 = engine.create(name="c1")
+        c2 = engine.create(name="c2")
+        c1.take_lock(inode=424242)
+        assert ":424242 " in c2.read("/proc/locks")
+
+    def test_set_net_prio_is_cgroup_local(self, engine):
+        c1 = engine.create(name="c1")
+        c2 = engine.create(name="c2")
+        c1.set_net_prio("eth1", 5)
+        assert "eth1 5" in c1.read("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+        assert "eth1 0" in c2.read("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+
+    def test_list_pseudo_files_excludes_hidden(self, engine):
+        policy = MaskingPolicy(name="t").hide("/proc/timer_list")
+        c = engine.create(name="c1", policy=policy)
+        assert "/proc/timer_list" not in c.list_pseudo_files()
+        # denied (not hidden) paths stay listed
+        policy2 = MaskingPolicy(name="t2").deny("/proc/timer_list")
+        c2 = engine.create(name="c2", policy=policy2)
+        assert "/proc/timer_list" in c2.list_pseudo_files()

@@ -1,0 +1,85 @@
+"""Lifecycle and churn tests for cloud instances and containers."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
+from repro.runtime.workload import constant, idle
+
+
+@pytest.fixture
+def cloud():
+    return ContainerCloud(PROVIDER_PROFILES["CC1"], seed=271, servers=2)
+
+
+class TestChurn:
+    def test_heavy_launch_terminate_cycling(self, cloud):
+        """The orchestrator's access pattern: hundreds of create/destroy
+        cycles must not leak cores, tasks, or namespaces."""
+        for round_ in range(50):
+            instance = cloud.launch_instance("churner")
+            instance.container.exec("w", workload=idle())
+            cloud.run(1.0)
+            cloud.terminate_instance(instance)
+        # all capacity restored
+        assert all(h.engine.free_cores == 16 for h in cloud.hosts)
+        # only boot daemons remain in the process tables
+        for host in cloud.hosts:
+            names = {t.name for t in host.kernel.processes}
+            assert not any(n.startswith("i-") or n == "sh" for n in names)
+
+    def test_pid_counters_strictly_grow_across_churn(self):
+        # pid counters are per host kernel: pin to a single-server cloud
+        single = ContainerCloud(PROVIDER_PROFILES["CC1"], seed=272, servers=1)
+        first = single.launch_instance("a")
+        first_pid = first.container.init_task.pid
+        single.terminate_instance(first)
+        second = single.launch_instance("a")
+        assert second.container.init_task.pid > first_pid
+
+    def test_net_namespaces_isolated_across_generations(self, cloud):
+        first = cloud.launch_instance("a")
+        ns_first = first.container.namespaces
+        cloud.terminate_instance(first)
+        second = cloud.launch_instance("a")
+        from repro.kernel.namespaces import NamespaceType
+
+        assert (
+            second.container.namespaces[NamespaceType.NET]
+            is not ns_first[NamespaceType.NET]
+        )
+
+    def test_capacity_error_leaves_cloud_consistent(self, cloud):
+        instances = []
+        while True:
+            try:
+                instances.append(cloud.launch_instance("filler"))
+            except CapacityError:
+                break
+        assert len(instances) == 8  # 2 hosts x 16 cores / 4
+        cloud.run(1.0)
+        for instance in instances:
+            cloud.terminate_instance(instance)
+        assert cloud.launch_instance("filler").container.running
+
+
+class TestBillingAcrossLifecycle:
+    def test_terminated_instances_leave_the_bill(self, cloud):
+        instance = cloud.launch_instance("payer")
+        for _ in range(4):
+            instance.container.exec("w", workload=constant("w", cpu_demand=1.0))
+        cloud.run(600, dt=10.0)
+        assert cloud.bill("payer") > 0.0
+        cloud.terminate_instance(instance)
+        # live-instance billing: a terminated instance no longer accrues
+        assert cloud.bill("payer") == 0.0
+
+    def test_billed_cpu_seconds_monotone(self, cloud):
+        instance = cloud.launch_instance("payer")
+        instance.container.exec("w", workload=constant("w", cpu_demand=0.5))
+        previous = 0.0
+        for _ in range(5):
+            cloud.run(10)
+            current = instance.billed_cpu_seconds
+            assert current >= previous
+            previous = current

@@ -1,0 +1,86 @@
+"""Tests for masking policies."""
+
+import pytest
+
+from repro.errors import ContainerError
+from repro.procfs.node import PseudoFile
+from repro.runtime.policy import (
+    Action,
+    MaskingPolicy,
+    Rule,
+    docker_default_policy,
+    first_field_only,
+)
+
+
+def node(name="x"):
+    return PseudoFile(name=name, render=lambda ctx: "")
+
+
+class TestRules:
+    def test_exact_match(self):
+        rule = Rule(pattern="/proc/meminfo", action=Action.DENY)
+        assert rule.matches("/proc/meminfo")
+        assert not rule.matches("/proc/meminfo2")
+
+    def test_glob_match(self):
+        rule = Rule(pattern="/proc/sys/fs/*", action=Action.DENY)
+        assert rule.matches("/proc/sys/fs/file-nr")
+        # fnmatch * crosses path separators, like Docker's masked-path globs
+        assert rule.matches("/proc/sys/fs/epoll/max_user_watches")
+
+    def test_partial_requires_transform(self):
+        with pytest.raises(ContainerError):
+            Rule(pattern="/x", action=Action.PARTIAL)
+
+
+class TestPolicy:
+    def test_default_allow(self):
+        policy = MaskingPolicy()
+        assert policy.check("/proc/meminfo", node()).action is Action.ALLOW
+
+    def test_first_match_wins(self):
+        policy = MaskingPolicy().allow("/proc/meminfo").deny("/proc/*")
+        assert policy.check("/proc/meminfo", node()).action is Action.ALLOW
+        assert policy.check("/proc/stat", node()).denied
+
+    def test_deny_and_hide_differ(self):
+        policy = MaskingPolicy().deny("/a").hide("/b")
+        assert policy.check("/a", node()).denied
+        assert not policy.check("/a", node()).hidden
+        assert policy.check("/b", node()).hidden
+
+    def test_chaining_returns_policy(self):
+        policy = MaskingPolicy().deny("/a").hide("/b").allow("/c")
+        assert len(policy.rules) == 3
+
+    def test_copy_is_independent(self):
+        policy = MaskingPolicy().deny("/a")
+        clone = policy.copy()
+        clone.deny("/b")
+        assert len(policy.rules) == 1
+        assert len(clone.rules) == 2
+
+    def test_partial_transform_returned(self):
+        policy = MaskingPolicy().partial("/x", first_field_only)
+        decision = policy.check("/x", node())
+        assert decision.transform is first_field_only
+
+
+class TestDockerDefault:
+    def test_masks_none_of_the_papers_channels(self):
+        """The paper's point: Docker's defaults leave Table I open."""
+        policy = docker_default_policy()
+        for path in ("/proc/meminfo", "/proc/uptime", "/proc/timer_list",
+                     "/sys/class/powercap/intel-rapl:0/energy_uj"):
+            assert policy.check(path, node()).action is Action.ALLOW
+
+    def test_masks_historical_paths(self):
+        policy = docker_default_policy()
+        assert policy.check("/proc/kcore", node()).hidden
+
+
+class TestTransforms:
+    def test_first_field_only(self):
+        text = "eth0 100 200\nlo 1 2\n"
+        assert first_field_only(text, None) == "eth0\nlo\n"

@@ -1,0 +1,116 @@
+"""Tests for the workload phase model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.kernel.activity import ActivitySample
+from repro.runtime.workload import Workload, WorkloadPhase, constant, idle
+
+FREQ = 3.4e9
+
+
+class TestWorkloadPhase:
+    def test_demand_bounds_enforced(self):
+        with pytest.raises(SimulationError):
+            WorkloadPhase(cpu_demand=1.5)
+        with pytest.raises(SimulationError):
+            WorkloadPhase(cpu_demand=-0.1)
+
+    def test_nonpositive_ipc_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadPhase(ipc=0.0)
+
+    def test_negative_miss_rates_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadPhase(cache_miss_per_kinst=-1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadPhase(duration=0.0)
+
+
+class TestWorkload:
+    def test_needs_at_least_one_phase(self):
+        with pytest.raises(SimulationError):
+            Workload([])
+
+    def test_consume_produces_expected_counts(self):
+        w = constant("w", ipc=2.0, cache_miss_per_kinst=10.0,
+                     branch_miss_per_kinst=5.0)
+        sample = w.consume(1.0, 1.0, FREQ)
+        assert sample.cycles == int(FREQ)
+        assert sample.instructions == int(FREQ * 2.0)
+        assert sample.cache_misses == int(FREQ * 2.0 * 0.01)
+        assert sample.branch_misses == int(FREQ * 2.0 * 0.005)
+
+    def test_zero_grant_produces_zero_activity(self):
+        w = constant("w")
+        sample = w.consume(0.0, 1.0, FREQ)
+        assert sample.instructions == 0
+
+    def test_cannot_consume_more_than_tick(self):
+        w = constant("w")
+        with pytest.raises(SimulationError):
+            w.consume(2.0, 1.0, FREQ)
+
+    def test_phase_progression_by_wall_time(self):
+        phases = [
+            WorkloadPhase(duration=2.0, cpu_demand=1.0),
+            WorkloadPhase(duration=3.0, cpu_demand=0.5),
+        ]
+        w = Workload(phases)
+        w.consume(1.0, 1.0, FREQ)
+        w.consume(1.0, 1.0, FREQ)
+        assert w.demand() == 0.5  # second phase
+        for _ in range(3):
+            w.consume(0.5, 1.0, FREQ)
+        assert w.finished
+        assert w.demand() == 0.0
+
+    def test_finished_workload_yields_nothing(self):
+        w = constant("w", duration=1.0)
+        w.consume(1.0, 1.0, FREQ)
+        sample = w.consume(1.0, 1.0, FREQ)
+        assert sample.instructions == 0
+
+    def test_stop_terminates_immediately(self):
+        w = constant("w")
+        w.stop()
+        assert w.finished
+
+    def test_totals_accumulate(self):
+        w = constant("w", ipc=1.0)
+        for _ in range(5):
+            w.consume(1.0, 1.0, FREQ)
+        assert w.total.instructions == 5 * int(FREQ)
+        assert w.total.cpu_ns == 5 * int(1e9)
+
+    def test_idle_workload_is_nearly_free(self):
+        w = idle()
+        assert w.demand() < 0.01
+
+    @given(st.floats(min_value=0.01, max_value=1.0),
+           st.floats(min_value=0.1, max_value=4.0))
+    def test_instructions_scale_with_grant_and_ipc(self, grant, ipc):
+        w = constant("w", ipc=ipc)
+        sample = w.consume(grant, 1.0, FREQ)
+        assert sample.instructions == int(int(grant * FREQ) * ipc)
+
+
+class TestActivitySample:
+    def test_addition_sums_counters(self):
+        a = ActivitySample(cycles=10, instructions=20, cache_misses=1,
+                           work_units=1.0)
+        b = ActivitySample(cycles=5, instructions=10, cache_misses=2,
+                           work_units=0.5)
+        total = a + b
+        assert total.cycles == 15
+        assert total.instructions == 30
+        assert total.cache_misses == 3
+        assert total.work_units == 1.5
+
+    def test_addition_takes_max_rss(self):
+        a = ActivitySample(rss_bytes=100)
+        b = ActivitySample(rss_bytes=300)
+        assert (a + b).rss_bytes == 300

@@ -1,0 +1,68 @@
+"""Tests for the virtual clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(start=100.5).now == 100.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(start=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance(0.0)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance(-0.1)
+
+    def test_sleep_until_future(self):
+        clock = VirtualClock(start=10.0)
+        slept = clock.sleep_until(15.0)
+        assert slept == 5.0
+        assert clock.now == 15.0
+
+    def test_sleep_until_now_is_noop(self):
+        clock = VirtualClock(start=10.0)
+        assert clock.sleep_until(10.0) == 0.0
+        assert clock.now == 10.0
+
+    def test_sleep_until_past_rejected(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(SimulationError):
+            clock.sleep_until(9.0)
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e6), min_size=1, max_size=50))
+    def test_advance_accumulates(self, steps):
+        clock = VirtualClock()
+        total = 0.0
+        for step in steps:
+            total += step
+            clock.advance(step)
+        assert clock.now == pytest.approx(total)
+
+    @given(
+        st.floats(min_value=0, max_value=1e9),
+        st.floats(min_value=0, max_value=1e6),
+    )
+    def test_monotonicity(self, start, dt):
+        clock = VirtualClock(start=start)
+        before = clock.now
+        if dt > 0:
+            clock.advance(dt)
+        assert clock.now >= before

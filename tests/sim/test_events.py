@@ -1,0 +1,113 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventLoop
+
+
+@pytest.fixture
+def loop():
+    return EventLoop(VirtualClock())
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self, loop):
+        fired = []
+        loop.schedule_at(5.0, lambda: fired.append("b"))
+        loop.schedule_at(2.0, lambda: fired.append("a"))
+        loop.schedule_at(9.0, lambda: fired.append("c"))
+        count = loop.run_until(10.0)
+        assert count == 3
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self, loop):
+        fired = []
+        loop.schedule_at(1.0, lambda: fired.append(1))
+        loop.schedule_at(1.0, lambda: fired.append(2))
+        loop.run_until(2.0)
+        assert fired == [1, 2]
+
+    def test_clock_lands_exactly_on_deadline(self, loop):
+        loop.schedule_at(1.0, lambda: None)
+        loop.run_until(7.5)
+        assert loop.clock.now == 7.5
+
+    def test_events_after_deadline_stay_queued(self, loop):
+        fired = []
+        loop.schedule_at(5.0, lambda: fired.append("late"))
+        loop.run_until(3.0)
+        assert fired == []
+        assert loop.pending == 1
+        loop.run_until(6.0)
+        assert fired == ["late"]
+
+    def test_schedule_in_is_relative(self, loop):
+        loop.run_until(4.0)
+        fired = []
+        loop.schedule_in(2.0, lambda: fired.append(loop.clock.now))
+        loop.run_until(10.0)
+        assert fired == [6.0]
+
+    def test_schedule_in_past_rejected(self, loop):
+        with pytest.raises(SimulationError):
+            loop.schedule_in(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self, loop):
+        loop.run_until(5.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(4.0, lambda: None)
+
+    def test_run_until_past_rejected(self, loop):
+        loop.run_until(5.0)
+        with pytest.raises(SimulationError):
+            loop.run_until(4.0)
+
+    def test_cancelled_event_does_not_fire(self, loop):
+        fired = []
+        event = loop.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        loop.run_until(2.0)
+        assert fired == []
+        assert loop.pending == 0
+
+    def test_repeating_event(self, loop):
+        fired = []
+        loop.schedule_every(1.0, lambda: fired.append(loop.clock.now))
+        loop.run_until(5.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_repeating_event_stops_on_stopiteration(self, loop):
+        fired = []
+
+        def action():
+            fired.append(loop.clock.now)
+            if len(fired) >= 3:
+                raise StopIteration
+
+        loop.schedule_every(1.0, action)
+        loop.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_repeating_with_first_delay(self, loop):
+        fired = []
+        loop.schedule_every(2.0, lambda: fired.append(loop.clock.now), first_delay=0.5)
+        loop.run_until(5.0)
+        assert fired == [0.5, 2.5, 4.5]
+
+    def test_zero_interval_rejected(self, loop):
+        with pytest.raises(SimulationError):
+            loop.schedule_every(0.0, lambda: None)
+
+    def test_event_scheduling_more_events(self, loop):
+        fired = []
+
+        def chain():
+            fired.append(loop.clock.now)
+            if loop.clock.now < 3.0:
+                loop.schedule_in(1.0, chain)
+
+        loop.schedule_at(1.0, chain)
+        loop.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
