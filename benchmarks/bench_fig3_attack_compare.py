@@ -102,9 +102,9 @@ def test_fig3(benchmark, results_dir):
         f"            periodic    {out_p.peak_watts:.0f} W in {out_p.trials}"
         f" trials (cpu {out_p.attacker_cpu_seconds:.0f} s,"
         f" ${out_p.bill_dollars:.4f})",
-        f"  spike list (synergistic): "
+        "  spike list (synergistic): "
         + " ".join(f"{w:.0f}" for w in out_s.spike_watts),
-        f"  spike list (periodic):    "
+        "  spike list (periodic):    "
         + " ".join(f"{w:.0f}" for w in out_p.spike_watts),
         f"  mean spike: synergistic {mean_syn:.0f} W vs periodic"
         f" {mean_per:.0f} W",

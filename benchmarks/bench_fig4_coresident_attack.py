@@ -69,7 +69,7 @@ def test_fig4(benchmark, results_dir):
         "Figure 4 reproduction: 3 co-resident containers x 4 Prime copies",
         f"  co-residence: {result.launches} launches,"
         f" {result.terminations} terminations (paper: 'trivial effort')",
-        f"  paper:    each container ~+40 W; total ~230 W (~+100 W)",
+        "  paper:    each container ~+40 W; total ~230 W (~+100 W)",
         f"  measured: baseline {baseline:.0f} W ->"
         f" {after1:.0f} -> {after2:.0f} -> {after3:.0f} W"
         f" (steps +{step1:.0f}, +{step2:.0f}, +{step3:.0f})",

@@ -9,8 +9,6 @@ CC4, partial views on CC5).
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import write_result
 from repro.detection.channels import CHANNELS
 from repro.detection.crossvalidate import CrossValidator

@@ -9,8 +9,9 @@ and feeds a crest detector. Reading a pseudo-file costs effectively no CPU
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Deque, List, Optional, Tuple
 
 from repro.errors import AttackError, ReproError
 from repro.kernel.rapl import MAX_ENERGY_RANGE_UJ, unwrap_delta
@@ -68,22 +69,49 @@ class CrestDetector:
     A sample is a crest when it reaches the top ``threshold_fraction`` of
     the band observed over the last ``window`` samples, and the band is
     wide enough (``min_band_watts``) to be signal rather than noise.
+
+    This sits on the attacker's hottest loop (one call per monitor sample
+    for hours of virtual time), so the window is a ``deque(maxlen=...)``
+    and the band comes from monotonic min/max queues — O(1) amortized per
+    sample instead of the O(window) scan-and-``pop(0)`` of a plain list.
     """
 
     window: int = 300
     threshold_fraction: float = 0.75
     min_band_watts: float = 5.0
-    _history: List[float] = field(default_factory=list)
+    _history: Deque[float] = field(default_factory=deque, repr=False)
+    #: monotonic (sample_index, watts) queues: _min_q ascending watts,
+    #: _max_q descending watts; the front of each is the window min/max
+    _min_q: Deque[Tuple[int, float]] = field(default_factory=deque, repr=False)
+    _max_q: Deque[Tuple[int, float]] = field(default_factory=deque, repr=False)
+    _count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise AttackError(f"detector window must be >= 1: {self.window}")
+        self._history = deque(self._history, maxlen=self.window)
 
     def observe(self, watts: float) -> bool:
         """Feed one sample; returns True when it qualifies as a crest."""
-        self._history.append(watts)
-        if len(self._history) > self.window:
-            self._history.pop(0)
+        self._history.append(watts)  # maxlen evicts the oldest sample
+        index = self._count
+        self._count += 1
+        oldest = index - self.window  # indices <= oldest have aged out
+        while self._min_q and self._min_q[-1][1] >= watts:
+            self._min_q.pop()
+        self._min_q.append((index, watts))
+        if self._min_q[0][0] <= oldest:
+            self._min_q.popleft()
+        while self._max_q and self._max_q[-1][1] <= watts:
+            self._max_q.pop()
+        self._max_q.append((index, watts))
+        if self._max_q[0][0] <= oldest:
+            self._max_q.popleft()
+
         if len(self._history) < max(10, self.window // 10):
             return False  # not enough context yet
-        lo = min(self._history)
-        hi = max(self._history)
+        lo = self._min_q[0][1]
+        hi = self._max_q[0][1]
         if hi - lo < self.min_band_watts:
             return False
         return watts >= lo + self.threshold_fraction * (hi - lo)
@@ -93,4 +121,4 @@ class CrestDetector:
         """(low, high) of the current trailing window."""
         if not self._history:
             return (0.0, 0.0)
-        return (min(self._history), max(self._history))
+        return (self._min_q[0][1], self._max_q[0][1])

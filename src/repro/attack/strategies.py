@@ -10,6 +10,7 @@ utilization-based bill, reproducing the paper's effect/cost comparison.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -61,6 +62,14 @@ class _StrategyBase:
         self.virus_factory = virus_factory
         self.burst_s = burst_s
         self.cores = cores_per_instance
+        #: absolute time of this strategy's next scheduled action; the
+        #: sim's fast-forward engine must not coalesce a tick across it
+        self._next_event = math.inf
+        sim.horizon_sources.append(self.next_event_horizon)
+
+    def next_event_horizon(self, now: float) -> float:
+        """Absolute virtual time of the strategy's next decision point."""
+        return max(self._next_event, now)
 
     def _burst(self) -> None:
         """Start one power burst on every controlled instance."""
@@ -95,17 +104,24 @@ class ContinuousAttack(_StrategyBase):
 
     name = "continuous"
 
-    def run(self, duration_s: float, dt: float = 1.0) -> AttackOutcome:
-        """Run viruses for the whole window."""
+    def run(self, duration_s: float, dt: float = 1.0, coalesce: bool = False) -> AttackOutcome:
+        """Run viruses for the whole window.
+
+        ``coalesce`` lets the fleet fast-forward between events; the
+        breaker-knee guard keeps overloaded stretches at base ``dt``.
+        """
         start = self.sim.now
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
         elapsed = 0.0
         while elapsed < duration_s:
             self._burst()
             outcome.trials += 1
-            self.sim.run(min(self.burst_s, duration_s - elapsed), dt=dt)
+            window = min(self.burst_s, duration_s - elapsed)
+            self._next_event = self.sim.now + window
+            self.sim.run(window, dt=dt, coalesce=coalesce)
             self._reap()
             elapsed = self.sim.now - start
+        self._next_event = math.inf
         return self._finish(outcome, start)
 
 
@@ -122,15 +138,21 @@ class PeriodicAttack(_StrategyBase):
             )
         self.period_s = period_s
 
-    def run(self, duration_s: float, dt: float = 1.0) -> AttackOutcome:
-        """Fire on the timer, record each spike."""
+    def run(self, duration_s: float, dt: float = 1.0, coalesce: bool = False) -> AttackOutcome:
+        """Fire on the timer, record each spike.
+
+        With ``coalesce=True`` the quiet stretches between bursts — the
+        bulk of the schedule — fast-forward; bursts themselves stay at
+        base ``dt`` via the breaker-knee guard.
+        """
         start = self.sim.now
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
         elapsed = 0.0
         while elapsed < duration_s:
             self._burst()
             outcome.trials += 1
-            self.sim.run(self.burst_s, dt=dt)
+            self._next_event = self.sim.now + self.burst_s
+            self.sim.run(self.burst_s, dt=dt, coalesce=coalesce)
             spike = self.sim.aggregate_trace.window(
                 self.sim.now - self.burst_s, self.sim.now + 1
             )
@@ -139,8 +161,10 @@ class PeriodicAttack(_StrategyBase):
             self._reap()
             idle = min(self.period_s - self.burst_s, duration_s - (self.sim.now - start))
             if idle > 0:
-                self.sim.run(idle, dt=dt)
+                self._next_event = self.sim.now + idle
+                self.sim.run(idle, dt=dt, coalesce=coalesce)
             elapsed = self.sim.now - start
+        self._next_event = math.inf
         return self._finish(outcome, start)
 
 
@@ -189,13 +213,20 @@ class SynergisticAttack(_StrategyBase):
             return None
         return sum(watts)
 
-    def run(self, duration_s: float, dt: float = 1.0) -> AttackOutcome:
-        """Sample every step; burst when the aggregate power crests."""
+    def run(self, duration_s: float, dt: float = 1.0, coalesce: bool = False) -> AttackOutcome:
+        """Sample every step; burst when the aggregate power crests.
+
+        The monitoring loop itself cannot be coalesced — the attacker
+        needs a RAPL delta every ``dt`` to see crests, so the strategy's
+        event horizon is always one sampling period out. ``coalesce``
+        only lets the engine tighten the burst windows' bookkeeping.
+        """
         start = self.sim.now
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
         last_burst = -1e18
         while self.sim.now - start < duration_s:
-            self.sim.run(dt, dt=dt)
+            self._next_event = self.sim.now + dt
+            self.sim.run(dt, dt=dt, coalesce=coalesce)
             aggregate = self._aggregate_sample()
             is_crest = aggregate is not None and self.detector.observe(aggregate)
             armed = self.sim.now - start >= self.learn_s
@@ -211,7 +242,8 @@ class SynergisticAttack(_StrategyBase):
                 self._burst()
                 outcome.trials += 1
                 last_burst = self.sim.now
-                self.sim.run(self.burst_s, dt=dt)
+                self._next_event = self.sim.now + self.burst_s
+                self.sim.run(self.burst_s, dt=dt, coalesce=coalesce)
                 spike = self.sim.aggregate_trace.window(
                     self.sim.now - self.burst_s, self.sim.now + 1
                 )
@@ -221,4 +253,5 @@ class SynergisticAttack(_StrategyBase):
                 # re-prime monitors: our own burst polluted the series
                 for monitor in self.monitors.values():
                     monitor.sample(self.sim.now)
+        self._next_event = math.inf
         return self._finish(outcome, start)

@@ -78,7 +78,7 @@ class CovertSender:
             if bit not in (0, 1):
                 raise AttackError(f"bits must be 0/1: {bit}")
             if bit:
-                tasks = [
+                for i in range(self.config.carrier_cores):
                     self.container.exec(
                         f"carrier-{i}",
                         workload=constant(
@@ -88,8 +88,6 @@ class CovertSender:
                             duration=self.config.symbol_period_s,
                         ),
                     )
-                    for i in range(self.config.carrier_cores)
-                ]
                 run(self.config.symbol_period_s)
                 self.container.reap_finished()
             else:

@@ -10,7 +10,7 @@ some host-coupled counter remains readable.
 from __future__ import annotations
 
 import re
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 from repro.analysis.traces import correlate
 from repro.errors import AttackError, ReproError

@@ -16,6 +16,8 @@ from repro.datacenter.tenants import DiurnalProfile, DiurnalTenantDriver
 from repro.datacenter.topology import Rack, ServerPowerConfig, wall_power_watts
 from repro.errors import SimulationError
 from repro.runtime.cloud import ContainerCloud, PROVIDER_PROFILES, ProviderProfile
+from repro.sim.fastforward import FastForwardEngine
+from repro.sim.metrics import SimMetrics, SubsystemTimings, WallTimer
 
 
 @dataclass
@@ -98,9 +100,19 @@ class DatacenterSimulation:
         tenant_profile: Optional[DiurnalProfile] = None,
         power_config: Optional[ServerPowerConfig] = None,
         sample_interval_s: float = 1.0,
+        breaker_knee_ratio: float = 0.98,
+        max_coalesce_s: float = 3600.0,
     ):
         if servers < 1 or rack_size < 1:
             raise SimulationError("need at least one server and rack slot")
+        if sample_interval_s <= 0:
+            raise SimulationError(
+                f"sample interval must be positive: {sample_interval_s}"
+            )
+        if not 0.0 < breaker_knee_ratio <= 1.0:
+            raise SimulationError(
+                f"breaker knee ratio must be in (0, 1]: {breaker_knee_ratio}"
+            )
         self.profile = profile or PROVIDER_PROFILES["CC1"]
         self.cloud = ContainerCloud(self.profile, seed=seed, servers=servers)
         self.power_config = power_config or ServerPowerConfig()
@@ -135,7 +147,24 @@ class DatacenterSimulation:
         self.server_traces: Dict[int, PowerTrace] = {
             i: PowerTrace() for i in range(servers)
         }
-        self._next_sample = 0.0
+        #: samples land at ``_sample_origin + k * sample_interval_s`` —
+        #: computed from an integer counter so timestamps sit on exact
+        #: interval multiples regardless of the tick size ``dt``
+        self._sample_origin = self.now
+        self._sample_count = 0
+
+        #: id(kernel) -> server index, built once (kernels never change)
+        self._kernel_index: Dict[int, int] = {
+            id(h.kernel): i for i, h in enumerate(self.cloud.hosts)
+        }
+
+        #: tick-coalescing fast-forward (engaged by ``run(coalesce=True)``)
+        self.breaker_knee_ratio = breaker_knee_ratio
+        self.fastforward = FastForwardEngine(max_step_s=max_coalesce_s)
+        self.metrics: SimMetrics = self.fastforward.metrics
+        #: extra event-horizon callables ``now -> absolute next event time``
+        #: (attack strategies register theirs here)
+        self.horizon_sources: List[Callable[[float], float]] = []
 
     # ------------------------------------------------------------------
 
@@ -154,18 +183,82 @@ class DatacenterSimulation:
 
     def _dark_indices(self) -> set:
         """Servers currently without power (their rack breaker opened)."""
-        index_of = {id(h.kernel): i for i, h in enumerate(self.cloud.hosts)}
         dark = set()
         for rack in self.racks:
             if rack.breaker.tripped:
-                dark.update(index_of[id(k)] for k in rack.kernels)
+                dark.update(self._kernel_index[id(k)] for k in rack.kernels)
         return dark
+
+    def enable_subsystem_timings(self) -> SubsystemTimings:
+        """Profile wall time per kernel subsystem across the whole fleet."""
+        timings = self.metrics.subsystem_timings or SubsystemTimings()
+        self.metrics.subsystem_timings = timings
+        for host in self.cloud.hosts:
+            host.kernel.timings = timings
+        return timings
+
+    def set_sample_interval(self, interval_s: float) -> None:
+        """Change the sampling cadence, re-anchored at the current time.
+
+        The next sample lands ``interval_s`` seconds from now; subsequent
+        samples stay on exact multiples of the new interval from here.
+        """
+        if interval_s <= 0:
+            raise SimulationError(f"sample interval must be positive: {interval_s}")
+        self.sample_interval_s = interval_s
+        self._sample_origin = self.now
+        self._sample_count = 1
+
+    @property
+    def next_sample_time(self) -> float:
+        """Absolute virtual time of the next scheduled trace sample."""
+        return self._sample_origin + self._sample_count * self.sample_interval_s
+
+    def _coalesce_horizon(self, dark: set) -> float:
+        """The nearest virtual time a coalesced tick must not step across."""
+        horizon = self.next_sample_time
+        for i, tenant in enumerate(self.tenants):
+            if i not in dark:
+                horizon = min(horizon, tenant.next_event_time(self.now))
+        for i, host in enumerate(self.cloud.hosts):
+            if i not in dark:
+                horizon = min(
+                    horizon, self.now + host.kernel.next_phase_boundary_s()
+                )
+        for source in self.horizon_sources:
+            horizon = min(horizon, source(self.now))
+        return horizon
+
+    def _coalesce_fingerprint(self, dark: set) -> tuple:
+        """Workload-set fingerprint: changes on any spawn/kill/exec/trip."""
+        demands = tuple(
+            0.0 if i in dark else host.kernel.demand_fingerprint()
+            for i, host in enumerate(self.cloud.hosts)
+        )
+        return (demands, frozenset(dark))
+
+    def _breakers_safe(self) -> bool:
+        """Whether every rack is far enough from its breaker's trip knee.
+
+        Above the knee the thermal trip integral is live and trip timing
+        must be resolved at base-``dt`` resolution; at or below it a
+        phase-stable (constant-power) window cannot trip, so skipping is
+        legal. Tripped racks are dark and cannot get darker.
+        """
+        for rack in self.racks:
+            if rack.breaker.tripped:
+                continue
+            ratio = rack.wall_power() / rack.breaker.rated_watts
+            if ratio > self.breaker_knee_ratio:
+                return False
+        return True
 
     def run(
         self,
         seconds: float,
         dt: float = 1.0,
         on_tick: Optional[Callable[["DatacenterSimulation"], None]] = None,
+        coalesce: bool = False,
     ) -> None:
         """Advance the fleet, tenants, breakers, and traces.
 
@@ -173,37 +266,71 @@ class DatacenterSimulation:
         they stop executing (no kernel ticks) and draw no wall power —
         which is exactly the outage the power attack aims to cause
         ("forced shutdowns for servers on the same rack", Section II-C).
+
+        With ``coalesce=True``, phase-stable stretches (no tenant
+        decision, no phase boundary, no pending sample, every breaker
+        below its knee) are advanced in one large tick — see
+        :mod:`repro.sim.fastforward` for the safety invariants.
+        ``on_tick`` then fires once per executed tick, not per base dt.
         """
         if seconds <= 0:
             raise SimulationError(f"run needs positive duration: {seconds}")
-        remaining = seconds
-        while remaining > 1e-9:
-            step = min(dt, remaining)
-            dark = self._dark_indices()
-            for i, tenant in enumerate(self.tenants):
-                if i not in dark:
-                    tenant.step(self.now, step)
-            self.cloud.clock.advance(step)
-            for i, host in enumerate(self.cloud.hosts):
-                if i not in dark:
-                    host.kernel.tick(step)
-            for rack in self.racks:
-                rack.observe(step, self.now)
-            if self.now >= self._next_sample:
-                self._sample()
-                self._next_sample = self.now + self.sample_interval_s
-            if on_tick is not None:
-                on_tick(self)
-            remaining -= step
+        engine = self.fastforward
+        with WallTimer(self.metrics):
+            self._catch_up_samples()
+            remaining = seconds
+            while remaining > 1e-9:
+                dark = self._dark_indices()
+                step = min(dt, remaining)
+                for i, tenant in enumerate(self.tenants):
+                    if i not in dark:
+                        tenant.step(self.now, step)
+                if coalesce:
+                    stable = engine.stability.observe(
+                        self._coalesce_fingerprint(dark)
+                    ) and self._breakers_safe()
+                    step = engine.plan_step(
+                        now=self.now,
+                        remaining=remaining,
+                        base_dt=dt,
+                        horizon=self._coalesce_horizon(dark),
+                        stable=stable,
+                    )
+                self.cloud.clock.advance(step)
+                for i, host in enumerate(self.cloud.hosts):
+                    if i not in dark:
+                        host.kernel.tick(step)
+                for rack in self.racks:
+                    rack.observe(step, self.now)
+                self._catch_up_samples()
+                self.metrics.record_tick(step, dt)
+                if on_tick is not None:
+                    on_tick(self)
+                remaining -= step
 
-    def _sample(self) -> None:
+    def _catch_up_samples(self) -> None:
+        """Record every sample that is due at or before the current time.
+
+        Sample times are anchored on exact interval multiples (not on the
+        possibly-overshot ``now``), so a ``dt`` that does not divide the
+        interval still yields the nominal cadence, the t=0 baseline is
+        recorded, and gaps (e.g. the clock advanced outside ``run``) are
+        caught up rather than silently shifting the grid.
+        """
+        while self.next_sample_time <= self.now + 1e-9:
+            self._sample(at=self.next_sample_time)
+            self._sample_count += 1
+
+    def _sample(self, at: Optional[float] = None) -> None:
+        when = self.now if at is None else at
         dark = self._dark_indices()
         total = 0.0
         for i in range(len(self.cloud.hosts)):
             watts = 0.0 if i in dark else self.server_wall_watts(i)
-            self.server_traces[i].append(self.now, watts)
+            self.server_traces[i].append(when, watts)
             total += watts
-        self.aggregate_trace.append(self.now, total)
+        self.aggregate_trace.append(when, total)
+        self.metrics.samples += 1
 
     # ------------------------------------------------------------------
 

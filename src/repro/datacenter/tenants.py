@@ -148,6 +148,16 @@ class DiurnalTenantDriver:
         else:
             self.kernel.kill(task)
 
+    def next_event_time(self, now: float) -> float:
+        """Absolute virtual time of this driver's next decision point.
+
+        Between adjustments the driver leaves its worker set untouched,
+        so a tick-coalescing engine may advance straight to the next
+        adjustment (bursts only start or end at adjustment boundaries —
+        ``_burst_until`` is consulted when targets are recomputed).
+        """
+        return max(self._next_adjust, now)
+
     def step(self, now: float, dt: float) -> None:
         """Advance the driver; call once per simulation tick."""
         if dt <= 0:

@@ -12,7 +12,7 @@ sees.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.defense.powerns import PowerNamespaceDriver

@@ -10,7 +10,7 @@ to turn counters into energy-per-window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.errors import DefenseError
 from repro.kernel.cgroups import Cgroup, PerfCounters

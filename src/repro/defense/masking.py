@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
-from repro.detection.crossvalidate import CrossValidationReport, CrossValidator, LeakClass
+from repro.detection.crossvalidate import CrossValidationReport, CrossValidator
 from repro.procfs.vfs import PseudoVFS
 from repro.runtime.container import Container
 from repro.runtime.policy import MaskingPolicy

@@ -17,7 +17,7 @@ calibration step earn its keep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.regression import LinearModel, fit_linear, polynomial_features

@@ -17,7 +17,7 @@ event rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.defense.collection import ContainerPerfCollector
 from repro.errors import DefenseError

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.detection.channels import CHANNELS, Channel, representative_paths
 from repro.detection.walker import PseudoWalker, ReadOutcome

@@ -15,7 +15,7 @@ therefore modelled independently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.errors import KernelError
 

@@ -10,7 +10,7 @@ microsecond ``time`` counter of whichever C-state the governor picked.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.errors import KernelError
 from repro.kernel.scheduler import TickResult
@@ -52,7 +52,7 @@ class CpuIdleSubsystem:
             CpuIdle(
                 cpu=c,
                 states=[
-                    IdleState(name=n, desc=d, latency_us=l) for n, d, l in C_STATES
+                    IdleState(name=n, desc=d, latency_us=lat) for n, d, lat in C_STATES
                 ],
             )
             for c in range(ncpus)

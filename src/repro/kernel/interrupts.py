@@ -69,7 +69,7 @@ class InterruptSubsystem:
         self.lines.append(line("CAL", "Function call interrupts"))
         self.lines.append(line("TLB", "TLB shootdowns"))
 
-        self._by_irq: Dict[str, IrqLine] = {l.irq: l for l in self.lines}
+        self._by_irq: Dict[str, IrqLine] = {ln.irq: ln for ln in self.lines}
         self.softirqs: Dict[str, List[int]] = {
             name: [0] * ncpus for name in SOFTIRQ_NAMES
         }
@@ -81,7 +81,7 @@ class InterruptSubsystem:
     @property
     def total_interrupts(self) -> int:
         """Sum over all IRQ lines (the first field of /proc/stat intr)."""
-        return sum(l.total for l in self.lines)
+        return sum(ln.total for ln in self.lines)
 
     @property
     def total_softirqs(self) -> int:
@@ -105,7 +105,7 @@ class InterruptSubsystem:
 
         # Network interrupts: ~1 IRQ per 16KB of traffic, spread over queues.
         net_irqs = result.total.net_bytes // 16384
-        queues = [l for l in self.lines if "-TxRx-" in l.description]
+        queues = [ln for ln in self.lines if "-TxRx-" in ln.description]
         if queues and net_irqs:
             per_queue = net_irqs // len(queues)
             for i, q in enumerate(queues):
@@ -115,7 +115,7 @@ class InterruptSubsystem:
                 self.softirqs["NET_TX"][cpu] += per_queue // 2
 
         # Disk interrupts: one per IO completion.
-        disk_lines = [l for l in self.lines if "ahci" in l.description]
+        disk_lines = [ln for ln in self.lines if "ahci" in ln.description]
         if disk_lines and result.total.io_ops:
             per_disk = result.total.io_ops // len(disk_lines)
             for i, d in enumerate(disk_lines):
@@ -131,4 +131,4 @@ class InterruptSubsystem:
 
     def rows(self) -> List[Tuple[str, List[int], str]]:
         """(irq, per-cpu counts, description) rows for rendering."""
-        return [(l.irq, list(l.per_cpu), l.description) for l in self.lines]
+        return [(ln.irq, list(ln.per_cpu), ln.description) for ln in self.lines]

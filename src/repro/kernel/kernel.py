@@ -39,6 +39,12 @@ from repro.kernel.scheduler import Scheduler, TickResult
 from repro.kernel.thermal import ThermalSubsystem
 from repro.kernel.timers import TimerSubsystem
 from repro.sim.clock import VirtualClock
+from repro.sim.fastforward import (
+    FastForwardEngine,
+    kernel_demand_fingerprint,
+    kernel_phase_horizon_s,
+)
+from repro.sim.metrics import SimMetrics, SubsystemTimings, WallTimer
 from repro.sim.rng import DeterministicRNG
 
 #: host daemons spawned at boot (name, cpu_demand)
@@ -115,6 +121,10 @@ class Kernel:
         self.last_tick: Optional[TickResult] = None
         self._ticks = 0
 
+        #: optional per-subsystem wall-time profile; ``None`` keeps the
+        #: tick on the uninstrumented fast path
+        self.timings: Optional[SubsystemTimings] = None
+
         if spawn_daemons:
             self._spawn_boot_daemons()
 
@@ -176,6 +186,8 @@ class Kernel:
         :class:`VirtualClock` (a fleet driver ticks many kernels against
         one clock); :class:`Machine` wraps both for single-host use.
         """
+        if self.timings is not None:
+            return self._tick_timed(dt)
         result = self.scheduler.tick(dt)
         self.memory.tick(result)
         self.interrupts.tick(result)
@@ -195,8 +207,67 @@ class Kernel:
             listener(result)
         return result
 
+    def _tick_timed(self, dt: float) -> TickResult:
+        """The tick with per-subsystem wall timing (keep in sync with tick)."""
+        import time
+
+        pc = time.perf_counter
+        timings = self.timings
+
+        t0 = pc()
+        result = self.scheduler.tick(dt)
+        timings.add("scheduler", pc() - t0)
+        for name, advance in (
+            ("memory", lambda: self.memory.tick(result)),
+            ("interrupts", lambda: self.interrupts.tick(result)),
+            ("filesystem", lambda: self.filesystem.tick(result)),
+            (
+                "netdev",
+                lambda: self.netdev.tick(
+                    result, lambda task: task.namespaces[NamespaceType.NET]
+                ),
+            ),
+            ("cpuidle", lambda: self.cpuidle.tick(result)),
+            ("thermal", lambda: self.thermal.tick(result)),
+            ("timers", lambda: self.timers.tick(dt)),
+            (
+                "random",
+                lambda: self.random.tick(
+                    dt,
+                    int(self.config.hz * self.config.total_cores * dt),
+                    result.total.syscalls,
+                ),
+            ),
+            ("power+rapl", lambda: self.rapl.accumulate(self.power.tick_energy(result))),
+        ):
+            t0 = pc()
+            advance()
+            timings.add(name, pc() - t0)
+        self.last_tick = result
+        self._ticks += 1
+        for listener in self.tick_listeners:
+            listener(result)
+        return result
+
     # ------------------------------------------------------------------
     # derived quantities
+
+    @property
+    def ticks_taken(self) -> int:
+        """How many ticks this kernel has executed since boot."""
+        return self._ticks
+
+    def next_phase_boundary_s(self) -> float:
+        """Seconds until the earliest workload phase boundary (inf if none).
+
+        A tick-coalescing driver must not step across a phase boundary,
+        because the workload's activity vector changes there.
+        """
+        return kernel_phase_horizon_s(self)
+
+    def demand_fingerprint(self) -> float:
+        """Total runnable CPU demand — changes on any workload-set churn."""
+        return kernel_demand_fingerprint(self)
 
     @property
     def uptime_seconds(self) -> float:
@@ -227,8 +298,13 @@ class Kernel:
             return self.rapl_read_hook(reader, domain)
         return domain.energy_uj
 
-    def host_package_watts(self, window: float = 1.0) -> float:
-        """Instantaneous host package power from the last tick (debug aid)."""
+    def host_package_watts(self) -> float:
+        """Instantaneous host package power from the last tick (debug aid).
+
+        Averages over the last tick's ``dt`` — there is no trailing-window
+        smoothing here (a ``window`` parameter existed once but was never
+        honoured; callers wanting smoothing should average a trace).
+        """
         if self.last_tick is None:
             return self.power.idle_package_watts() * self.config.packages
         per_pkg = self.power.tick_energy(self.last_tick)
@@ -254,20 +330,40 @@ class Machine:
             perf_tuning=perf_tuning,
             spawn_daemons=spawn_daemons,
         )
+        self.fastforward = FastForwardEngine()
+        self.metrics: SimMetrics = self.fastforward.metrics
 
-    def run(self, seconds: float, dt: float = 1.0, on_tick=None) -> None:
+    def run(self, seconds: float, dt: float = 1.0, on_tick=None, coalesce: bool = False) -> None:
         """Advance the machine by ``seconds`` in steps of ``dt``.
 
         ``on_tick(kernel, result)`` is called after every step; the last
         step is shortened if ``seconds`` is not a multiple of ``dt``.
+        With ``coalesce=True`` phase-stable stretches are advanced in one
+        large tick (see :mod:`repro.sim.fastforward`); ``on_tick`` then
+        fires once per *executed* tick, not once per base ``dt``.
         """
         if seconds <= 0:
             raise KernelError(f"run needs positive duration: {seconds}")
-        remaining = seconds
-        while remaining > 1e-9:
-            step = min(dt, remaining)
-            self.clock.advance(step)
-            result = self.kernel.tick(step)
-            if on_tick is not None:
-                on_tick(self.kernel, result)
-            remaining -= step
+        engine = self.fastforward
+        with WallTimer(self.metrics):
+            remaining = seconds
+            while remaining > 1e-9:
+                if coalesce:
+                    stable = engine.stability.observe(
+                        (self.kernel.demand_fingerprint(),)
+                    )
+                    step = engine.plan_step(
+                        now=self.clock.now,
+                        remaining=remaining,
+                        base_dt=dt,
+                        horizon=self.clock.now + self.kernel.next_phase_boundary_s(),
+                        stable=stable,
+                    )
+                else:
+                    step = min(dt, remaining)
+                self.clock.advance(step)
+                result = self.kernel.tick(step)
+                self.metrics.record_tick(step, dt)
+                if on_tick is not None:
+                    on_tick(self.kernel, result)
+                remaining -= step

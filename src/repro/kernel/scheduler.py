@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import KernelError
-from repro.kernel.cgroups import Cgroup, CgroupManager, CpuAcctState, CpusetState, MemoryState
+from repro.kernel.cgroups import CgroupManager, CpuAcctState, CpusetState, MemoryState
 from repro.kernel.config import HostConfig
 from repro.kernel.perf import PerfSubsystem
 from repro.kernel.process import Task, TaskState
@@ -152,6 +152,10 @@ class Scheduler:
     def tasks(self) -> List[Task]:
         """All tasks known to the scheduler."""
         return list(self._tasks)
+
+    def iter_tasks(self):
+        """Iterate scheduled tasks without copying (hot-path accessor)."""
+        return iter(self._tasks)
 
     def rebalance(self) -> None:
         """Re-place every task (cheap global rebalance after churn)."""

@@ -10,7 +10,7 @@ diffing, never by reading the flag.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import FileNotFoundPseudoError, PseudoFileError

@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.kernel.namespaces import NamespaceType
-from repro.kernel.process import Task
 from repro.procfs.node import ReadContext
 
 

@@ -88,7 +88,7 @@ def render_stat(ctx: ReadContext) -> str:
     lines.append("cpu  " + " ".join(str(f) for f in totals) + " 0 0 0")
     lines.extend(per_cpu_rows)
 
-    irq_totals = " ".join(str(l.total) for l in k.interrupts.lines)
+    irq_totals = " ".join(str(ln.total) for ln in k.interrupts.lines)
     lines.append(f"intr {k.interrupts.total_interrupts} {irq_totals}")
     lines.append(f"ctxt {k.scheduler.nr_switches_total}")
     lines.append(f"btime {k.btime}")

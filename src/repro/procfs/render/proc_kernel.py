@@ -73,7 +73,7 @@ def render_timer_list(ctx: ReadContext) -> str:
     k = ctx.kernel
     out = [
         "Timer List Version: v0.8",
-        f"HRTIMER_MAX_CLOCK_BASES: 4",
+        "HRTIMER_MAX_CLOCK_BASES: 4",
         f"now at {k.timers.now_ns} nsecs",
         "",
     ]

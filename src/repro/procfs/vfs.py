@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.kernel import Kernel
-from repro.procfs.node import PseudoDir, PseudoFile, ReadContext, split_path
+from repro.procfs.node import PseudoFile, ReadContext, split_path
 from repro.procfs.proctree import build_proc_tree
 from repro.procfs.systree import build_sys_tree
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.runtime.workload import Workload, WorkloadPhase, constant
+from repro.runtime.workload import Workload, constant
 
 
 @dataclass(frozen=True)

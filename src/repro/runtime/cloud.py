@@ -16,7 +16,7 @@ of the CPU/memory files.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import CapacityError, CloudError

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, TYPE_CHECKING
 
 from repro.errors import ContainerError
-from repro.kernel.cgroups import Cgroup, CpusetState
+from repro.kernel.cgroups import Cgroup
 from repro.kernel.namespaces import Namespace, NamespaceType
 from repro.kernel.process import Task, TaskState
 from repro.kernel.timers import TimerEntry

@@ -15,7 +15,7 @@ magnitude in simulation speed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.errors import SimulationError
@@ -144,6 +144,19 @@ class Workload:
             if self._index >= len(self.phases):
                 self.finished = True
         return sample
+
+    def seconds_to_phase_boundary(self) -> Optional[float]:
+        """Virtual seconds until the current phase ends.
+
+        ``None`` when the workload is finished or its current phase is
+        unbounded — i.e. when the workload contributes no event horizon
+        and a tick-coalescing driver may skip arbitrarily far as far as
+        this workload is concerned. A boundary exactly due returns 0.0.
+        """
+        phase = self.current_phase
+        if phase is None or phase.duration is None:
+            return None
+        return max(0.0, phase.duration - self._elapsed_in_phase)
 
     def stop(self) -> None:
         """Terminate the workload regardless of remaining phases."""

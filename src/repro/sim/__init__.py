@@ -7,6 +7,17 @@ can simulate a week of datacenter time in seconds.
 
 from repro.sim.clock import VirtualClock
 from repro.sim.events import EventLoop, ScheduledEvent
+from repro.sim.fastforward import FastForwardEngine, StabilityTracker
+from repro.sim.metrics import SimMetrics, SubsystemTimings
 from repro.sim.rng import DeterministicRNG
 
-__all__ = ["VirtualClock", "DeterministicRNG", "EventLoop", "ScheduledEvent"]
+__all__ = [
+    "VirtualClock",
+    "DeterministicRNG",
+    "EventLoop",
+    "ScheduledEvent",
+    "FastForwardEngine",
+    "StabilityTracker",
+    "SimMetrics",
+    "SubsystemTimings",
+]

@@ -1,0 +1,167 @@
+"""Adaptive tick coalescing: advance phase-stable stretches in one tick.
+
+The Figure 2–4 experiments drive every kernel with per-second ticks for a
+week of virtual time — millions of ticks whose subsystem updates are all
+linear in ``dt`` while nothing about the admitted workload set changes.
+This module detects those stretches and replaces the many small ticks
+with one large coalesced ``tick(dt)``.
+
+A coalesced step is legal only when the window it spans is *event free*:
+
+1. **Workload-set stability** — no tenant arrivals/departures, no
+   container exec/kill, no workload phase boundary inside the window.
+   Enforced two ways: phase boundaries are reported as *horizons* (the
+   engine never steps across one), and spawn/kill/exec churn is caught by
+   the :class:`StabilityTracker` demand fingerprint, which forces one
+   base-``dt`` "stabilizing" tick after any change so the subsequent
+   power/ratio guards see state that reflects the current workload set.
+2. **No pending trace sample** — a sample must observe a tick that *ends*
+   at the sample time, so the next sample time is a horizon.
+3. **No driver decision point** — tenant drivers and attack strategies
+   report their next decision time (:meth:`next_event_time` /
+   ``next_event_horizon``); the engine never skips one.
+4. **No breaker near its trip knee** — the thermal trip integral is exact
+   under constant load only while the overload ratio stays <= 1; drivers
+   guard coalescing on every breaker being comfortably below rating (or
+   already tripped) and fall back to base ticks during overloads, which
+   preserves exact trip timing.
+5. **Grid alignment** — coalesced steps are whole multiples of the base
+   ``dt``, so every coalesced tick boundary is also a reference tick
+   boundary and time-triggered events fire at identical virtual times.
+
+Under these invariants every subsystem counter the power model consumes
+is linear in ``dt``, so a coalesced run matches the per-second reference
+within integer-truncation noise; ``tests/sim/test_fastforward_accuracy.py``
+enforces the tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.metrics import SimMetrics
+
+#: slack used when comparing float times that should sit on the dt grid
+_EPS = 1e-9
+
+
+def kernel_demand_fingerprint(kernel) -> float:
+    """Total CPU demand (cores) of one kernel's runnable workload set.
+
+    Any spawn, kill, exec, workload finish, or phase change moves this
+    sum, so equal consecutive fingerprints mean the admitted workload set
+    is unchanged since the previous tick was planned.
+    """
+    from repro.kernel.process import TaskState
+
+    total = 0.0
+    for task in kernel.scheduler.iter_tasks():
+        workload = task.workload
+        if (
+            task.state is TaskState.RUNNING
+            and workload is not None
+            and not workload.finished
+        ):
+            total += workload.demand()
+    return total
+
+
+def kernel_phase_horizon_s(kernel) -> float:
+    """Seconds until the earliest workload phase boundary on one kernel.
+
+    ``math.inf`` when every running workload is in an unbounded phase.
+    """
+    horizon = math.inf
+    for task in kernel.scheduler.iter_tasks():
+        workload = task.workload
+        if workload is None or workload.finished:
+            continue
+        boundary = workload.seconds_to_phase_boundary()
+        if boundary is not None and boundary < horizon:
+            horizon = boundary
+    return horizon
+
+
+class StabilityTracker:
+    """Detects whether the workload set changed since the last planned tick.
+
+    The tracker is fed a fingerprint once per planning decision; a
+    coalesced step is only offered when the fingerprint equals the one
+    observed at the previous decision, i.e. when at least one tick has
+    already executed against the current workload set. That guarantees
+    ``last_tick``-derived quantities (wall power, breaker ratios) that
+    guards consult describe the load the coalesced window will actually
+    carry.
+    """
+
+    def __init__(self) -> None:
+        self._last: Optional[Tuple] = None
+
+    def observe(self, fingerprint: Tuple) -> bool:
+        """Feed the current fingerprint; returns True when stable."""
+        stable = fingerprint == self._last
+        self._last = fingerprint
+        return stable
+
+    def reset(self) -> None:
+        """Forget history (forces a stabilizing tick next plan)."""
+        self._last = None
+
+
+class FastForwardEngine:
+    """Plans tick sizes: base ``dt`` near events, large steps in between.
+
+    Parameters
+    ----------
+    max_step_s:
+        Upper bound on a single coalesced step, bounding how long the
+        simulation can go without re-evaluating guards.
+    """
+
+    def __init__(self, max_step_s: float = 3600.0):
+        if max_step_s <= 0:
+            raise SimulationError(f"max_step_s must be positive: {max_step_s}")
+        self.max_step_s = max_step_s
+        self.stability = StabilityTracker()
+        self.metrics = SimMetrics()
+
+    def plan_step(
+        self,
+        now: float,
+        remaining: float,
+        base_dt: float,
+        *,
+        horizon: float = math.inf,
+        stable: bool = True,
+    ) -> float:
+        """The next tick size in virtual seconds.
+
+        ``horizon`` is the absolute virtual time of the next event the
+        window must not cross (the engine may step exactly *to* it);
+        ``stable`` is the conjunction of the caller's safety guards.
+        Returns ``min(base_dt, remaining)`` whenever coalescing is not
+        both safe and worthwhile; otherwise a multiple of ``base_dt``.
+        """
+        if base_dt <= 0:
+            raise SimulationError(f"base dt must be positive: {base_dt}")
+        base = min(base_dt, remaining)
+        if not stable:
+            return base
+        limit = min(remaining, self.max_step_s, horizon - now)
+        # Align to the base-dt grid so coalesced boundaries are a subset
+        # of the reference driver's boundaries (invariant 5).
+        steps = math.floor(limit / base_dt + _EPS)
+        if steps <= 1:
+            return base
+        return steps * base_dt
+
+    @staticmethod
+    def min_horizon(now: float, horizons: Iterable[float]) -> float:
+        """The nearest of several absolute event times (``inf`` if none)."""
+        nearest = math.inf
+        for h in horizons:
+            if h < nearest:
+                nearest = h
+        return max(nearest, now)

@@ -1,0 +1,136 @@
+"""Lightweight instrumentation counters for the simulation hot path.
+
+The fleet experiments advance millions of kernel ticks; knowing *where*
+those ticks go (how many were coalesced away, how much wall time each
+kernel subsystem consumed) is what turns "the simulator feels slow" into
+an actionable profile. Counters are plain attributes so the per-tick
+update cost stays negligible; the optional per-subsystem wall timers are
+off by default and only engaged when a driver explicitly enables them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class SubsystemTimings:
+    """Accumulated wall-clock seconds per kernel subsystem.
+
+    One instance may be shared by many kernels (a fleet); the totals then
+    profile the whole simulation rather than one host.
+    """
+
+    def __init__(self) -> None:
+        self.wall_s: Dict[str, float] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall time to ``name``."""
+        self.wall_s[name] = self.wall_s.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        """Wall seconds across all subsystems."""
+        return sum(self.wall_s.values())
+
+    def ranked(self):
+        """(name, seconds) pairs, most expensive first."""
+        return sorted(self.wall_s.items(), key=lambda kv: kv[1], reverse=True)
+
+    def render(self) -> str:
+        """A small human-readable profile table."""
+        total = self.total()
+        if total <= 0:
+            return "(no subsystem timings recorded)"
+        lines = []
+        for name, seconds in self.ranked():
+            lines.append(
+                f"  {name:<12} {seconds * 1e3:9.1f} ms  {seconds / total * 100:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class SimMetrics:
+    """Counters describing one driver's tick economy.
+
+    ``reference_ticks`` is how many ticks a per-``dt`` (non-coalescing)
+    driver would have executed for the same virtual time; comparing it to
+    ``ticks`` gives the coalescing win.
+    """
+
+    #: ticks actually executed
+    ticks: int = 0
+    #: ticks taken at the base dt (including stabilizing ticks)
+    base_ticks: int = 0
+    #: ticks that covered more than one base dt
+    coalesced_ticks: int = 0
+    #: virtual seconds advanced in total
+    virtual_seconds: float = 0.0
+    #: virtual seconds covered by coalesced ticks
+    coalesced_seconds: float = 0.0
+    #: ticks a per-dt reference driver would have executed
+    reference_ticks: float = 0.0
+    #: power-trace samples recorded
+    samples: int = 0
+    #: wall-clock seconds spent inside run()
+    wall_seconds: float = 0.0
+    #: optional per-subsystem wall profile (shared across a fleet's kernels)
+    subsystem_timings: Optional[SubsystemTimings] = None
+
+    def record_tick(self, step: float, base_dt: float) -> None:
+        """Account one executed tick of ``step`` virtual seconds."""
+        self.ticks += 1
+        self.virtual_seconds += step
+        self.reference_ticks += step / base_dt
+        if step > base_dt * 1.000001:
+            self.coalesced_ticks += 1
+            self.coalesced_seconds += step
+        else:
+            self.base_ticks += 1
+
+    @property
+    def tick_reduction(self) -> float:
+        """How many reference ticks each executed tick replaced (>= 1)."""
+        if self.ticks == 0:
+            return 1.0
+        return self.reference_ticks / self.ticks
+
+    @property
+    def coalescing_fraction(self) -> float:
+        """Fraction of virtual time advanced by coalesced ticks."""
+        if self.virtual_seconds <= 0:
+            return 0.0
+        return self.coalesced_seconds / self.virtual_seconds
+
+    def render(self) -> str:
+        """A human-readable summary block."""
+        lines = [
+            f"ticks executed      {self.ticks}"
+            f" (base {self.base_ticks}, coalesced {self.coalesced_ticks})",
+            f"virtual seconds     {self.virtual_seconds:.0f}"
+            f" ({self.coalescing_fraction * 100:.1f}% coalesced)",
+            f"reference ticks     {self.reference_ticks:.0f}",
+            f"tick reduction      {self.tick_reduction:.1f}x",
+            f"samples recorded    {self.samples}",
+            f"wall seconds        {self.wall_seconds:.2f}",
+        ]
+        if self.subsystem_timings is not None:
+            lines.append("subsystem wall profile:")
+            lines.append(self.subsystem_timings.render())
+        return "\n".join(lines)
+
+
+class WallTimer:
+    """Context manager adding elapsed wall time to ``metrics.wall_seconds``."""
+
+    def __init__(self, metrics: SimMetrics):
+        self.metrics = metrics
+        self._t0 = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.metrics.wall_seconds += time.perf_counter() - self._t0

@@ -4,7 +4,6 @@ import pytest
 
 from repro.attack.strategies import ContinuousAttack, PeriodicAttack, SynergisticAttack
 from repro.datacenter.simulation import DatacenterSimulation
-from repro.datacenter.tenants import DiurnalProfile
 from repro.errors import AttackError
 from repro.runtime.cloud import PROVIDER_PROFILES
 

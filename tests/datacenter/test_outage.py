@@ -1,6 +1,5 @@
 """Tests for outage consequences: a tripped breaker darkens its rack."""
 
-import pytest
 
 from repro.attack.virus import power_virus
 from repro.datacenter.simulation import DatacenterSimulation

@@ -47,6 +47,27 @@ class TestPowerTrace:
         sub = trace.window(3.0, 6.0)
         assert sub.times == [3.0, 4.0, 5.0]
 
+    def test_averaged_with_multi_window_gap(self):
+        """A gap spanning several windows must flush the open bucket once."""
+        trace = PowerTrace()
+        for t in range(10):
+            trace.append(float(t), 100.0)
+        for t in range(95, 100):
+            trace.append(float(t), 200.0)
+        avg = trace.averaged(30.0)
+        assert avg.times == [0.0, 90.0]
+        assert avg.watts[0] == pytest.approx(100.0)
+        assert avg.watts[1] == pytest.approx(200.0)
+
+    def test_averaged_gap_straddling_one_boundary(self):
+        trace = PowerTrace()
+        trace.append(0.0, 100.0)
+        trace.append(29.0, 300.0)
+        trace.append(61.0, 500.0)  # skips the [30, 60) window entirely
+        avg = trace.averaged(30.0)
+        assert avg.times == [0.0, 60.0]
+        assert avg.watts == [pytest.approx(200.0), pytest.approx(500.0)]
+
 
 class TestDatacenterSimulation:
     def test_traces_recorded(self):
@@ -96,6 +117,54 @@ class TestDatacenterSimulation:
         sim = DatacenterSimulation(servers=1, seed=1)
         with pytest.raises(SimulationError):
             sim.run(0)
+
+    def test_sampling_stays_on_exact_interval_multiples(self):
+        """A dt that does not divide the interval must not drift the grid.
+
+        Regression: the old driver re-armed the next sample at ``now +
+        interval`` after the overshooting tick, so dt=0.3 with a 1 s
+        interval produced samples at 1.2, 2.4, 3.6, ... instead of on the
+        nominal 1 s cadence.
+        """
+        sim = DatacenterSimulation(servers=1, seed=1, sample_interval_s=1.0)
+        sim.run(6.0, dt=0.3)
+        assert sim.aggregate_trace.times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_baseline_sample_recorded_at_t0(self):
+        sim = DatacenterSimulation(servers=1, seed=1, sample_interval_s=10.0)
+        sim.run(30.0, dt=10.0)
+        assert sim.aggregate_trace.times[0] == 0.0
+        assert len(sim.aggregate_trace) == 4
+
+    def test_gap_outside_run_is_caught_up(self):
+        """Clock advances outside run() must not shift the sample grid."""
+        sim = DatacenterSimulation(servers=1, seed=1, sample_interval_s=1.0)
+        sim.run(3.0, dt=1.0)
+        sim.cloud.run(3.0)  # advances the clock without sampling
+        sim.run(4.0, dt=1.0)
+        assert sim.aggregate_trace.times == [float(t) for t in range(11)]
+
+    def test_set_sample_interval_reanchors_at_now(self):
+        sim = DatacenterSimulation(servers=1, seed=1, sample_interval_s=30.0)
+        sim.run(60.0, dt=1.0)
+        sim.set_sample_interval(1.0)
+        assert sim.next_sample_time == pytest.approx(61.0)
+        sim.run(5.0, dt=1.0)
+        assert sim.aggregate_trace.times[-5:] == [61.0, 62.0, 63.0, 64.0, 65.0]
+
+    def test_coalesced_run_keeps_the_sample_grid(self):
+        ref = DatacenterSimulation(servers=1, seed=5, sample_interval_s=30.0)
+        ref.run(600.0, dt=1.0)
+        fast = DatacenterSimulation(servers=1, seed=5, sample_interval_s=30.0)
+        fast.run(600.0, dt=1.0, coalesce=True)
+        assert fast.aggregate_trace.times == ref.aggregate_trace.times
+
+    def test_invalid_sample_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            DatacenterSimulation(servers=1, sample_interval_s=0.0)
+        sim = DatacenterSimulation(servers=1, seed=1)
+        with pytest.raises(SimulationError):
+            sim.set_sample_interval(-1.0)
 
     def test_determinism(self):
         def trace_of(seed):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datacenter.breaker import CircuitBreaker
-from repro.datacenter.tenants import SECONDS_PER_DAY, DiurnalProfile, DiurnalTenantDriver
+from repro.datacenter.tenants import DiurnalProfile, DiurnalTenantDriver
 from repro.datacenter.topology import (
     PDU,
     Rack,

@@ -7,7 +7,6 @@ Case Study II — RAPL in containers: ``get_energy_counter`` returns the
 host's MSR-backed counter to any reader.
 """
 
-import pytest
 
 from repro.kernel.namespaces import NamespaceType
 from repro.runtime.workload import constant
@@ -37,7 +36,9 @@ class TestCaseStudyNetPrio:
         map_2 = c2.read("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
         assert "eth0 7" in map_1
         assert "eth0 0" in map_2
-        names = lambda text: [l.split()[0] for l in text.splitlines()]
+        def names(text):
+            return [ln.split()[0] for ln in text.splitlines()]
+
         assert names(map_1) == names(map_2)  # same leaked device list
 
     def test_patched_handler_closes_the_leak(self, engine):

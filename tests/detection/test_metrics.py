@@ -6,7 +6,6 @@ module-scoped instance backs all assertions.
 
 import pytest
 
-from repro.detection.channels import channel_by_id
 from repro.detection.metrics import (
     ChannelAssessor,
     Manipulation,

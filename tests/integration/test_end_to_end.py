@@ -11,7 +11,7 @@ from repro.coresidence.orchestrator import CoResidenceOrchestrator
 from repro.defense.masking import generate_masking_policy, verify_masking
 from repro.defense.modeling import PowerModeler, TrainingHarness
 from repro.defense.powerns import PowerNamespaceDriver
-from repro.detection.crossvalidate import CrossValidator, LeakClass
+from repro.detection.crossvalidate import CrossValidator
 from repro.errors import AttackError, PermissionDeniedError
 from repro.kernel.kernel import Machine
 from repro.kernel.rapl import unwrap_delta
@@ -114,7 +114,6 @@ class TestCoResidenceDefense:
         no identifiers and aggregation cannot confirm anything."""
         profile = PROVIDER_PROFILES["CC1"]
         from dataclasses import replace
-        from repro.runtime.policy import MaskingPolicy
 
         def hardened_policy():
             policy = profile.policy_factory()

@@ -16,7 +16,7 @@ from repro.defense.kernel_patches import apply_all_patches
 from repro.defense.masking import generate_masking_policy
 from repro.defense.modeling import PowerModeler, TrainingHarness
 from repro.defense.powerns import PowerNamespaceDriver
-from repro.detection.inspector import Availability, CloudInspector
+from repro.detection.inspector import CloudInspector
 from repro.kernel.kernel import Machine
 from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
 from repro.runtime.engine import ContainerEngine

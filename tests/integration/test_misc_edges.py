@@ -79,8 +79,8 @@ class TestProviderDiversity:
         instance = cloud.launch_instance("t")
         cloud.run(1)
         content = instance.read("/proc/cpuinfo")
-        lines = [l for l in content.splitlines() if l.startswith("processor")]
-        numbers = [int(l.split(":")[1]) for l in lines]
+        lines = [ln for ln in content.splitlines() if ln.startswith("processor")]
+        numbers = [int(ln.split(":")[1]) for ln in lines]
         assert numbers == list(range(len(numbers)))  # 0..n-1, renumbered
 
     def test_all_profiles_have_distinct_policies(self):

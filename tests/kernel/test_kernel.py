@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import KernelError, SimulationError
-from repro.kernel.kernel import Kernel, Machine
+from repro.errors import KernelError
+from repro.kernel.kernel import Machine
 from repro.kernel.namespaces import NamespaceType
 from repro.runtime.workload import constant, idle
 

@@ -60,7 +60,7 @@ class TestAccounting:
 
     def test_memfree_recovers_after_task_death(self):
         m = Machine(seed=2, spawn_daemons=False)
-        task = m.kernel.spawn(
+        m.kernel.spawn(
             "hog", workload=constant("hog", cpu_demand=0.1, rss_mb=2048, duration=5)
         )
         m.run(5, dt=1.0)

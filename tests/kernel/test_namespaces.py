@@ -5,7 +5,6 @@ import pytest
 from repro.errors import KernelError
 from repro.kernel.namespaces import (
     VANILLA_TYPES,
-    Namespace,
     NamespaceRegistry,
     NamespaceType,
     root_namespace_set,

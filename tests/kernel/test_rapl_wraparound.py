@@ -1,0 +1,90 @@
+"""Edge-case tests for RAPL counter wraparound handling.
+
+The hardware MSR is a wrapping microjoule accumulator; every consumer
+(the attack monitor included) must survive a wrap between two readings.
+"""
+
+import pytest
+
+from repro.attack.monitor import RaplPowerMonitor
+from repro.kernel.kernel import Machine
+from repro.kernel.rapl import MAX_ENERGY_RANGE_UJ, RaplDomain, unwrap_delta
+from repro.runtime.workload import constant
+
+
+class TestUnwrapDelta:
+    def test_no_wrap_is_plain_difference(self):
+        assert unwrap_delta(2_000_000, 500_000) == 1_500_000
+
+    def test_wrap_with_default_range(self):
+        before = MAX_ENERGY_RANGE_UJ - 1_000
+        assert unwrap_delta(500, before) == 1_500
+
+    def test_wrap_with_custom_range(self):
+        # a 32-bit-style counter, far smaller than the Skylake default
+        max_range = 2**32
+        before = max_range - 100
+        assert unwrap_delta(50, before, max_range) == 150
+
+    def test_custom_range_no_wrap(self):
+        assert unwrap_delta(900, 100, 1_000) == 800
+
+    def test_identical_readings_are_zero(self):
+        assert unwrap_delta(42, 42) == 0
+        assert unwrap_delta(42, 42, 1_000) == 0
+
+
+class TestRaplDomainWrap:
+    def test_accumulate_wraps_at_max_range(self):
+        domain = RaplDomain(
+            name="package-0", sysfs_name="intel-rapl:0", max_energy_range_uj=10_000_000
+        )
+        domain.accumulate(9.0)  # 9 J = 9_000_000 uJ
+        before = domain.energy_uj
+        domain.accumulate(2.0)  # crosses the 10 J range
+        after = domain.energy_uj
+        assert after < before  # the raw counter wrapped...
+        assert unwrap_delta(after, before, 10_000_000) == 2_000_000  # ...delta exact
+
+    def test_counter_stays_within_range(self):
+        domain = RaplDomain(
+            name="package-0", sysfs_name="intel-rapl:0", max_energy_range_uj=1_000
+        )
+        for _ in range(50):
+            domain.accumulate(0.0007)
+        assert 0 <= domain.energy_uj < 1_000
+
+
+class _WrappingInstance:
+    """A stub instance serving a scripted sequence of counter readings."""
+
+    def __init__(self, readings):
+        self._readings = iter(readings)
+
+    def read(self, path):
+        return f"{next(self._readings)}\n"
+
+
+class TestMonitorAcrossWrap:
+    def test_sample_across_counter_wrap(self):
+        before_wrap = MAX_ENERGY_RANGE_UJ - 1_000_000
+        after_wrap = 500_000  # 1.5 J elapsed through the wrap
+        monitor = RaplPowerMonitor(_WrappingInstance([before_wrap, after_wrap]))
+        assert monitor.sample(0.0) is None  # primes
+        watts = monitor.sample(1.0)
+        assert watts == pytest.approx(1.5)
+
+    def test_wrap_on_live_counter(self):
+        """Drive a real kernel counter over its wrap point."""
+        m = Machine(seed=1, spawn_daemons=False)
+        m.kernel.spawn("w", workload=constant("w", cpu_demand=1.0, ipc=2.0))
+        pkg = m.kernel.rapl.package(0).package
+        # park the counter just below the range so the next ticks wrap it
+        pkg._energy_uj = float(pkg.max_energy_range_uj - 10_000)
+        before = pkg.energy_uj
+        m.run(5, dt=1.0)
+        after = pkg.energy_uj
+        assert after < before
+        watts = unwrap_delta(after, before, pkg.max_energy_range_uj) / 1e6 / 5.0
+        # a busy core draws tens of watts; the wrap must not corrupt that
+        assert 20.0 < watts < 500.0

@@ -82,7 +82,6 @@ class TestAccounting:
     def test_instructions_follow_ipc(self, quiet_machine):
         k = quiet_machine.kernel
         task = spawn_cpu_task(k)
-        result = None
         quiet_machine.run(1, dt=1.0)
         freq = k.config.cpu.frequency_hz
         expected = freq * 2.0  # ipc = 2.0
@@ -120,7 +119,7 @@ class TestLoadavg:
 
     def test_loadavg_decays_when_idle(self, quiet_machine):
         k = quiet_machine.kernel
-        task = spawn_cpu_task(k, name="burst", duration=10.0)
+        spawn_cpu_task(k, name="burst", duration=10.0)
         quiet_machine.run(10, dt=1.0)
         peak = k.scheduler.loadavg_1
         quiet_machine.run(120, dt=1.0)

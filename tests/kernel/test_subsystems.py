@@ -49,7 +49,7 @@ class TestInterrupts:
     def test_totals_are_consistent(self, machine):
         machine.run(5, dt=1.0)
         intr = machine.kernel.interrupts
-        assert intr.total_interrupts == sum(l.total for l in intr.lines)
+        assert intr.total_interrupts == sum(ln.total for ln in intr.lines)
 
 
 class TestTimers:
@@ -245,8 +245,6 @@ class TestThermal:
         assert sensor.millidegrees == int(sensor.temp_c * 1000)
 
     def test_absent_sensors_raise(self):
-        from repro.kernel.config import AMD_OPTERON, HostConfig
-
         m = Machine(seed=1)
         m.kernel.thermal.present = False
         with pytest.raises(KernelError):

@@ -41,28 +41,30 @@ class TestProcStatFidelity:
 
     def test_btime_is_stable_across_reads(self, loaded):
         machine, vfs, ctx = loaded
-        read_btime = lambda: int(
-            next(l for l in vfs.read("/proc/stat", ctx).splitlines()
-                 if l.startswith("btime")).split()[1]
-        )
+        def read_btime():
+            return int(
+                next(ln for ln in vfs.read("/proc/stat", ctx).splitlines()
+                     if ln.startswith("btime")).split()[1]
+            )
         first = read_btime()
         machine.run(30, dt=1.0)
         assert read_btime() == first
 
     def test_ctxt_monotone(self, loaded):
         machine, vfs, ctx = loaded
-        read_ctxt = lambda: int(
-            next(l for l in vfs.read("/proc/stat", ctx).splitlines()
-                 if l.startswith("ctxt")).split()[1]
-        )
+        def read_ctxt():
+            return int(
+                next(ln for ln in vfs.read("/proc/stat", ctx).splitlines()
+                     if ln.startswith("ctxt")).split()[1]
+            )
         first = read_ctxt()
         machine.run(10, dt=1.0)
         assert read_ctxt() >= first
 
     def test_intr_first_field_is_total(self, loaded):
         _, vfs, ctx = loaded
-        intr = next(l for l in vfs.read("/proc/stat", ctx).splitlines()
-                    if l.startswith("intr")).split()
+        intr = next(ln for ln in vfs.read("/proc/stat", ctx).splitlines()
+                    if ln.startswith("intr")).split()
         total = int(intr[1])
         assert total == sum(int(x) for x in intr[2:])
 
@@ -106,7 +108,7 @@ class TestInterruptsFidelity:
         intr = machine.kernel.interrupts
         content = vfs.read("/proc/interrupts", ctx)
         ncpus = machine.kernel.config.total_cores
-        loc_row = next(l for l in content.splitlines() if l.startswith(" LOC:"))
+        loc_row = next(ln for ln in content.splitlines() if ln.startswith(" LOC:"))
         counts = [int(x) for x in loc_row.split()[1 : 1 + ncpus]]
         assert counts == intr.irq("LOC").per_cpu
 

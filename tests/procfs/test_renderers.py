@@ -5,7 +5,7 @@ import re
 import pytest
 
 from repro.procfs.node import ReadContext
-from repro.runtime.workload import constant, idle
+from repro.runtime.workload import idle
 
 
 @pytest.fixture
@@ -102,7 +102,6 @@ class TestProcKernelTables:
         k = busy_machine.kernel
         task = k.spawn("timerowner", workload=idle())
         k.timers.arm(task, delay_seconds=500)
-        content = vfs_read = vfs = None  # placeholder avoided
         from repro.procfs.vfs import PseudoVFS
 
         content = PseudoVFS(k).read("/proc/timer_list")
@@ -126,7 +125,7 @@ class TestProcKernelTables:
         lines = vfs.read("/proc/interrupts", ctx).splitlines()
         ncpus = busy_machine.kernel.config.total_cores
         assert lines[0].split() == [f"CPU{c}" for c in range(ncpus)]
-        loc = next(l for l in lines if l.startswith(" LOC:"))
+        loc = next(ln for ln in lines if ln.startswith(" LOC:"))
         counts = loc.split()[1 : 1 + ncpus]
         assert all(int(c) >= 0 for c in counts)
 

@@ -65,7 +65,7 @@ class TestLaunch:
 
 class TestBilling:
     def test_idle_instance_bills_little(self, cc1):
-        inst = cc1.launch_instance("cheap")
+        cc1.launch_instance("cheap")
         cc1.run(60)
         assert cc1.bill("cheap") < 0.001
 

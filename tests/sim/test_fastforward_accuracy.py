@@ -1,0 +1,85 @@
+"""Accuracy-regression harness for the tick-coalescing fast-forward engine.
+
+The same :class:`DatacenterSimulation` seed is advanced twice over the
+same window — once at the per-second reference ``dt``, once with
+``coalesce=True`` — and the wall-power traces must agree sample for
+sample. The safety invariants (see :mod:`repro.sim.fastforward`) make
+every subsystem update linear in ``dt`` inside a coalesced window, so
+agreement should be at float-associativity level; the statistics bound
+here is the 1% acceptance criterion, with a much tighter per-sample
+check to catch drift long before it reaches 1%.
+"""
+
+import pytest
+
+from repro.datacenter.simulation import DatacenterSimulation
+
+WINDOW_S = 7200.0
+SAMPLE_S = 30.0
+
+
+def _run(coalesce: bool) -> DatacenterSimulation:
+    sim = DatacenterSimulation(servers=2, seed=7, sample_interval_s=SAMPLE_S)
+    sim.run(WINDOW_S, dt=1.0, coalesce=coalesce)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def reference() -> DatacenterSimulation:
+    return _run(False)
+
+
+@pytest.fixture(scope="module")
+def coalesced() -> DatacenterSimulation:
+    return _run(True)
+
+
+class TestTraceAgreement:
+    def test_sample_grids_identical(self, reference, coalesced):
+        assert coalesced.aggregate_trace.times == reference.aggregate_trace.times
+        # both include the t=0 baseline and every 30 s multiple after it
+        assert reference.aggregate_trace.times[0] == 0.0
+        assert reference.aggregate_trace.times[-1] == WINDOW_S
+        assert len(reference.aggregate_trace) == int(WINDOW_S / SAMPLE_S) + 1
+
+    def test_per_sample_agreement(self, reference, coalesced):
+        for ref_w, fast_w in zip(
+            reference.aggregate_trace.watts, coalesced.aggregate_trace.watts
+        ):
+            assert fast_w == pytest.approx(ref_w, rel=1e-9)
+
+    def test_per_server_traces_agree(self, reference, coalesced):
+        for i in reference.server_traces:
+            ref = reference.server_traces[i]
+            fast = coalesced.server_traces[i]
+            assert fast.times == ref.times
+            for ref_w, fast_w in zip(ref.watts, fast.watts):
+                assert fast_w == pytest.approx(ref_w, rel=1e-9)
+
+    def test_figure2_statistics_within_one_percent(self, reference, coalesced):
+        ref, fast = reference.aggregate_trace, coalesced.aggregate_trace
+        assert fast.peak == pytest.approx(ref.peak, rel=0.01)
+        assert fast.trough == pytest.approx(ref.trough, rel=0.01)
+        assert fast.swing_fraction == pytest.approx(ref.swing_fraction, rel=0.01)
+
+
+class TestTickEconomy:
+    def test_reference_runs_per_second(self, reference):
+        assert reference.metrics.ticks == int(WINDOW_S)
+        assert reference.metrics.coalesced_ticks == 0
+        assert reference.metrics.tick_reduction == pytest.approx(1.0)
+
+    def test_coalescing_reduces_ticks_at_least_5x(self, coalesced):
+        m = coalesced.metrics
+        assert m.reference_ticks == pytest.approx(WINDOW_S)
+        assert m.tick_reduction >= 5.0
+        assert m.coalescing_fraction > 0.5
+
+    def test_kernels_ticked_fewer_times(self, reference, coalesced):
+        ref_ticks = reference.cloud.hosts[0].kernel.ticks_taken
+        fast_ticks = coalesced.cloud.hosts[0].kernel.ticks_taken
+        assert fast_ticks * 5 <= ref_ticks
+
+    def test_same_virtual_time_reached(self, reference, coalesced):
+        assert coalesced.now == pytest.approx(reference.now)
+        assert coalesced.metrics.virtual_seconds == pytest.approx(WINDOW_S)

@@ -1,0 +1,83 @@
+"""Tests for the simulation instrumentation counters."""
+
+import pytest
+
+from repro.sim.metrics import SimMetrics, SubsystemTimings, WallTimer
+
+
+class TestSimMetrics:
+    def test_base_tick_accounting(self):
+        m = SimMetrics()
+        for _ in range(10):
+            m.record_tick(1.0, 1.0)
+        assert m.ticks == 10
+        assert m.base_ticks == 10
+        assert m.coalesced_ticks == 0
+        assert m.virtual_seconds == pytest.approx(10.0)
+        assert m.tick_reduction == pytest.approx(1.0)
+        assert m.coalescing_fraction == 0.0
+
+    def test_coalesced_tick_accounting(self):
+        m = SimMetrics()
+        m.record_tick(1.0, 1.0)
+        m.record_tick(59.0, 1.0)
+        assert m.ticks == 2
+        assert m.base_ticks == 1
+        assert m.coalesced_ticks == 1
+        assert m.reference_ticks == pytest.approx(60.0)
+        assert m.tick_reduction == pytest.approx(30.0)
+        assert m.coalescing_fraction == pytest.approx(59.0 / 60.0)
+
+    def test_fresh_metrics_report_neutral_reduction(self):
+        assert SimMetrics().tick_reduction == 1.0
+        assert SimMetrics().coalescing_fraction == 0.0
+
+    def test_render_mentions_key_counters(self):
+        m = SimMetrics()
+        m.record_tick(30.0, 1.0)
+        m.samples = 3
+        text = m.render()
+        assert "tick reduction" in text
+        assert "30.0x" in text
+        assert "samples recorded    3" in text
+
+    def test_render_includes_subsystem_profile_when_enabled(self):
+        m = SimMetrics()
+        m.subsystem_timings = SubsystemTimings()
+        m.subsystem_timings.add("scheduler", 0.5)
+        assert "scheduler" in m.render()
+
+
+class TestSubsystemTimings:
+    def test_add_and_total(self):
+        t = SubsystemTimings()
+        t.add("scheduler", 0.2)
+        t.add("scheduler", 0.3)
+        t.add("power+rapl", 0.1)
+        assert t.wall_s["scheduler"] == pytest.approx(0.5)
+        assert t.total() == pytest.approx(0.6)
+
+    def test_ranked_orders_by_cost(self):
+        t = SubsystemTimings()
+        t.add("cheap", 0.01)
+        t.add("hot", 1.0)
+        assert [name for name, _ in t.ranked()] == ["hot", "cheap"]
+
+    def test_render_empty_and_nonempty(self):
+        t = SubsystemTimings()
+        assert "no subsystem timings" in t.render()
+        t.add("scheduler", 0.75)
+        assert "scheduler" in t.render()
+        assert "100.0%" in t.render()
+
+
+class TestWallTimer:
+    def test_timer_accumulates_elapsed_wall_time(self):
+        m = SimMetrics()
+        with WallTimer(m):
+            pass
+        first = m.wall_seconds
+        assert first >= 0.0
+        with WallTimer(m):
+            sum(range(1000))
+        assert m.wall_seconds >= first
