@@ -15,7 +15,7 @@ from repro.attack.strategies import AttackOutcome, SynergisticAttack
 from repro.coresidence.fingerprint import fingerprint_instance
 from repro.coresidence.uptime import read_uptime
 from repro.datacenter.simulation import DatacenterSimulation
-from repro.errors import AttackError, CapacityError
+from repro.errors import AttackError, CapacityError, ReproError
 from repro.runtime.cloud import Instance
 
 
@@ -29,6 +29,12 @@ class CampaignResult:
     attack: Optional[AttackOutcome] = None
     #: instance_id -> (uptime, idle) observed during reconnaissance
     reconnaissance: Dict[str, tuple] = field(default_factory=dict)
+    #: instances whose /proc/uptime read failed during reconnaissance
+    recon_failures: int = 0
+    #: candidates discarded because their fingerprint reads faulted
+    blind_fingerprints: int = 0
+    #: fleet fault-injection counters observed over the campaign window
+    fault_stats: Dict[str, float] = field(default_factory=dict)
 
 
 class SynergisticCampaign:
@@ -58,6 +64,7 @@ class SynergisticCampaign:
         held: List[Instance] = []
         held_prints: List = []
         launches = 0
+        self._blind_fingerprints = 0
         while len(held) < target_servers:
             if launches >= max_launches:
                 raise AttackError(
@@ -71,7 +78,17 @@ class SynergisticCampaign:
                 continue
             launches += 1
             cloud.run(1.0)
-            print_ = fingerprint_instance(candidate)
+            try:
+                print_ = fingerprint_instance(candidate)
+            except ReproError:
+                print_ = None
+            if print_ is None or print_.empty:
+                # every identity channel faulted or masked: an empty
+                # fingerprint matches nothing, so keeping the candidate
+                # could double-cover a host — discard it and relaunch
+                self._blind_fingerprints += 1
+                cloud.terminate_instance(candidate)
+                continue
             if any(print_.matches(existing) for existing in held_prints):
                 cloud.terminate_instance(candidate)
             else:
@@ -82,11 +99,27 @@ class SynergisticCampaign:
         return held
 
     def reconnoiter(self, instances: List[Instance]) -> Dict[str, tuple]:
-        """Read /proc/uptime everywhere: the boot-proximity intelligence."""
+        """Read /proc/uptime everywhere: the boot-proximity intelligence.
+
+        An instance whose read faults is skipped and counted (the
+        campaign proceeds with partial intelligence); only losing the
+        channel on *every* instance — a masked provider, not a transient
+        fault — fails loudly.
+        """
         observations = {}
+        self._recon_failures = 0
         for instance in instances:
-            obs = read_uptime(instance)
+            try:
+                obs = read_uptime(instance)
+            except ReproError:
+                self._recon_failures += 1
+                continue
             observations[instance.instance_id] = (obs.uptime_s, obs.idle_s)
+        if instances and not observations:
+            raise AttackError(
+                f"reconnaissance blind: all {len(instances)} uptime reads "
+                f"failed (channel masked by the provider?)"
+            )
         return observations
 
     def execute(
@@ -106,6 +139,8 @@ class SynergisticCampaign:
             launches=self._launches,
             coverage_elapsed_s=self._coverage_elapsed,
             reconnaissance=recon,
+            recon_failures=self._recon_failures,
+            blind_fingerprints=self._blind_fingerprints,
         )
         if settle_s > 0:
             self.sim.run(settle_s)  # let monitors see the benign baseline
@@ -117,4 +152,5 @@ class SynergisticCampaign:
             cores_per_instance=self.cores,
         )
         result.attack = attack.run(attack_duration_s)
+        result.fault_stats = self.sim.fault_report()
         return result

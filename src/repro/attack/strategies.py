@@ -35,6 +35,9 @@ class AttackOutcome:
     bill_dollars: float = 0.0
     breaker_tripped: bool = False
     spike_watts: List[float] = field(default_factory=list)
+    #: fault-injection and graceful-degradation counters observed during
+    #: the run (empty when the fleet ran fault-free); see docs/faults.md
+    degradation: Dict[str, float] = field(default_factory=dict)
 
     @property
     def amplification_watts(self) -> float:
@@ -90,12 +93,17 @@ class _StrategyBase:
     def _cpu_seconds(self) -> float:
         return sum(i.billed_cpu_seconds for i in self.instances)
 
+    def _degradation(self) -> Dict[str, float]:
+        """Fault/degradation counters for the outcome (fleet-wide view)."""
+        return dict(self.sim.fault_report())
+
     def _finish(self, outcome: AttackOutcome, window_start: float) -> AttackOutcome:
         trace = self.sim.aggregate_trace.window(window_start, self.sim.now + 1)
         outcome.peak_watts = trace.peak if len(trace) else 0.0
         outcome.attacker_cpu_seconds = self._cpu_seconds()
         outcome.bill_dollars = self._billed()
         outcome.breaker_tripped = self.sim.any_breaker_tripped()
+        outcome.degradation = self._degradation()
         return outcome
 
 
@@ -194,14 +202,20 @@ class SynergisticAttack(_StrategyBase):
         #: the leaked signal source: RAPL by default, or the Section
         #: VII-A utilization estimator on hosts without RAPL
         self.monitors: Dict[str, object] = {}
+        self._monitors_unavailable = 0
         for instance in self.instances:
             monitor = monitor_factory(instance)
             if not monitor.available():
-                raise AttackError(
-                    f"instance {instance.instance_id} cannot read the leaked "
-                    f"signal channel; synergistic attack needs the leak"
-                )
+                # a masked or currently-faulted channel degrades coverage;
+                # only losing *every* channel kills the attack
+                self._monitors_unavailable += 1
+                continue
             self.monitors[instance.instance_id] = monitor
+        if not self.monitors:
+            raise AttackError(
+                "no instance can read the leaked signal channel; "
+                "synergistic attack needs the leak"
+            )
         # One detector over the *sum* of the per-server RAPL signals: the
         # attacker cares about the load on the shared power feed, so the
         # trigger is a crest of the aggregate, not of any single machine.
@@ -209,9 +223,25 @@ class SynergisticAttack(_StrategyBase):
 
     def _aggregate_sample(self) -> Optional[float]:
         watts = [m.sample(self.sim.now) for m in self.monitors.values()]
-        if any(w is None for w in watts):
+        live = [w for w in watts if w is not None]
+        if len(live) < len(watts):
+            # priming or a monitor in fault backoff: a partial sum would
+            # skew the detector band, so skip this sampling period
             return None
-        return sum(watts)
+        return sum(live)
+
+    def _degradation(self) -> Dict[str, float]:
+        report = super()._degradation()
+        if self._monitors_unavailable:
+            report["monitors-unavailable"] = self._monitors_unavailable
+        for monitor in self.monitors.values():
+            summary = getattr(monitor, "degradation", None)
+            if summary is None:
+                continue
+            for key, value in summary().items():
+                name = f"monitor-{key.replace('_', '-')}"
+                report[name] = report.get(name, 0) + value
+        return report
 
     def run(self, duration_s: float, dt: float = 1.0, coalesce: bool = False) -> AttackOutcome:
         """Sample every step; burst when the aggregate power crests.

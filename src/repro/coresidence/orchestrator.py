@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.coresidence.fingerprint import fingerprint_instance
-from repro.errors import AttackError, CapacityError
+from repro.errors import AttackError, CapacityError, ReproError
 from repro.runtime.cloud import ContainerCloud, Instance
 
 Verifier = Callable[[ContainerCloud, Instance, Instance], bool]
@@ -37,6 +37,8 @@ class OrchestrationResult:
     launches: int = 0
     terminations: int = 0
     elapsed_s: float = 0.0
+    #: candidates discarded because the verifier's channel reads faulted
+    verification_errors: int = 0
 
     @property
     def achieved(self) -> int:
@@ -92,7 +94,14 @@ class CoResidenceOrchestrator:
                 continue
             result.launches += 1
             self.cloud.run(self.settle_s)
-            if self.verifier(self.cloud, pivot, candidate):
+            try:
+                co_resident = self.verifier(self.cloud, pivot, candidate)
+            except ReproError:
+                # a faulted leak channel can't confirm co-residence, so
+                # the candidate is treated as a miss and recycled
+                result.verification_errors += 1
+                co_resident = False
+            if co_resident:
                 result.instances.append(candidate)
             else:
                 self.cloud.terminate_instance(candidate)

@@ -93,6 +93,15 @@ class CircuitBreaker:
         self.tripped_at = now
         self.trip_count += 1
 
+    def force_trip(self, now: float) -> None:
+        """Open the breaker regardless of load (chaos/operator action).
+
+        Idempotent on an already-tripped breaker.
+        """
+        if self.state is BreakerState.TRIPPED:
+            return
+        self._trip(now)
+
     def reset(self) -> None:
         """Close a tripped breaker (operator action after an outage)."""
         if self.state is not BreakerState.TRIPPED:

@@ -17,15 +17,23 @@ from repro.datacenter.topology import Rack, ServerPowerConfig, wall_power_watts
 from repro.errors import SimulationError
 from repro.runtime.cloud import ContainerCloud, PROVIDER_PROFILES, ProviderProfile
 from repro.sim.fastforward import FastForwardEngine
+from repro.sim.faults import FaultInjector, FaultSchedule
 from repro.sim.metrics import SimMetrics, SubsystemTimings, WallTimer
+from repro.sim.rng import DeterministicRNG
 
 
 @dataclass
 class PowerTrace:
-    """A sampled power time series with averaging helpers."""
+    """A sampled power time series with averaging helpers.
+
+    ``gaps`` records the nominal times of samples that could not be
+    taken (the machine was down); a gapped trace stays usable — the
+    statistics below simply describe the samples that exist.
+    """
 
     times: List[float] = field(default_factory=list)
     watts: List[float] = field(default_factory=list)
+    gaps: List[float] = field(default_factory=list)
 
     def append(self, t: float, w: float) -> None:
         """Record one sample (timestamps must be nondecreasing)."""
@@ -34,28 +42,49 @@ class PowerTrace:
         self.times.append(t)
         self.watts.append(w)
 
+    def note_gap(self, t: float) -> None:
+        """Record that the sample nominally due at ``t`` was missed."""
+        self.gaps.append(t)
+
     def __len__(self) -> int:
         return len(self.times)
+
+    def _require_samples(self, what: str) -> None:
+        if not self.watts:
+            raise SimulationError(
+                f"cannot compute {what} of an empty power trace"
+                f" ({len(self.gaps)} gap(s) recorded)"
+            )
 
     @property
     def peak(self) -> float:
         """Maximum sampled power."""
+        self._require_samples("peak")
         return max(self.watts)
 
     @property
     def trough(self) -> float:
         """Minimum sampled power."""
+        self._require_samples("trough")
         return min(self.watts)
 
     @property
     def mean(self) -> float:
         """Mean sampled power."""
+        self._require_samples("mean")
         return sum(self.watts) / len(self.watts)
 
     @property
     def swing_fraction(self) -> float:
         """(peak − trough)/trough — Figure 2 reports 34.72%."""
-        return (self.peak - self.trough) / self.trough
+        self._require_samples("swing fraction")
+        trough = self.trough
+        if trough == 0:
+            raise SimulationError(
+                "swing fraction undefined: trace trough is 0 W"
+                " (every sampled server was dark)"
+            )
+        return (self.peak - trough) / trough
 
     def averaged(self, window_s: float) -> "PowerTrace":
         """Resample by averaging fixed windows (Figure 2's 30 s view)."""
@@ -79,11 +108,12 @@ class PowerTrace:
         return out
 
     def window(self, t0: float, t1: float) -> "PowerTrace":
-        """The sub-trace with t0 <= t < t1."""
+        """The sub-trace with t0 <= t < t1 (gap markers carried along)."""
         out = PowerTrace()
         for t, w in zip(self.times, self.watts):
             if t0 <= t < t1:
                 out.append(t, w)
+        out.gaps = [t for t in self.gaps if t0 <= t < t1]
         return out
 
 
@@ -166,6 +196,34 @@ class DatacenterSimulation:
         #: (attack strategies register theirs here)
         self.horizon_sources: List[Callable[[float], float]] = []
 
+        #: deterministic fault replay (``None`` = perfect substrate)
+        self.fault_injector: Optional[FaultInjector] = None
+
+    def install_faults(
+        self, schedule: FaultSchedule, seed: Optional[int] = None
+    ) -> FaultInjector:
+        """Attach a seeded fault injector to the fleet.
+
+        ``seed`` defaults to the schedule's own seed. From the next
+        :meth:`run` on, due faults apply before each tick is planned,
+        fault boundaries are coalescing barriers, crashed servers go dark
+        with per-server trace gaps, and sensor faults act on every read
+        path of the affected hosts. See ``docs/faults.md``.
+        """
+        if self.fault_injector is not None:
+            raise SimulationError("fault injector already installed")
+        rng = DeterministicRNG(schedule.seed if seed is None else seed)
+        injector = FaultInjector(
+            schedule,
+            rng,
+            kernels=[h.kernel for h in self.cloud.hosts],
+            engines=[h.engine for h in self.cloud.hosts],
+            racks=self.racks,
+        )
+        self.fault_injector = injector
+        self.horizon_sources.append(injector.next_barrier)
+        return injector
+
     # ------------------------------------------------------------------
 
     @property
@@ -182,12 +240,23 @@ class DatacenterSimulation:
         return sum(self.server_wall_watts(i) for i in range(len(self.cloud.hosts)))
 
     def _dark_indices(self) -> set:
-        """Servers currently without power (their rack breaker opened)."""
+        """Servers currently without power (breaker opened, or crashed)."""
         dark = set()
         for rack in self.racks:
             if rack.breaker.tripped:
                 dark.update(self._kernel_index[id(k)] for k in rack.kernels)
+        if self.fault_injector is not None:
+            dark.update(self.fault_injector.crashed_now())
         return dark
+
+    def _crashed_kernel_ids(self) -> frozenset:
+        """``id(kernel)`` of crashed servers (they draw no rack power)."""
+        if self.fault_injector is None:
+            return frozenset()
+        hosts = self.cloud.hosts
+        return frozenset(
+            id(hosts[i].kernel) for i in self.fault_injector.crashed_now()
+        )
 
     def enable_subsystem_timings(self) -> SubsystemTimings:
         """Profile wall time per kernel subsystem across the whole fleet."""
@@ -245,10 +314,11 @@ class DatacenterSimulation:
         phase-stable (constant-power) window cannot trip, so skipping is
         legal. Tripped racks are dark and cannot get darker.
         """
+        crashed = self._crashed_kernel_ids()
         for rack in self.racks:
             if rack.breaker.tripped:
                 continue
-            ratio = rack.wall_power() / rack.breaker.rated_watts
+            ratio = rack.wall_power(crashed) / rack.breaker.rated_watts
             if ratio > self.breaker_knee_ratio:
                 return False
         return True
@@ -272,11 +342,19 @@ class DatacenterSimulation:
         below its knee) are advanced in one large tick — see
         :mod:`repro.sim.fastforward` for the safety invariants.
         ``on_tick`` then fires once per executed tick, not per base dt.
+
+        With a fault injector installed (:meth:`install_faults`), due
+        fault events apply before each tick is planned, fault boundaries
+        bound coalesced steps (they are barrier events), and crashed
+        servers go dark until their scheduled reboot.
         """
         if seconds <= 0:
             raise SimulationError(f"run needs positive duration: {seconds}")
         engine = self.fastforward
+        injector = self.fault_injector
         with WallTimer(self.metrics):
+            if injector is not None and injector.advance(self.now):
+                engine.stability.reset()
             self._catch_up_samples()
             remaining = seconds
             while remaining > 1e-9:
@@ -300,8 +378,11 @@ class DatacenterSimulation:
                 for i, host in enumerate(self.cloud.hosts):
                     if i not in dark:
                         host.kernel.tick(step)
+                crashed = self._crashed_kernel_ids()
                 for rack in self.racks:
-                    rack.observe(step, self.now)
+                    rack.observe(step, self.now, crashed)
+                if injector is not None and injector.advance(self.now):
+                    engine.stability.reset()
                 self._catch_up_samples()
                 self.metrics.record_tick(step, dt)
                 if on_tick is not None:
@@ -323,9 +404,21 @@ class DatacenterSimulation:
 
     def _sample(self, at: Optional[float] = None) -> None:
         when = self.now if at is None else at
+        injector = self.fault_injector
+        crashed: frozenset = frozenset()
+        if injector is not None:
+            crashed = injector.crashed_now()
+            last = self.aggregate_trace.times[-1] if self.aggregate_trace.times else 0.0
+            # clock jitter displaces the *recorded* timestamp only; the
+            # sampling grid itself stays anchored on interval multiples
+            when = injector.jittered_time(when, self.sample_interval_s, floor=last)
         dark = self._dark_indices()
         total = 0.0
         for i in range(len(self.cloud.hosts)):
+            if i in crashed:
+                # a down machine leaves a hole in its trace, not a zero
+                self.server_traces[i].note_gap(when)
+                continue
             watts = 0.0 if i in dark else self.server_wall_watts(i)
             self.server_traces[i].append(when, watts)
             total += watts
@@ -337,6 +430,16 @@ class DatacenterSimulation:
     def any_breaker_tripped(self) -> bool:
         """Whether any rack breaker has opened."""
         return any(rack.breaker.tripped for rack in self.racks)
+
+    def fault_report(self) -> Dict[str, int]:
+        """Injected-fault and degradation counters (empty without faults)."""
+        if self.fault_injector is None:
+            return {}
+        report = self.fault_injector.stats.as_dict()
+        report["trace-gap-samples"] = sum(
+            len(trace.gaps) for trace in self.server_traces.values()
+        )
+        return report
 
     def trip_log(self) -> List[str]:
         """Human-readable breaker events."""

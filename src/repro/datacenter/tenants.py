@@ -143,7 +143,9 @@ class DiurnalTenantDriver:
         return self.kernel.spawn(workload.name, workload=workload)
 
     def _kill_worker(self, task: Task) -> None:
-        if self._container is not None:
+        if not task.alive:
+            return  # already reaped (e.g. OOM-killed by a fault injector)
+        if self._container is not None and task in self._container.tasks:
             self._container.kill_task(task)
         else:
             self.kernel.kill(task)
@@ -165,6 +167,8 @@ class DiurnalTenantDriver:
         if now < self._next_adjust:
             return
         self._next_adjust = now + self.adjust_interval_s
+        # drop workers something else killed (fault-injected OOM kills)
+        self._workers = [t for t in self._workers if t.alive]
 
         # Poisson burst arrivals, checked once per adjustment
         p_burst = self.profile.bursts_per_day * self.adjust_interval_s / SECONDS_PER_DAY

@@ -56,13 +56,23 @@ class Rack:
     breaker: CircuitBreaker
     power_config: ServerPowerConfig = field(default_factory=ServerPowerConfig)
 
-    def wall_power(self) -> float:
-        """Aggregate wall power of the rack right now."""
-        return sum(wall_power_watts(k, self.power_config) for k in self.kernels)
+    def wall_power(self, exclude: frozenset = frozenset()) -> float:
+        """Aggregate wall power of the rack right now.
 
-    def observe(self, dt: float, now: float) -> BreakerState:
+        ``exclude`` holds ``id(kernel)`` of servers that draw no power
+        despite belonging to the rack (crashed machines awaiting reboot).
+        """
+        return sum(
+            wall_power_watts(k, self.power_config)
+            for k in self.kernels
+            if id(k) not in exclude
+        )
+
+    def observe(
+        self, dt: float, now: float, exclude: frozenset = frozenset()
+    ) -> BreakerState:
         """Feed the current load into the breaker."""
-        return self.breaker.observe(self.wall_power(), dt, now)
+        return self.breaker.observe(self.wall_power(exclude), dt, now)
 
     @property
     def oversubscription_ratio(self) -> float:

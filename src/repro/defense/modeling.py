@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.regression import LinearModel, fit_linear, polynomial_features
 from repro.defense.collection import ContainerPerfCollector, PerfWindow
-from repro.errors import DefenseError
+from repro.errors import DefenseError, ReproError
 from repro.kernel.kernel import Machine
 from repro.kernel.rapl import unwrap_delta
 from repro.runtime.benchmarks import MODELING_BENCHMARKS, BenchmarkProfile
@@ -100,10 +100,19 @@ class TrainingHarness:
         window_s: float = 5.0,
         windows_per_benchmark: int = 24,
         machine: Optional[Machine] = None,
+        sensor_retries: int = 6,
+        max_plausible_watts: float = 2000.0,
     ):
         self.window_s = window_s
         self.windows_per_benchmark = windows_per_benchmark
         self.machine = machine or Machine(seed=seed)
+        #: retries per RAPL read before giving up (each waits out virtual
+        #: time, doubling, so a transient drop window usually clears)
+        self.sensor_retries = sensor_retries
+        #: package-power ceiling above which a window is garbage, not data
+        self.max_plausible_watts = max_plausible_watts
+        #: training windows discarded because a counter read was implausible
+        self.degraded_windows = 0
         kernel = self.machine.kernel
         if not kernel.rapl.present:
             raise DefenseError("training needs RAPL hardware")
@@ -116,21 +125,58 @@ class TrainingHarness:
 
     # ------------------------------------------------------------------
 
+    def _read_domain_uj(self, domain) -> int:
+        """One driver-path RAPL read, waiting out transient faults.
+
+        Reads go through :meth:`Kernel.read_energy_uj` — the same seam a
+        fault injector corrupts — and retry with doubling virtual-time
+        waits; a fault window that outlives every retry is a
+        :class:`DefenseError` (training cannot proceed blind).
+        """
+        kernel = self.machine.kernel
+        wait_s = 1.0
+        for attempt in range(self.sensor_retries + 1):
+            try:
+                return kernel.read_energy_uj(domain)
+            except ReproError:
+                if attempt == self.sensor_retries:
+                    break
+                self.machine.run(wait_s, dt=1.0)
+                wait_s *= 2.0
+        raise DefenseError(
+            f"RAPL domain {domain.sysfs_name} unreadable after "
+            f"{self.sensor_retries} retries"
+        )
+
     def _rapl_marks(self):
         pkg = self.machine.kernel.rapl.package(0)
-        return (pkg.core.energy_uj, pkg.dram.energy_uj, pkg.package.energy_uj)
+        return tuple(
+            self._read_domain_uj(d) for d in (pkg.core, pkg.dram, pkg.package)
+        )
 
     def _rapl_deltas_j(self, marks) -> tuple:
-        pkg = self.machine.kernel.rapl.package(0)
-        now = (pkg.core.energy_uj, pkg.dram.energy_uj, pkg.package.energy_uj)
+        now = self._rapl_marks()
         return tuple(
             unwrap_delta(b, a) / 1e6 for a, b in zip(marks, now)
         )
 
-    def _measure_idle(self, seconds: float = 30.0) -> None:
-        marks = self._rapl_marks()
-        self.machine.run(seconds, dt=1.0)
-        core_j, dram_j, _ = self._rapl_deltas_j(marks)
+    def _plausible(self, pkg_j: float, seconds: float) -> bool:
+        watts = pkg_j / seconds
+        return 0.0 < watts <= self.max_plausible_watts
+
+    def _measure_idle(self, seconds: float = 30.0, attempts: int = 3) -> None:
+        for _ in range(attempts):
+            marks = self._rapl_marks()
+            self.machine.run(seconds, dt=1.0)
+            core_j, dram_j, pkg_j = self._rapl_deltas_j(marks)
+            if self._plausible(pkg_j, seconds):
+                break
+            # a stuck/garbage counter poisoned the baseline: measure again
+            self.degraded_windows += 1
+        else:
+            raise DefenseError(
+                f"no plausible idle baseline in {attempts} attempts"
+            )
         self.idle_core_watts = core_j / seconds
         self.idle_dram_watts = dram_j / seconds
         self.collector.collect_host()  # reset the host perf mark
@@ -153,6 +199,11 @@ class TrainingHarness:
             window = self.collector.collect_host()
             core_j, dram_j, pkg_j = self._rapl_deltas_j(marks)
             marks = self._rapl_marks()
+            if not self._plausible(pkg_j, self.window_s):
+                # corrupted counter (stuck/garbage/spurious wrap): the
+                # window would poison the fit — drop it, keep training
+                self.degraded_windows += 1
+                continue
             collected.append(
                 WindowSample(
                     benchmark=profile.name,

@@ -12,7 +12,11 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import FileNotFoundPseudoError, PermissionDeniedError
+from repro.errors import (
+    FileNotFoundPseudoError,
+    PermissionDeniedError,
+    TransientReadError,
+)
 from repro.procfs.node import ReadContext
 from repro.procfs.vfs import PseudoVFS
 
@@ -23,6 +27,7 @@ class ReadOutcome(enum.Enum):
     OK = "ok"
     DENIED = "denied"  # EACCES from a masking policy
     ABSENT = "absent"  # ENOENT (hidden, or hardware not present)
+    ERROR = "error"  # EIO (transient sensor/backing-store fault)
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,11 @@ class PseudoWalker:
                              channel=None)
         try:
             content = self.vfs.read(path, self.ctx)
+        except TransientReadError:
+            return WalkEntry(
+                path=path, outcome=ReadOutcome.ERROR, content=None,
+                channel=node.channel,
+            )
         except PermissionDeniedError:
             return WalkEntry(
                 path=path, outcome=ReadOutcome.DENIED, content=None,

@@ -43,6 +43,21 @@ class FileNotFoundPseudoError(PseudoFileError):
         self.path = path
 
 
+class TransientReadError(PseudoFileError):
+    """A pseudo-file read failed transiently (``EIO``).
+
+    Real ``/proc``/``/sys`` reads occasionally fail on live hosts — a
+    sensor glitches, a device resets, a race in the kernel returns -EIO.
+    The fault-injection subsystem (:mod:`repro.sim.faults`) raises this
+    for scheduled sensor/read faults; consumers are expected to retry or
+    degrade rather than abort (see ``docs/faults.md``).
+    """
+
+    def __init__(self, path: str):
+        super().__init__(f"transient read failure (EIO): {path}")
+        self.path = path
+
+
 class ContainerError(ReproError):
     """A container-runtime operation failed."""
 

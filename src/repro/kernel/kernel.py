@@ -44,6 +44,7 @@ from repro.sim.fastforward import (
     kernel_demand_fingerprint,
     kernel_phase_horizon_s,
 )
+from repro.sim.faults import FaultInjector, FaultSchedule, KernelFaultState
 from repro.sim.metrics import SimMetrics, SubsystemTimings, WallTimer
 from repro.sim.rng import DeterministicRNG
 
@@ -117,6 +118,10 @@ class Kernel:
 
         #: hooks called after every tick (defense bookkeeping, tracers)
         self.tick_listeners: List[Callable[[TickResult], None]] = []
+
+        #: active sensor/read faults (installed by a fault injector;
+        #: ``None`` keeps every read path on the fault-free fast path)
+        self.faults: Optional[KernelFaultState] = None
 
         self.last_tick: Optional[TickResult] = None
         self._ticks = 0
@@ -295,8 +300,14 @@ class Kernel:
         if not self.rapl.present:
             raise KernelError("RAPL not supported on this host")
         if self.rapl_read_hook is not None:
-            return self.rapl_read_hook(reader, domain)
-        return domain.energy_uj
+            value = self.rapl_read_hook(reader, domain)
+        else:
+            value = domain.energy_uj
+        if self.faults is not None:
+            # sensor faults live at the driver read seam, downstream of
+            # any defense hook: a flaky MSR corrupts whatever is served
+            value = self.faults.filter_energy_uj(self.clock.now, domain, value)
+        return value
 
     def host_package_watts(self) -> float:
         """Instantaneous host package power from the last tick (debug aid).
@@ -332,6 +343,23 @@ class Machine:
         )
         self.fastforward = FastForwardEngine()
         self.metrics: SimMetrics = self.fastforward.metrics
+        #: deterministic fault replay (``None`` = perfect substrate)
+        self.fault_injector: Optional[FaultInjector] = None
+
+    def install_faults(
+        self, schedule: FaultSchedule, seed: Optional[int] = None
+    ) -> FaultInjector:
+        """Attach a seeded fault injector to this machine.
+
+        ``seed`` defaults to the schedule's own seed; faults become
+        barrier events for the coalescing engine and sensor faults act on
+        this kernel's read paths from the next :meth:`run` on.
+        """
+        if self.fault_injector is not None:
+            raise KernelError("fault injector already installed")
+        rng = DeterministicRNG(schedule.seed if seed is None else seed)
+        self.fault_injector = FaultInjector(schedule, rng, kernels=[self.kernel])
+        return self.fault_injector
 
     def run(self, seconds: float, dt: float = 1.0, on_tick=None, coalesce: bool = False) -> None:
         """Advance the machine by ``seconds`` in steps of ``dt``.
@@ -341,29 +369,42 @@ class Machine:
         With ``coalesce=True`` phase-stable stretches are advanced in one
         large tick (see :mod:`repro.sim.fastforward`); ``on_tick`` then
         fires once per *executed* tick, not once per base ``dt``.
+
+        With a fault injector installed, due faults apply before each
+        tick is planned, fault boundaries bound coalesced steps, and a
+        crashed machine stops ticking (virtual time still advances) until
+        its scheduled reboot.
         """
         if seconds <= 0:
             raise KernelError(f"run needs positive duration: {seconds}")
         engine = self.fastforward
+        injector = self.fault_injector
         with WallTimer(self.metrics):
             remaining = seconds
             while remaining > 1e-9:
+                if injector is not None and injector.advance(self.clock.now):
+                    engine.stability.reset()
+                crashed = injector is not None and 0 in injector.crashed_now()
                 if coalesce:
                     stable = engine.stability.observe(
-                        (self.kernel.demand_fingerprint(),)
+                        (self.kernel.demand_fingerprint(), crashed)
                     )
+                    horizon = self.clock.now + self.kernel.next_phase_boundary_s()
+                    if injector is not None:
+                        horizon = min(horizon, injector.next_barrier(self.clock.now))
                     step = engine.plan_step(
                         now=self.clock.now,
                         remaining=remaining,
                         base_dt=dt,
-                        horizon=self.clock.now + self.kernel.next_phase_boundary_s(),
+                        horizon=horizon,
                         stable=stable,
                     )
                 else:
                     step = min(dt, remaining)
                 self.clock.advance(step)
-                result = self.kernel.tick(step)
+                if not crashed:
+                    result = self.kernel.tick(step)
+                    if on_tick is not None:
+                        on_tick(self.kernel, result)
                 self.metrics.record_tick(step, dt)
-                if on_tick is not None:
-                    on_tick(self.kernel, result)
                 remaining -= step

@@ -63,6 +63,11 @@ class PseudoVFS:
         if ctx is None:
             ctx = ReadContext(kernel=self.kernel)
         node = self.lookup(path)
+        faults = self.kernel.faults
+        if faults is not None:
+            # transient EIO faults act at the VFS layer, after existence
+            # resolution and before policy (every reader sees them)
+            faults.check_pseudo_read(self.kernel.clock.now, path)
         if ctx.container is not None:
             policy = ctx.container.policy
             decision = policy.check(path, node)

@@ -39,14 +39,31 @@ class TestRaplPowerMonitor:
         inst4 = cc4.launch_instance("t")
         assert not RaplPowerMonitor(inst4).available()
 
-    def test_double_sample_same_instant_rejected(self, cloud):
+    def test_double_sample_same_instant_idempotent(self, cloud):
         inst = cloud.launch_instance("t")
         monitor = RaplPowerMonitor(inst)
         monitor.sample(cloud.clock.now)
         cloud.run(1)
+        watts = monitor.sample(cloud.clock.now)
+        # a same-timestamp resample is a no-op returning the last value
+        assert monitor.sample(cloud.clock.now) == watts
+        assert len(monitor.watts) == 1
+
+    def test_double_sample_same_instant_before_priming(self, cloud):
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst)
+        now = cloud.clock.now
+        assert monitor.sample(now) is None
+        assert monitor.sample(now) is None  # still priming, still a no-op
+
+    def test_time_going_backwards_rejected(self, cloud):
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst)
+        monitor.sample(cloud.clock.now)
+        cloud.run(5)
         monitor.sample(cloud.clock.now)
         with pytest.raises(AttackError):
-            monitor.sample(cloud.clock.now)
+            monitor.sample(cloud.clock.now - 2.0)
 
     def test_series_recorded(self, cloud):
         inst = cloud.launch_instance("t")
@@ -57,6 +74,93 @@ class TestRaplPowerMonitor:
             monitor.sample(cloud.clock.now)
         assert len(monitor.watts) == 5
         assert len(monitor.times) == 5
+
+
+def _fault_rapl_channel(cloud, until, kind=None):
+    """Install a fault state on host 0's kernel hitting the RAPL path."""
+    from repro.sim.faults import FaultKind, KernelFaultState
+    from repro.sim.rng import DeterministicRNG
+
+    state = KernelFaultState(DeterministicRNG(3))
+    kernel = cloud.hosts[0].kernel
+    kernel.faults = state
+    if kind is None:
+        state.add_eio("/sys/class/powercap/*", until=until)
+    else:
+        state.fault_rapl(kind, until=until)
+    return state
+
+
+class TestMonitorDegradation:
+    """The graceful-degradation contract of docs/faults.md."""
+
+    def test_faulted_reads_open_a_gap_not_an_exception(self, cloud):
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst, backoff_base_s=1.0)
+        monitor.sample(cloud.clock.now)
+        cloud.run(1)
+        monitor.sample(cloud.clock.now)
+        _fault_rapl_channel(cloud, until=cloud.clock.now + 10.0)
+        for _ in range(10):
+            cloud.run(1)
+            assert monitor.sample(cloud.clock.now) is None
+        # ride out the remaining exponential backoff (last retry at t=17)
+        cloud.run(6)
+        assert monitor.sample(cloud.clock.now) is not None
+        summary = monitor.degradation()
+        assert summary["faulted_reads"] >= 1
+        assert summary["gap_count"] == 1
+        assert summary["gap_seconds"] > 0.0
+        assert len(monitor.gaps) == 1
+
+    def test_backoff_skips_reads_between_retries(self, cloud):
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst, backoff_base_s=4.0, max_backoff_s=30.0)
+        monitor.sample(cloud.clock.now)
+        _fault_rapl_channel(cloud, until=cloud.clock.now + 100.0)
+        cloud.run(1)
+        monitor.sample(cloud.clock.now)  # fails, schedules retry +4 s
+        failed_after_first = monitor.faulted_reads
+        assert failed_after_first == 1
+        cloud.run(1)
+        monitor.sample(cloud.clock.now)  # inside backoff: no read attempt
+        assert monitor.faulted_reads == 1
+        cloud.run(4)
+        monitor.sample(cloud.clock.now)  # past the retry time: reads again
+        assert monitor.faulted_reads == 2
+
+    def test_long_gap_reprimes_instead_of_integrating(self, cloud):
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst, max_gap_s=5.0, backoff_base_s=1.0)
+        monitor.sample(cloud.clock.now)
+        cloud.run(1)
+        monitor.sample(cloud.clock.now)
+        _fault_rapl_channel(cloud, until=cloud.clock.now + 20.0)
+        for _ in range(20):
+            cloud.run(1)
+            monitor.sample(cloud.clock.now)
+        cloud.run(12)  # past the last backed-off retry (t=33)
+        # the outage outlived max_gap_s: the first good read re-primes
+        assert monitor.sample(cloud.clock.now) is None
+        assert monitor.discarded_samples == 1
+        cloud.run(1)
+        assert monitor.sample(cloud.clock.now) is not None
+
+    def test_implausible_watts_discarded(self, cloud):
+        from repro.sim.faults import FaultKind
+
+        inst = cloud.launch_instance("t")
+        monitor = RaplPowerMonitor(inst)
+        monitor.sample(cloud.clock.now)
+        cloud.run(1)
+        monitor.sample(cloud.clock.now)
+        # a spurious wraparound displaces the counter by half the MSR
+        # range: the implied ~131 kW is not physical power
+        _fault_rapl_channel(cloud, until=0.0, kind=FaultKind.RAPL_WRAP)
+        cloud.run(1)
+        assert monitor.sample(cloud.clock.now) is None
+        assert monitor.discarded_samples == 1
+        assert len(monitor.watts) == 1
 
 
 class TestCrestDetector:

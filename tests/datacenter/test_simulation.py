@@ -68,6 +68,34 @@ class TestPowerTrace:
         assert avg.times == [0.0, 60.0]
         assert avg.watts == [pytest.approx(200.0), pytest.approx(500.0)]
 
+    @pytest.mark.parametrize("stat", ["peak", "trough", "mean", "swing_fraction"])
+    def test_empty_trace_stats_raise_descriptive_error(self, stat):
+        with pytest.raises(SimulationError, match="empty power trace"):
+            getattr(PowerTrace(), stat)
+
+    def test_empty_trace_error_mentions_gaps(self):
+        trace = PowerTrace()
+        trace.note_gap(10.0)
+        trace.note_gap(20.0)
+        with pytest.raises(SimulationError, match=r"2 gap\(s\) recorded"):
+            trace.peak
+
+    def test_swing_fraction_zero_trough_raises(self):
+        trace = PowerTrace()
+        trace.append(0.0, 0.0)
+        trace.append(1.0, 100.0)
+        with pytest.raises(SimulationError, match="trough is 0"):
+            trace.swing_fraction
+
+    def test_window_carries_gaps_in_range(self):
+        trace = PowerTrace()
+        for t in range(10):
+            trace.append(float(t), 100.0)
+        trace.note_gap(4.5)
+        trace.note_gap(8.5)
+        sub = trace.window(3.0, 6.0)
+        assert sub.gaps == [4.5]
+
 
 class TestDatacenterSimulation:
     def test_traces_recorded(self):

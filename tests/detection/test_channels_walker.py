@@ -89,3 +89,53 @@ class TestWalker:
     def test_missing_path_absent(self, machine, engine):
         walker = PseudoWalker(engine.vfs, ReadContext(kernel=machine.kernel))
         assert walker.read_one("/proc/bogus").outcome is ReadOutcome.ABSENT
+
+
+class TestWalkerUnderFaults:
+    """Satellite: tree walks tolerate masked and transiently-faulted files."""
+
+    def _fault(self, machine, glob, until=1e9):
+        from repro.sim.faults import KernelFaultState
+        from repro.sim.rng import DeterministicRNG
+
+        state = KernelFaultState(DeterministicRNG(1))
+        state.add_eio(glob, until=until)
+        machine.kernel.faults = state
+        return state
+
+    def test_transient_eio_recorded_as_error(self, machine, engine):
+        self._fault(machine, "/proc/uptime")
+        walker = PseudoWalker(engine.vfs, ReadContext(kernel=machine.kernel))
+        entry = walker.read_one("/proc/uptime")
+        assert entry.outcome is ReadOutcome.ERROR
+        assert entry.content is None
+        assert entry.channel == "proc.uptime"
+
+    def test_full_walk_completes_over_faulted_tree(self, machine, engine):
+        state = self._fault(machine, "/proc/*")
+        walker = PseudoWalker(engine.vfs, ReadContext(kernel=machine.kernel))
+        entries = walker.walk()
+        outcomes = {e.outcome for e in entries.values()}
+        assert ReadOutcome.ERROR in outcomes  # top-level /proc files fault
+        assert ReadOutcome.OK in outcomes  # /sys and nested files still read
+        assert state.stats.get("reads-failed:pseudo-eio") > 0
+
+    def test_masked_and_faulted_tree_walk(self, machine, engine):
+        """Policy masks and transient faults coexist in one walk."""
+        self._fault(machine, "/proc/uptime")
+        policy = MaskingPolicy(name="m").deny("/proc/meminfo").hide("/proc/stat")
+        c = engine.create(name="c1", policy=policy)
+        walker = PseudoWalker(engine.vfs, c.read_context())
+        entries = walker.walk(
+            ["/proc/uptime", "/proc/meminfo", "/proc/stat", "/proc/loadavg"]
+        )
+        assert entries["/proc/uptime"].outcome is ReadOutcome.ERROR
+        assert entries["/proc/meminfo"].outcome is ReadOutcome.DENIED
+        assert entries["/proc/stat"].outcome is ReadOutcome.ABSENT
+        assert entries["/proc/loadavg"].outcome is ReadOutcome.OK
+
+    def test_expired_fault_window_reads_ok(self, machine, engine):
+        self._fault(machine, "/proc/uptime", until=5.0)
+        machine.run(10.0, dt=1.0)
+        walker = PseudoWalker(engine.vfs, ReadContext(kernel=machine.kernel))
+        assert walker.read_one("/proc/uptime").outcome is ReadOutcome.OK

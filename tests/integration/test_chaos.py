@@ -1,0 +1,242 @@
+"""The chaos harness: the paper's pipelines under a hostile substrate.
+
+Every test here runs a Figure 2 (fleet trace) or Figure 3 (attack) style
+pipeline with a seeded :class:`FaultSchedule` installed and asserts the
+three contract layers of ``docs/faults.md``:
+
+1. **Survival** — the pipeline completes end-to-end with zero unhandled
+   exceptions.
+2. **Quantified degradation** — what was lost is visible in counters
+   (fault report, trace gaps, monitor degradation), never silent.
+3. **Determinism** — identical seeds and schedules yield bit-identical
+   traces and campaign results, on both the base-``dt`` and the
+   ``coalesce=True`` drivers.
+"""
+
+import pytest
+
+from repro.attack.monitor import CrestDetector
+from repro.attack.strategies import SynergisticAttack
+from repro.coresidence.orchestrator import CoResidenceOrchestrator
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.datacenter.tenants import DiurnalProfile
+from repro.errors import TransientReadError
+from repro.runtime.cloud import PROVIDER_PROFILES, ContainerCloud
+from repro.sim.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.sim.rng import DeterministicRNG
+
+pytestmark = pytest.mark.chaos
+
+FLEET_WINDOW_S = 3600.0
+
+
+def fleet_schedule(servers: int, racks: int) -> FaultSchedule:
+    """The harness schedule: Poisson families at elevated rates plus one
+    pinned event per windowed family, so every fault kind provably fires
+    inside the one-hour test window."""
+    sched = FaultSchedule.generate(
+        77,
+        FLEET_WINDOW_S,
+        servers=servers,
+        racks=racks,
+        rapl_per_day=400.0,
+        eio_per_day=400.0,
+        crashes_per_week=0.0,
+        oom_per_day=150.0,
+        jitter_per_day=0.0,
+        breaker_trips_per_week=0.0,
+    )
+    sched.add(
+        FaultEvent(at=900.0, kind=FaultKind.MACHINE_CRASH, duration_s=300.0, server=1)
+    )
+    sched.add(
+        FaultEvent(
+            at=1800.0, kind=FaultKind.CLOCK_JITTER, duration_s=600.0, magnitude=0.2
+        )
+    )
+    sched.add(
+        FaultEvent(at=2700.0, kind=FaultKind.BREAKER_TRIP, duration_s=300.0, server=0)
+    )
+    return sched
+
+
+def run_fleet(coalesce: bool) -> DatacenterSimulation:
+    sim = DatacenterSimulation(servers=4, seed=211, sample_interval_s=30.0)
+    sim.install_faults(fleet_schedule(4, len(sim.racks)))
+    sim.run(FLEET_WINDOW_S, dt=1.0, coalesce=coalesce)
+    return sim
+
+
+class TestFleetUnderChaos:
+    """Figure 2 style: the fleet trace pipeline survives the schedule."""
+
+    def test_completes_and_degradation_is_quantified(self):
+        sim = run_fleet(coalesce=True)
+        report = sim.fault_report()
+        # survival: a full hour of samples landed
+        assert len(sim.aggregate_trace) >= FLEET_WINDOW_S / 30.0
+        # every family injected...
+        assert report["injected:machine-crash"] == 1
+        assert report["injected:clock-jitter"] == 1
+        assert report["injected:breaker-trip"] == 1
+        assert report.get("injected:oom-kill", 0) >= 1
+        assert (
+            sum(n for k, n in report.items() if k.startswith("injected:rapl-")) >= 1
+        )
+        assert report.get("injected:pseudo-eio", 0) >= 1
+        # ...and quantified: the crash left a 300 s hole in server 1's
+        # trace (10 samples at 30 s), never a fake zero
+        assert report["trace-gap-samples"] == 10
+        assert len(sim.server_traces[1].gaps) == 10
+        assert report["samples-jittered"] >= 1
+        assert report["machine-restarts"] == 1
+        assert report["breaker-recloses"] == 1
+        # the trace statistics still compute over the gapped data
+        assert sim.aggregate_trace.peak > 0.0
+
+    @pytest.mark.parametrize("coalesce", [False, True])
+    def test_identical_seeds_are_bit_identical(self, coalesce):
+        a = run_fleet(coalesce)
+        b = run_fleet(coalesce)
+        assert a.aggregate_trace.times == b.aggregate_trace.times
+        assert a.aggregate_trace.watts == b.aggregate_trace.watts
+        for i in a.server_traces:
+            assert a.server_traces[i].times == b.server_traces[i].times
+            assert a.server_traces[i].watts == b.server_traces[i].watts
+            assert a.server_traces[i].gaps == b.server_traces[i].gaps
+        assert a.fault_report() == b.fault_report()
+
+    def test_empty_schedule_matches_fault_free_run(self):
+        """Installing a zero-event injector must not perturb anything."""
+        plain = DatacenterSimulation(servers=2, seed=31, sample_interval_s=30.0)
+        plain.run(1800.0, dt=1.0, coalesce=True)
+        chaotic = DatacenterSimulation(servers=2, seed=31, sample_interval_s=30.0)
+        chaotic.install_faults(FaultSchedule([], seed=0))
+        chaotic.run(1800.0, dt=1.0, coalesce=True)
+        assert chaotic.aggregate_trace.times == plain.aggregate_trace.times
+        assert chaotic.aggregate_trace.watts == plain.aggregate_trace.watts
+        assert chaotic.fault_report() == {"trace-gap-samples": 0}
+
+
+ATTACK_TENANTS = DiurnalProfile(
+    base_cores=1.0,
+    peak_cores=1.5,
+    bursts_per_day=200.0,
+    burst_cores=5.0,
+    burst_duration_s=45.0,
+    noise=0.05,
+)
+
+ATTACK_WINDOW_S = 1200.0
+
+
+def attack_schedule(servers: int, racks: int) -> FaultSchedule:
+    sched = FaultSchedule.generate(
+        55,
+        600.0 + ATTACK_WINDOW_S,
+        servers=servers,
+        racks=racks,
+        rapl_per_day=300.0,
+        eio_per_day=300.0,
+        crashes_per_week=0.0,
+        oom_per_day=100.0,
+        jitter_per_day=0.0,
+        breaker_trips_per_week=0.0,
+    )
+    # pin one RAPL outage inside the attack window so the monitors
+    # provably exercise the gap/backoff path
+    sched.add(
+        FaultEvent(at=800.0, kind=FaultKind.RAPL_DROP, duration_s=60.0, server=0)
+    )
+    return sched
+
+
+def run_attack():
+    sim = DatacenterSimulation(
+        servers=4, seed=105, sample_interval_s=1.0, tenant_profile=ATTACK_TENANTS
+    )
+    cloud = sim.cloud
+    instances, covered = [], set()
+    while len(covered) < 4:
+        inst = cloud.launch_instance("attacker")
+        if inst.host_index in covered:
+            cloud.terminate_instance(inst)
+        else:
+            covered.add(inst.host_index)
+            instances.append(inst)
+    sim.install_faults(attack_schedule(4, len(sim.racks)))
+    sim.run(600.0, dt=1.0)
+    attack = SynergisticAttack(
+        sim,
+        instances,
+        burst_s=30.0,
+        cooldown_s=300.0,
+        max_trials=2,
+        learn_s=300.0,
+        detector_factory=lambda: CrestDetector(
+            window=2000, threshold_fraction=0.88, min_band_watts=30.0
+        ),
+    )
+    return attack.run(ATTACK_WINDOW_S), attack
+
+
+class TestAttackUnderChaos:
+    """Figure 3 style: the synergistic attack survives a flaky substrate."""
+
+    def test_completes_and_reports_degradation(self):
+        outcome, attack = run_attack()
+        assert outcome.peak_watts > 0.0
+        # the pinned RAPL outage forced the monitor degradation path
+        assert outcome.degradation["monitor-faulted-reads"] >= 1
+        assert outcome.degradation["monitor-gap-count"] >= 1
+        assert outcome.degradation["monitor-gap-seconds"] > 0.0
+        # fleet-wide fault counters ride along on the outcome
+        assert any(k.startswith("injected:") for k in outcome.degradation)
+        per_monitor = [
+            m.degradation() for m in attack.monitors.values()
+        ]
+        assert sum(d["faulted_reads"] for d in per_monitor) >= 1
+
+    def test_campaign_results_are_deterministic(self):
+        a, _ = run_attack()
+        b, _ = run_attack()
+        assert a.trials == b.trials
+        assert a.peak_watts == b.peak_watts
+        assert a.spike_watts == b.spike_watts
+        assert a.attacker_cpu_seconds == b.attacker_cpu_seconds
+        assert a.degradation == b.degradation
+
+
+class TestOrchestratorUnderChaos:
+    def test_faulting_verifier_counts_and_recycles(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC1"], seed=61, servers=2)
+
+        def flaky_verifier(cloud_, pivot, candidate):
+            candidate.read("/proc/uptime")  # faulted reads raise here
+            import repro.coresidence.orchestrator as orch
+
+            return orch.fingerprint_verifier(cloud_, pivot, candidate)
+
+        orchestrator = CoResidenceOrchestrator(
+            cloud, verifier=flaky_verifier, settle_s=1.0
+        )
+        # fault the verifier's channel for the first verification only
+        from repro.sim.faults import KernelFaultState
+
+        for host in cloud.hosts:
+            state = KernelFaultState(DeterministicRNG(9))
+            state.add_eio("/proc/uptime", until=3.0)
+            host.kernel.faults = state
+        result = orchestrator.aggregate(target=2, max_launches=30)
+        assert result.achieved == 2
+        assert result.verification_errors >= 1
+
+    def test_transient_error_is_eio_flavored(self):
+        cloud = ContainerCloud(PROVIDER_PROFILES["CC1"], seed=61, servers=1)
+        from repro.sim.faults import KernelFaultState
+
+        state = KernelFaultState(DeterministicRNG(9))
+        state.add_eio("/proc/uptime", until=10.0)
+        cloud.hosts[0].kernel.faults = state
+        with pytest.raises(TransientReadError, match="EIO"):
+            cloud.hosts[0].engine.vfs.read("/proc/uptime")
