@@ -1,0 +1,92 @@
+"""Serial vs rack-sharded parallel fleet execution (perf trajectory).
+
+Runs the Figure 2 substrate — the datacenter fleet at 1 s base ticks —
+serially and under :mod:`repro.sim.parallel` at 8 servers / 1 rack and
+64 servers / 8 racks, and records wall time, tick counts, and speedup in
+``benchmarks/out/BENCH_parallel.json`` so the perf trend is tracked per
+commit. Correctness rides along: the parallel trace must be bit-identical
+to the serial one (the same golden-trace contract as
+``tests/sim/test_parallel.py``, enforced here on the benchmark fleet).
+
+Speedup expectations are hardware-dependent: ≥ 2× at 64 servers needs a
+multi-core runner (each of the 8 shards gets a core); on a single-core
+box the parallel path measures IPC overhead instead. The JSON records
+``cpu_count`` so consumers can interpret the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import write_result
+from repro.datacenter.simulation import DatacenterSimulation
+
+#: virtual seconds per measured run (1 s ticks, no coalescing: the
+#: benchmark isolates the per-tick fleet loop the sharding parallelizes)
+VIRTUAL_S = 900.0
+
+
+def _run(servers: int, rack_size: int, parallel: int):
+    sim = DatacenterSimulation(
+        servers=servers, rack_size=rack_size, seed=103
+    )
+    t0 = time.perf_counter()
+    sim.run(VIRTUAL_S, dt=1.0, parallel=parallel)
+    wall = time.perf_counter() - t0
+    trace = (
+        tuple(sim.aggregate_trace.times),
+        tuple(sim.aggregate_trace.watts),
+    )
+    ticks = sim.metrics.ticks
+    sim.close()
+    return wall, ticks, trace
+
+
+def test_parallel_speedup(results_dir):
+    configs = []
+    for servers, rack_size, workers in ((8, 8, 1), (64, 8, 8)):
+        serial_wall, serial_ticks, serial_trace = _run(servers, rack_size, 0)
+        par_wall, par_ticks, par_trace = _run(servers, rack_size, workers)
+        # the parallel engine must reproduce the serial trace exactly
+        assert par_trace == serial_trace
+        assert par_ticks == serial_ticks
+        configs.append(
+            {
+                "servers": servers,
+                "racks": servers // rack_size,
+                "workers": workers,
+                "virtual_seconds": VIRTUAL_S,
+                "ticks": serial_ticks,
+                "serial_wall_s": round(serial_wall, 3),
+                "parallel_wall_s": round(par_wall, 3),
+                "speedup": round(serial_wall / par_wall, 3),
+            }
+        )
+
+    payload = {
+        "bench": "parallel_fleet_speedup",
+        "dt_s": 1.0,
+        "cpu_count": os.cpu_count(),
+        "configs": configs,
+    }
+    (results_dir / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    lines = ["serial vs rack-sharded parallel fleet execution", ""]
+    lines.append(
+        f"{'servers':>8}{'racks':>7}{'workers':>9}"
+        f"{'serial s':>10}{'parallel s':>12}{'speedup':>9}"
+    )
+    for c in configs:
+        lines.append(
+            f"{c['servers']:>8}{c['racks']:>7}{c['workers']:>9}"
+            f"{c['serial_wall_s']:>10.2f}{c['parallel_wall_s']:>12.2f}"
+            f"{c['speedup']:>8.2f}x"
+        )
+    lines.append("")
+    lines.append(f"(cpu_count={os.cpu_count()}; ≥2x at 64 servers needs a"
+                 " multi-core runner)")
+    write_result(results_dir, "parallel_speedup", "\n".join(lines))

@@ -6,6 +6,9 @@ Subcommands mirror the workflow of the paper's figures:
 - ``repro rank``     — U/V/M assessment and Table II ranking.
 - ``repro inspect``  — probe the provider profiles (Table I).
 - ``repro attack``   — a small synergistic-vs-periodic comparison (Fig 3).
+- ``repro fleet``    — run the datacenter fleet simulation and report the
+  wall-power trace (Figure 2's substrate), optionally rack-sharded
+  across worker processes (``--parallel``).
 - ``repro defend``   — train the model, install the namespace, report
   transparency and accuracy (Figures 8/9, abridged).
 
@@ -126,6 +129,68 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import multiprocessing
+
+    from repro.datacenter.simulation import DatacenterSimulation
+    from repro.sim.faults import FaultSchedule
+
+    if args.parallel and "spawn" not in multiprocessing.get_all_start_methods():
+        print(
+            "error: --parallel needs the 'spawn' process start method,"
+            " which this platform does not provide; run without --parallel",
+            file=sys.stderr,
+        )
+        return 2
+    sim = DatacenterSimulation(
+        servers=args.servers,
+        rack_size=args.rack_size,
+        seed=args.seed,
+        sample_interval_s=args.sample_interval,
+    )
+    if args.faults:
+        sim.install_faults(
+            FaultSchedule.standard(
+                args.seed, args.duration,
+                servers=args.servers, racks=len(sim.racks),
+            )
+        )
+    mode = f"parallel x{args.parallel}" if args.parallel else "serial"
+    print(
+        f"running {args.servers} servers / {len(sim.racks)} racks for "
+        f"{args.duration:.0f}s ({mode}"
+        f"{', coalescing' if args.coalesce else ''})..."
+    )
+    try:
+        sim.run(
+            args.duration, dt=args.dt,
+            coalesce=args.coalesce, parallel=args.parallel,
+        )
+        trace = sim.aggregate_trace
+        print(
+            f"samples {len(trace)}  peak {trace.peak:.0f} W  "
+            f"trough {trace.trough:.0f} W  mean {trace.mean:.0f} W  "
+            f"swing {trace.swing_fraction * 100:.2f}%"
+        )
+        print(
+            f"ticks {sim.metrics.ticks}  "
+            f"reduction {sim.metrics.tick_reduction:.1f}x  "
+            f"wall {sim.metrics.wall_seconds:.2f}s"
+        )
+        for line in sim.trip_log():
+            print(f"  {line}")
+        report = sim.fault_report()
+        if report:
+            injected = sum(
+                n for key, n in report.items() if key.startswith("injected:")
+            )
+            print(f"faults injected: {injected}  "
+                  f"trace gaps: {report['trace-gap-samples']}")
+    finally:
+        sim.close()
+    return 0
+
+
 def _cmd_defend(args: argparse.Namespace) -> int:
     from repro.defense.modeling import PowerModeler, TrainingHarness
     from repro.defense.powerns import PowerNamespaceDriver
@@ -198,6 +263,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--duration", type=float, default=1200.0,
                           help="attack window in simulated seconds")
     p_attack.set_defaults(func=_cmd_attack)
+
+    p_fleet = sub.add_parser("fleet", parents=[common],
+                             help="run the datacenter fleet simulation")
+    p_fleet.add_argument("--servers", type=int, default=8)
+    p_fleet.add_argument("--rack-size", type=int, default=8,
+                         help="servers per rack (one breaker each)")
+    p_fleet.add_argument("--duration", type=float, default=3600.0,
+                         help="virtual seconds to simulate")
+    p_fleet.add_argument("--dt", type=float, default=1.0,
+                         help="base tick in virtual seconds")
+    p_fleet.add_argument("--sample-interval", type=float, default=1.0,
+                         help="trace sampling interval in virtual seconds")
+    p_fleet.add_argument("--coalesce", action="store_true",
+                         help="enable tick coalescing (docs/fastforward.md)")
+    p_fleet.add_argument("--parallel", type=int, default=0, metavar="N",
+                         help="rack-shard across N spawn worker processes"
+                              " (0 = serial; docs/parallel.md)")
+    p_fleet.add_argument("--faults", action="store_true",
+                         help="install the standard chaos fault schedule")
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_defend = sub.add_parser("defend", parents=[common],
                               help="train + install the power namespace")

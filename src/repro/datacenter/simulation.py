@@ -8,12 +8,13 @@ truth against which the attacker's RAPL-derived view is compared.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.datacenter.breaker import CircuitBreaker
 from repro.datacenter.tenants import DiurnalProfile, DiurnalTenantDriver
-from repro.datacenter.topology import Rack, ServerPowerConfig, wall_power_watts
+from repro.datacenter.topology import Rack, ServerPowerConfig, WallPowerCache
 from repro.errors import SimulationError
 from repro.runtime.cloud import ContainerCloud, PROVIDER_PROFILES, ProviderProfile
 from repro.sim.fastforward import FastForwardEngine
@@ -29,11 +30,30 @@ class PowerTrace:
     ``gaps`` records the nominal times of samples that could not be
     taken (the machine was down); a gapped trace stays usable — the
     statistics below simply describe the samples that exist.
+
+    ``peak``/``trough``/``mean`` are maintained incrementally on
+    :meth:`append` (the running sum folds left-to-right, exactly like
+    ``sum()`` over the list would), so reading them is O(1) no matter how
+    long the trace has grown.
     """
 
     times: List[float] = field(default_factory=list)
     watts: List[float] = field(default_factory=list)
     gaps: List[float] = field(default_factory=list)
+    _peak: float = field(default=-math.inf, init=False, repr=False)
+    _trough: float = field(default=math.inf, init=False, repr=False)
+    _sum: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for w in self.watts:
+            self._fold(w)
+
+    def _fold(self, w: float) -> None:
+        if w > self._peak:
+            self._peak = w
+        if w < self._trough:
+            self._trough = w
+        self._sum += w
 
     def append(self, t: float, w: float) -> None:
         """Record one sample (timestamps must be nondecreasing)."""
@@ -41,6 +61,7 @@ class PowerTrace:
             raise SimulationError(f"trace timestamps must not decrease: {t}")
         self.times.append(t)
         self.watts.append(w)
+        self._fold(w)
 
     def note_gap(self, t: float) -> None:
         """Record that the sample nominally due at ``t`` was missed."""
@@ -58,21 +79,21 @@ class PowerTrace:
 
     @property
     def peak(self) -> float:
-        """Maximum sampled power."""
+        """Maximum sampled power (O(1), maintained on append)."""
         self._require_samples("peak")
-        return max(self.watts)
+        return self._peak
 
     @property
     def trough(self) -> float:
-        """Minimum sampled power."""
+        """Minimum sampled power (O(1), maintained on append)."""
         self._require_samples("trough")
-        return min(self.watts)
+        return self._trough
 
     @property
     def mean(self) -> float:
-        """Mean sampled power."""
+        """Mean sampled power (O(1), maintained on append)."""
         self._require_samples("mean")
-        return sum(self.watts) / len(self.watts)
+        return self._sum / len(self.watts)
 
     @property
     def swing_fraction(self) -> float:
@@ -87,24 +108,38 @@ class PowerTrace:
         return (self.peak - trough) / trough
 
     def averaged(self, window_s: float) -> "PowerTrace":
-        """Resample by averaging fixed windows (Figure 2's 30 s view)."""
+        """Resample by averaging fixed windows (Figure 2's 30 s view).
+
+        Single pass with a running per-window sum. Windows are anchored at
+        ``times[0]``; every emitted sample sits at its own window's start
+        regardless of how many empty windows the samples skipped (the old
+        implementation only re-anchored the bucket index when the bucket
+        was non-empty), and each wholly-empty window in the interior is
+        recorded as a gap marker rather than silently dropped.
+        """
         if window_s <= 0:
             raise SimulationError(f"window must be positive: {window_s}")
-        if not self.times:
-            return PowerTrace()
         out = PowerTrace()
+        if not self.times:
+            return out
         start = self.times[0]
-        bucket: List[float] = []
         bucket_index = 0
+        bucket_sum = 0.0
+        bucket_n = 0
         for t, w in zip(self.times, self.watts):
             index = int((t - start) // window_s)
-            if index != bucket_index and bucket:
-                out.append(start + bucket_index * window_s, sum(bucket) / len(bucket))
-                bucket = []
+            if index != bucket_index:
+                # the first sample lands in window 0, so the open bucket
+                # is never empty when a later sample moves past it
+                out.append(start + bucket_index * window_s, bucket_sum / bucket_n)
+                for skipped in range(bucket_index + 1, index):
+                    out.note_gap(start + skipped * window_s)
                 bucket_index = index
-            bucket.append(w)
-        if bucket:
-            out.append(start + bucket_index * window_s, sum(bucket) / len(bucket))
+                bucket_sum = 0.0
+                bucket_n = 0
+            bucket_sum += w
+            bucket_n += 1
+        out.append(start + bucket_index * window_s, bucket_sum / bucket_n)
         return out
 
     def window(self, t0: float, t1: float) -> "PowerTrace":
@@ -147,6 +182,17 @@ class DatacenterSimulation:
         self.cloud = ContainerCloud(self.profile, seed=seed, servers=servers)
         self.power_config = power_config or ServerPowerConfig()
         self.sample_interval_s = sample_interval_s
+        self.seed = seed
+        self.rack_size = rack_size
+        self.tenant_profile = tenant_profile
+
+        #: rack-sharded parallel engine (created by ``run(parallel=N)``);
+        #: assigned before anything reads ``self.now``
+        self._parallel = None
+
+        #: per-tick wall-power memo shared by the breaker feed, the
+        #: coalescing knee guard, and the trace sampler
+        self.power_cache = WallPowerCache(self.power_config)
 
         self.racks: List[Rack] = []
         kernels = [h.kernel for h in self.cloud.hosts]
@@ -160,6 +206,7 @@ class DatacenterSimulation:
                     rated_watts=breaker_rated_watts * len(group) / rack_size,
                 ),
                 power_config=self.power_config,
+                power_cache=self.power_cache,
             )
             self.racks.append(rack)
 
@@ -199,6 +246,8 @@ class DatacenterSimulation:
         #: deterministic fault replay (``None`` = perfect substrate)
         self.fault_injector: Optional[FaultInjector] = None
 
+        self._start_time = self.cloud.clock.now
+
     def install_faults(
         self, schedule: FaultSchedule, seed: Optional[int] = None
     ) -> FaultInjector:
@@ -212,6 +261,11 @@ class DatacenterSimulation:
         """
         if self.fault_injector is not None:
             raise SimulationError("fault injector already installed")
+        if self._parallel is not None:
+            raise SimulationError(
+                "install faults before the first parallel run: shard"
+                " workers partition the schedule at startup"
+            )
         rng = DeterministicRNG(schedule.seed if seed is None else seed)
         injector = FaultInjector(
             schedule,
@@ -228,15 +282,27 @@ class DatacenterSimulation:
 
     @property
     def now(self) -> float:
-        """Current virtual time."""
+        """Current virtual time.
+
+        In parallel mode the driver-side clock is authoritative (the
+        local host kernels stay frozen at the fork point — all fleet
+        state lives in the shard workers).
+        """
+        if self._parallel is not None:
+            return self._parallel.clock.now
         return self.cloud.clock.now
 
     def server_wall_watts(self, index: int) -> float:
         """Ground-truth wall power of one server."""
-        return wall_power_watts(self.cloud.hosts[index].kernel, self.power_config)
+        if self._parallel is not None:
+            return self._parallel.server_watts()[index]
+        return self.power_cache.watts(self.cloud.hosts[index].kernel)
 
     def aggregate_wall_watts(self) -> float:
         """Ground-truth wall power of the whole fleet."""
+        if self._parallel is not None:
+            watts = self._parallel.server_watts()
+            return sum(watts[i] for i in range(len(self.cloud.hosts)))
         return sum(self.server_wall_watts(i) for i in range(len(self.cloud.hosts)))
 
     def _dark_indices(self) -> set:
@@ -329,6 +395,7 @@ class DatacenterSimulation:
         dt: float = 1.0,
         on_tick: Optional[Callable[["DatacenterSimulation"], None]] = None,
         coalesce: bool = False,
+        parallel: int = 0,
     ) -> None:
         """Advance the fleet, tenants, breakers, and traces.
 
@@ -347,9 +414,34 @@ class DatacenterSimulation:
         fault events apply before each tick is planned, fault boundaries
         bound coalesced steps (they are barrier events), and crashed
         servers go dark until their scheduled reboot.
+
+        With ``parallel=N`` the fleet executes rack-sharded across ``N``
+        spawn worker processes, lock-stepped at the same barriers and
+        bit-identical to the serial path on equal seeds — see
+        :mod:`repro.sim.parallel`. The first parallel run must start
+        from a fresh simulation; once parallel, later runs stay parallel
+        (``parallel=0`` then raises rather than silently diverging).
         """
         if seconds <= 0:
             raise SimulationError(f"run needs positive duration: {seconds}")
+        if parallel or self._parallel is not None:
+            if not parallel:
+                raise SimulationError(
+                    "this simulation already ran in parallel mode; a"
+                    " serial run would diverge from worker-held state"
+                    " (keep passing parallel=N)"
+                )
+            if on_tick is not None:
+                raise SimulationError(
+                    "on_tick callbacks cannot observe worker-held state;"
+                    " the parallel driver does not support them"
+                )
+            if self._parallel is None:
+                from repro.sim.parallel import ParallelFleetEngine
+
+                self._parallel = ParallelFleetEngine(self, workers=parallel)
+            self._parallel.run(seconds, dt=dt, coalesce=coalesce)
+            return
         engine = self.fastforward
         injector = self.fault_injector
         with WallTimer(self.metrics):
@@ -429,13 +521,18 @@ class DatacenterSimulation:
 
     def any_breaker_tripped(self) -> bool:
         """Whether any rack breaker has opened."""
+        if self._parallel is not None:
+            return any(b.tripped for b in self._parallel.breaker_states())
         return any(rack.breaker.tripped for rack in self.racks)
 
     def fault_report(self) -> Dict[str, int]:
         """Injected-fault and degradation counters (empty without faults)."""
         if self.fault_injector is None:
             return {}
-        report = self.fault_injector.stats.as_dict()
+        if self._parallel is not None:
+            report = self._parallel.fault_stats()
+        else:
+            report = self.fault_injector.stats.as_dict()
         report["trace-gap-samples"] = sum(
             len(trace.gaps) for trace in self.server_traces.values()
         )
@@ -443,8 +540,19 @@ class DatacenterSimulation:
 
     def trip_log(self) -> List[str]:
         """Human-readable breaker events."""
+        if self._parallel is not None:
+            return [
+                f"{b.name} tripped at t={b.tripped_at:.0f}s"
+                for b in self._parallel.breaker_states()
+                if b.tripped
+            ]
         return [
             f"{rack.breaker.name} tripped at t={rack.breaker.tripped_at:.0f}s"
             for rack in self.racks
             if rack.breaker.tripped
         ]
+
+    def close(self) -> None:
+        """Shut down parallel workers (no-op for a serial simulation)."""
+        if self._parallel is not None:
+            self._parallel.close()

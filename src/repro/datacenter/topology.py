@@ -47,6 +47,39 @@ def wall_power_watts(
     return cfg.platform_base_watts + cfg.package_scaling * package_power_watts(kernel)
 
 
+class WallPowerCache:
+    """Per-tick memo of each server's wall power.
+
+    Wall power is a pure function of a kernel's ``last_tick``, which only
+    changes when the kernel executes a tick — yet one simulation step used
+    to recompute it up to three times per kernel (:meth:`Rack.observe`,
+    the breaker-knee coalescing guard, and the trace sampler). Entries are
+    keyed on ``kernel.ticks_taken``, so a clock advance that ticks the
+    kernel invalidates its entry automatically and everything between two
+    ticks is served from the memo.
+    """
+
+    def __init__(self, config: Optional[ServerPowerConfig] = None):
+        self.config = config or ServerPowerConfig()
+        #: id(kernel) -> (ticks_taken at computation, wall watts)
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def watts(self, kernel: Kernel) -> float:
+        """Wall power of ``kernel`` now (memoized per executed tick)."""
+        key = id(kernel)
+        tick = kernel.ticks_taken
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == tick:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        value = wall_power_watts(kernel, self.config)
+        self._entries[key] = (tick, value)
+        return value
+
+
 @dataclass
 class Rack:
     """A rack: servers sharing one branch circuit breaker."""
@@ -55,6 +88,9 @@ class Rack:
     kernels: List[Kernel]
     breaker: CircuitBreaker
     power_config: ServerPowerConfig = field(default_factory=ServerPowerConfig)
+    #: optional shared per-tick memo (fleet drivers install one so the
+    #: breaker feed, the coalescing guard, and the sampler agree for free)
+    power_cache: Optional[WallPowerCache] = None
 
     def wall_power(self, exclude: frozenset = frozenset()) -> float:
         """Aggregate wall power of the rack right now.
@@ -62,6 +98,12 @@ class Rack:
         ``exclude`` holds ``id(kernel)`` of servers that draw no power
         despite belonging to the rack (crashed machines awaiting reboot).
         """
+        if self.power_cache is not None:
+            return sum(
+                self.power_cache.watts(k)
+                for k in self.kernels
+                if id(k) not in exclude
+            )
         return sum(
             wall_power_watts(k, self.power_config)
             for k in self.kernels

@@ -241,6 +241,44 @@ class CloudHost:
         self.index = index
 
 
+def build_cloud_host(
+    profile: ProviderProfile,
+    clock: "VirtualClock",
+    rng: DeterministicRNG,
+    index: int,
+) -> CloudHost:
+    """Construct server ``index`` of a fleet seeded by ``rng``.
+
+    Every stream the host consumes is derived from ``rng`` by *name*
+    (``{profile}-host-{index}``), never by draw order, so the rack-sharded
+    parallel engine can rebuild any subset of the fleet in a worker
+    process and get kernels bit-identical to the serial fleet's — this is
+    the single construction path both use.
+    """
+    # fork under the provider name too: two different providers
+    # seeded alike are still different physical fleets
+    host_rng = rng.fork(f"{profile.name}-host-{index}")
+    config = HostConfig(
+        hostname=f"{profile.host_config.hostname}-{index}",
+        cpu=profile.host_config.cpu,
+        packages=profile.host_config.packages,
+        memory_mb=profile.host_config.memory_mb,
+        numa_nodes=profile.host_config.numa_nodes,
+        disks=profile.host_config.disks,
+        net_interfaces=profile.host_config.net_interfaces,
+        kernel_version=profile.host_config.kernel_version,
+        power=profile.host_config.power,
+    )
+    # Stagger boots: servers of one rack are installed in one
+    # maintenance window but not at the same instant (the
+    # /proc/uptime proximity signal of Section IV-C).
+    boot_skew = host_rng.uniform("boot-skew", 0.0, 120.0)
+    kernel = Kernel(config=config, clock=clock, rng=host_rng)
+    kernel.boot_time = clock.now - boot_skew
+    engine = ContainerEngine(kernel)
+    return CloudHost(kernel=kernel, engine=engine, index=index)
+
+
 class ContainerCloud:
     """A multi-tenant container cloud service."""
 
@@ -260,28 +298,7 @@ class ContainerCloud:
         if nservers < 1:
             raise CloudError(f"cloud needs at least one server: {nservers}")
         for i in range(nservers):
-            # fork under the provider name too: two different providers
-            # seeded alike are still different physical fleets
-            host_rng = self.rng.fork(f"{profile.name}-host-{i}")
-            config = HostConfig(
-                hostname=f"{profile.host_config.hostname}-{i}",
-                cpu=profile.host_config.cpu,
-                packages=profile.host_config.packages,
-                memory_mb=profile.host_config.memory_mb,
-                numa_nodes=profile.host_config.numa_nodes,
-                disks=profile.host_config.disks,
-                net_interfaces=profile.host_config.net_interfaces,
-                kernel_version=profile.host_config.kernel_version,
-                power=profile.host_config.power,
-            )
-            # Stagger boots: servers of one rack are installed in one
-            # maintenance window but not at the same instant (the
-            # /proc/uptime proximity signal of Section IV-C).
-            boot_skew = host_rng.uniform("boot-skew", 0.0, 120.0)
-            kernel = Kernel(config=config, clock=self.clock, rng=host_rng)
-            kernel.boot_time = self.clock.now - boot_skew
-            engine = ContainerEngine(kernel)
-            self.hosts.append(CloudHost(kernel=kernel, engine=engine, index=i))
+            self.hosts.append(build_cloud_host(profile, self.clock, self.rng, i))
         self._instances: Dict[str, Instance] = {}
         self._counter = 0
 

@@ -43,7 +43,7 @@ from __future__ import annotations
 import enum
 import fnmatch
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError, TransientReadError
@@ -316,6 +316,55 @@ class FaultSchedule:
             breaker_trips_per_week=2.0,
         )
 
+    def partition(
+        self,
+        shard_hosts: Sequence[Sequence[int]],
+        shard_racks: Sequence[Sequence[int]],
+        total_servers: int,
+        total_racks: int,
+    ) -> Tuple[List["FaultSchedule"], "FaultSchedule"]:
+        """Split the schedule for rack-sharded parallel execution.
+
+        Host-scoped events (RAPL, EIO, crash, OOM) go to the shard owning
+        ``event.server % total_servers``; breaker trips go to the shard
+        owning ``event.server % total_racks``; clock-jitter events go to
+        the returned *driver* schedule (jitter displaces recorded trace
+        timestamps, which only the driver writes). Shard events have
+        ``server`` remapped to the shard-local index so a shard-local
+        :class:`FaultInjector` applies them to the right target; per-event
+        randomness stays keyed on the *global* index (see
+        :class:`FaultInjector`), so partitioning never changes a draw.
+
+        Returns ``(per-shard schedules, driver schedule)``; every schedule
+        keeps this schedule's seed.
+        """
+        host_owner: Dict[int, Tuple[int, int]] = {}
+        for shard, hosts in enumerate(shard_hosts):
+            for local, host in enumerate(hosts):
+                host_owner[host] = (shard, local)
+        rack_owner: Dict[int, Tuple[int, int]] = {}
+        for shard, racks in enumerate(shard_racks):
+            for local, rack in enumerate(racks):
+                rack_owner[rack] = (shard, local)
+        if len(host_owner) != total_servers or len(rack_owner) != total_racks:
+            raise SimulationError("shard host/rack groups must cover the fleet")
+
+        shard_events: List[List[FaultEvent]] = [[] for _ in shard_hosts]
+        driver_events: List[FaultEvent] = []
+        for event in self.events:
+            if event.kind is FaultKind.CLOCK_JITTER:
+                driver_events.append(event)
+                continue
+            if event.kind is FaultKind.BREAKER_TRIP:
+                shard, local = rack_owner[event.server % total_racks]
+            else:
+                shard, local = host_owner[event.server % total_servers]
+            shard_events[shard].append(dataclass_replace(event, server=local))
+        return (
+            [FaultSchedule(events, seed=self.seed) for events in shard_events],
+            FaultSchedule(driver_events, seed=self.seed),
+        )
+
 
 # ----------------------------------------------------------------------
 # per-kernel sensor/read fault state
@@ -406,6 +455,55 @@ class KernelFaultState:
 
 
 # ----------------------------------------------------------------------
+# clock jitter
+
+
+class JitterModel:
+    """Replayable clock-jitter state (recorded-timestamp wobble).
+
+    Factored out of :class:`FaultInjector` so the rack-sharded parallel
+    driver can replay exactly the serial injector's jitter draws: jitter
+    displaces *recorded* trace timestamps, which only the trace-owning
+    driver writes, so in parallel mode the driver keeps the jitter events
+    while host/rack events ship to shard workers. Draws come from the
+    ``sample-jitter`` stream of the rng handed in — give two models rngs
+    with equal seeds and identical per-sample call sequences and they
+    produce identical timestamps.
+    """
+
+    def __init__(self, rng: DeterministicRNG, stats: FaultStats):
+        self._rng = rng
+        self.stats = stats
+        self.until = -math.inf
+        self.magnitude = 0.0
+
+    def arm(self, event: FaultEvent) -> None:
+        """Open (or extend) a jitter window from one CLOCK_JITTER event."""
+        self.until = max(self.until, event.until)
+        self.magnitude = event.magnitude or 0.1
+
+    def active(self, now: float) -> bool:
+        """Whether a jitter window is open."""
+        return now < self.until
+
+    def jittered_time(self, when: float, interval_s: float, floor: float) -> float:
+        """The recorded timestamp for a sample nominally due at ``when``.
+
+        Draws once per *sample* (never per tick — determinism rule 2),
+        bounded to less than half the sampling interval and clamped to
+        ``floor`` so trace timestamps stay nondecreasing.
+        """
+        if when >= self.until:
+            return when
+        sigma = self.magnitude * interval_s
+        offset = self._rng.stream("sample-jitter").gauss(0.0, sigma)
+        bound = 0.45 * interval_s
+        offset = max(-bound, min(bound, offset))
+        self.stats.count("samples-jittered")
+        return max(floor, when + offset)
+
+
+# ----------------------------------------------------------------------
 # the injector
 
 
@@ -429,6 +527,7 @@ class FaultInjector:
         kernels: Sequence[object],
         engines: Sequence[object] = (),
         racks: Sequence[object] = (),
+        kernel_labels: Optional[Sequence[int]] = None,
     ):
         if not kernels:
             raise SimulationError("fault injector needs at least one kernel")
@@ -437,18 +536,28 @@ class FaultInjector:
         self.kernels = list(kernels)
         self.engines = list(engines)
         self.racks = list(racks)
+        #: fleet-global index of each kernel — keys every per-kernel and
+        #: per-event rng derivation, so a shard injector holding a subset
+        #: of the fleet consumes exactly the draws the whole-fleet serial
+        #: injector would for the same targets
+        self.kernel_labels = (
+            list(kernel_labels)
+            if kernel_labels is not None
+            else list(range(len(self.kernels)))
+        )
+        if len(self.kernel_labels) != len(self.kernels):
+            raise SimulationError("kernel_labels must match kernels 1:1")
         self.stats = FaultStats()
+        self.jitter = JitterModel(self.rng, self.stats)
         self._cursor = 0
         #: server index -> absolute restart time
         self._crashed: Dict[int, float] = {}
         #: rack index -> absolute reclose time
         self._forced_breakers: Dict[int, float] = {}
-        self._jitter_until = -math.inf
-        self._jitter_magnitude = 0.0
-        for i, kernel in enumerate(self.kernels):
+        for label, kernel in zip(self.kernel_labels, self.kernels):
             if getattr(kernel, "faults", None) is None:
                 kernel.faults = KernelFaultState(
-                    self.rng.fork(f"kernel-{i}"), stats=self.stats
+                    self.rng.fork(f"kernel-{label}"), stats=self.stats
                 )
 
     # ------------------------------------------------------------------
@@ -459,23 +568,15 @@ class FaultInjector:
 
     def jitter_active(self, now: float) -> bool:
         """Whether a clock-jitter window is open."""
-        return now < self._jitter_until
+        return self.jitter.active(now)
 
     def jittered_time(self, when: float, interval_s: float, floor: float) -> float:
         """The recorded timestamp for a sample nominally due at ``when``.
 
-        Draws once per *sample* (never per tick — determinism rule 2),
-        bounded to less than half the sampling interval and clamped to
-        ``floor`` so trace timestamps stay nondecreasing.
+        Delegates to the injector's :class:`JitterModel` (one draw per
+        sample inside a jitter window, clamped and floored).
         """
-        if when >= self._jitter_until:
-            return when
-        sigma = self._jitter_magnitude * interval_s
-        offset = self.rng.stream("sample-jitter").gauss(0.0, sigma)
-        bound = 0.45 * interval_s
-        offset = max(-bound, min(bound, offset))
-        self.stats.count("samples-jittered")
-        return max(floor, when + offset)
+        return self.jitter.jittered_time(when, interval_s, floor)
 
     # ------------------------------------------------------------------
 
@@ -520,8 +621,8 @@ class FaultInjector:
             barrier = min(barrier, t)
         for t in self._forced_breakers.values():
             barrier = min(barrier, t)
-        if now < self._jitter_until:
-            barrier = min(barrier, self._jitter_until)
+        if now < self.jitter.until:
+            barrier = min(barrier, self.jitter.until)
         for kernel in self.kernels:
             state = getattr(kernel, "faults", None)
             if state is not None:
@@ -553,8 +654,7 @@ class FaultInjector:
         elif kind is FaultKind.OOM_KILL:
             self._apply_oom(event)
         elif kind is FaultKind.CLOCK_JITTER:
-            self._jitter_until = max(self._jitter_until, event.until)
-            self._jitter_magnitude = event.magnitude or 0.1
+            self.jitter.arm(event)
         elif kind is FaultKind.BREAKER_TRIP:
             self._apply_breaker_trip(event, now)
         else:  # pragma: no cover - enum is closed
@@ -575,7 +675,12 @@ class FaultInjector:
         if not candidates:
             self.stats.count("oom-noop")
             return
-        container, victim = self.rng.stream("oom-victim").choice(candidates)
+        # keyed per event on the *global* server label (not a single
+        # shared stream consumed in schedule order) so a partitioned
+        # shard injector picks the victim the whole-fleet one would
+        label = self.kernel_labels[event.server % len(self.kernels)]
+        stream = self.rng.stream(f"oom-victim@{event.at!r}#{label}")
+        container, victim = stream.choice(candidates)
         container.kill_task(victim)
         self.stats.count("oom-kills")
 

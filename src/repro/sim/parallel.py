@@ -1,0 +1,691 @@
+"""Rack-sharded parallel fleet execution.
+
+The serial :class:`~repro.datacenter.simulation.DatacenterSimulation`
+loop walks every host per tick in one Python process; at fleet scale the
+loop itself is the wall-time bottleneck (see ``sim/metrics.py`` subsystem
+timings). Racks are the natural shard boundary: breakers aggregate power
+only *within* a rack, tenants drive only their own host, and the only
+cross-rack coupling per step is the coalescing horizon min-reduce and the
+sampled aggregate trace. This module runs each rack group's kernels and
+tenant drivers in its own ``multiprocessing`` spawn worker and lock-steps
+the shards at exactly the barriers the serial driver already honors.
+
+Driver/worker protocol (compact tuples over a ``Pipe`` per shard)::
+
+    ("begin", want_row)        -> ("ok", (changed, row | None))
+    ("plan", hint)             -> ("ok", (dark, demands, safe, horizon))
+    ("commit", step, want_row) -> ("ok", (changed, row | None))
+    ("step", step, want_row)   -> ("ok", (changed, row | None))   # no coalescing
+    ("watts",)                 -> ("ok", ((index, watts), ...))
+    ("state",)                 -> ("ok", {"breakers": ..., "stats": ...})
+    ("close",)                 -> worker exits
+
+``row`` is ``((global_index, watts | None), ...)`` — one trace sample per
+shard host, ``None`` marking a crashed machine's gap. A coalesced step is
+two round trips (plan, commit); an uncoalesced step is one.
+
+Determinism rules (the golden-trace test pins all of them):
+
+1. Shard workers rebuild their hosts through the same
+   :func:`repro.runtime.cloud.build_cloud_host` path the serial fleet
+   uses, forking the fleet rng by *global* index — identical seeds yield
+   bit-identical kernels no matter which process builds them.
+2. The driver's clock performs the same ``+=`` float operations as the
+   serial clock, and every shard clock replays them too, so shard-local
+   horizons (``now + boundary``) are bitwise equal to serial ones.
+3. :meth:`FaultSchedule.partition` routes host/rack events to their
+   owning shard and clock-jitter events to the driver (jitter only moves
+   *recorded* timestamps, which only the driver writes); per-event rng
+   streams are keyed on global indices, so partitioning changes no draw.
+4. The driver merges per-sample rows in global host order, so the
+   aggregate trace folds watts left-to-right exactly as the serial
+   sampler does — float addition order is part of the contract.
+
+When serial wins: small fleets (a rack or two) or short runs, where the
+per-step pickling/IPC round trip outweighs the per-host loop; and any
+workflow needing ``on_tick`` callbacks or direct host access mid-run,
+which cannot observe worker-held state. See ``docs/parallel.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.faults import FaultInjector, FaultSchedule, FaultStats, JitterModel
+from repro.sim.metrics import WallTimer
+from repro.sim.rng import DeterministicRNG
+
+_EPS = 1e-9
+
+#: seconds to wait for a spawn worker to finish building its shard
+_STARTUP_TIMEOUT_S = 120.0
+
+
+@dataclass(frozen=True)
+class RackShardSpec:
+    """One rack as shipped to a shard worker."""
+
+    rack_index: int
+    name: str
+    breaker_name: str
+    rated_watts: float
+    host_indices: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to rebuild its slice of the fleet.
+
+    Only picklable value state crosses the process boundary; kernels,
+    engines, and tenant drivers are *reconstructed* in the worker from
+    the same seeds, which is what makes them bit-identical to serial.
+    """
+
+    profile: object  # ProviderProfile (picklable frozen dataclass)
+    seed: int
+    start_time: float
+    host_indices: Tuple[int, ...]
+    racks: Tuple[RackShardSpec, ...]
+    tenant_profile: object  # Optional[DiurnalProfile]
+    power_config: object  # ServerPowerConfig
+    breaker_knee_ratio: float
+    fault_schedule: Optional[FaultSchedule]
+    fault_seed: int
+
+
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """Driver-side view of one worker-held rack breaker."""
+
+    rack_index: int
+    name: str
+    tripped: bool
+    tripped_at: float
+    trip_count: int
+
+
+class _ShardRuntime:
+    """Worker-side state: the shard's hosts, racks, tenants, and faults.
+
+    Mirrors the serial loop body exactly, but only over this shard's
+    hosts; all indices in messages are fleet-global.
+    """
+
+    def __init__(self, spec: ShardSpec):
+        from repro.datacenter.breaker import CircuitBreaker
+        from repro.datacenter.tenants import DiurnalTenantDriver
+        from repro.datacenter.topology import Rack, WallPowerCache
+        from repro.runtime.cloud import build_cloud_host
+
+        self.spec = spec
+        self.clock = VirtualClock(start=spec.start_time)
+        root = DeterministicRNG(spec.seed)
+        self.hosts = {
+            i: build_cloud_host(spec.profile, self.clock, root, i)
+            for i in spec.host_indices
+        }
+        self.cache = WallPowerCache(spec.power_config)
+        self.racks = []
+        for rs in spec.racks:
+            self.racks.append(
+                Rack(
+                    name=rs.name,
+                    kernels=[self.hosts[i].kernel for i in rs.host_indices],
+                    breaker=CircuitBreaker(
+                        name=rs.breaker_name, rated_watts=rs.rated_watts
+                    ),
+                    power_config=spec.power_config,
+                    power_cache=self.cache,
+                )
+            )
+        self.tenants = {
+            i: DiurnalTenantDriver(
+                kernel=self.hosts[i].kernel,
+                rng=root.fork(f"tenant-{i}"),
+                profile=spec.tenant_profile,
+                engine=self.hosts[i].engine,
+            )
+            for i in spec.host_indices
+        }
+        self.injector: Optional[FaultInjector] = None
+        if spec.fault_schedule is not None:
+            self.injector = FaultInjector(
+                spec.fault_schedule,
+                DeterministicRNG(spec.fault_seed),
+                kernels=[self.hosts[i].kernel for i in spec.host_indices],
+                engines=[self.hosts[i].engine for i in spec.host_indices],
+                racks=self.racks,
+                kernel_labels=spec.host_indices,
+            )
+        self._last_dark: set = set()
+
+    # -- serial-loop mirrors --------------------------------------------
+
+    def dark(self) -> set:
+        """Global indices of this shard's dark (tripped or crashed) hosts."""
+        dark = set()
+        for rs, rack in zip(self.spec.racks, self.racks):
+            if rack.breaker.tripped:
+                dark.update(rs.host_indices)
+        if self.injector is not None:
+            for local in self.injector.crashed_now():
+                dark.add(self.spec.host_indices[local])
+        return dark
+
+    def _crashed_kernel_ids(self) -> frozenset:
+        if self.injector is None:
+            return frozenset()
+        return frozenset(
+            id(self.hosts[self.spec.host_indices[local]].kernel)
+            for local in self.injector.crashed_now()
+        )
+
+    def _breakers_safe(self) -> bool:
+        crashed = self._crashed_kernel_ids()
+        for rack in self.racks:
+            if rack.breaker.tripped:
+                continue
+            if rack.wall_power(crashed) / rack.breaker.rated_watts > (
+                self.spec.breaker_knee_ratio
+            ):
+                return False
+        return True
+
+    def begin(self, want_row: bool):
+        """Run-start barrier: apply due faults, report the t=0 row."""
+        changed = self.injector is not None and self.injector.advance(self.clock.now)
+        return (changed, self.sample_row() if want_row else None)
+
+    def plan(self, step_hint: float, coalesce: bool = True):
+        """The pre-advance half of one serial loop iteration."""
+        now = self.clock.now
+        dark = self.dark()
+        self._last_dark = dark
+        for i in self.spec.host_indices:
+            if i not in dark:
+                self.tenants[i].step(now, step_hint)
+        if not coalesce:
+            return None
+        demands = tuple(
+            (i, 0.0 if i in dark else self.hosts[i].kernel.demand_fingerprint())
+            for i in self.spec.host_indices
+        )
+        horizon = math.inf
+        for i in self.spec.host_indices:
+            if i not in dark:
+                horizon = min(horizon, self.tenants[i].next_event_time(now))
+                horizon = min(
+                    horizon, now + self.hosts[i].kernel.next_phase_boundary_s()
+                )
+        if self.injector is not None:
+            horizon = min(horizon, self.injector.next_barrier(now))
+        return (tuple(dark), demands, self._breakers_safe(), horizon)
+
+    def commit(self, step: float, want_row: bool):
+        """The post-plan half: advance, tick, feed breakers, apply faults."""
+        dark = self._last_dark
+        self.clock.advance(step)
+        for i in self.spec.host_indices:
+            if i not in dark:
+                self.hosts[i].kernel.tick(step)
+        crashed = self._crashed_kernel_ids()
+        now = self.clock.now
+        for rack in self.racks:
+            rack.observe(step, now, crashed)
+        changed = self.injector is not None and self.injector.advance(now)
+        return (changed, self.sample_row() if want_row else None)
+
+    def sample_row(self) -> tuple:
+        """Per-host trace values right now (``None`` = crashed, gap)."""
+        crashed: set = set()
+        if self.injector is not None:
+            crashed = {
+                self.spec.host_indices[local]
+                for local in self.injector.crashed_now()
+            }
+        dark = self.dark()
+        row = []
+        for i in self.spec.host_indices:
+            if i in crashed:
+                row.append((i, None))
+            else:
+                watts = 0.0 if i in dark else self.cache.watts(self.hosts[i].kernel)
+                row.append((i, watts))
+        return tuple(row)
+
+    def watts(self) -> tuple:
+        return tuple(
+            (i, self.cache.watts(self.hosts[i].kernel))
+            for i in self.spec.host_indices
+        )
+
+    def state(self) -> dict:
+        breakers = tuple(
+            (
+                rs.rack_index,
+                rack.breaker.name,
+                rack.breaker.tripped,
+                rack.breaker.tripped_at,
+                rack.breaker.trip_count,
+            )
+            for rs, rack in zip(self.spec.racks, self.racks)
+        )
+        stats = self.injector.stats.as_dict() if self.injector is not None else {}
+        return {"breakers": breakers, "stats": stats}
+
+    def dispatch(self, msg: tuple):
+        cmd = msg[0]
+        if cmd == "plan":
+            return self.plan(msg[1])
+        if cmd == "commit":
+            return self.commit(msg[1], msg[2])
+        if cmd == "step":
+            self.plan(msg[1], coalesce=False)
+            return self.commit(msg[1], msg[2])
+        if cmd == "begin":
+            return self.begin(msg[1])
+        if cmd == "watts":
+            return self.watts()
+        if cmd == "state":
+            return self.state()
+        raise SimulationError(f"unknown shard command: {cmd!r}")
+
+
+def _shard_worker_main(spec: ShardSpec, conn) -> None:
+    """Worker entry point: build the shard, then serve the command loop."""
+    try:
+        runtime = _ShardRuntime(spec)
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            return
+    conn.send(("ready",))
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return
+        if msg[0] == "close":
+            return
+        try:
+            reply = ("ok", runtime.dispatch(msg))
+        except Exception:
+            reply = ("error", traceback.format_exc())
+        conn.send(reply)
+
+
+class _DriverFaultReplayer:
+    """The driver's slice of a partitioned fault schedule.
+
+    Holds the clock-jitter events (they displace recorded trace
+    timestamps, and only the driver writes traces) and replays them with
+    the same ``sample-jitter`` stream the serial injector would use, plus
+    the ``injected:`` counters for the events it owns.
+    """
+
+    def __init__(self, schedule: FaultSchedule, seed: int):
+        self.schedule = schedule
+        self.stats = FaultStats()
+        self.jitter = JitterModel(DeterministicRNG(seed), self.stats)
+        self._cursor = 0
+
+    def advance(self, now: float) -> bool:
+        events = self.schedule.events
+        changed = False
+        while self._cursor < len(events) and events[self._cursor].at <= now + _EPS:
+            event = events[self._cursor]
+            self.stats.count(f"injected:{event.kind.value}")
+            self.jitter.arm(event)
+            self._cursor += 1
+            changed = True
+        return changed
+
+    def next_barrier(self, now: float) -> float:
+        barrier = math.inf
+        events = self.schedule.events
+        if self._cursor < len(events):
+            barrier = events[self._cursor].at
+        if now < self.jitter.until:
+            barrier = min(barrier, self.jitter.until)
+        return max(barrier, now)
+
+
+class ParallelFleetEngine:
+    """Drives a fleet simulation across rack-sharded worker processes.
+
+    Created by ``DatacenterSimulation.run(parallel=N)`` on a *fresh*
+    simulation (no ticks executed, no samples recorded, no launched
+    instances). The driver keeps the traces, metrics, sampling grid,
+    stability tracker, and jitter replay; everything per-host moves to
+    the workers. Results are bit-identical to the serial path on equal
+    seeds — the golden-trace test in ``tests/sim/test_parallel.py``
+    enforces it sample-for-sample.
+    """
+
+    def __init__(self, sim, workers: int):
+        if workers < 1:
+            raise SimulationError(f"parallel needs at least one worker: {workers}")
+        self.sim = sim
+        self._validate_fresh(sim)
+        self.total_servers = len(sim.cloud.hosts)
+        self.clock = VirtualClock(start=sim.now)
+        self._closed = False
+
+        rack_specs = [
+            RackShardSpec(
+                rack_index=r,
+                name=rack.name,
+                breaker_name=rack.breaker.name,
+                rated_watts=rack.breaker.rated_watts,
+                host_indices=tuple(
+                    sim._kernel_index[id(k)] for k in rack.kernels
+                ),
+            )
+            for r, rack in enumerate(sim.racks)
+        ]
+        n = min(workers, len(rack_specs))
+        counts = [
+            len(rack_specs) // n + (1 if i < len(rack_specs) % n else 0)
+            for i in range(n)
+        ]
+        groups: List[List[RackShardSpec]] = []
+        cursor = 0
+        for count in counts:
+            groups.append(rack_specs[cursor : cursor + count])
+            cursor += count
+        shard_hosts = [
+            [i for rs in group for i in rs.host_indices] for group in groups
+        ]
+
+        self.faults: Optional[_DriverFaultReplayer] = None
+        shard_schedules: List[Optional[FaultSchedule]] = [None] * n
+        fault_seed = 0
+        if sim.fault_injector is not None:
+            fault_seed = sim.fault_injector.rng.seed
+            shard_schedules, driver_schedule = sim.fault_injector.schedule.partition(
+                shard_hosts,
+                [[rs.rack_index for rs in group] for group in groups],
+                self.total_servers,
+                len(rack_specs),
+            )
+            self.faults = _DriverFaultReplayer(driver_schedule, fault_seed)
+
+        specs = [
+            ShardSpec(
+                profile=sim.profile,
+                seed=sim.seed,
+                start_time=sim._start_time,
+                host_indices=tuple(shard_hosts[i]),
+                racks=tuple(groups[i]),
+                tenant_profile=sim.tenant_profile,
+                power_config=sim.power_config,
+                breaker_knee_ratio=sim.breaker_knee_ratio,
+                fault_schedule=shard_schedules[i],
+                fault_seed=fault_seed,
+            )
+            for i in range(n)
+        ]
+
+        try:
+            ctx = multiprocessing.get_context("spawn")
+        except ValueError as exc:  # pragma: no cover - platform-specific
+            raise SimulationError(
+                "parallel fleet execution needs the 'spawn' process start"
+                " method, which this platform does not provide; run with"
+                " parallel=0"
+            ) from exc
+        self.procs = []
+        self.conns = []
+        try:
+            for spec in specs:
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main, args=(spec, child), daemon=True
+                )
+                proc.start()
+                child.close()
+                self.procs.append(proc)
+                self.conns.append(parent)
+            for conn in self.conns:
+                if not conn.poll(_STARTUP_TIMEOUT_S):
+                    raise SimulationError(
+                        "shard worker did not come up within"
+                        f" {_STARTUP_TIMEOUT_S:.0f}s"
+                    )
+                msg = conn.recv()
+                if msg[0] != "ready":
+                    raise SimulationError(f"shard worker failed to build:\n{msg[1]}")
+        except BaseException:
+            self.close()
+            raise
+
+    @staticmethod
+    def _validate_fresh(sim) -> None:
+        if (
+            sim.metrics.ticks
+            or len(sim.aggregate_trace)
+            or sim.now != sim._start_time
+        ):
+            raise SimulationError(
+                "the first parallel run must start from a fresh simulation:"
+                " shard workers rebuild the fleet from seeds and cannot"
+                " adopt mid-run serial state"
+            )
+        if sim.metrics.subsystem_timings is not None:
+            raise SimulationError(
+                "subsystem timings profile in-process kernels; they cannot"
+                " observe shard workers (disable them or run serially)"
+            )
+        if sim.cloud._instances:
+            raise SimulationError(
+                "launched instances hold driver-side host references;"
+                " the parallel fleet cannot carry them (launch none before"
+                " a parallel run, or run serially)"
+            )
+        allowed = set()
+        if sim.fault_injector is not None:
+            allowed.add(sim.fault_injector.next_barrier)
+        if any(source not in allowed for source in sim.horizon_sources):
+            raise SimulationError(
+                "extra horizon sources (attack strategies) observe"
+                " driver-side hosts; the parallel fleet does not support"
+                " them yet — run serially"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _broadcast(self, msg: tuple) -> list:
+        if self._closed:
+            raise SimulationError("parallel engine is closed")
+        for conn in self.conns:
+            conn.send(msg)
+        out = []
+        for conn in self.conns:
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise SimulationError(
+                    f"shard worker died mid-protocol: {exc}"
+                ) from exc
+            if reply[0] == "error":
+                raise SimulationError(f"shard worker failed:\n{reply[1]}")
+            out.append(reply[1])
+        return out
+
+    def _due_times(self, now: float) -> list:
+        """Sample times due at or before ``now`` (the serial catch-up rule)."""
+        sim = self.sim
+        due = []
+        count = sim._sample_count
+        while sim._sample_origin + count * sim.sample_interval_s <= now + _EPS:
+            due.append(sim._sample_origin + count * sim.sample_interval_s)
+            count += 1
+        return due
+
+    @staticmethod
+    def _merge_rows(parts) -> list:
+        rows = []
+        for part in parts:
+            if part:
+                rows.extend(part)
+        rows.sort(key=lambda r: r[0])
+        return rows
+
+    def _merge_plans(self, plans) -> tuple:
+        dark: set = set()
+        demands = [0.0] * self.total_servers
+        safe = True
+        horizon = math.inf
+        for shard_dark, shard_demands, shard_safe, shard_horizon in plans:
+            dark.update(shard_dark)
+            for i, value in shard_demands:
+                demands[i] = value
+            safe = safe and shard_safe
+            horizon = min(horizon, shard_horizon)
+        return dark, tuple(demands), safe, horizon
+
+    def _record_samples(self, due: list, rows: list) -> None:
+        """Write one trace sample per due time, exactly like ``_sample``."""
+        sim = self.sim
+        for when in due:
+            t = when
+            if self.faults is not None:
+                last = (
+                    sim.aggregate_trace.times[-1]
+                    if sim.aggregate_trace.times
+                    else 0.0
+                )
+                t = self.faults.jitter.jittered_time(
+                    when, sim.sample_interval_s, floor=last
+                )
+            total = 0.0
+            for i, watts in rows:
+                if watts is None:
+                    sim.server_traces[i].note_gap(t)
+                    continue
+                sim.server_traces[i].append(t, watts)
+                total += watts
+            sim.aggregate_trace.append(t, total)
+            sim.metrics.samples += 1
+            sim._sample_count += 1
+
+    def run(self, seconds: float, dt: float = 1.0, coalesce: bool = False) -> None:
+        """Advance the sharded fleet (mirrors the serial ``run`` loop 1:1)."""
+        if seconds <= 0:
+            raise SimulationError(f"run needs positive duration: {seconds}")
+        sim = self.sim
+        engine = sim.fastforward
+        with WallTimer(sim.metrics):
+            due = self._due_times(self.clock.now)
+            replies = self._broadcast(("begin", bool(due)))
+            changed = any(shard_changed for shard_changed, _ in replies)
+            if self.faults is not None and self.faults.advance(self.clock.now):
+                changed = True
+            if changed:
+                engine.stability.reset()
+            if due:
+                self._record_samples(
+                    due, self._merge_rows(row for _, row in replies)
+                )
+            remaining = seconds
+            while remaining > _EPS:
+                step = min(dt, remaining)
+                if coalesce:
+                    plans = self._broadcast(("plan", step))
+                    dark, demands, safe, horizon = self._merge_plans(plans)
+                    stable = (
+                        engine.stability.observe((demands, frozenset(dark)))
+                        and safe
+                    )
+                    horizon = min(horizon, sim.next_sample_time)
+                    if self.faults is not None:
+                        horizon = min(
+                            horizon, self.faults.next_barrier(self.clock.now)
+                        )
+                    step = engine.plan_step(
+                        now=self.clock.now,
+                        remaining=remaining,
+                        base_dt=dt,
+                        horizon=horizon,
+                        stable=stable,
+                    )
+                    self.clock.advance(step)
+                    due = self._due_times(self.clock.now)
+                    replies = self._broadcast(("commit", step, bool(due)))
+                else:
+                    self.clock.advance(step)
+                    due = self._due_times(self.clock.now)
+                    replies = self._broadcast(("step", step, bool(due)))
+                changed = any(shard_changed for shard_changed, _ in replies)
+                if self.faults is not None and self.faults.advance(self.clock.now):
+                    changed = True
+                if changed:
+                    engine.stability.reset()
+                if due:
+                    self._record_samples(
+                        due, self._merge_rows(row for _, row in replies)
+                    )
+                sim.metrics.record_tick(step, dt)
+                remaining -= step
+
+    # ------------------------------------------------------------------
+
+    def server_watts(self) -> Dict[int, float]:
+        """Current wall watts per global server index (one round trip)."""
+        watts: Dict[int, float] = {}
+        for part in self._broadcast(("watts",)):
+            for i, value in part:
+                watts[i] = value
+        return watts
+
+    def breaker_states(self) -> List[BreakerSnapshot]:
+        """Rack breaker snapshots in global rack order (one round trip)."""
+        snapshots = []
+        for part in self._broadcast(("state",)):
+            for rack_index, name, tripped, tripped_at, trips in part["breakers"]:
+                snapshots.append(
+                    BreakerSnapshot(
+                        rack_index=rack_index,
+                        name=name,
+                        tripped=tripped,
+                        tripped_at=tripped_at,
+                        trip_count=trips,
+                    )
+                )
+        snapshots.sort(key=lambda snapshot: snapshot.rack_index)
+        return snapshots
+
+    def fault_stats(self) -> Dict[str, int]:
+        """Merged fault counters: every shard's plus the driver's own."""
+        merged: Dict[str, int] = {}
+        for part in self._broadcast(("state",)):
+            for key, value in part["stats"].items():
+                merged[key] = merged.get(key, 0) + value
+        if self.faults is not None:
+            for key, value in self.faults.stats.as_dict().items():
+                merged[key] = merged.get(key, 0) + value
+        return dict(sorted(merged.items()))
+
+    def close(self) -> None:
+        """Shut the workers down; the engine is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self.conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        for conn in self.conns:
+            conn.close()

@@ -30,6 +30,19 @@ class TestParser:
         assert args.servers == 2
         assert args.duration == 600.0
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.parallel == 0
+        assert not args.coalesce
+        assert args.rack_size == 8
+
+    def test_fleet_parallel_flag(self):
+        args = build_parser().parse_args(
+            ["fleet", "--parallel", "4", "--servers", "16", "--rack-size", "4"]
+        )
+        assert args.parallel == 4
+        assert args.servers == 16
+
 
 class TestExecution:
     def test_scan_runs_and_reports(self, capsys):
@@ -57,6 +70,24 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "proc.sys.kernel.random.boot_id" in out
         assert "static-id" in out
+
+    def test_fleet_serial_reports_trace(self, capsys):
+        assert main(["fleet", "--duration", "120", "--servers", "4",
+                     "--rack-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 servers / 1 racks" in out
+        assert "peak" in out and "swing" in out
+        assert "ticks 120" in out
+
+    def test_fleet_parallel_matches_serial_output(self, capsys):
+        argv = ["fleet", "--duration", "90", "--servers", "4",
+                "--rack-size", "2"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--parallel", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # identical trace statistics line (determinism through the CLI)
+        assert serial_out.splitlines()[1] == parallel_out.splitlines()[1]
 
     def test_defend_reports_accuracy(self, capsys):
         assert main(["defend"]) == 0
