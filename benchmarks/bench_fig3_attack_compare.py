@@ -34,7 +34,13 @@ WINDOW_S = 3000.0
 WARMUP_S = 600.0
 
 
-def setup(seed):
+def setup(seed, parallel=0):
+    """Fleet + one attacker instance per server, warmed up in-mode.
+
+    ``parallel`` shards the fleet across worker processes for the warmup
+    and everything after it (instances are launched first so the shard
+    workers replay them at startup).
+    """
     sim = DatacenterSimulation(
         servers=8, seed=seed, sample_interval_s=1.0, tenant_profile=SPIKY_TENANTS
     )
@@ -47,15 +53,14 @@ def setup(seed):
         else:
             covered.add(inst.host_index)
             instances.append(inst)
-    sim.run(WARMUP_S, dt=1.0)
+    sim.run(WARMUP_S, dt=1.0, parallel=parallel)
     return sim, instances
 
 
-def run_comparison():
-    sim_s, inst_s = setup(seed=105)
-    synergistic = SynergisticAttack(
-        sim_s,
-        inst_s,
+def build_synergistic(sim, instances):
+    return SynergisticAttack(
+        sim,
+        instances,
         burst_s=30.0,
         cooldown_s=400.0,
         max_trials=2,
@@ -64,7 +69,11 @@ def run_comparison():
             window=4000, threshold_fraction=0.88, min_band_watts=30.0
         ),
     )
-    out_s = synergistic.run(WINDOW_S)
+
+
+def run_comparison():
+    sim_s, inst_s = setup(seed=105)
+    out_s = build_synergistic(sim_s, inst_s).run(WINDOW_S)
 
     sim_p, inst_p = setup(seed=105)
     periodic = PeriodicAttack(sim_p, inst_p, burst_s=30.0, period_s=300.0)
@@ -110,3 +119,36 @@ def test_fig3(benchmark, results_dir):
         f" {mean_per:.0f} W",
     ]
     write_result(results_dir, "fig3_attack_compare", "\n".join(lines))
+
+
+def test_fig3_parallel_golden(results_dir):
+    """The fig3 synergistic campaign is bit-identical under --parallel.
+
+    The shard-resident monitors and driver-side coordinator must walk
+    the exact serial decision sequence: same crest triggers, same spike
+    heights, same bill, float for float.
+    """
+    serial_sim, serial_inst = setup(seed=105)
+    serial = build_synergistic(serial_sim, serial_inst).run(WINDOW_S)
+    par_sim, par_inst = setup(seed=105, parallel=2)
+    try:
+        par = build_synergistic(par_sim, par_inst).run(WINDOW_S)
+        assert par.trials == serial.trials
+        assert par.spike_watts == serial.spike_watts
+        assert par.peak_watts == serial.peak_watts
+        assert par.attacker_cpu_seconds == serial.attacker_cpu_seconds
+        assert par.bill_dollars == serial.bill_dollars
+        assert par.degradation == serial.degradation
+        assert tuple(par_sim.aggregate_trace.watts) == tuple(
+            serial_sim.aggregate_trace.watts
+        )
+    finally:
+        par_sim.close()
+
+    write_result(
+        results_dir,
+        "fig3_parallel_golden",
+        "fig3 synergistic campaign, serial vs --parallel 2: bit-identical"
+        f" ({serial.trials} trials, peak {serial.peak_watts:.0f} W,"
+        f" bill ${serial.bill_dollars:.4f})",
+    )

@@ -2,22 +2,37 @@
 
 Runs the Figure 2 substrate — the datacenter fleet at 1 s base ticks —
 serially and under :mod:`repro.sim.parallel` at 8 servers / 1 rack and
-64 servers / 8 racks, and records wall time, tick counts, and speedup in
-``benchmarks/out/BENCH_parallel.json`` so the perf trend is tracked per
-commit. Correctness rides along: the parallel trace must be bit-identical
-to the serial one (the same golden-trace contract as
-``tests/sim/test_parallel.py``, enforced here on the benchmark fleet).
+64 servers / 8 racks, and records wall time, tick counts, speedup, and
+the IPC profile (control-frame bytes, shared-memory payload bytes,
+per-shard barrier waits) in ``benchmarks/out/BENCH_parallel.json`` so
+the perf trend is tracked per commit. Correctness rides along: the
+parallel trace must be bit-identical to the serial one (the same
+golden-trace contract as ``tests/sim/test_parallel.py``, enforced here
+on the benchmark fleet).
+
+The shared-memory telemetry plane replaced pickled per-step sample rows
+on the shard pipes; the benchmark reconstructs what the pickled-row
+protocol would have shipped per tick (from the actual final-row values)
+and asserts the measured IPC payload beats it at fleet scale.
 
 Speedup expectations are hardware-dependent: ≥ 2× at 64 servers needs a
 multi-core runner (each of the 8 shards gets a core); on a single-core
 box the parallel path measures IPC overhead instead. The JSON records
 ``cpu_count`` so consumers can interpret the numbers.
+
+Environment knobs (used by the CI perf-smoke job):
+
+- ``BENCH_PARALLEL_CONFIGS``: comma-separated server counts to run
+  (e.g. ``8`` for the smoke subset; default: all).
+- ``BENCH_PARALLEL_MAX_RATIO``: fail if ``parallel_wall_s`` exceeds
+  this multiple of ``serial_wall_s`` for any config (default: off).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import pickle
 import time
 
 from benchmarks.conftest import write_result
@@ -26,6 +41,22 @@ from repro.datacenter.simulation import DatacenterSimulation
 #: virtual seconds per measured run (1 s ticks, no coalescing: the
 #: benchmark isolates the per-tick fleet loop the sharding parallelizes)
 VIRTUAL_S = 900.0
+
+ALL_CONFIGS = ((8, 8, 1), (64, 8, 8))
+
+
+def _selected_configs():
+    raw = os.environ.get("BENCH_PARALLEL_CONFIGS", "").strip()
+    if not raw:
+        return ALL_CONFIGS
+    wanted = {int(token) for token in raw.split(",") if token.strip()}
+    picked = tuple(c for c in ALL_CONFIGS if c[0] in wanted)
+    if not picked:
+        raise ValueError(
+            f"BENCH_PARALLEL_CONFIGS={raw!r} matches no config in"
+            f" {[c[0] for c in ALL_CONFIGS]}"
+        )
+    return picked
 
 
 def _run(servers: int, rack_size: int, parallel: int):
@@ -40,18 +71,59 @@ def _run(servers: int, rack_size: int, parallel: int):
         tuple(sim.aggregate_trace.watts),
     )
     ticks = sim.metrics.ticks
+    ipc = sim.metrics.ipc
+    last_row = [sim.server_traces[i].watts[-1] for i in range(servers)]
     sim.close()
-    return wall, ticks, trace
+    return wall, ticks, trace, ipc, last_row
+
+
+def _pickled_row_baseline_bytes(last_row, rack_size, workers):
+    """Per-tick bytes the old pickled-row reply protocol would ship.
+
+    The pre-plane protocol answered every step barrier with a pickled
+    ``("ok", (changed, [(global_index, watts), ...]))`` reply per shard,
+    rows partitioned by rack ownership. Rebuild those replies from the
+    run's actual final sampled row so the estimate uses real float
+    entropy, not synthetic values.
+    """
+    racks = [
+        list(range(lo, min(lo + rack_size, len(last_row))))
+        for lo in range(0, len(last_row), rack_size)
+    ]
+    shards = [racks[i::workers] for i in range(min(workers, len(racks)))]
+    total = 0
+    for shard_racks in shards:
+        row = [
+            (i, last_row[i]) for rack in shard_racks for i in rack
+        ]
+        total += len(pickle.dumps(("ok", (False, row)), pickle.HIGHEST_PROTOCOL))
+    return total
 
 
 def test_parallel_speedup(results_dir):
+    max_ratio = float(os.environ.get("BENCH_PARALLEL_MAX_RATIO", "0") or 0)
     configs = []
-    for servers, rack_size, workers in ((8, 8, 1), (64, 8, 8)):
-        serial_wall, serial_ticks, serial_trace = _run(servers, rack_size, 0)
-        par_wall, par_ticks, par_trace = _run(servers, rack_size, workers)
+    for servers, rack_size, workers in _selected_configs():
+        serial_wall, serial_ticks, serial_trace, _, _ = _run(
+            servers, rack_size, 0
+        )
+        par_wall, par_ticks, par_trace, ipc, last_row = _run(
+            servers, rack_size, workers
+        )
         # the parallel engine must reproduce the serial trace exactly
         assert par_trace == serial_trace
         assert par_ticks == serial_ticks
+        assert ipc is not None
+        measured_per_tick = ipc.bytes_per_tick(par_ticks)
+        baseline_per_tick = _pickled_row_baseline_bytes(
+            last_row, rack_size, workers
+        )
+        if servers >= 64:
+            # the headline claim: the shm plane beats pickled rows at scale
+            assert measured_per_tick < baseline_per_tick, (
+                f"shm plane shipped {measured_per_tick:.0f} B/tick vs"
+                f" {baseline_per_tick} B/tick for pickled rows"
+            )
         configs.append(
             {
                 "servers": servers,
@@ -62,8 +134,29 @@ def test_parallel_speedup(results_dir):
                 "serial_wall_s": round(serial_wall, 3),
                 "parallel_wall_s": round(par_wall, 3),
                 "speedup": round(serial_wall / par_wall, 3),
+                "ipc": {
+                    "control_frames": ipc.control_frames,
+                    "control_bytes_sent": ipc.control_bytes_sent,
+                    "control_bytes_received": ipc.control_bytes_received,
+                    "shm_row_bytes": ipc.shm_row_bytes,
+                    "shm_observer_bytes": ipc.shm_observer_bytes,
+                    "shm_segment_bytes": ipc.shm_segment_bytes,
+                    "bytes_per_tick": round(measured_per_tick, 1),
+                    "pickled_row_baseline_bytes_per_tick": baseline_per_tick,
+                    "barrier_wait_s": {
+                        str(k): round(v, 4)
+                        for k, v in sorted(ipc.barrier_wait_s.items())
+                    },
+                    "barrier_wait_total_s": round(ipc.barrier_wait_total_s, 4),
+                },
             }
         )
+        if max_ratio > 0:
+            assert par_wall <= max_ratio * serial_wall, (
+                f"parallel wall {par_wall:.2f}s exceeds"
+                f" {max_ratio}x serial {serial_wall:.2f}s"
+                f" at {servers} servers"
+            )
 
     payload = {
         "bench": "parallel_fleet_speedup",
@@ -79,14 +172,19 @@ def test_parallel_speedup(results_dir):
     lines.append(
         f"{'servers':>8}{'racks':>7}{'workers':>9}"
         f"{'serial s':>10}{'parallel s':>12}{'speedup':>9}"
+        f"{'ipc B/tick':>12}{'baseline':>10}{'barrier s':>11}"
     )
     for c in configs:
+        ipc = c["ipc"]
         lines.append(
             f"{c['servers']:>8}{c['racks']:>7}{c['workers']:>9}"
             f"{c['serial_wall_s']:>10.2f}{c['parallel_wall_s']:>12.2f}"
             f"{c['speedup']:>8.2f}x"
+            f"{ipc['bytes_per_tick']:>12.0f}"
+            f"{ipc['pickled_row_baseline_bytes_per_tick']:>10}"
+            f"{ipc['barrier_wait_total_s']:>11.3f}"
         )
     lines.append("")
     lines.append(f"(cpu_count={os.cpu_count()}; ≥2x at 64 servers needs a"
-                 " multi-core runner)")
+                 " multi-core runner; baseline = pickled-row reply protocol)")
     write_result(results_dir, "parallel_speedup", "\n".join(lines))

@@ -14,12 +14,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.attack.monitor import CrestDetector, RaplPowerMonitor
+from repro.attack.monitor import CrestDetector, RaplPowerMonitor, ShardMonitorHandle
 from repro.attack.virus import power_virus
 from repro.datacenter.simulation import DatacenterSimulation
 from repro.errors import AttackError
 from repro.runtime.cloud import Instance
 from repro.runtime.workload import Workload
+from repro.sim.fastforward import DriverHorizon
 
 
 @dataclass
@@ -65,33 +66,48 @@ class _StrategyBase:
         self.virus_factory = virus_factory
         self.burst_s = burst_s
         self.cores = cores_per_instance
+        #: the execution mode the strategy was built for: the parallel
+        #: engine when the sim already runs sharded, else None (serial).
+        #: Bursts, reaps, bills, and monitors are wired for that mode at
+        #: construction, so run() refuses a sim that switched since.
+        self._par = sim._parallel
         #: absolute time of this strategy's next scheduled action; the
-        #: sim's fast-forward engine must not coalesce a tick across it
+        #: sim's fast-forward engine must not coalesce a tick across it.
+        #: It is pure driver-side state, so the parallel engine may fold
+        #: it into the merged horizon (DriverHorizon marks it safe).
         self._next_event = math.inf
-        sim.horizon_sources.append(self.next_event_horizon)
+        sim.horizon_sources.append(DriverHorizon(self.next_event_horizon))
 
     def next_event_horizon(self, now: float) -> float:
         """Absolute virtual time of the strategy's next decision point."""
         return max(self._next_event, now)
 
+    def _check_mode(self) -> None:
+        if self._par is not self.sim._parallel:
+            raise AttackError(
+                "the simulation changed execution mode after this strategy"
+                " was built; construct strategies after the first parallel"
+                " run (or keep the simulation serial)"
+            )
+
     def _burst(self) -> None:
         """Start one power burst on every controlled instance."""
         for instance in self.instances:
             for core in range(self.cores):
-                instance.container.exec(
-                    f"pv-{core}", workload=self.virus_factory(self.burst_s)
+                self.sim.exec_in_instance(
+                    instance, f"pv-{core}", self.virus_factory, self.burst_s
                 )
 
     def _reap(self) -> None:
         for instance in self.instances:
-            instance.container.reap_finished()
+            self.sim.reap_instance(instance)
 
     def _billed(self) -> float:
         tenants = {i.tenant for i in self.instances}
-        return sum(self.sim.cloud.bill(t) for t in tenants)
+        return sum(self.sim.tenant_bill(t) for t in tenants)
 
     def _cpu_seconds(self) -> float:
-        return sum(i.billed_cpu_seconds for i in self.instances)
+        return self.sim.instances_cpu_seconds(self.instances)
 
     def _degradation(self) -> Dict[str, float]:
         """Fault/degradation counters for the outcome (fleet-wide view)."""
@@ -118,6 +134,7 @@ class ContinuousAttack(_StrategyBase):
         ``coalesce`` lets the fleet fast-forward between events; the
         breaker-knee guard keeps overloaded stretches at base ``dt``.
         """
+        self._check_mode()
         start = self.sim.now
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
         elapsed = 0.0
@@ -153,6 +170,7 @@ class PeriodicAttack(_StrategyBase):
         bulk of the schedule — fast-forward; bursts themselves stay at
         base ``dt`` via the breaker-knee guard.
         """
+        self._check_mode()
         start = self.sim.now
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
         elapsed = 0.0
@@ -200,10 +218,24 @@ class SynergisticAttack(_StrategyBase):
         #: short prefix.
         self.learn_s = learn_s
         #: the leaked signal source: RAPL by default, or the Section
-        #: VII-A utilization estimator on hosts without RAPL
+        #: VII-A utilization estimator on hosts without RAPL. In parallel
+        #: mode each monitor is built *inside* the shard worker owning
+        #: the instance's host (it reads its local kernel's channel) and
+        #: the dict holds driver-side handles instead.
         self.monitors: Dict[str, object] = {}
         self._monitors_unavailable = 0
         for instance in self.instances:
+            if self._par is not None:
+                observer_id = self._par.attach_monitor(
+                    instance.instance_id, monitor_factory
+                )
+                if observer_id is None:
+                    self._monitors_unavailable += 1
+                    continue
+                self.monitors[instance.instance_id] = ShardMonitorHandle(
+                    self._par, observer_id, instance.instance_id
+                )
+                continue
             monitor = monitor_factory(instance)
             if not monitor.available():
                 # a masked or currently-faulted channel degrades coverage;
@@ -250,13 +282,33 @@ class SynergisticAttack(_StrategyBase):
         needs a RAPL delta every ``dt`` to see crests, so the strategy's
         event horizon is always one sampling period out. ``coalesce``
         only lets the engine tighten the burst windows' bookkeeping.
+
+        In parallel mode the shard-resident monitors are *armed* around
+        each monitoring tick: the final commit of the tick samples them
+        worker-side at exactly the instant a serial strategy would call
+        ``monitor.sample()``, and the readings come back through the
+        shared-memory plane's observer slots. Burst windows run disarmed
+        (serial code does not sample during a burst); the post-burst
+        re-prime goes through an explicit sample frame that flushes the
+        queued reap first, preserving the serial reap-then-sample order.
         """
+        self._check_mode()
+        par = self._par
+        observer_ids = (
+            tuple(handle.observer_id for handle in self.monitors.values())
+            if par is not None
+            else ()
+        )
         start = self.sim.now
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
         last_burst = -1e18
         while self.sim.now - start < duration_s:
             self._next_event = self.sim.now + dt
+            if par is not None:
+                par.arm_observation(observer_ids)
             self.sim.run(dt, dt=dt, coalesce=coalesce)
+            if par is not None:
+                par.disarm_observation()
             aggregate = self._aggregate_sample()
             is_crest = aggregate is not None and self.detector.observe(aggregate)
             armed = self.sim.now - start >= self.learn_s

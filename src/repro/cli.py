@@ -82,11 +82,20 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    import multiprocessing
+
     from repro.attack.monitor import CrestDetector
     from repro.attack.strategies import PeriodicAttack, SynergisticAttack
     from repro.datacenter.simulation import DatacenterSimulation
     from repro.datacenter.tenants import DiurnalProfile
 
+    if args.parallel and "spawn" not in multiprocessing.get_all_start_methods():
+        print(
+            "error: --parallel needs the 'spawn' process start method,"
+            " which this platform does not provide; run without --parallel",
+            file=sys.stderr,
+        )
+        return 2
     tenants = DiurnalProfile(
         base_cores=1.0, peak_cores=1.5, bursts_per_day=200.0,
         burst_cores=5.0, burst_duration_s=45.0, noise=0.05,
@@ -105,23 +114,33 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             else:
                 covered.add(inst.host_index)
                 instances.append(inst)
-        sim.run(300.0, dt=1.0)
+        # the first run decides the execution mode: with --parallel the
+        # warmup shards the fleet, and the strategies built afterwards
+        # get shard-resident monitors automatically
+        sim.run(300.0, dt=1.0, parallel=args.parallel)
         return sim, instances
 
-    print(f"running synergistic attack on {args.servers} servers...")
+    mode = f" (parallel x{args.parallel})" if args.parallel else ""
+    print(f"running synergistic attack on {args.servers} servers{mode}...")
     sim_s, inst_s = setup()
-    syn = SynergisticAttack(
-        sim_s, inst_s, burst_s=30.0, cooldown_s=300.0, max_trials=2,
-        learn_s=400.0,
-        detector_factory=lambda: CrestDetector(
-            window=2000, threshold_fraction=0.85, min_band_watts=15.0
-        ),
-    ).run(args.duration)
+    try:
+        syn = SynergisticAttack(
+            sim_s, inst_s, burst_s=30.0, cooldown_s=300.0, max_trials=2,
+            learn_s=400.0,
+            detector_factory=lambda: CrestDetector(
+                window=2000, threshold_fraction=0.85, min_band_watts=15.0
+            ),
+        ).run(args.duration)
+    finally:
+        sim_s.close()
     print("running periodic baseline...")
     sim_p, inst_p = setup()
-    per = PeriodicAttack(sim_p, inst_p, burst_s=30.0, period_s=300.0).run(
-        args.duration
-    )
+    try:
+        per = PeriodicAttack(sim_p, inst_p, burst_s=30.0, period_s=300.0).run(
+            args.duration
+        )
+    finally:
+        sim_p.close()
     print(f"\n{'strategy':>13}{'peak W':>9}{'trials':>8}{'cpu-s':>9}")
     for out in (syn, per):
         print(f"{out.strategy:>13}{out.peak_watts:>9.0f}{out.trials:>8}"
@@ -262,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--servers", type=int, default=4)
     p_attack.add_argument("--duration", type=float, default=1200.0,
                           help="attack window in simulated seconds")
+    p_attack.add_argument("--parallel", type=int, default=0, metavar="N",
+                          help="rack-shard the fleet across N spawn worker"
+                               " processes with shard-resident attacker"
+                               " monitors (0 = serial; docs/parallel.md)")
     p_attack.set_defaults(func=_cmd_attack)
 
     p_fleet = sub.add_parser("fleet", parents=[common],

@@ -35,11 +35,17 @@ class PowerTrace:
     :meth:`append` (the running sum folds left-to-right, exactly like
     ``sum()`` over the list would), so reading them is O(1) no matter how
     long the trace has grown.
+
+    ``downtime`` is populated only on traces produced by
+    :meth:`averaged`: one fraction per emitted sample, the share of the
+    window's nominal samples that were gap markers in the source trace
+    (0.0 = fully observed window, approaching 1.0 = mostly down).
     """
 
     times: List[float] = field(default_factory=list)
     watts: List[float] = field(default_factory=list)
     gaps: List[float] = field(default_factory=list)
+    downtime: List[float] = field(default_factory=list)
     _peak: float = field(default=-math.inf, init=False, repr=False)
     _trough: float = field(default=math.inf, init=False, repr=False)
     _sum: float = field(default=0.0, init=False, repr=False)
@@ -116,6 +122,14 @@ class PowerTrace:
         implementation only re-anchored the bucket index when the bucket
         was non-empty), and each wholly-empty window in the interior is
         recorded as a gap marker rather than silently dropped.
+
+        Source gap markers (samples that were *due* but missed because
+        the machine was down) are folded into the window they fall in as
+        fractional ``downtime`` — a window with 27 samples and 3 gaps
+        averages the 27 and reports 0.1 downtime, instead of the gaps
+        silently vanishing into a slightly-smaller divisor. Windows past
+        the last sample that hold only gap markers become gap markers on
+        the output.
         """
         if window_s <= 0:
             raise SimulationError(f"window must be positive: {window_s}")
@@ -123,6 +137,20 @@ class PowerTrace:
         if not self.times:
             return out
         start = self.times[0]
+        # bucket the source's gap markers by window index up front;
+        # markers before the first sample's window (gi < 0) have no
+        # window to belong to and keep their old interpretation: dropped
+        gap_counts: Dict[int, int] = {}
+        for g in self.gaps:
+            gi = int((g - start) // window_s)
+            if gi >= 0:
+                gap_counts[gi] = gap_counts.get(gi, 0) + 1
+
+        def emit(index: int, total: float, n: int) -> None:
+            missed = gap_counts.pop(index, 0)
+            out.append(start + index * window_s, total / n)
+            out.downtime.append(missed / (missed + n))
+
         bucket_index = 0
         bucket_sum = 0.0
         bucket_n = 0
@@ -131,15 +159,20 @@ class PowerTrace:
             if index != bucket_index:
                 # the first sample lands in window 0, so the open bucket
                 # is never empty when a later sample moves past it
-                out.append(start + bucket_index * window_s, bucket_sum / bucket_n)
+                emit(bucket_index, bucket_sum, bucket_n)
                 for skipped in range(bucket_index + 1, index):
+                    gap_counts.pop(skipped, None)
                     out.note_gap(start + skipped * window_s)
                 bucket_index = index
                 bucket_sum = 0.0
                 bucket_n = 0
             bucket_sum += w
             bucket_n += 1
-        out.append(start + bucket_index * window_s, bucket_sum / bucket_n)
+        emit(bucket_index, bucket_sum, bucket_n)
+        # trailing windows that saw only missed samples
+        for gi in sorted(gap_counts):
+            if gi > bucket_index:
+                out.note_gap(start + gi * window_s)
         return out
 
     def window(self, t0: float, t1: float) -> "PowerTrace":
@@ -419,18 +452,13 @@ class DatacenterSimulation:
         spawn worker processes, lock-stepped at the same barriers and
         bit-identical to the serial path on equal seeds — see
         :mod:`repro.sim.parallel`. The first parallel run must start
-        from a fresh simulation; once parallel, later runs stay parallel
-        (``parallel=0`` then raises rather than silently diverging).
+        from a fresh simulation; once parallel, later runs inherit the
+        parallel engine (callers like attack strategies just call
+        ``run()`` and stay on the worker-held fleet).
         """
         if seconds <= 0:
             raise SimulationError(f"run needs positive duration: {seconds}")
         if parallel or self._parallel is not None:
-            if not parallel:
-                raise SimulationError(
-                    "this simulation already ran in parallel mode; a"
-                    " serial run would diverge from worker-held state"
-                    " (keep passing parallel=N)"
-                )
             if on_tick is not None:
                 raise SimulationError(
                     "on_tick callbacks cannot observe worker-held state;"
@@ -516,6 +544,61 @@ class DatacenterSimulation:
             total += watts
         self.aggregate_trace.append(when, total)
         self.metrics.samples += 1
+
+    # ------------------------------------------------------------------
+    # parallel-aware instance plumbing (attack strategies go through
+    # these so the same code drives the serial and the sharded fleet)
+
+    def exec_in_instance(self, instance, name: str, workload_factory, *args) -> None:
+        """Start a workload inside an instance's container.
+
+        Serial: executes immediately. Parallel: the op is queued to the
+        owning shard and applied at that shard's next barrier *before*
+        any tick executes — the same ordering as the serial
+        call-then-``run()`` sequence. ``workload_factory`` must be
+        picklable (a module-level callable); the workload object itself
+        is built inside the worker.
+        """
+        if self._parallel is not None:
+            self._parallel.queue_exec(
+                instance.instance_id, name, workload_factory, args
+            )
+        else:
+            instance.container.exec(name, workload=workload_factory(*args))
+
+    def reap_instance(self, instance) -> None:
+        """Reap an instance's finished tasks (parallel-aware)."""
+        if self._parallel is not None:
+            self._parallel.queue_reap(instance.instance_id)
+        else:
+            instance.container.reap_finished()
+
+    def tenant_bill(self, tenant: str) -> float:
+        """Utilization-based bill for a tenant (parallel-aware).
+
+        The parallel branch replays the exact float arithmetic of
+        :meth:`repro.runtime.cloud.ContainerCloud.bill` over worker-held
+        cpuacct meters, in the same instance order, so bills are
+        bit-identical across drivers.
+        """
+        if self._parallel is None:
+            return self.cloud.bill(tenant)
+        meters = self._parallel.billing_meters()
+        cpu_hours = sum(
+            (meters[i.instance_id][0] - meters[i.instance_id][1]) / 1e9 / 3600.0
+            for i in self.cloud.instances_of(tenant)
+        )
+        return cpu_hours * self.profile.price_per_cpu_hour
+
+    def instances_cpu_seconds(self, instances) -> float:
+        """Summed billed CPU seconds over ``instances`` (parallel-aware)."""
+        if self._parallel is None:
+            return sum(i.billed_cpu_seconds for i in instances)
+        meters = self._parallel.billing_meters()
+        return sum(
+            (meters[i.instance_id][0] - meters[i.instance_id][1]) / 1e9
+            for i in instances
+        )
 
     # ------------------------------------------------------------------
 

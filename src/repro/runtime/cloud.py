@@ -301,8 +301,19 @@ class ContainerCloud:
             self.hosts.append(build_cloud_host(profile, self.clock, self.rng, i))
         self._instances: Dict[str, Instance] = {}
         self._counter = 0
+        #: full launch/terminate history, in order — the rack-sharded
+        #: parallel engine replays it inside shard workers so container
+        #: ids, core allocations and kernel state match the serial cloud
+        self.launch_log: List[tuple] = []
+        #: set by the parallel engine once shard workers own the hosts;
+        #: any further launch/terminate would silently diverge from them
+        self.frozen_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
+
+    def freeze(self, reason: str) -> None:
+        """Reject further launches/terminations (parallel workers own hosts)."""
+        self.frozen_reason = reason
 
     def launch_instance(self, tenant: str, cpus: Optional[int] = None) -> Instance:
         """Launch an instance for ``tenant`` on a provider-chosen server.
@@ -311,6 +322,8 @@ class ContainerCloud:
         has no influence, which is what forces the paper's
         launch-check-terminate co-residence strategy.
         """
+        if self.frozen_reason is not None:
+            raise CloudError(f"cloud is frozen: {self.frozen_reason}")
         want = cpus if cpus is not None else self.profile.cores_per_instance
         candidates = [h for h in self.hosts if h.engine.free_cores >= want]
         if not candidates:
@@ -333,16 +346,24 @@ class ContainerCloud:
             _cpu_ns_at_launch=container.cpu_usage_ns,
         )
         self._instances[instance_id] = instance
+        self.launch_log.append(
+            ("launch", instance_id, tenant, host.index, want)
+        )
         return instance
 
     def terminate_instance(self, instance: Instance) -> None:
         """Terminate an instance and stop its billing meter."""
+        if self.frozen_reason is not None:
+            raise CloudError(f"cloud is frozen: {self.frozen_reason}")
         if instance.terminated:
             raise CloudError(f"already terminated: {instance.instance_id}")
         host = self.hosts[instance.host_index]
         host.engine.remove(instance.container)
         instance.terminated = True
         del self._instances[instance.instance_id]
+        self.launch_log.append(
+            ("terminate", instance.instance_id, instance.host_index)
+        )
 
     def instances_of(self, tenant: str) -> List[Instance]:
         """All live instances of one tenant."""

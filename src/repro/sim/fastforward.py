@@ -84,6 +84,47 @@ def kernel_phase_horizon_s(kernel) -> float:
     return horizon
 
 
+class DriverHorizon:
+    """A horizon source whose state lives entirely on the driver side.
+
+    Horizon callables registered in ``DatacenterSimulation.horizon_sources``
+    normally may observe host kernels, which in parallel mode live in shard
+    workers — so the parallel driver rejects them. Wrapping a callable in
+    ``DriverHorizon`` asserts that it reads only driver-held state (e.g. an
+    attack strategy's scheduled next action time), making it legal to fold
+    into the parallel horizon min-reduce. The serial path calls it like any
+    other source.
+    """
+
+    __slots__ = ("fn",)
+
+    #: the parallel driver folds sources carrying this marker
+    parallel_safe = True
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, now: float) -> float:
+        return self.fn(now)
+
+
+def fold_driver_horizons(now: float, sources) -> float:
+    """Min over the parallel-safe horizon sources (``inf`` if none).
+
+    The parallel driver's half of the horizon merge: shard workers reduce
+    their host-observing horizons (tenant decisions, phase boundaries,
+    fault barriers) worker-side, and the driver folds in the sources that
+    are marked :class:`DriverHorizon`-safe, so the merged horizon equals
+    the serial ``_coalesce_horizon`` fold value exactly (min is
+    order-independent on floats).
+    """
+    horizon = math.inf
+    for source in sources:
+        if getattr(source, "parallel_safe", False):
+            horizon = min(horizon, source(now))
+    return horizon
+
+
 class StabilityTracker:
     """Detects whether the workload set changed since the last planned tick.
 

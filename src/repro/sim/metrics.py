@@ -11,8 +11,83 @@ off by default and only engaged when a driver explicitly enables them.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+
+@dataclass
+class IpcMetrics:
+    """IPC accounting for one rack-sharded parallel run.
+
+    Maintained by the parallel driver (``repro.sim.parallel``): control
+    frames are the pickled command/reply tuples on the shard pipes, and
+    shared-memory bytes are the float64 slots the telemetry plane carried
+    instead of pickled rows. ``barrier_wait_s`` is the driver's cumulative
+    wall time blocked waiting for each shard's reply — the lock-step
+    straggler profile.
+    """
+
+    #: pickled bytes sent to shards (command frames)
+    control_bytes_sent: int = 0
+    #: pickled bytes received from shards (reply frames)
+    control_bytes_received: int = 0
+    #: command frames sent (one per shard per barrier)
+    control_frames: int = 0
+    #: float64 bytes of sample rows carried by the shared-memory plane
+    shm_row_bytes: int = 0
+    #: float64 bytes of attack-observer readings carried by the plane
+    shm_observer_bytes: int = 0
+    #: allocated size of the shared-memory segment
+    shm_segment_bytes: int = 0
+    #: shard worker count
+    workers: int = 0
+    #: shard index -> cumulative driver wall seconds blocked in recv
+    barrier_wait_s: Dict[int, float] = field(default_factory=dict)
+
+    def record_frame(self, sent: int, received: int) -> None:
+        """Account one control round trip's pickled byte counts."""
+        self.control_frames += 1
+        self.control_bytes_sent += sent
+        self.control_bytes_received += received
+
+    def record_barrier_wait(self, shard: int, seconds: float) -> None:
+        """Charge driver wall time spent blocked on one shard's reply."""
+        self.barrier_wait_s[shard] = self.barrier_wait_s.get(shard, 0.0) + seconds
+
+    @property
+    def control_bytes(self) -> int:
+        """Total pickled bytes over the pipes, both directions."""
+        return self.control_bytes_sent + self.control_bytes_received
+
+    @property
+    def shm_bytes(self) -> int:
+        """Total payload bytes carried by the shared-memory plane."""
+        return self.shm_row_bytes + self.shm_observer_bytes
+
+    def bytes_per_tick(self, ticks: int) -> float:
+        """Mean IPC payload bytes (pipes + plane) per executed tick."""
+        if ticks <= 0:
+            return 0.0
+        return (self.control_bytes + self.shm_bytes) / ticks
+
+    @property
+    def barrier_wait_total_s(self) -> float:
+        """Driver wall seconds blocked at barriers, summed over shards."""
+        return sum(self.barrier_wait_s.values())
+
+    def render(self) -> str:
+        """A human-readable IPC summary block."""
+        lines = [
+            f"control frames      {self.control_frames}"
+            f" ({self.control_bytes_sent} B out,"
+            f" {self.control_bytes_received} B in)",
+            f"shm payload bytes   {self.shm_bytes}"
+            f" (rows {self.shm_row_bytes}, observers {self.shm_observer_bytes};"
+            f" segment {self.shm_segment_bytes} B)",
+            f"barrier wait        {self.barrier_wait_total_s:.3f}s over"
+            f" {self.workers} shard(s)",
+        ]
+        return "\n".join(lines)
 
 
 class SubsystemTimings:
@@ -77,6 +152,8 @@ class SimMetrics:
     wall_seconds: float = 0.0
     #: optional per-subsystem wall profile (shared across a fleet's kernels)
     subsystem_timings: Optional[SubsystemTimings] = None
+    #: IPC accounting, populated by the rack-sharded parallel driver
+    ipc: Optional[IpcMetrics] = None
 
     def record_tick(self, step: float, base_dt: float) -> None:
         """Account one executed tick of ``step`` virtual seconds."""
@@ -118,6 +195,9 @@ class SimMetrics:
         if self.subsystem_timings is not None:
             lines.append("subsystem wall profile:")
             lines.append(self.subsystem_timings.render())
+        if self.ipc is not None:
+            lines.append("parallel IPC profile:")
+            lines.append(self.ipc.render())
         return "\n".join(lines)
 
 

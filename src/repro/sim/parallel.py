@@ -10,26 +10,58 @@ sampled aggregate trace. This module runs each rack group's kernels and
 tenant drivers in its own ``multiprocessing`` spawn worker and lock-steps
 the shards at exactly the barriers the serial driver already honors.
 
-Driver/worker protocol (compact tuples over a ``Pipe`` per shard)::
+Bulk telemetry — per-sample wall-power rows and attacker-monitor
+readings — travels through a :class:`repro.sim.telemetry.TelemetryPlane`
+(a double-buffered ``multiprocessing.shared_memory`` segment of float64
+slots written at global indices), so the pipe protocol is small pickled
+control frames only. The driver stamps each shm-carrying frame with the
+bank index; banks alternate so a worker never overwrites a row the
+driver has not consumed.
 
-    ("begin", want_row)        -> ("ok", (changed, row | None))
-    ("plan", hint)             -> ("ok", (dark, demands, safe, horizon))
-    ("commit", step, want_row) -> ("ok", (changed, row | None))
-    ("step", step, want_row)   -> ("ok", (changed, row | None))   # no coalescing
-    ("watts",)                 -> ("ok", ((index, watts), ...))
-    ("state",)                 -> ("ok", {"breakers": ..., "stats": ...})
-    ("close",)                 -> worker exits
+Driver/worker control frames (pickled tuples over a ``Pipe`` per shard;
+``ops`` are queued attacker ``exec``/``reap`` operations, ``oids`` are
+observer ids of shard-resident attack monitors to sample)::
 
-``row`` is ``((global_index, watts | None), ...)`` — one trace sample per
-shard host, ``None`` marking a crashed machine's gap. A coalesced step is
-two round trips (plan, commit); an uncoalesced step is one.
+    ("begin", bank, want_row, ops)         -> ("ok", changed)
+    ("plan", hint)                         -> ("ok", (dark+, dark-, demands,
+                                                      safe, horizon))
+    ("commit", step, bank, want_row, oids) -> ("ok", changed)
+    ("step", step, bank, want_row, oids)   -> ("ok", changed)   # no coalescing
+    ("watts", bank)                        -> ("ok", None)
+    ("state",)                             -> ("ok", {"breakers":..., "stats":...})
+    ("meters", ops)                        -> ("ok", {iid: (cpu_ns, cpu_ns0)})
+    ("monitor", oid, slot, iid, factory)   -> ("ok", available)
+    ("degradation", oid)                   -> ("ok", {...})
+    ("sample", bank, oids, ops)            -> ("ok", None)
+    ("crash",)                             -> no reply; worker exits (test hook)
+    ("close",)                             -> worker exits
 
-Determinism rules (the golden-trace test pins all of them):
+``plan`` replies carry the shard's *dark-set delta* (indices newly dark /
+newly lit since the last plan) and its demand fingerprints as bare floats
+in host order — the driver knows each shard's host list, so no indices
+cross the pipe. Row payloads never do either: ``want_row`` makes the
+worker write its hosts' sampled watts into the stamped bank (``NaN`` =
+crashed machine = trace gap), and the driver folds the row out of the
+plane in global host order, so float sums stay bit-identical to serial.
+
+Attack support: instances launched before the first parallel run are
+replayed inside the owning shard from the cloud's launch log (the cloud
+is then frozen), attacker monitors live *in the shard* next to the host
+whose RAPL they read (``("monitor", ...)`` registers one), and the driver
+pulls their readings through observer slots of the plane — piggybacked on
+the final commit of a run when armed, or via an explicit ``("sample")``
+frame. Strategy event horizons stay driver-side, wrapped in
+:class:`repro.sim.fastforward.DriverHorizon` so the driver can fold them
+into the merged coalescing horizon.
+
+Determinism rules (the golden-trace tests pin all of them):
 
 1. Shard workers rebuild their hosts through the same
    :func:`repro.runtime.cloud.build_cloud_host` path the serial fleet
    uses, forking the fleet rng by *global* index — identical seeds yield
-   bit-identical kernels no matter which process builds them.
+   bit-identical kernels no matter which process builds them — and then
+   replay the cloud's launch/terminate log in order, so container ids,
+   core allocations, and billing baselines match the serial cloud.
 2. The driver's clock performs the same ``+=`` float operations as the
    serial clock, and every shard clock replays them too, so shard-local
    horizons (``now + boundary``) are bitwise equal to serial ones.
@@ -37,12 +69,16 @@ Determinism rules (the golden-trace test pins all of them):
    owning shard and clock-jitter events to the driver (jitter only moves
    *recorded* timestamps, which only the driver writes); per-event rng
    streams are keyed on global indices, so partitioning changes no draw.
-4. The driver merges per-sample rows in global host order, so the
+4. The driver folds per-sample rows in global host order, so the
    aggregate trace folds watts left-to-right exactly as the serial
    sampler does — float addition order is part of the contract.
+5. Queued attacker ops apply at the shard's next ``begin`` (or
+   ``sample``/``meters``) barrier, before any tick — the same ordering
+   as the serial call-then-``run()`` sequence — and monitors sample at
+   exactly the virtual times the serial strategy would call them.
 
 When serial wins: small fleets (a rack or two) or short runs, where the
-per-step pickling/IPC round trip outweighs the per-host loop; and any
+per-step control round trip outweighs the per-host loop; and any
 workflow needing ``on_tick`` callbacks or direct host access mid-run,
 which cannot observe worker-held state. See ``docs/parallel.md``.
 """
@@ -51,6 +87,9 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
+import pickle
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -58,13 +97,22 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import SimulationError
 from repro.sim.clock import VirtualClock
 from repro.sim.faults import FaultInjector, FaultSchedule, FaultStats, JitterModel
-from repro.sim.metrics import WallTimer
+from repro.sim.fastforward import fold_driver_horizons
+from repro.sim.metrics import IpcMetrics, WallTimer
 from repro.sim.rng import DeterministicRNG
+from repro.sim.telemetry import TelemetryPlane
 
 _EPS = 1e-9
 
 #: seconds to wait for a spawn worker to finish building its shard
 _STARTUP_TIMEOUT_S = 120.0
+
+#: poll granularity while waiting on a shard reply (liveness checks)
+_POLL_S = 0.1
+
+
+def _dumps(obj) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 @dataclass(frozen=True)
@@ -83,8 +131,9 @@ class ShardSpec:
     """Everything a worker needs to rebuild its slice of the fleet.
 
     Only picklable value state crosses the process boundary; kernels,
-    engines, and tenant drivers are *reconstructed* in the worker from
-    the same seeds, which is what makes them bit-identical to serial.
+    engines, tenant drivers, and launched instances are *reconstructed*
+    in the worker from the same seeds and the cloud's launch log, which
+    is what makes them bit-identical to serial.
     """
 
     profile: object  # ProviderProfile (picklable frozen dataclass)
@@ -97,6 +146,12 @@ class ShardSpec:
     breaker_knee_ratio: float
     fault_schedule: Optional[FaultSchedule]
     fault_seed: int
+    #: shared-memory telemetry plane to attach to
+    telemetry_name: str
+    total_servers: int
+    observer_capacity: int
+    #: the cloud's full launch/terminate history (workers filter by host)
+    launch_log: Tuple[tuple, ...]
 
 
 @dataclass(frozen=True)
@@ -121,7 +176,7 @@ class _ShardRuntime:
         from repro.datacenter.breaker import CircuitBreaker
         from repro.datacenter.tenants import DiurnalTenantDriver
         from repro.datacenter.topology import Rack, WallPowerCache
-        from repro.runtime.cloud import build_cloud_host
+        from repro.runtime.cloud import Instance, build_cloud_host
 
         self.spec = spec
         self.clock = VirtualClock(start=spec.start_time)
@@ -153,6 +208,37 @@ class _ShardRuntime:
             )
             for i in spec.host_indices
         }
+        # Replay the cloud's launch/terminate history for this shard's
+        # hosts, in global order: container ids, core allocations, and
+        # cpuacct baselines come out identical to the serial cloud's.
+        self.instances: Dict[str, Instance] = {}
+        owned = set(spec.host_indices)
+        for op in spec.launch_log:
+            if op[0] == "launch":
+                _, iid, tenant, host_index, cpus = op
+                if host_index not in owned:
+                    continue
+                host = self.hosts[host_index]
+                container = host.engine.create(
+                    name=iid,
+                    policy=spec.profile.policy_factory(),
+                    cpus=cpus,
+                    memory_mb=spec.profile.memory_mb_per_instance,
+                )
+                self.instances[iid] = Instance(
+                    instance_id=iid,
+                    tenant=tenant,
+                    container=container,
+                    host_index=host_index,
+                    launched_at=spec.start_time,
+                    _cpu_ns_at_launch=container.cpu_usage_ns,
+                )
+            else:  # ("terminate", iid, host_index)
+                _, iid, host_index = op
+                if host_index not in owned:
+                    continue
+                instance = self.instances.pop(iid)
+                self.hosts[host_index].engine.remove(instance.container)
         self.injector: Optional[FaultInjector] = None
         if spec.fault_schedule is not None:
             self.injector = FaultInjector(
@@ -163,7 +249,13 @@ class _ShardRuntime:
                 racks=self.racks,
                 kernel_labels=spec.host_indices,
             )
+        self.plane = TelemetryPlane.attach(
+            spec.telemetry_name, spec.total_servers, spec.observer_capacity
+        )
+        #: observer id -> (plane slot, shard-resident monitor)
+        self.monitors: Dict[str, tuple] = {}
         self._last_dark: set = set()
+        self._sent_dark: frozenset = frozenset()
 
     # -- serial-loop mirrors --------------------------------------------
 
@@ -197,10 +289,24 @@ class _ShardRuntime:
                 return False
         return True
 
-    def begin(self, want_row: bool):
-        """Run-start barrier: apply due faults, report the t=0 row."""
+    def apply_ops(self, ops: tuple) -> None:
+        """Apply queued attacker ops (exec/reap) in driver order."""
+        for op in ops:
+            if op[0] == "exec":
+                _, iid, name, factory, args = op
+                self.instances[iid].container.exec(
+                    name, workload=factory(*args)
+                )
+            else:  # ("reap", iid)
+                self.instances[op[1]].container.reap_finished()
+
+    def begin(self, bank: int, want_row: bool, ops: tuple):
+        """Run-start barrier: apply ops and due faults, write the t=0 row."""
+        self.apply_ops(ops)
         changed = self.injector is not None and self.injector.advance(self.clock.now)
-        return (changed, self.sample_row() if want_row else None)
+        if want_row:
+            self.write_row(bank)
+        return changed
 
     def plan(self, step_hint: float, coalesce: bool = True):
         """The pre-advance half of one serial loop iteration."""
@@ -213,7 +319,7 @@ class _ShardRuntime:
         if not coalesce:
             return None
         demands = tuple(
-            (i, 0.0 if i in dark else self.hosts[i].kernel.demand_fingerprint())
+            0.0 if i in dark else self.hosts[i].kernel.demand_fingerprint()
             for i in self.spec.host_indices
         )
         horizon = math.inf
@@ -225,9 +331,13 @@ class _ShardRuntime:
                 )
         if self.injector is not None:
             horizon = min(horizon, self.injector.next_barrier(now))
-        return (tuple(dark), demands, self._breakers_safe(), horizon)
+        frozen = frozenset(dark)
+        added = tuple(sorted(frozen - self._sent_dark))
+        removed = tuple(sorted(self._sent_dark - frozen))
+        self._sent_dark = frozen
+        return (added, removed, demands, self._breakers_safe(), horizon)
 
-    def commit(self, step: float, want_row: bool):
+    def commit(self, step: float, bank: int, want_row: bool, oids: tuple):
         """The post-plan half: advance, tick, feed breakers, apply faults."""
         dark = self._last_dark
         self.clock.advance(step)
@@ -239,10 +349,17 @@ class _ShardRuntime:
         for rack in self.racks:
             rack.observe(step, now, crashed)
         changed = self.injector is not None and self.injector.advance(now)
-        return (changed, self.sample_row() if want_row else None)
+        if want_row:
+            self.write_row(bank)
+        # sample after the full commit body: the same virtual instant a
+        # serial strategy calls monitor.sample() right after run() returns
+        for oid in oids:
+            slot, monitor = self.monitors[oid]
+            self.plane.write_observer(bank, slot, monitor.sample(self.clock.now))
+        return changed
 
-    def sample_row(self) -> tuple:
-        """Per-host trace values right now (``None`` = crashed, gap)."""
+    def write_row(self, bank: int) -> None:
+        """Write this shard's per-host trace values into the plane."""
         crashed: set = set()
         if self.injector is not None:
             crashed = {
@@ -250,20 +367,46 @@ class _ShardRuntime:
                 for local in self.injector.crashed_now()
             }
         dark = self.dark()
-        row = []
         for i in self.spec.host_indices:
             if i in crashed:
-                row.append((i, None))
+                self.plane.write_wall(bank, i, None)
             else:
                 watts = 0.0 if i in dark else self.cache.watts(self.hosts[i].kernel)
-                row.append((i, watts))
-        return tuple(row)
+                self.plane.write_wall(bank, i, watts)
 
-    def watts(self) -> tuple:
-        return tuple(
-            (i, self.cache.watts(self.hosts[i].kernel))
-            for i in self.spec.host_indices
-        )
+    def watts(self, bank: int) -> None:
+        for i in self.spec.host_indices:
+            self.plane.write_wall(bank, i, self.cache.watts(self.hosts[i].kernel))
+
+    def meters(self, ops: tuple) -> dict:
+        """cpuacct billing meters for this shard's live instances."""
+        self.apply_ops(ops)
+        return {
+            iid: (instance.container.cpu_usage_ns, instance._cpu_ns_at_launch)
+            for iid, instance in self.instances.items()
+        }
+
+    def attach_monitor(self, oid: str, slot: int, iid: str, factory) -> bool:
+        """Build a shard-resident monitor; keep it only when available."""
+        if iid not in self.instances:
+            raise SimulationError(f"instance not on this shard: {iid}")
+        monitor = factory(self.instances[iid])
+        if not monitor.available():
+            return False
+        self.monitors[oid] = (slot, monitor)
+        return True
+
+    def degradation(self, oid: str) -> dict:
+        slot, monitor = self.monitors[oid]
+        summary = getattr(monitor, "degradation", None)
+        return summary() if summary is not None else {}
+
+    def sample_observers(self, bank: int, oids: tuple, ops: tuple) -> None:
+        """Explicit observer sampling (flushes queued ops first)."""
+        self.apply_ops(ops)
+        for oid in oids:
+            slot, monitor = self.monitors[oid]
+            self.plane.write_observer(bank, slot, monitor.sample(self.clock.now))
 
     def state(self) -> dict:
         breakers = tuple(
@@ -284,16 +427,24 @@ class _ShardRuntime:
         if cmd == "plan":
             return self.plan(msg[1])
         if cmd == "commit":
-            return self.commit(msg[1], msg[2])
+            return self.commit(msg[1], msg[2], msg[3], msg[4])
         if cmd == "step":
             self.plan(msg[1], coalesce=False)
-            return self.commit(msg[1], msg[2])
+            return self.commit(msg[1], msg[2], msg[3], msg[4])
         if cmd == "begin":
-            return self.begin(msg[1])
+            return self.begin(msg[1], msg[2], msg[3])
         if cmd == "watts":
-            return self.watts()
+            return self.watts(msg[1])
         if cmd == "state":
             return self.state()
+        if cmd == "meters":
+            return self.meters(msg[1])
+        if cmd == "monitor":
+            return self.attach_monitor(msg[1], msg[2], msg[3], msg[4])
+        if cmd == "degradation":
+            return self.degradation(msg[1])
+        if cmd == "sample":
+            return self.sample_observers(msg[1], msg[2], msg[3])
         raise SimulationError(f"unknown shard command: {cmd!r}")
 
 
@@ -303,22 +454,28 @@ def _shard_worker_main(spec: ShardSpec, conn) -> None:
         runtime = _ShardRuntime(spec)
     except Exception:
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send_bytes(_dumps(("error", traceback.format_exc())))
         finally:
             return
-    conn.send(("ready",))
-    while True:
-        try:
-            msg = conn.recv()
-        except EOFError:
-            return
-        if msg[0] == "close":
-            return
-        try:
-            reply = ("ok", runtime.dispatch(msg))
-        except Exception:
-            reply = ("error", traceback.format_exc())
-        conn.send(reply)
+    conn.send_bytes(_dumps(("ready",)))
+    try:
+        while True:
+            try:
+                blob = conn.recv_bytes()
+            except (EOFError, OSError):
+                return
+            msg = pickle.loads(blob)
+            if msg[0] == "close":
+                return
+            if msg[0] == "crash":  # test hook: die without a word
+                os._exit(1)
+            try:
+                reply = ("ok", runtime.dispatch(msg))
+            except Exception:
+                reply = ("error", traceback.format_exc())
+            conn.send_bytes(_dumps(reply))
+    finally:
+        runtime.plane.close()
 
 
 class _DriverFaultReplayer:
@@ -361,12 +518,15 @@ class ParallelFleetEngine:
     """Drives a fleet simulation across rack-sharded worker processes.
 
     Created by ``DatacenterSimulation.run(parallel=N)`` on a *fresh*
-    simulation (no ticks executed, no samples recorded, no launched
-    instances). The driver keeps the traces, metrics, sampling grid,
-    stability tracker, and jitter replay; everything per-host moves to
-    the workers. Results are bit-identical to the serial path on equal
-    seeds — the golden-trace test in ``tests/sim/test_parallel.py``
-    enforces it sample-for-sample.
+    simulation (no ticks executed, no samples recorded). Instances
+    launched before that point are replayed into the owning shards and
+    the cloud is frozen. The driver keeps the traces, metrics, sampling
+    grid, stability tracker, jitter replay, and attack-strategy state;
+    everything per-host moves to the workers, and bulk telemetry rides
+    the shared-memory plane. Results are bit-identical to the serial
+    path on equal seeds — the golden-trace tests in
+    ``tests/sim/test_parallel.py`` and ``tests/attack`` enforce it
+    sample-for-sample.
     """
 
     def __init__(self, sim, workers: int):
@@ -377,6 +537,9 @@ class ParallelFleetEngine:
         self.total_servers = len(sim.cloud.hosts)
         self.clock = VirtualClock(start=sim.now)
         self._closed = False
+        self.procs: list = []
+        self.conns: list = []
+        self.plane: Optional[TelemetryPlane] = None
 
         rack_specs = [
             RackShardSpec(
@@ -400,9 +563,38 @@ class ParallelFleetEngine:
         for count in counts:
             groups.append(rack_specs[cursor : cursor + count])
             cursor += count
-        shard_hosts = [
+        self.shard_hosts: List[List[int]] = [
             [i for rs in group for i in rs.host_indices] for group in groups
         ]
+        self._shard_of_host: Dict[int, int] = {}
+        for idx, hosts in enumerate(self.shard_hosts):
+            for i in hosts:
+                self._shard_of_host[i] = idx
+        self._shard_dark: List[set] = [set() for _ in range(n)]
+
+        #: instance id -> owning host index (from the full launch log,
+        #: so ops can still be routed after driver-side dict deletions)
+        self._instance_host: Dict[str, int] = {
+            op[1]: op[3] for op in sim.cloud.launch_log if op[0] == "launch"
+        }
+        self._pending_ops: List[tuple] = []
+
+        self.observer_capacity = max(16, 2 * self.total_servers)
+        #: observer id -> (shard index, plane slot)
+        self._observer_slots: Dict[str, Tuple[int, int]] = {}
+        self._next_slot = 0
+        self._armed: Tuple[str, ...] = ()
+        self._observed: Dict[str, Optional[float]] = {}
+        self._observed_at: Optional[float] = None
+        self._bank = 0
+
+        self.plane = TelemetryPlane.create(
+            self.total_servers, self.observer_capacity
+        )
+        self.ipc = IpcMetrics(
+            workers=n, shm_segment_bytes=self.plane.segment_bytes
+        )
+        sim.metrics.ipc = self.ipc
 
         self.faults: Optional[_DriverFaultReplayer] = None
         shard_schedules: List[Optional[FaultSchedule]] = [None] * n
@@ -410,40 +602,43 @@ class ParallelFleetEngine:
         if sim.fault_injector is not None:
             fault_seed = sim.fault_injector.rng.seed
             shard_schedules, driver_schedule = sim.fault_injector.schedule.partition(
-                shard_hosts,
+                self.shard_hosts,
                 [[rs.rack_index for rs in group] for group in groups],
                 self.total_servers,
                 len(rack_specs),
             )
             self.faults = _DriverFaultReplayer(driver_schedule, fault_seed)
 
+        launch_log = tuple(sim.cloud.launch_log)
         specs = [
             ShardSpec(
                 profile=sim.profile,
                 seed=sim.seed,
                 start_time=sim._start_time,
-                host_indices=tuple(shard_hosts[i]),
+                host_indices=tuple(self.shard_hosts[i]),
                 racks=tuple(groups[i]),
                 tenant_profile=sim.tenant_profile,
                 power_config=sim.power_config,
                 breaker_knee_ratio=sim.breaker_knee_ratio,
                 fault_schedule=shard_schedules[i],
                 fault_seed=fault_seed,
+                telemetry_name=self.plane.name,
+                total_servers=self.total_servers,
+                observer_capacity=self.observer_capacity,
+                launch_log=launch_log,
             )
             for i in range(n)
         ]
 
         try:
-            ctx = multiprocessing.get_context("spawn")
-        except ValueError as exc:  # pragma: no cover - platform-specific
-            raise SimulationError(
-                "parallel fleet execution needs the 'spawn' process start"
-                " method, which this platform does not provide; run with"
-                " parallel=0"
-            ) from exc
-        self.procs = []
-        self.conns = []
-        try:
+            try:
+                ctx = multiprocessing.get_context("spawn")
+            except ValueError as exc:  # pragma: no cover - platform-specific
+                raise SimulationError(
+                    "parallel fleet execution needs the 'spawn' process start"
+                    " method, which this platform does not provide; run with"
+                    " parallel=0"
+                ) from exc
             for spec in specs:
                 parent, child = ctx.Pipe()
                 proc = ctx.Process(
@@ -453,18 +648,31 @@ class ParallelFleetEngine:
                 child.close()
                 self.procs.append(proc)
                 self.conns.append(parent)
-            for conn in self.conns:
-                if not conn.poll(_STARTUP_TIMEOUT_S):
-                    raise SimulationError(
-                        "shard worker did not come up within"
-                        f" {_STARTUP_TIMEOUT_S:.0f}s"
-                    )
-                msg = conn.recv()
+            for idx, conn in enumerate(self.conns):
+                deadline = time.monotonic() + _STARTUP_TIMEOUT_S
+                while not conn.poll(_POLL_S):
+                    if not self.procs[idx].is_alive() and not conn.poll(0):
+                        raise SimulationError(
+                            f"shard worker {idx} died during startup"
+                            f" (exitcode {self.procs[idx].exitcode})"
+                        )
+                    if time.monotonic() > deadline:
+                        raise SimulationError(
+                            f"shard worker {idx} did not come up within"
+                            f" {_STARTUP_TIMEOUT_S:.0f}s"
+                        )
+                msg = pickle.loads(conn.recv_bytes())
                 if msg[0] != "ready":
-                    raise SimulationError(f"shard worker failed to build:\n{msg[1]}")
+                    raise SimulationError(
+                        f"shard worker {idx} failed to build:\n{msg[1]}"
+                    )
         except BaseException:
             self.close()
             raise
+        sim.cloud.freeze(
+            "parallel shard workers own the fleet; launch instances"
+            " before the first parallel run"
+        )
 
     @staticmethod
     def _validate_fresh(sim) -> None:
@@ -483,41 +691,89 @@ class ParallelFleetEngine:
                 "subsystem timings profile in-process kernels; they cannot"
                 " observe shard workers (disable them or run serially)"
             )
-        if sim.cloud._instances:
-            raise SimulationError(
-                "launched instances hold driver-side host references;"
-                " the parallel fleet cannot carry them (launch none before"
-                " a parallel run, or run serially)"
-            )
         allowed = set()
         if sim.fault_injector is not None:
             allowed.add(sim.fault_injector.next_barrier)
-        if any(source not in allowed for source in sim.horizon_sources):
+        for source in sim.horizon_sources:
+            if source in allowed or getattr(source, "parallel_safe", False):
+                continue
             raise SimulationError(
-                "extra horizon sources (attack strategies) observe"
-                " driver-side hosts; the parallel fleet does not support"
-                " them yet — run serially"
+                "a horizon source observes driver-side hosts and cannot"
+                " follow the fleet into shard workers; wrap driver-state-"
+                "only callables in repro.sim.fastforward.DriverHorizon,"
+                " or run serially"
             )
 
-    # ------------------------------------------------------------------
+    # -- control-frame transport ----------------------------------------
 
-    def _broadcast(self, msg: tuple) -> list:
+    def _shard_died(self, idx: int, cause: Optional[BaseException] = None):
+        code = self.procs[idx].exitcode
+        try:
+            self.close()
+        finally:
+            raise SimulationError(
+                f"shard worker {idx} died mid-protocol (exitcode {code});"
+                " workers torn down, shared memory unlinked"
+            ) from cause
+
+    def _post(self, idx: int, msg: tuple) -> int:
+        blob = _dumps(msg)
+        try:
+            self.conns[idx].send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            self._shard_died(idx, exc)
+        return len(blob)
+
+    def _collect(self, idx: int, sent: int):
+        conn = self.conns[idx]
+        t0 = time.perf_counter()
+        while not conn.poll(_POLL_S):
+            if not self.procs[idx].is_alive() and not conn.poll(0):
+                self._shard_died(idx)
+        self.ipc.record_barrier_wait(idx, time.perf_counter() - t0)
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            self._shard_died(idx, exc)
+        self.ipc.record_frame(sent, len(blob))
+        reply = pickle.loads(blob)
+        if reply[0] == "error":
+            raise SimulationError(f"shard worker {idx} failed:\n{reply[1]}")
+        return reply[1]
+
+    def _exchange(self, msgs: List[tuple]) -> list:
+        """Send one frame per shard, then collect every reply in order."""
         if self._closed:
             raise SimulationError("parallel engine is closed")
-        for conn in self.conns:
-            conn.send(msg)
-        out = []
-        for conn in self.conns:
-            try:
-                reply = conn.recv()
-            except (EOFError, OSError) as exc:
-                raise SimulationError(
-                    f"shard worker died mid-protocol: {exc}"
-                ) from exc
-            if reply[0] == "error":
-                raise SimulationError(f"shard worker failed:\n{reply[1]}")
-            out.append(reply[1])
-        return out
+        sent = [self._post(idx, msg) for idx, msg in enumerate(msgs)]
+        return [self._collect(idx, n) for idx, n in enumerate(sent)]
+
+    def _broadcast(self, msg: tuple) -> list:
+        return self._exchange([msg] * len(self.conns))
+
+    def _request(self, idx: int, msg: tuple):
+        """One round trip with a single shard."""
+        if self._closed:
+            raise SimulationError("parallel engine is closed")
+        return self._collect(idx, self._post(idx, msg))
+
+    def _next_bank(self) -> int:
+        """Rotate the double buffer before a frame that carries shm data."""
+        self._bank ^= 1
+        return self._bank
+
+    def _take_ops_for(self, shard: int) -> tuple:
+        """Pop this shard's queued ops, preserving their queue order."""
+        keep, out = [], []
+        for op in self._pending_ops:
+            if self._shard_of_host[self._instance_host[op[1]]] == shard:
+                out.append(op)
+            else:
+                keep.append(op)
+        self._pending_ops = keep
+        return tuple(out)
+
+    # -- run loop --------------------------------------------------------
 
     def _due_times(self, now: float) -> list:
         """Sample times due at or before ``now`` (the serial catch-up rule)."""
@@ -529,31 +785,31 @@ class ParallelFleetEngine:
             count += 1
         return due
 
-    @staticmethod
-    def _merge_rows(parts) -> list:
-        rows = []
-        for part in parts:
-            if part:
-                rows.extend(part)
-        rows.sort(key=lambda r: r[0])
-        return rows
-
     def _merge_plans(self, plans) -> tuple:
-        dark: set = set()
         demands = [0.0] * self.total_servers
         safe = True
         horizon = math.inf
-        for shard_dark, shard_demands, shard_safe, shard_horizon in plans:
-            dark.update(shard_dark)
-            for i, value in shard_demands:
+        for idx, (added, removed, values, shard_safe, shard_horizon) in enumerate(
+            plans
+        ):
+            shard_dark = self._shard_dark[idx]
+            shard_dark.difference_update(removed)
+            shard_dark.update(added)
+            for i, value in zip(self.shard_hosts[idx], values):
                 demands[i] = value
             safe = safe and shard_safe
             horizon = min(horizon, shard_horizon)
+        dark = set()
+        for shard_dark in self._shard_dark:
+            dark.update(shard_dark)
         return dark, tuple(demands), safe, horizon
 
-    def _record_samples(self, due: list, rows: list) -> None:
-        """Write one trace sample per due time, exactly like ``_sample``."""
+    def _record_samples(self, due: list, bank: int) -> None:
+        """Fold one trace sample per due time out of the plane's row."""
         sim = self.sim
+        plane = self.plane
+        row = [plane.read_wall(bank, i) for i in range(self.total_servers)]
+        self.ipc.shm_row_bytes += plane.row_bytes
         for when in due:
             t = when
             if self.faults is not None:
@@ -566,7 +822,7 @@ class ParallelFleetEngine:
                     when, sim.sample_interval_s, floor=last
                 )
             total = 0.0
-            for i, watts in rows:
+            for i, watts in enumerate(row):
                 if watts is None:
                     sim.server_traces[i].note_gap(t)
                     continue
@@ -576,24 +832,45 @@ class ParallelFleetEngine:
             sim.metrics.samples += 1
             sim._sample_count += 1
 
+    def _shard_oids(self, idx: int, oids: tuple) -> tuple:
+        return tuple(
+            oid for oid in oids if self._observer_slots[oid][0] == idx
+        )
+
+    def _read_observers(self, bank: int, oids: tuple) -> None:
+        """Cache the piggybacked observer readings for this instant."""
+        values = {}
+        for oid in oids:
+            _, slot = self._observer_slots[oid]
+            values[oid] = self.plane.read_observer(bank, slot)
+        self.ipc.shm_observer_bytes += 8 * len(oids)
+        self._observed = values
+        self._observed_at = self.clock.now
+
     def run(self, seconds: float, dt: float = 1.0, coalesce: bool = False) -> None:
         """Advance the sharded fleet (mirrors the serial ``run`` loop 1:1)."""
         if seconds <= 0:
             raise SimulationError(f"run needs positive duration: {seconds}")
         sim = self.sim
         engine = sim.fastforward
+        n = len(self.conns)
         with WallTimer(sim.metrics):
             due = self._due_times(self.clock.now)
-            replies = self._broadcast(("begin", bool(due)))
-            changed = any(shard_changed for shard_changed, _ in replies)
+            want_row = bool(due)
+            bank = self._next_bank() if want_row else self._bank
+            replies = self._exchange(
+                [
+                    ("begin", bank, want_row, self._take_ops_for(i))
+                    for i in range(n)
+                ]
+            )
+            changed = any(replies)
             if self.faults is not None and self.faults.advance(self.clock.now):
                 changed = True
             if changed:
                 engine.stability.reset()
             if due:
-                self._record_samples(
-                    due, self._merge_rows(row for _, row in replies)
-                )
+                self._record_samples(due, bank)
             remaining = seconds
             while remaining > _EPS:
                 step = min(dt, remaining)
@@ -605,6 +882,12 @@ class ParallelFleetEngine:
                         and safe
                     )
                     horizon = min(horizon, sim.next_sample_time)
+                    horizon = min(
+                        horizon,
+                        fold_driver_horizons(
+                            self.clock.now, sim.horizon_sources
+                        ),
+                    )
                     if self.faults is not None:
                         horizon = min(
                             horizon, self.faults.next_barrier(self.clock.now)
@@ -616,34 +899,168 @@ class ParallelFleetEngine:
                         horizon=horizon,
                         stable=stable,
                     )
-                    self.clock.advance(step)
-                    due = self._due_times(self.clock.now)
-                    replies = self._broadcast(("commit", step, bool(due)))
+                    verb = "commit"
                 else:
-                    self.clock.advance(step)
-                    due = self._due_times(self.clock.now)
-                    replies = self._broadcast(("step", step, bool(due)))
-                changed = any(shard_changed for shard_changed, _ in replies)
+                    verb = "step"
+                self.clock.advance(step)
+                final = remaining - step <= _EPS
+                oids = self._armed if final else ()
+                due = self._due_times(self.clock.now)
+                want_row = bool(due)
+                bank = (
+                    self._next_bank() if (want_row or oids) else self._bank
+                )
+                replies = self._exchange(
+                    [
+                        (verb, step, bank, want_row, self._shard_oids(i, oids))
+                        for i in range(n)
+                    ]
+                )
+                changed = any(replies)
                 if self.faults is not None and self.faults.advance(self.clock.now):
                     changed = True
                 if changed:
                     engine.stability.reset()
                 if due:
-                    self._record_samples(
-                        due, self._merge_rows(row for _, row in replies)
-                    )
+                    self._record_samples(due, bank)
+                if oids:
+                    self._read_observers(bank, oids)
                 sim.metrics.record_tick(step, dt)
                 remaining -= step
 
-    # ------------------------------------------------------------------
+    # -- attacker plumbing ----------------------------------------------
+
+    def queue_exec(self, instance_id: str, name: str, factory, args: tuple) -> None:
+        """Queue a workload exec for the owning shard's next barrier."""
+        if instance_id not in self._instance_host:
+            raise SimulationError(f"unknown instance: {instance_id}")
+        try:
+            _dumps((factory, args))
+        except Exception as exc:
+            raise SimulationError(
+                "workload factories crossing into shard workers must be"
+                f" picklable (module-level callables): {exc}"
+            ) from exc
+        self._pending_ops.append(("exec", instance_id, name, factory, args))
+
+    def queue_reap(self, instance_id: str) -> None:
+        """Queue a reap of finished tasks for the owning shard."""
+        if instance_id not in self._instance_host:
+            raise SimulationError(f"unknown instance: {instance_id}")
+        self._pending_ops.append(("reap", instance_id))
+
+    def attach_monitor(self, instance_id: str, factory) -> Optional[str]:
+        """Build a monitor inside the shard owning ``instance_id``.
+
+        Returns the observer id, or ``None`` when the monitor reports
+        its channel unavailable (mirroring the serial availability
+        check, which the worker performs on its own kernel state).
+        """
+        host = self._instance_host.get(instance_id)
+        if host is None:
+            raise SimulationError(f"unknown instance: {instance_id}")
+        if self._next_slot >= self.observer_capacity:
+            raise SimulationError(
+                f"observer capacity exhausted ({self.observer_capacity})"
+            )
+        try:
+            _dumps(factory)
+        except Exception as exc:
+            raise SimulationError(
+                "monitor factories crossing into shard workers must be"
+                f" picklable (module-level callables): {exc}"
+            ) from exc
+        shard = self._shard_of_host[host]
+        slot = self._next_slot
+        oid = f"obs-{slot}"
+        available = self._request(
+            shard, ("monitor", oid, slot, instance_id, factory)
+        )
+        if not available:
+            return None
+        self._next_slot += 1
+        self._observer_slots[oid] = (shard, slot)
+        return oid
+
+    def arm_observation(self, oids) -> None:
+        """Sample these observers on the final commit of the next run."""
+        unknown = [oid for oid in oids if oid not in self._observer_slots]
+        if unknown:
+            raise SimulationError(f"unknown observers: {unknown}")
+        self._armed = tuple(oids)
+
+    def disarm_observation(self) -> None:
+        """Stop piggybacking observer samples on run commits."""
+        self._armed = ()
+
+    def observer_sample(self, oid: str, now: float) -> Optional[float]:
+        """One observer's reading at ``now`` (must be the current time).
+
+        Served from the piggyback cache when the final commit of the
+        last run sampled this observer at exactly ``now``; otherwise an
+        explicit ``("sample")`` frame goes to the owning shard, flushing
+        that shard's queued ops first — the serial reap-then-sample
+        ordering around attack bursts.
+        """
+        info = self._observer_slots.get(oid)
+        if info is None:
+            raise SimulationError(f"unknown observer: {oid}")
+        if self._observed_at == now and oid in self._observed:
+            return self._observed[oid]
+        if now != self.clock.now:
+            raise SimulationError(
+                f"observers sample at the current virtual time only:"
+                f" asked {now}, now {self.clock.now}"
+            )
+        shard, slot = info
+        bank = self._next_bank()
+        self._request(
+            shard, ("sample", bank, (oid,), self._take_ops_for(shard))
+        )
+        value = self.plane.read_observer(bank, slot)
+        self.ipc.shm_observer_bytes += 8
+        if self._observed_at != now:
+            self._observed = {}
+            self._observed_at = now
+        self._observed[oid] = value
+        return value
+
+    def observer_degradation(self, oid: str) -> dict:
+        """A shard-resident monitor's degradation summary."""
+        info = self._observer_slots.get(oid)
+        if info is None:
+            raise SimulationError(f"unknown observer: {oid}")
+        return self._request(info[0], ("degradation", oid))
+
+    def billing_meters(self) -> Dict[str, Tuple[int, int]]:
+        """cpuacct meters of every live instance, merged across shards.
+
+        Flushes each shard's queued ops first so meters reflect the same
+        instance state a serial caller would observe.
+        """
+        meters: Dict[str, Tuple[int, int]] = {}
+        n = len(self.conns)
+        for part in self._exchange(
+            [("meters", self._take_ops_for(i)) for i in range(n)]
+        ):
+            meters.update(part)
+        return meters
+
+    def debug_crash_worker(self, idx: int) -> None:
+        """Test hook: make one worker exit abruptly (no reply, no cleanup)."""
+        self._post(idx, ("crash",))
+
+    # -- queries ---------------------------------------------------------
 
     def server_watts(self) -> Dict[int, float]:
         """Current wall watts per global server index (one round trip)."""
-        watts: Dict[int, float] = {}
-        for part in self._broadcast(("watts",)):
-            for i, value in part:
-                watts[i] = value
-        return watts
+        bank = self._next_bank()
+        self._broadcast(("watts", bank))
+        self.ipc.shm_row_bytes += self.plane.row_bytes
+        return {
+            i: self.plane.read_wall(bank, i)
+            for i in range(self.total_servers)
+        }
 
     def breaker_states(self) -> List[BreakerSnapshot]:
         """Rack breaker snapshots in global rack order (one round trip)."""
@@ -674,18 +1091,31 @@ class ParallelFleetEngine:
         return dict(sorted(merged.items()))
 
     def close(self) -> None:
-        """Shut the workers down; the engine is unusable afterwards."""
+        """Shut the workers down; the engine is unusable afterwards.
+
+        Never hangs on a dead or wedged worker: close frames are
+        best-effort, joins are bounded, survivors are terminated then
+        killed, and the shared-memory segment is unlinked in a
+        ``finally`` so no run — clean or crashed — leaks it.
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self.conns:
-            try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self.procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-        for conn in self.conns:
-            conn.close()
+        try:
+            for conn in self.conns:
+                try:
+                    conn.send_bytes(_dumps(("close",)))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self.procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join(timeout=5)
+                    if proc.is_alive():
+                        proc.kill()
+            for conn in self.conns:
+                conn.close()
+        finally:
+            if self.plane is not None:
+                self.plane.unlink()

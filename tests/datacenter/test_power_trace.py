@@ -88,6 +88,76 @@ class TestAveragedPlacement:
         assert avg.watts == [2.0, 5.0]
 
 
+class TestAveragedDowntime:
+    def test_fully_observed_windows_report_zero(self):
+        trace = PowerTrace()
+        for i in range(6):
+            trace.append(float(i), 10.0)
+        avg = trace.averaged(3.0)
+        assert avg.downtime == [0.0, 0.0]
+
+    def test_fractional_downtime_per_window(self):
+        # window 0: 2 samples + 1 missed → 1/3 down; window 1: all seen
+        trace = PowerTrace()
+        trace.append(0.0, 10.0)
+        trace.note_gap(1.0)
+        trace.append(2.0, 20.0)
+        for t in (3.0, 4.0, 5.0):
+            trace.append(t, 30.0)
+        avg = trace.averaged(3.0)
+        assert avg.times == [0.0, 3.0]
+        assert avg.watts == [15.0, 30.0]
+        assert avg.downtime == [pytest.approx(1.0 / 3.0), 0.0]
+
+    def test_gaps_do_not_shrink_the_divisor(self):
+        # the missed sample must not drag the average: 27 live samples
+        # of 100 W with 3 gaps average exactly 100 W at 0.1 downtime
+        trace = PowerTrace()
+        for i in range(30):
+            t = float(i)
+            if i in (5, 6, 7):
+                trace.note_gap(t)
+            else:
+                trace.append(t, 100.0)
+        avg = trace.averaged(30.0)
+        assert avg.watts == [100.0]
+        assert avg.downtime == [pytest.approx(0.1)]
+
+    def test_trailing_gap_only_windows_become_gaps(self):
+        trace = PowerTrace()
+        trace.append(0.0, 10.0)
+        trace.append(1.0, 20.0)
+        for t in (10.0, 11.0, 21.0):
+            trace.note_gap(t)
+        avg = trace.averaged(10.0)
+        assert avg.times == [0.0]
+        assert avg.watts == [15.0]
+        assert avg.gaps == [10.0, 20.0]
+        assert avg.downtime == [0.0]
+
+    def test_interior_gap_only_window_stays_single_marker(self):
+        # a wholly-dark interior window stays one output gap marker even
+        # when several source samples were missed inside it
+        trace = PowerTrace()
+        trace.append(0.0, 10.0)
+        for t in (10.0, 12.0, 14.0):
+            trace.note_gap(t)
+        trace.append(20.0, 30.0)
+        avg = trace.averaged(10.0)
+        assert avg.times == [0.0, 20.0]
+        assert avg.gaps == [10.0]
+        assert avg.downtime == [0.0, 0.0]
+
+    def test_markers_before_first_sample_dropped(self):
+        trace = PowerTrace()
+        trace.note_gap(0.0)
+        trace.append(10.0, 5.0)
+        avg = trace.averaged(10.0)
+        assert avg.times == [10.0]
+        assert avg.gaps == []
+        assert avg.downtime == [0.0]
+
+
 class TestIncrementalStats:
     def test_matches_recompute_after_long_append_sequence(self):
         trace = PowerTrace()

@@ -7,7 +7,8 @@ tolerance: float-for-float equality is the contract (`docs/parallel.md`).
 import pytest
 
 from repro.datacenter.simulation import DatacenterSimulation
-from repro.errors import SimulationError
+from repro.errors import CloudError, SimulationError
+from repro.sim.fastforward import DriverHorizon
 from repro.sim.faults import FaultEvent, FaultKind, FaultSchedule
 
 SEED = 7
@@ -129,14 +130,21 @@ class TestGuards:
         with pytest.raises(SimulationError, match="fresh"):
             sim.run(10.0, parallel=2)
 
-    def test_serial_after_parallel_raises(self):
-        sim = build()
-        sim.run(10.0, parallel=2)
+    def test_later_runs_inherit_parallel_mode(self):
+        # attack strategies call sim.run() bare mid-campaign; those runs
+        # must stay on the worker-held fleet, identical to an explicit
+        # parallel=N continuation
+        explicit = build()
+        explicit.run(10.0, parallel=2)
+        explicit.run(10.0, parallel=2)
+        inherit = build()
+        inherit.run(10.0, parallel=2)
+        inherit.run(10.0)
         try:
-            with pytest.raises(SimulationError, match="parallel"):
-                sim.run(10.0)
+            assert snapshot(explicit) == snapshot(inherit)
         finally:
-            sim.close()
+            explicit.close()
+            inherit.close()
 
     def test_on_tick_rejected_in_parallel(self):
         sim = build()
@@ -152,17 +160,36 @@ class TestGuards:
         finally:
             sim.close()
 
-    def test_launched_instances_block_parallel(self):
+    def test_launches_replay_and_cloud_freezes(self):
+        # instances launched before the first parallel run are replayed
+        # into the shard workers; afterwards the driver-side cloud is
+        # frozen, so a late launch fails loudly instead of diverging
         sim = build()
         sim.cloud.launch_instance("tenant-a")
-        with pytest.raises(SimulationError, match="instances"):
-            sim.run(10.0, parallel=2)
+        sim.run(10.0, parallel=2)
+        try:
+            with pytest.raises(CloudError, match="frozen"):
+                sim.cloud.launch_instance("tenant-a")
+        finally:
+            sim.close()
 
-    def test_attack_horizon_sources_block_parallel(self):
+    def test_bare_horizon_sources_block_parallel(self):
+        # raw callables may close over driver-side host state; only
+        # DriverHorizon-wrapped sources are allowed to cross into
+        # parallel mode
         sim = build()
         sim.horizon_sources.append(lambda now: now + 5.0)
-        with pytest.raises(SimulationError, match="horizon sources"):
+        with pytest.raises(SimulationError, match="horizon source"):
             sim.run(10.0, parallel=2)
+
+    def test_driver_horizon_sources_fold_in_parallel(self):
+        sim = build()
+        sim.horizon_sources.append(DriverHorizon(lambda now: now + 5.0))
+        try:
+            sim.run(10.0, parallel=2, coalesce=True)
+            assert sim.now == 10.0
+        finally:
+            sim.close()
 
 
 class TestSchedulePartition:
