@@ -19,6 +19,7 @@ engine's tick-economy counters and a per-subsystem wall profile.
 from __future__ import annotations
 
 from benchmarks.conftest import write_result
+from repro.analysis.plotting import downtime_summary, render_power_timeline
 from repro.datacenter.simulation import DatacenterSimulation
 
 DAY_S = 86400.0
@@ -82,7 +83,19 @@ def test_fig2(benchmark, results_dir):
         "per-day mean wall power (W): "
         + " ".join(f"{m:.0f}" for m in daily_means),
         "",
+        render_power_timeline(
+            trace30, window_s=3600.0, width=84,
+            label="week timeline (1 h windows)",
+        ),
+        f"  downtime: {downtime_summary(trace30, 3600.0)}"
+        " (benign week: all-zero by construction)",
+        "",
         "fast-forward tick economy:",
         sim.metrics.render(),
     ]
+    # the benign week must not invent downtime: the Figure 2 plot layer
+    # shades only what the fault path actually recorded
+    summary = downtime_summary(trace30, 3600.0)
+    assert summary["dark_windows"] == 0
+    assert summary["downtime_fraction"] == 0.0
     write_result(results_dir, "fig2_power_week", "\n".join(lines))

@@ -1,6 +1,11 @@
-"""Shared numerics: entropy, regression, and trace statistics."""
+"""Shared numerics: entropy, regression, trace statistics, plotting."""
 
 from repro.analysis.entropy import field_entropy, joint_entropy
+from repro.analysis.plotting import (
+    downtime_summary,
+    power_glyphs,
+    render_power_timeline,
+)
 from repro.analysis.regression import LinearModel, fit_linear
 from repro.analysis.traces import correlate, crest_indices, pearson
 
@@ -8,8 +13,11 @@ __all__ = [
     "LinearModel",
     "correlate",
     "crest_indices",
+    "downtime_summary",
     "field_entropy",
     "fit_linear",
     "joint_entropy",
     "pearson",
+    "power_glyphs",
+    "render_power_timeline",
 ]

@@ -1,0 +1,171 @@
+"""ASCII power-timeline rendering for the Figure 2 report layer.
+
+Benchmarks write plain-text reports (``benchmarks/out/``), so the "plot"
+is a Unicode sparkline: one glyph per fixed averaging window, glyph
+height proportional to the window's mean power within the trace's band.
+Windows where the machine was mostly dark — fractional ``downtime``
+above the shading threshold, as computed by
+:meth:`repro.datacenter.simulation.PowerTrace.averaged` — are shaded
+``░`` instead of showing a (meaningless) power level. A *wholly* dark
+window has no samples at all; ``averaged()`` reports it as a gap marker
+and its fractional-downtime bookkeeping drops out, so the renderers here
+work from the source trace and re-bucket its gap markers to tell "down
+the whole hour" (shaded) apart from "nothing was scheduled" (blank).
+This surfaces crash outages directly in the weekly view instead of
+letting the averaging silently interpolate over them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import SimulationError
+
+#: glyph ramp for increasing power within the [trough, peak] band
+BLOCKS = "▁▂▃▄▅▆▇█"
+#: a mostly-dark averaging window (downtime above the threshold)
+DOWNTIME_GLYPH = "░"
+#: an averaging window with neither samples nor missed samples
+EMPTY_GLYPH = " "
+
+#: a window counts as "mostly dark" above this fractional downtime
+DEFAULT_SHADE_THRESHOLD = 0.5
+
+
+def _gap_windows(trace, window_s: float) -> Set[int]:
+    """Window indices of ``trace`` that contain missed-sample markers."""
+    if not trace.times:
+        return set()
+    start = trace.times[0]
+    return {
+        int((g - start) // window_s)
+        for g in trace.gaps
+        if g >= start
+    }
+
+
+def power_glyphs(
+    trace,
+    window_s: float,
+    shade_threshold: float = DEFAULT_SHADE_THRESHOLD,
+) -> List[str]:
+    """One glyph per ``window_s`` averaging window of a power trace.
+
+    ``trace`` is the *source* (sampled) trace; it is resampled with
+    :meth:`PowerTrace.averaged` internally. Windows with samples render
+    a :data:`BLOCKS` ramp glyph — or :data:`DOWNTIME_GLYPH` when their
+    fractional downtime exceeds ``shade_threshold``. Sample-less windows
+    render :data:`DOWNTIME_GLYPH` if the machine was down (the window
+    holds gap markers) and :data:`EMPTY_GLYPH` otherwise.
+    """
+    if not 0.0 < shade_threshold <= 1.0:
+        raise SimulationError(
+            f"shade threshold must be in (0, 1]: {shade_threshold}"
+        )
+    if not len(trace):
+        return []
+    avg = trace.averaged(window_s)
+    dark = _gap_windows(trace, window_s)
+    start = avg.times[0] if avg.times else 0.0
+    lo = avg.trough if len(avg) else 0.0
+    band = (avg.peak - lo) if len(avg) else 0.0
+    downtime = avg.downtime
+    entries = []
+    for i, w in enumerate(avg.watts):
+        if i < len(downtime) and downtime[i] > shade_threshold:
+            glyph = DOWNTIME_GLYPH
+        elif band <= 0:
+            glyph = BLOCKS[-1]
+        else:
+            step = int((w - lo) / band * (len(BLOCKS) - 1) + 0.5)
+            glyph = BLOCKS[step]
+        entries.append((avg.times[i], 0, glyph))
+    # sample-less windows interleave by time; the tiebreak keeps a real
+    # sample at the exact timestamp ahead of a marker there
+    for t in avg.gaps:
+        index = int(round((t - start) / window_s))
+        glyph = DOWNTIME_GLYPH if index in dark else EMPTY_GLYPH
+        entries.append((t, 1, glyph))
+    return [glyph for _, _, glyph in sorted(entries)]
+
+
+def render_power_timeline(
+    trace,
+    window_s: float,
+    width: int = 72,
+    label: str = "power",
+    shade_threshold: float = DEFAULT_SHADE_THRESHOLD,
+) -> str:
+    """Multi-line sparkline report of a power trace.
+
+    The trace is resampled at ``window_s``, rendered as rows of at most
+    ``width`` glyphs, and captioned with the band and the downtime
+    share. Works on gapped traces; an empty trace renders a one-line
+    note.
+    """
+    if width < 1:
+        raise SimulationError(f"width must be >= 1: {width}")
+    if not len(trace):
+        return f"{label}: (no samples recorded)"
+    glyphs = power_glyphs(trace, window_s, shade_threshold=shade_threshold)
+    rows = [
+        "".join(glyphs[i : i + width]) for i in range(0, len(glyphs), width)
+    ]
+    avg = trace.averaged(window_s)
+    summary = downtime_summary(trace, window_s, shade_threshold)
+    caption = (
+        f"{label}: {len(glyphs)} x {window_s:.0f}s windows, band "
+        f"{avg.trough:.0f}-{avg.peak:.0f} W"
+    )
+    if summary["downtime_fraction"] > 0.0 or avg.gaps:
+        caption += (
+            f"  [downtime: {summary['dark_windows']} dark"
+            f" ('{DOWNTIME_GLYPH}'), {summary['partial_windows']} partial,"
+            f" fraction {summary['downtime_fraction']:.3f}]"
+        )
+    return "\n".join([caption] + rows)
+
+
+def downtime_summary(
+    trace,
+    window_s: float,
+    shade_threshold: float = DEFAULT_SHADE_THRESHOLD,
+) -> dict:
+    """Aggregate downtime statistics over ``window_s`` averaging windows.
+
+    Returns ``windows`` (total rendered windows, sampled plus empty),
+    ``dark_windows`` (mostly-dark: fractional downtime above
+    ``shade_threshold``, or sample-less with missed-sample markers),
+    ``partial_windows`` (some downtime, below the threshold), and
+    ``downtime_fraction`` (mean fractional downtime across all windows,
+    counting wholly-dark ones as 1.0; exactly 0.0 for a fault-free
+    trace).
+    """
+    if not len(trace):
+        return {
+            "windows": 0,
+            "dark_windows": 0,
+            "partial_windows": 0,
+            "downtime_fraction": 0.0,
+        }
+    avg = trace.averaged(window_s)
+    dark_indices = _gap_windows(trace, window_s)
+    start = avg.times[0] if avg.times else 0.0
+    wholly_dark = sum(
+        1
+        for t in avg.gaps
+        if int(round((t - start) / window_s)) in dark_indices
+    )
+    downtime = avg.downtime
+    total = len(avg) + len(avg.gaps)
+    return {
+        "windows": total,
+        "dark_windows": wholly_dark
+        + sum(1 for d in downtime if d > shade_threshold),
+        "partial_windows": sum(
+            1 for d in downtime if 0.0 < d <= shade_threshold
+        ),
+        "downtime_fraction": (
+            (sum(downtime) + wholly_dark) / total if total else 0.0
+        ),
+    }

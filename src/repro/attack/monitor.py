@@ -176,6 +176,14 @@ class ShardMonitorHandle:
         """The shard-resident monitor's degradation summary."""
         return self.engine.observer_degradation(self.observer_id)
 
+    def release(self) -> None:
+        """Tear down the worker-side monitor and free its observer slot.
+
+        The slot returns to the engine's free list for the next campaign;
+        the handle is dead afterwards (sampling it raises in the worker).
+        """
+        self.engine.release_observer(self.observer_id)
+
 
 @dataclass
 class CrestDetector:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.attack.monitor import CrestDetector, RaplPowerMonitor, ShardMonitorHandle
@@ -82,6 +83,18 @@ class _StrategyBase:
         """Absolute virtual time of the strategy's next decision point."""
         return max(self._next_event, now)
 
+    def _trace(self):
+        """The sim's tracer when tracing is live, else ``None``.
+
+        Attack spans land on the ``attack`` track and carry sim-time
+        intervals only, so serial and parallel campaigns (bit-identical
+        by the golden contract) emit identical span timelines.
+        """
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None
+
     def _check_mode(self) -> None:
         if self._par is not self.sim._parallel:
             raise AttackError(
@@ -135,16 +148,28 @@ class ContinuousAttack(_StrategyBase):
         breaker-knee guard keeps overloaded stretches at base ``dt``.
         """
         self._check_mode()
+        tracer = self._trace()
         start = self.sim.now
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
         elapsed = 0.0
         while elapsed < duration_s:
+            if tracer is not None:
+                b_t0, b_w0 = self.sim.now, perf_counter()
             self._burst()
             outcome.trials += 1
             window = min(self.burst_s, duration_s - elapsed)
             self._next_event = self.sim.now + window
             self.sim.run(window, dt=dt, coalesce=coalesce)
             self._reap()
+            if tracer is not None:
+                tracer.add_span(
+                    "attack.burst",
+                    b_t0,
+                    self.sim.now,
+                    perf_counter() - b_w0,
+                    track="attack",
+                    trial=outcome.trials,
+                )
             elapsed = self.sim.now - start
         self._next_event = math.inf
         return self._finish(outcome, start)
@@ -171,10 +196,13 @@ class PeriodicAttack(_StrategyBase):
         base ``dt`` via the breaker-knee guard.
         """
         self._check_mode()
+        tracer = self._trace()
         start = self.sim.now
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
         elapsed = 0.0
         while elapsed < duration_s:
+            if tracer is not None:
+                b_t0, b_w0 = self.sim.now, perf_counter()
             self._burst()
             outcome.trials += 1
             self._next_event = self.sim.now + self.burst_s
@@ -185,6 +213,16 @@ class PeriodicAttack(_StrategyBase):
             if len(spike):
                 outcome.spike_watts.append(spike.peak)
             self._reap()
+            if tracer is not None:
+                tracer.add_span(
+                    "attack.burst",
+                    b_t0,
+                    self.sim.now,
+                    perf_counter() - b_w0,
+                    track="attack",
+                    trial=outcome.trials,
+                    spike=spike.peak if len(spike) else 0.0,
+                )
             idle = min(self.period_s - self.burst_s, duration_s - (self.sim.now - start))
             if idle > 0:
                 self._next_event = self.sim.now + idle
@@ -293,6 +331,7 @@ class SynergisticAttack(_StrategyBase):
         queued reap first, preserving the serial reap-then-sample order.
         """
         self._check_mode()
+        tracer = self._trace()
         par = self._par
         observer_ids = (
             tuple(handle.observer_id for handle in self.monitors.values())
@@ -301,8 +340,21 @@ class SynergisticAttack(_StrategyBase):
         )
         start = self.sim.now
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
+        if tracer is not None and self.learn_s > 0:
+            # the Section IV-A learning phase is a fixed sim-time window
+            # known up front; record it as one recon span
+            tracer.add_span(
+                "attack.recon",
+                start,
+                start + min(self.learn_s, duration_s),
+                0.0,
+                track="attack",
+                learn_s=self.learn_s,
+            )
         last_burst = -1e18
         while self.sim.now - start < duration_s:
+            if tracer is not None:
+                m_t0, m_w0 = self.sim.now, perf_counter()
             self._next_event = self.sim.now + dt
             if par is not None:
                 par.arm_observation(observer_ids)
@@ -311,6 +363,15 @@ class SynergisticAttack(_StrategyBase):
                 par.disarm_observation()
             aggregate = self._aggregate_sample()
             is_crest = aggregate is not None and self.detector.observe(aggregate)
+            if tracer is not None:
+                tracer.add_span(
+                    "attack.monitor",
+                    m_t0,
+                    self.sim.now,
+                    perf_counter() - m_w0,
+                    track="attack",
+                    crest=is_crest,
+                )
             armed = self.sim.now - start >= self.learn_s
             trials_left = (
                 self.max_trials is None or outcome.trials < self.max_trials
@@ -321,6 +382,8 @@ class SynergisticAttack(_StrategyBase):
                 and trials_left
                 and self.sim.now - last_burst >= self.cooldown_s
             ):
+                if tracer is not None:
+                    b_t0, b_w0 = self.sim.now, perf_counter()
                 self._burst()
                 outcome.trials += 1
                 last_burst = self.sim.now
@@ -335,5 +398,32 @@ class SynergisticAttack(_StrategyBase):
                 # re-prime monitors: our own burst polluted the series
                 for monitor in self.monitors.values():
                     monitor.sample(self.sim.now)
+                if tracer is not None:
+                    tracer.add_span(
+                        "attack.burst",
+                        b_t0,
+                        self.sim.now,
+                        perf_counter() - b_w0,
+                        track="attack",
+                        trial=outcome.trials,
+                        spike=spike.peak if len(spike) else 0.0,
+                    )
         self._next_event = math.inf
         return self._finish(outcome, start)
+
+    def release_monitors(self) -> None:
+        """Retire this campaign's monitors and reclaim their resources.
+
+        In parallel mode every shard-resident monitor is torn down and
+        its telemetry-plane observer slot returns to the engine's free
+        list, so rotating campaigns (new strategy per epoch over fresh
+        instances) recycle a bounded slot pool instead of exhausting the
+        ``max(16, 2*S)`` observer capacity. Serial monitors are simply
+        dropped. The strategy cannot sample after this; call it once the
+        campaign (and any degradation reporting) is finished.
+        """
+        for monitor in self.monitors.values():
+            release = getattr(monitor, "release", None)
+            if release is not None:
+                release()
+        self.monitors = {}

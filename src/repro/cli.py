@@ -11,6 +11,11 @@ Subcommands mirror the workflow of the paper's figures:
   across worker processes (``--parallel``).
 - ``repro defend``   — train the model, install the namespace, report
   transparency and accuracy (Figures 8/9, abridged).
+- ``repro trace``    — re-run ``fleet``/``attack``/``defend`` with span
+  tracing enabled and export a Chrome ``trace_event`` timeline
+  (``docs/observability.md``).
+- ``repro metrics``  — run a short fleet simulation and dump the unified
+  metric registry.
 
 Run via ``python -m repro <subcommand>`` or the ``containerleaks``
 console script.
@@ -21,6 +26,25 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _export_trace(tracer, args: argparse.Namespace) -> None:
+    """Write the merged timeline to the formats the user asked for."""
+    from repro.obs.export import to_chrome_trace, to_jsonl
+
+    events = tracer.timeline()
+    count = to_chrome_trace(events, args.trace_out)
+    print(f"trace: {count} events -> {args.trace_out}")
+    jsonl = getattr(args, "trace_jsonl", None)
+    if jsonl:
+        n = to_jsonl(events, jsonl)
+        print(f"trace: {n} events -> {jsonl} (jsonl)")
+    if tracer.dropped:
+        print(
+            f"trace: ring buffer dropped {tracer.dropped} events"
+            " (raise capacity)",
+            file=sys.stderr,
+        )
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
@@ -100,12 +124,15 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         base_cores=1.0, peak_cores=1.5, bursts_per_day=200.0,
         burst_cores=5.0, burst_duration_s=45.0, noise=0.05,
     )
+    trace_out = getattr(args, "trace_out", None)
 
-    def setup():
+    def setup(trace=False):
         sim = DatacenterSimulation(
             servers=args.servers, seed=args.seed, sample_interval_s=1.0,
             tenant_profile=tenants,
         )
+        if trace:
+            sim.enable_tracing()
         instances, covered = [], set()
         while len(covered) < args.servers:
             inst = sim.cloud.launch_instance("attacker")
@@ -122,7 +149,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
     mode = f" (parallel x{args.parallel})" if args.parallel else ""
     print(f"running synergistic attack on {args.servers} servers{mode}...")
-    sim_s, inst_s = setup()
+    sim_s, inst_s = setup(trace=bool(trace_out))
     try:
         syn = SynergisticAttack(
             sim_s, inst_s, burst_s=30.0, cooldown_s=300.0, max_trials=2,
@@ -131,6 +158,8 @@ def _cmd_attack(args: argparse.Namespace) -> int:
                 window=2000, threshold_fraction=0.85, min_band_watts=15.0
             ),
         ).run(args.duration)
+        if trace_out:
+            _export_trace(sim_s.tracer, args)
     finally:
         sim_s.close()
     print("running periodic baseline...")
@@ -167,6 +196,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
         sample_interval_s=args.sample_interval,
     )
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        sim.enable_tracing()
     if args.faults:
         sim.install_faults(
             FaultSchedule.standard(
@@ -205,6 +237,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             )
             print(f"faults injected: {injected}  "
                   f"trace gaps: {report['trace-gap-samples']}")
+        if trace_out:
+            _export_trace(sim.tracer, args)
     finally:
         sim.close()
     return 0
@@ -219,8 +253,19 @@ def _cmd_defend(args: argparse.Namespace) -> int:
     from repro.runtime.engine import ContainerEngine
 
     print("training the Formula 2 power model...")
-    harness = TrainingHarness(seed=args.seed, window_s=5.0,
-                              windows_per_benchmark=8)
+    trace_out = getattr(args, "trace_out", None)
+    tracer = None
+    harness_kwargs = dict(seed=args.seed, window_s=5.0,
+                          windows_per_benchmark=8)
+    if trace_out:
+        from repro.obs.tracer import SpanTracer
+
+        training_machine = Machine(seed=args.seed)
+        tracer = SpanTracer(
+            now_fn=lambda: training_machine.clock.now, track="defense"
+        )
+        harness_kwargs.update(machine=training_machine, tracer=tracer)
+    harness = TrainingHarness(**harness_kwargs)
     harness.run_all()
     model = PowerModeler(form="paper").fit(harness)
     print(f"  core R^2={model.core_model.r_squared:.4f} "
@@ -244,7 +289,69 @@ def _cmd_defend(args: argparse.Namespace) -> int:
     xi = abs(e_rapl - e_container) / e_rapl
     print(f"accuracy: host {e_rapl:.0f} J vs container {e_container:.0f} J "
           f"-> xi={xi:.4f} (paper bound 0.05)")
+    if trace_out:
+        _export_trace(tracer, args)
     return 0 if xi < 0.05 else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.datacenter.simulation import DatacenterSimulation
+
+    sim = DatacenterSimulation(
+        servers=args.servers, seed=args.seed, sample_interval_s=1.0
+    )
+    sim.enable_subsystem_timings()
+    try:
+        sim.run(args.duration, dt=1.0, coalesce=args.coalesce)
+    finally:
+        sim.close()
+    if args.json:
+        import json
+
+        print(json.dumps(sim.metrics.registry.snapshot(), indent=2,
+                         sort_keys=True))
+    else:
+        print(sim.metrics.registry.render())
+    return 0
+
+
+def _add_attack_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--servers", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=1200.0,
+                        help="attack window in simulated seconds")
+    parser.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="rack-shard the fleet across N spawn worker"
+                             " processes with shard-resident attacker"
+                             " monitors (0 = serial; docs/parallel.md)")
+
+
+def _add_fleet_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--servers", type=int, default=8)
+    parser.add_argument("--rack-size", type=int, default=8,
+                        help="servers per rack (one breaker each)")
+    parser.add_argument("--duration", type=float, default=3600.0,
+                        help="virtual seconds to simulate")
+    parser.add_argument("--dt", type=float, default=1.0,
+                        help="base tick in virtual seconds")
+    parser.add_argument("--sample-interval", type=float, default=1.0,
+                        help="trace sampling interval in virtual seconds")
+    parser.add_argument("--coalesce", action="store_true",
+                        help="enable tick coalescing (docs/fastforward.md)")
+    parser.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="rack-shard across N spawn worker processes"
+                             " (0 = serial; docs/parallel.md)")
+    parser.add_argument("--faults", action="store_true",
+                        help="install the standard chaos fault schedule")
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", dest="trace_out", default="trace.json",
+                        metavar="PATH",
+                        help="Chrome trace_event output file"
+                             " (open in chrome://tracing or Perfetto)")
+    parser.add_argument("--jsonl", dest="trace_jsonl", default=None,
+                        metavar="PATH",
+                        help="also export the merged timeline as JSONL")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,38 +385,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_attack = sub.add_parser("attack", parents=[common],
                               help="synergistic vs periodic comparison")
-    p_attack.add_argument("--servers", type=int, default=4)
-    p_attack.add_argument("--duration", type=float, default=1200.0,
-                          help="attack window in simulated seconds")
-    p_attack.add_argument("--parallel", type=int, default=0, metavar="N",
-                          help="rack-shard the fleet across N spawn worker"
-                               " processes with shard-resident attacker"
-                               " monitors (0 = serial; docs/parallel.md)")
+    _add_attack_args(p_attack)
     p_attack.set_defaults(func=_cmd_attack)
 
     p_fleet = sub.add_parser("fleet", parents=[common],
                              help="run the datacenter fleet simulation")
-    p_fleet.add_argument("--servers", type=int, default=8)
-    p_fleet.add_argument("--rack-size", type=int, default=8,
-                         help="servers per rack (one breaker each)")
-    p_fleet.add_argument("--duration", type=float, default=3600.0,
-                         help="virtual seconds to simulate")
-    p_fleet.add_argument("--dt", type=float, default=1.0,
-                         help="base tick in virtual seconds")
-    p_fleet.add_argument("--sample-interval", type=float, default=1.0,
-                         help="trace sampling interval in virtual seconds")
-    p_fleet.add_argument("--coalesce", action="store_true",
-                         help="enable tick coalescing (docs/fastforward.md)")
-    p_fleet.add_argument("--parallel", type=int, default=0, metavar="N",
-                         help="rack-shard across N spawn worker processes"
-                              " (0 = serial; docs/parallel.md)")
-    p_fleet.add_argument("--faults", action="store_true",
-                         help="install the standard chaos fault schedule")
+    _add_fleet_args(p_fleet)
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_defend = sub.add_parser("defend", parents=[common],
                               help="train + install the power namespace")
     p_defend.set_defaults(func=_cmd_defend)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a subcommand with span tracing and export the timeline",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    t_fleet = trace_sub.add_parser("fleet", parents=[common],
+                                   help="traced fleet simulation")
+    _add_fleet_args(t_fleet)
+    _add_trace_args(t_fleet)
+    t_fleet.set_defaults(func=_cmd_fleet)
+    t_attack = trace_sub.add_parser("attack", parents=[common],
+                                    help="traced synergistic attack")
+    _add_attack_args(t_attack)
+    _add_trace_args(t_attack)
+    t_attack.set_defaults(func=_cmd_attack)
+    t_defend = trace_sub.add_parser("defend", parents=[common],
+                                    help="traced defense training")
+    _add_trace_args(t_defend)
+    t_defend.set_defaults(func=_cmd_defend)
+
+    p_metrics = sub.add_parser(
+        "metrics", parents=[common],
+        help="run a short fleet sim and dump the metric registry",
+    )
+    p_metrics.add_argument("--servers", type=int, default=4)
+    p_metrics.add_argument("--duration", type=float, default=600.0,
+                           help="virtual seconds to simulate")
+    p_metrics.add_argument("--coalesce", action="store_true",
+                           help="enable tick coalescing")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="emit the registry snapshot as JSON")
+    p_metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 

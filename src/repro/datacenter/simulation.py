@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.datacenter.breaker import CircuitBreaker
 from repro.datacenter.tenants import DiurnalProfile, DiurnalTenantDriver
 from repro.datacenter.topology import Rack, ServerPowerConfig, WallPowerCache
 from repro.errors import SimulationError
+from repro.obs.tracer import SpanTracer
 from repro.runtime.cloud import ContainerCloud, PROVIDER_PROFILES, ProviderProfile
 from repro.sim.fastforward import FastForwardEngine
 from repro.sim.faults import FaultInjector, FaultSchedule
@@ -279,6 +281,9 @@ class DatacenterSimulation:
         #: deterministic fault replay (``None`` = perfect substrate)
         self.fault_injector: Optional[FaultInjector] = None
 
+        #: opt-in span tracer (``None`` until :meth:`enable_tracing`)
+        self.tracer: Optional[SpanTracer] = None
+
         self._start_time = self.cloud.clock.now
 
     def install_faults(
@@ -307,9 +312,33 @@ class DatacenterSimulation:
             engines=[h.engine for h in self.cloud.hosts],
             racks=self.racks,
         )
+        injector.tracer = self.tracer
         self.fault_injector = injector
         self.horizon_sources.append(injector.next_barrier)
         return injector
+
+    def enable_tracing(self, capacity: int = 65536) -> SpanTracer:
+        """Attach an opt-in span tracer recording a clock-aligned timeline.
+
+        Must be called before the first parallel run: shard workers build
+        their own ring buffers at startup and flush them to the driver at
+        every barrier. Spans land on the ``driver`` track, fault events
+        as instants on ``fault``; the parallel engine adds ``barrier``
+        and per-shard tracks. Idempotent — repeated calls return the
+        existing tracer. See ``docs/observability.md``.
+        """
+        if self._parallel is not None:
+            raise SimulationError(
+                "enable tracing before the first parallel run: shard"
+                " workers install their tracers at startup"
+            )
+        if self.tracer is None:
+            self.tracer = SpanTracer(
+                now_fn=lambda: self.now, track="driver", capacity=capacity
+            )
+            if self.fault_injector is not None:
+                self.fault_injector.tracer = self.tracer
+        return self.tracer
 
     # ------------------------------------------------------------------
 
@@ -359,7 +388,9 @@ class DatacenterSimulation:
 
     def enable_subsystem_timings(self) -> SubsystemTimings:
         """Profile wall time per kernel subsystem across the whole fleet."""
-        timings = self.metrics.subsystem_timings or SubsystemTimings()
+        timings = self.metrics.subsystem_timings or SubsystemTimings(
+            registry=self.metrics.registry
+        )
         self.metrics.subsystem_timings = timings
         for host in self.cloud.hosts:
             host.kernel.timings = timings
@@ -472,12 +503,18 @@ class DatacenterSimulation:
             return
         engine = self.fastforward
         injector = self.fault_injector
+        tracer = self.tracer
+        trace_on = tracer is not None and tracer.enabled
+        if trace_on:
+            run_t0, run_w0 = self.now, perf_counter()
         with WallTimer(self.metrics):
             if injector is not None and injector.advance(self.now):
                 engine.stability.reset()
             self._catch_up_samples()
             remaining = seconds
             while remaining > 1e-9:
+                if trace_on:
+                    tick_t0, tick_w0 = self.now, perf_counter()
                 dark = self._dark_indices()
                 step = min(dt, remaining)
                 for i, tenant in enumerate(self.tenants):
@@ -507,7 +544,25 @@ class DatacenterSimulation:
                 self.metrics.record_tick(step, dt)
                 if on_tick is not None:
                     on_tick(self)
+                if trace_on:
+                    tracer.add_span(
+                        "fleet.tick",
+                        tick_t0,
+                        self.now,
+                        perf_counter() - tick_w0,
+                        step=step,
+                    )
                 remaining -= step
+        if trace_on:
+            tracer.add_span(
+                "fleet.run",
+                run_t0,
+                self.now,
+                perf_counter() - run_w0,
+                seconds=seconds,
+                dt=dt,
+                coalesce=coalesce,
+            )
 
     def _catch_up_samples(self) -> None:
         """Record every sample that is due at or before the current time.

@@ -18,6 +18,7 @@ calibration step earn its keep.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from repro.analysis.regression import LinearModel, fit_linear, polynomial_features
@@ -102,10 +103,15 @@ class TrainingHarness:
         machine: Optional[Machine] = None,
         sensor_retries: int = 6,
         max_plausible_watts: float = 2000.0,
+        tracer=None,
     ):
         self.window_s = window_s
         self.windows_per_benchmark = windows_per_benchmark
         self.machine = machine or Machine(seed=seed)
+        #: optional :class:`repro.obs.SpanTracer`; when enabled the harness
+        #: records defense.idle / defense.benchmark spans on the "defense"
+        #: track using this machine's virtual clock for sim-time
+        self.tracer = tracer
         #: retries per RAPL read before giving up (each waits out virtual
         #: time, doubling, so a transient drop window usually clears)
         self.sensor_retries = sensor_retries
@@ -124,6 +130,12 @@ class TrainingHarness:
         self._measure_idle()
 
     # ------------------------------------------------------------------
+
+    def _trace(self):
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None
 
     def _read_domain_uj(self, domain) -> int:
         """One driver-path RAPL read, waiting out transient faults.
@@ -165,6 +177,9 @@ class TrainingHarness:
         return 0.0 < watts <= self.max_plausible_watts
 
     def _measure_idle(self, seconds: float = 30.0, attempts: int = 3) -> None:
+        tracer = self._trace()
+        if tracer is not None:
+            i_t0, i_w0 = self.machine.clock.now, perf_counter()
         for _ in range(attempts):
             marks = self._rapl_marks()
             self.machine.run(seconds, dt=1.0)
@@ -180,9 +195,21 @@ class TrainingHarness:
         self.idle_core_watts = core_j / seconds
         self.idle_dram_watts = dram_j / seconds
         self.collector.collect_host()  # reset the host perf mark
+        if tracer is not None:
+            tracer.add_span(
+                "defense.idle",
+                i_t0,
+                self.machine.clock.now,
+                perf_counter() - i_w0,
+                track="defense",
+                idle_watts=self.idle_core_watts + self.idle_dram_watts,
+            )
 
     def run_benchmark(self, profile: BenchmarkProfile, cores: int = 4) -> List[WindowSample]:
         """Run one benchmark and collect its training windows."""
+        tracer = self._trace()
+        if tracer is not None:
+            b_t0, b_w0 = self.machine.clock.now, perf_counter()
         kernel = self.machine.kernel
         tasks = [
             kernel.spawn(f"{profile.name}-{i}", workload=profile.workload())
@@ -224,6 +251,17 @@ class TrainingHarness:
         self.collector.collect_host()
         self.samples.extend(collected)
         self.samples_by_benchmark.setdefault(profile.name, []).extend(collected)
+        if tracer is not None:
+            tracer.add_span(
+                "defense.benchmark",
+                b_t0,
+                self.machine.clock.now,
+                perf_counter() - b_w0,
+                track="defense",
+                benchmark=profile.name,
+                cores=cores,
+                windows=len(collected),
+            )
         return collected
 
     def run_all(

@@ -1,0 +1,42 @@
+"""Unified observability for the simulator: metrics + span tracing.
+
+``repro.obs`` is the substrate underneath the ad-hoc instrumentation
+classes (``SimMetrics``/``IpcMetrics``/``SubsystemTimings``, now thin
+facades over :class:`MetricRegistry` instruments) and the cross-process
+span tracer that turns a sharded fleet run into one clock-aligned
+timeline exportable as JSONL or Chrome ``trace_event`` JSON.
+
+See ``docs/observability.md`` for the instrument taxonomy, span naming
+conventions, and exporter formats.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.tracer import (
+    INSTANT,
+    SPAN,
+    NULL_SPAN,
+    SpanTracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "SpanTracer",
+    "TraceEvent",
+    "SPAN",
+    "INSTANT",
+    "NULL_SPAN",
+    "chrome_trace",
+    "to_chrome_trace",
+    "to_jsonl",
+    "validate_chrome_trace",
+]

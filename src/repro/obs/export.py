@@ -1,0 +1,181 @@
+"""Trace exporters: JSONL event log and Chrome ``trace_event`` JSON.
+
+The Chrome format (the "JSON Array/Object Format" consumed by
+``chrome://tracing`` and Perfetto) maps our model directly: complete
+spans become phase-``X`` events, instants phase-``i``, and each track
+(driver, barrier, fault, attack, defense, ``shard-N``) becomes one named
+thread via phase-``M`` metadata. Timestamps are **virtual-clock
+microseconds** (``ts = t0 * 1e6``) so the viewer's ruler reads simulated
+time; per-process wall cost rides in ``args.wall_ms``.
+
+Track->tid assignment is fixed (not discovery-ordered) so a serial and a
+parallel run of the same campaign export byte-comparable events on the
+mode-independent tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.obs.tracer import INSTANT, SPAN, TraceEvent
+
+#: emitted pid for all tracks (one logical process: the simulation)
+TRACE_PID = 1
+
+#: fixed track -> tid map; shard tracks hash as 10 + shard index
+_FIXED_TIDS = {
+    "driver": 0,
+    "barrier": 1,
+    "fault": 2,
+    "attack": 3,
+    "defense": 4,
+}
+_SHARD_TID_BASE = 10
+
+
+def track_tid(track: str) -> int:
+    """Deterministic thread id for a track name."""
+    tid = _FIXED_TIDS.get(track)
+    if tid is not None:
+        return tid
+    if track.startswith("shard-"):
+        try:
+            return _SHARD_TID_BASE + int(track[len("shard-") :])
+        except ValueError:
+            pass
+    # unknown tracks get a stable id from the name itself
+    return _SHARD_TID_BASE + 1000 + sum(track.encode())
+
+
+def to_jsonl(events: Iterable[TraceEvent], path) -> int:
+    """Write one JSON object per event; returns the event count."""
+    n = 0
+    with open(path, "w") as fh:
+        for e in events:
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": e.kind,
+                        "name": e.name,
+                        "track": e.track,
+                        "t0": e.t0,
+                        "t1": e.t1,
+                        "wall_s": e.wall_s,
+                        "attrs": dict(e.attrs),
+                    },
+                    sort_keys=True,
+                )
+            )
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """Build the Chrome ``trace_event`` JSON object for ``events``."""
+    out: List[Dict[str, object]] = []
+    tracks: Dict[str, int] = {}
+    for e in events:
+        tid = tracks.get(e.track)
+        if tid is None:
+            tid = tracks[e.track] = track_tid(e.track)
+        args = dict(e.attrs)
+        record: Dict[str, object] = {
+            "name": e.name,
+            "cat": e.track,
+            "pid": TRACE_PID,
+            "tid": tid,
+            "ts": e.t0 * 1e6,
+        }
+        if e.kind == SPAN:
+            record["ph"] = "X"
+            record["dur"] = (e.t1 - e.t0) * 1e6
+            args["wall_ms"] = e.wall_s * 1e3
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        if args:
+            record["args"] = args
+        out.append(record)
+    meta = []
+    for track, tid in sorted(tracks.items(), key=lambda kv: kv[1]):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        meta.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+
+
+def to_chrome_trace(events: Iterable[TraceEvent], path) -> int:
+    """Write Chrome trace JSON; returns the non-metadata event count."""
+    data = chrome_trace(events)
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+        fh.write("\n")
+    return sum(1 for e in data["traceEvents"] if e["ph"] != "M")
+
+
+def validate_chrome_trace(data: object) -> Dict[str, int]:
+    """Schema-check a Chrome trace object; raises ``ValueError``.
+
+    Returns summary counts (spans/instants/metadata/tracks) on success.
+    Used by ``python -m repro.obs.validate`` in the CI trace-smoke job.
+    """
+
+    def fail(i, msg):
+        raise ValueError(f"traceEvents[{i}]: {msg}")
+
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("not a Chrome trace: missing top-level traceEvents")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    counts = {"spans": 0, "instants": 0, "metadata": 0}
+    tids = set()
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(i, "event is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(i, f"missing required key {key!r}")
+        ph = e["ph"]
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(e.get(key), (int, float)):
+                    fail(i, f"span missing numeric {key!r}")
+            if e["dur"] < 0:
+                fail(i, f"negative span duration {e['dur']}")
+            counts["spans"] += 1
+            tids.add(e["tid"])
+        elif ph == "i":
+            if not isinstance(e.get("ts"), (int, float)):
+                fail(i, "instant missing numeric 'ts'")
+            if e.get("s") not in ("t", "p", "g"):
+                fail(i, f"instant has invalid scope {e.get('s')!r}")
+            counts["instants"] += 1
+            tids.add(e["tid"])
+        elif ph == "M":
+            if not isinstance(e.get("args"), dict):
+                fail(i, "metadata event missing args")
+            counts["metadata"] += 1
+        else:
+            fail(i, f"unsupported phase {ph!r}")
+    if counts["spans"] + counts["instants"] == 0:
+        raise ValueError("trace contains no span or instant events")
+    counts["tracks"] = len(tids)
+    return counts

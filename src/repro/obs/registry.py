@@ -1,0 +1,230 @@
+"""Typed metric instruments behind one process-local registry.
+
+The registry is the single source of truth for numeric instrumentation:
+monotonic :class:`Counter` totals, last-value :class:`Gauge` readings,
+and fixed-bucket :class:`Histogram` distributions. Instruments are
+identified by ``(name, labels)`` so one name can fan out over label sets
+(``subsystem.wall_s{subsystem=scheduler}``) while queries and exports see
+one coherent namespace.
+
+Hot-path economics drive the design: ``counter()`` is a get-or-create
+you call once at wiring time, after which updates are plain attribute
+arithmetic on the returned instrument (``c.value += 1`` — exactly what
+the pre-registry dataclass fields cost). Nothing here locks; a registry
+belongs to one process, and cross-process aggregation happens at the
+facade layer (``IpcMetrics`` et al.) like before.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, object], ...]
+
+#: default histogram bucket upper bounds (seconds-flavoured, generic)
+DEFAULT_BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+def qualify(name: str, labels: LabelKey) -> str:
+    """Render ``name{k=v,...}`` for display and export keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Instrument:
+    """Common identity for registry instruments."""
+
+    kind = "instrument"
+    __slots__ = ("name", "description", "labels")
+
+    def __init__(self, name: str, description: str, labels: LabelKey):
+        self.name = name
+        self.description = description
+        self.labels = labels
+
+    @property
+    def qualified_name(self) -> str:
+        return qualify(self.name, self.labels)
+
+
+class Counter(Instrument):
+    """A monotonically accumulated total (int or float).
+
+    ``value`` is a plain attribute on purpose: hot loops bump it with
+    ``c.value += n`` at dataclass-field cost. ``inc`` is the readable
+    spelling for cold paths.
+    """
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, description: str, labels: LabelKey):
+        super().__init__(name, description, labels)
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+
+class Gauge(Instrument):
+    """A last-written point-in-time value."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, description: str, labels: LabelKey):
+        super().__init__(name, description, labels)
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram(Instrument):
+    """A fixed-bucket distribution with running count/sum/min/max.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in the implicit overflow bucket. Bucket placement is a
+    single ``bisect`` — cheap enough for per-tick observation.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        labels: LabelKey,
+        bounds: Tuple[float, ...] = DEFAULT_BOUNDS,
+    ):
+        super().__init__(name, description, labels)
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricRegistry:
+    """Process-local instrument store with get-or-create semantics.
+
+    Re-requesting an instrument with the same ``(name, labels)`` returns
+    the existing one; requesting it as a different kind raises, so two
+    subsystems cannot silently alias a counter as a gauge.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, description: str, labels, **kwargs):
+        key = (name, _label_key(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"instrument {qualify(*key)!r} already registered as"
+                    f" {existing.kind}, requested as {cls.kind}"
+                )
+            return existing
+        instrument = cls(name, description, key[1], **kwargs)
+        self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, description: str = "", **labels) -> Counter:
+        return self._get_or_create(Counter, name, description, labels)
+
+    def gauge(self, name: str, description: str = "", **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, description, labels)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        bounds: Tuple[float, ...] = DEFAULT_BOUNDS,
+        **labels,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, description, labels, bounds=bounds
+        )
+
+    def instruments(self) -> Iterable[Instrument]:
+        """All instruments, sorted by qualified name (stable output)."""
+        return sorted(
+            self._instruments.values(), key=lambda i: i.qualified_name
+        )
+
+    def get(self, name: str, **labels) -> Optional[Instrument]:
+        return self._instruments.get((name, _label_key(labels)))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Qualified name -> value (histograms as summary dicts)."""
+        out: Dict[str, object] = {}
+        for inst in self.instruments():
+            if isinstance(inst, Histogram):
+                out[inst.qualified_name] = {
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "min": inst.min if inst.count else None,
+                    "max": inst.max if inst.count else None,
+                    "mean": inst.mean,
+                    "buckets": {
+                        (f"le_{b}" if i < len(inst.bounds) else "overflow"): n
+                        for i, (b, n) in enumerate(
+                            zip(
+                                list(inst.bounds) + [None],
+                                inst.bucket_counts,
+                            )
+                        )
+                    },
+                }
+            else:
+                out[inst.qualified_name] = inst.value
+        return out
+
+    def render(self) -> str:
+        """Human-readable table of every instrument's current value."""
+        insts = list(self.instruments())
+        if not insts:
+            return "(no instruments registered)"
+        lines = []
+        width = max(len(i.qualified_name) for i in insts)
+        for inst in insts:
+            if isinstance(inst, Histogram):
+                if inst.count:
+                    value = (
+                        f"count {inst.count}  sum {inst.sum:.6g}"
+                        f"  mean {inst.mean:.6g}"
+                        f"  min {inst.min:.6g}  max {inst.max:.6g}"
+                    )
+                else:
+                    value = "count 0"
+            elif isinstance(inst.value, float):
+                value = f"{inst.value:.6g}"
+            else:
+                value = str(inst.value)
+            lines.append(
+                f"{inst.qualified_name:<{width}}  [{inst.kind}] {value}"
+            )
+        return "\n".join(lines)

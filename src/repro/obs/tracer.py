@@ -1,0 +1,240 @@
+"""Low-overhead span tracing over simulated and wall time.
+
+Every participating process (the driver, each shard worker) owns one
+:class:`SpanTracer` bound to its local virtual clock. Spans record the
+sim-time interval they covered plus the wall seconds they cost; instant
+events mark points (fault injections). Events land in a bounded ring
+buffer — a stalled consumer costs memory-bounded droppage, never a
+blocked simulation.
+
+Shard workers :meth:`drain` their buffers into control-frame replies at
+every barrier, and the driver :meth:`ingest` s them, so after a run the
+driver's :meth:`timeline` is one globally clock-aligned event sequence
+(all shards share the lock-stepped virtual clock; wall times remain
+per-process and are carried as annotations only).
+
+Determinism contract: span sim-times come from the virtual clock, so a
+serial run and a ``--parallel`` run of the same campaign produce
+bit-identical ``(track, name, t0, t1)`` sequences on the mode-independent
+tracks (``driver``/``fault``/``attack``/``defense``). Tests pin this.
+
+Disabled-path cost: call sites hold ``tracer is None`` (tracing never
+enabled) or check ``tracer.enabled`` before composing attrs; a disabled
+tracer's :meth:`span` returns the shared :data:`NULL_SPAN` context
+manager without allocating. ``benchmarks/bench_obs_overhead.py`` gates
+the residual overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, NamedTuple, Optional, Tuple
+
+#: event kinds
+SPAN = "span"
+INSTANT = "instant"
+
+#: default per-process ring capacity (events)
+DEFAULT_CAPACITY = 65536
+
+
+class TraceEvent(NamedTuple):
+    """One trace record; picklable (rides control-frame replies).
+
+    ``t0``/``t1`` are virtual-clock seconds (equal for instants);
+    ``wall_s`` is the process-local wall cost; ``attrs`` is a sorted
+    tuple of ``(key, value)`` pairs; ``seq`` orders same-time events
+    from one process.
+    """
+
+    kind: str
+    name: str
+    track: str
+    t0: float
+    t1: float
+    wall_s: float
+    attrs: Tuple[Tuple[str, object], ...]
+    seq: int
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Active span: captures sim/wall clocks on enter, records on exit."""
+
+    __slots__ = ("_tracer", "_name", "_track", "_attrs", "_t0", "_w0")
+
+    def __init__(self, tracer: "SpanTracer", name: str, track: str, attrs):
+        self._tracer = tracer
+        self._name = name
+        self._track = track
+        self._attrs = attrs
+
+    def __enter__(self):
+        self._t0 = self._tracer.now_fn()
+        self._w0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        tracer = self._tracer
+        tracer.add_span(
+            self._name,
+            self._t0,
+            tracer.now_fn(),
+            time.perf_counter() - self._w0,
+            track=self._track,
+            _attrs=self._attrs,
+        )
+        return False
+
+
+def _freeze_attrs(attrs: dict) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(attrs.items())) if attrs else ()
+
+
+class SpanTracer:
+    """Per-process trace event collector with a bounded ring buffer."""
+
+    def __init__(
+        self,
+        now_fn: Callable[[], float],
+        track: str = "driver",
+        capacity: int = DEFAULT_CAPACITY,
+        enabled: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be positive: {capacity}")
+        self.now_fn = now_fn
+        self.track = track
+        self.capacity = capacity
+        #: master switch; when False every entry point is a cheap no-op
+        self.enabled = enabled
+        #: own events (ring buffer; ``_head`` = oldest index once full)
+        self._events: List[TraceEvent] = []
+        self._head = 0
+        #: events evicted by ring wraparound (per process, monotonic)
+        self.dropped = 0
+        self._seq = 0
+        #: events merged from other processes (driver side)
+        self._ingested: List[TraceEvent] = []
+
+    # ------------------------------------------------------------- record
+
+    def span(self, name: str, track: Optional[str] = None, **attrs):
+        """Context manager recording a sim+wall interval on exit."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, track or self.track, _freeze_attrs(attrs))
+
+    def add_span(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        wall_s: float,
+        track: Optional[str] = None,
+        _attrs: Tuple[Tuple[str, object], ...] = (),
+        **attrs,
+    ) -> None:
+        """Record a completed span directly (loop-friendly, no manager)."""
+        if not self.enabled:
+            return
+        self._record(
+            TraceEvent(
+                SPAN,
+                name,
+                track or self.track,
+                t0,
+                t1,
+                wall_s,
+                _attrs if _attrs else _freeze_attrs(attrs),
+                self._seq,
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        at: Optional[float] = None,
+        track: Optional[str] = None,
+        **attrs,
+    ) -> None:
+        """Record a point event (fault markers etc.) at sim time ``at``."""
+        if not self.enabled:
+            return
+        t = self.now_fn() if at is None else at
+        self._record(
+            TraceEvent(
+                INSTANT,
+                name,
+                track or self.track,
+                t,
+                t,
+                0.0,
+                _freeze_attrs(attrs),
+                self._seq,
+            )
+        )
+
+    def _record(self, event: TraceEvent) -> None:
+        self._seq += 1
+        if len(self._events) < self.capacity:
+            self._events.append(event)
+        else:
+            self._events[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    # -------------------------------------------------------------- merge
+
+    def drain(self) -> Tuple[TraceEvent, ...]:
+        """Pop all own events in record order (worker -> reply payload)."""
+        if not self._events:
+            return ()
+        if self._head:
+            out = tuple(self._events[self._head :] + self._events[: self._head])
+        else:
+            out = tuple(self._events)
+        self._events = []
+        self._head = 0
+        return out
+
+    def ingest(self, events: Iterable[TraceEvent]) -> None:
+        """Merge events drained from another process's tracer."""
+        self._ingested.extend(
+            e if isinstance(e, TraceEvent) else TraceEvent(*e) for e in events
+        )
+
+    @property
+    def event_count(self) -> int:
+        """Events currently held (own buffer + ingested)."""
+        return len(self._events) + len(self._ingested)
+
+    def timeline(self) -> List[TraceEvent]:
+        """All events (own + ingested) in global clock order.
+
+        The sort key is ``(t0, track, name, attrs, seq)``: virtual time
+        first, then a content key so ties across processes (whose ``seq``
+        counters are unrelated) order deterministically — the same total
+        order a serial run produces.
+        """
+        events = self.drain() + tuple(self._ingested)
+        self._ingested = []
+        merged = sorted(
+            events, key=lambda e: (e.t0, e.track, e.name, e.attrs, e.seq)
+        )
+        self._ingested = merged
+        return list(merged)

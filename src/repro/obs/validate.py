@@ -1,0 +1,43 @@
+"""Chrome-trace schema validator, runnable as a module.
+
+CI's trace-smoke job runs ``python -m repro.obs.validate trace.json``
+after a short ``repro trace fleet`` run: exit 0 with a one-line summary
+when the file is structurally valid ``trace_event`` JSON, exit 1 with
+the schema violation otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate <trace.json>", file=sys.stderr)
+        return 2
+    path = argv[0]
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: unreadable trace: {exc}", file=sys.stderr)
+        return 1
+    try:
+        counts = validate_chrome_trace(data)
+    except ValueError as exc:
+        print(f"{path}: invalid Chrome trace: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{path}: valid Chrome trace — {counts['spans']} spans,"
+        f" {counts['instants']} instants, {counts['tracks']} tracks,"
+        f" {counts['metadata']} metadata events"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -528,6 +528,7 @@ class FaultInjector:
         engines: Sequence[object] = (),
         racks: Sequence[object] = (),
         kernel_labels: Optional[Sequence[int]] = None,
+        rack_labels: Optional[Sequence[int]] = None,
     ):
         if not kernels:
             raise SimulationError("fault injector needs at least one kernel")
@@ -536,6 +537,18 @@ class FaultInjector:
         self.kernels = list(kernels)
         self.engines = list(engines)
         self.racks = list(racks)
+        #: fleet-global index of each rack (trace markers report global
+        #: rack identity even from a shard holding a subset of racks)
+        self.rack_labels = (
+            list(rack_labels)
+            if rack_labels is not None
+            else list(range(len(self.racks)))
+        )
+        if len(self.rack_labels) != len(self.racks):
+            raise SimulationError("rack_labels must match racks 1:1")
+        #: optional span tracer; due events become instant markers on the
+        #: ``fault`` track (drivers assign this after construction)
+        self.tracer = None
         #: fleet-global index of each kernel — keys every per-kernel and
         #: per-event rng derivation, so a shard injector holding a subset
         #: of the fleet consumes exactly the draws the whole-fleet serial
@@ -588,21 +601,37 @@ class FaultInjector:
         returns True (a fault boundary invalidates phase stability).
         """
         changed = False
-        for index in [
-            i for i, t in self._crashed.items() if t <= now + _EPS
+        tracer = self.tracer
+        trace_on = tracer is not None and tracer.enabled
+        for index, t in [
+            (i, t) for i, t in self._crashed.items() if t <= now + _EPS
         ]:
             del self._crashed[index]
             self.kernels[index].boot_time = now  # the reboot
             self.stats.count("machine-restarts")
+            if trace_on:
+                tracer.instant(
+                    "fault.machine-restart",
+                    at=t,
+                    track="fault",
+                    server=self.kernel_labels[index],
+                )
             changed = True
-        for rack_index in [
-            i for i, t in self._forced_breakers.items() if t <= now + _EPS
+        for rack_index, t in [
+            (i, t) for i, t in self._forced_breakers.items() if t <= now + _EPS
         ]:
             del self._forced_breakers[rack_index]
             breaker = self.racks[rack_index].breaker
             if breaker.tripped:
                 breaker.reset()
                 self.stats.count("breaker-recloses")
+                if trace_on:
+                    tracer.instant(
+                        "fault.breaker-reclose",
+                        at=t,
+                        track="fault",
+                        rack=self.rack_labels[rack_index],
+                    )
             changed = True
         events = self.schedule.events
         while self._cursor < len(events) and events[self._cursor].at <= now + _EPS:
@@ -638,6 +667,8 @@ class FaultInjector:
     def _apply(self, event: FaultEvent, now: float) -> None:
         self.stats.count(f"injected:{event.kind.value}")
         kind = event.kind
+        if self.tracer is not None and self.tracer.enabled:
+            self._mark(event)
         if kind in (
             FaultKind.RAPL_STUCK,
             FaultKind.RAPL_DROP,
@@ -659,6 +690,25 @@ class FaultInjector:
             self._apply_breaker_trip(event, now)
         else:  # pragma: no cover - enum is closed
             raise SimulationError(f"unknown fault kind: {kind}")
+
+    def _mark(self, event: FaultEvent) -> None:
+        """Emit one instant marker for an injected event.
+
+        Markers land at the event's *scheduled* time with fleet-global
+        target labels, so a partitioned shard injector (local indices)
+        emits exactly the marker the whole-fleet serial injector would.
+        """
+        attrs: Dict[str, object] = {"duration_s": event.duration_s}
+        if event.kind is FaultKind.BREAKER_TRIP:
+            if self.racks:
+                attrs["rack"] = self.rack_labels[event.server % len(self.racks)]
+        elif event.kind is not FaultKind.CLOCK_JITTER:
+            attrs["server"] = self.kernel_labels[event.server % len(self.kernels)]
+        if event.kind is FaultKind.CLOCK_JITTER:
+            attrs["magnitude"] = event.magnitude
+        self.tracer.instant(
+            f"fault.{event.kind.value}", at=event.at, track="fault", **attrs
+        )
 
     def _apply_oom(self, event: FaultEvent) -> None:
         """Kill the most recently started non-init task of one container."""

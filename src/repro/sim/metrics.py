@@ -1,21 +1,34 @@
-"""Lightweight instrumentation counters for the simulation hot path.
+"""Simulation instrumentation facades over :mod:`repro.obs.registry`.
 
 The fleet experiments advance millions of kernel ticks; knowing *where*
 those ticks go (how many were coalesced away, how much wall time each
-kernel subsystem consumed) is what turns "the simulator feels slow" into
-an actionable profile. Counters are plain attributes so the per-tick
-update cost stays negligible; the optional per-subsystem wall timers are
-off by default and only engaged when a driver explicitly enables them.
+kernel subsystem consumed, what the parallel barriers cost) is what
+turns "the simulator feels slow" into an actionable profile.
+
+Historically ``SimMetrics``/``IpcMetrics``/``SubsystemTimings`` were
+three disconnected ad-hoc classes. They are now thin facades over typed
+:class:`~repro.obs.registry.MetricRegistry` instruments — same attribute
+APIs and byte-identical ``render()`` output as before, but every number
+also lives in one queryable registry (``sim.metrics.registry``) that the
+``repro metrics`` CLI and exporters read uniformly. Hot-path cost is
+unchanged: each facade resolves its instruments once at construction and
+per-tick updates remain plain attribute arithmetic.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs.registry import MetricRegistry
 
-@dataclass
+#: bucket bounds for executed-tick sizes (virtual seconds)
+STEP_BOUNDS = (1.0, 2.0, 5.0, 15.0, 60.0, 300.0, 1800.0, 7200.0)
+
+#: bucket bounds for per-frame driver barrier waits (wall seconds)
+BARRIER_BOUNDS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0)
+
+
 class IpcMetrics:
     """IPC accounting for one rack-sharded parallel run.
 
@@ -27,32 +40,133 @@ class IpcMetrics:
     straggler profile.
     """
 
-    #: pickled bytes sent to shards (command frames)
-    control_bytes_sent: int = 0
-    #: pickled bytes received from shards (reply frames)
-    control_bytes_received: int = 0
-    #: command frames sent (one per shard per barrier)
-    control_frames: int = 0
-    #: float64 bytes of sample rows carried by the shared-memory plane
-    shm_row_bytes: int = 0
-    #: float64 bytes of attack-observer readings carried by the plane
-    shm_observer_bytes: int = 0
-    #: allocated size of the shared-memory segment
-    shm_segment_bytes: int = 0
-    #: shard worker count
-    workers: int = 0
-    #: shard index -> cumulative driver wall seconds blocked in recv
-    barrier_wait_s: Dict[int, float] = field(default_factory=dict)
+    def __init__(
+        self,
+        control_bytes_sent: int = 0,
+        control_bytes_received: int = 0,
+        control_frames: int = 0,
+        shm_row_bytes: int = 0,
+        shm_observer_bytes: int = 0,
+        shm_segment_bytes: int = 0,
+        workers: int = 0,
+        registry: Optional[MetricRegistry] = None,
+    ):
+        self.registry = registry if registry is not None else MetricRegistry()
+        r = self.registry
+        self._sent = r.counter(
+            "ipc.control_bytes_sent", "pickled bytes sent to shards"
+        )
+        self._received = r.counter(
+            "ipc.control_bytes_received", "pickled bytes received from shards"
+        )
+        self._frames = r.counter(
+            "ipc.control_frames", "command frames sent (one per shard per barrier)"
+        )
+        self._row_bytes = r.counter(
+            "ipc.shm_row_bytes", "float64 sample-row bytes on the shm plane"
+        )
+        self._observer_bytes = r.counter(
+            "ipc.shm_observer_bytes", "float64 observer bytes on the shm plane"
+        )
+        self._segment = r.gauge(
+            "ipc.shm_segment_bytes", "allocated shared-memory segment size"
+        )
+        self._workers = r.gauge("ipc.workers", "shard worker count")
+        self._frame_wait = r.histogram(
+            "ipc.barrier_wait_per_frame_s",
+            "driver wall seconds blocked per shard reply",
+            bounds=BARRIER_BOUNDS,
+        )
+        #: shard index -> per-shard cumulative-wait counter
+        self._barrier: Dict[int, object] = {}
+        self._sent.value += control_bytes_sent
+        self._received.value += control_bytes_received
+        self._frames.value += control_frames
+        self._row_bytes.value += shm_row_bytes
+        self._observer_bytes.value += shm_observer_bytes
+        self._segment.value = shm_segment_bytes
+        self._workers.value = workers
+
+    # attribute facade: reads and ``+=`` hit the registry instruments
+
+    @property
+    def control_bytes_sent(self) -> int:
+        return self._sent.value
+
+    @control_bytes_sent.setter
+    def control_bytes_sent(self, value: int) -> None:
+        self._sent.value = value
+
+    @property
+    def control_bytes_received(self) -> int:
+        return self._received.value
+
+    @control_bytes_received.setter
+    def control_bytes_received(self, value: int) -> None:
+        self._received.value = value
+
+    @property
+    def control_frames(self) -> int:
+        return self._frames.value
+
+    @control_frames.setter
+    def control_frames(self, value: int) -> None:
+        self._frames.value = value
+
+    @property
+    def shm_row_bytes(self) -> int:
+        return self._row_bytes.value
+
+    @shm_row_bytes.setter
+    def shm_row_bytes(self, value: int) -> None:
+        self._row_bytes.value = value
+
+    @property
+    def shm_observer_bytes(self) -> int:
+        return self._observer_bytes.value
+
+    @shm_observer_bytes.setter
+    def shm_observer_bytes(self, value: int) -> None:
+        self._observer_bytes.value = value
+
+    @property
+    def shm_segment_bytes(self) -> int:
+        return self._segment.value
+
+    @shm_segment_bytes.setter
+    def shm_segment_bytes(self, value: int) -> None:
+        self._segment.value = value
+
+    @property
+    def workers(self) -> int:
+        return self._workers.value
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        self._workers.value = value
+
+    @property
+    def barrier_wait_s(self) -> Dict[int, float]:
+        """Shard index -> cumulative driver wall seconds blocked in recv."""
+        return {shard: c.value for shard, c in self._barrier.items()}
 
     def record_frame(self, sent: int, received: int) -> None:
         """Account one control round trip's pickled byte counts."""
-        self.control_frames += 1
-        self.control_bytes_sent += sent
-        self.control_bytes_received += received
+        self._frames.value += 1
+        self._sent.value += sent
+        self._received.value += received
 
     def record_barrier_wait(self, shard: int, seconds: float) -> None:
         """Charge driver wall time spent blocked on one shard's reply."""
-        self.barrier_wait_s[shard] = self.barrier_wait_s.get(shard, 0.0) + seconds
+        counter = self._barrier.get(shard)
+        if counter is None:
+            counter = self._barrier[shard] = self.registry.counter(
+                "ipc.barrier_wait_s",
+                "cumulative driver wall seconds blocked in recv",
+                shard=shard,
+            )
+        counter.value += seconds
+        self._frame_wait.observe(seconds)
 
     @property
     def control_bytes(self) -> int:
@@ -65,7 +179,11 @@ class IpcMetrics:
         return self.shm_row_bytes + self.shm_observer_bytes
 
     def bytes_per_tick(self, ticks: int) -> float:
-        """Mean IPC payload bytes (pipes + plane) per executed tick."""
+        """Mean IPC payload bytes (pipes + plane) per executed tick.
+
+        ``ticks <= 0`` (a run that never executed — e.g. metrics queried
+        before the first barrier) reports 0.0 rather than dividing.
+        """
         if ticks <= 0:
             return 0.0
         return (self.control_bytes + self.shm_bytes) / ticks
@@ -73,7 +191,7 @@ class IpcMetrics:
     @property
     def barrier_wait_total_s(self) -> float:
         """Driver wall seconds blocked at barriers, summed over shards."""
-        return sum(self.barrier_wait_s.values())
+        return sum(c.value for c in self._barrier.values())
 
     def render(self) -> str:
         """A human-readable IPC summary block."""
@@ -94,26 +212,46 @@ class SubsystemTimings:
     """Accumulated wall-clock seconds per kernel subsystem.
 
     One instance may be shared by many kernels (a fleet); the totals then
-    profile the whole simulation rather than one host.
+    profile the whole simulation rather than one host. Each subsystem is
+    a ``subsystem.wall_s{subsystem=<name>}`` registry counter; ``add`` is
+    on the per-tick hot path, so the name->counter map is cached locally
+    and charging stays one dict probe plus one attribute add.
     """
 
-    def __init__(self) -> None:
-        self.wall_s: Dict[str, float] = {}
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._counters: Dict[str, object] = {}
 
     def add(self, name: str, seconds: float) -> None:
         """Charge ``seconds`` of wall time to ``name``."""
-        self.wall_s[name] = self.wall_s.get(name, 0.0) + seconds
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = self.registry.counter(
+                "subsystem.wall_s",
+                "wall seconds charged to one kernel subsystem",
+                subsystem=name,
+            )
+        counter.value += seconds
+
+    @property
+    def wall_s(self) -> Dict[str, float]:
+        """Subsystem name -> accumulated wall seconds."""
+        return {name: c.value for name, c in self._counters.items()}
 
     def total(self) -> float:
         """Wall seconds across all subsystems."""
-        return sum(self.wall_s.values())
+        return sum(c.value for c in self._counters.values())
 
     def ranked(self):
         """(name, seconds) pairs, most expensive first."""
         return sorted(self.wall_s.items(), key=lambda kv: kv[1], reverse=True)
 
     def render(self) -> str:
-        """A small human-readable profile table."""
+        """A small human-readable profile table.
+
+        An empty or all-zero profile renders a placeholder line instead
+        of dividing by a zero total.
+        """
         total = self.total()
         if total <= 0:
             return "(no subsystem timings recorded)"
@@ -125,46 +263,128 @@ class SubsystemTimings:
         return "\n".join(lines)
 
 
-@dataclass
 class SimMetrics:
     """Counters describing one driver's tick economy.
 
     ``reference_ticks`` is how many ticks a per-``dt`` (non-coalescing)
     driver would have executed for the same virtual time; comparing it to
-    ``ticks`` gives the coalescing win.
+    ``ticks`` gives the coalescing win. The facade keeps the historical
+    plain-attribute API; the backing instruments (``sim.*``) live in
+    ``self.registry`` alongside whatever the parallel driver and kernel
+    profiler register there.
     """
 
-    #: ticks actually executed
-    ticks: int = 0
-    #: ticks taken at the base dt (including stabilizing ticks)
-    base_ticks: int = 0
-    #: ticks that covered more than one base dt
-    coalesced_ticks: int = 0
-    #: virtual seconds advanced in total
-    virtual_seconds: float = 0.0
-    #: virtual seconds covered by coalesced ticks
-    coalesced_seconds: float = 0.0
-    #: ticks a per-dt reference driver would have executed
-    reference_ticks: float = 0.0
-    #: power-trace samples recorded
-    samples: int = 0
-    #: wall-clock seconds spent inside run()
-    wall_seconds: float = 0.0
-    #: optional per-subsystem wall profile (shared across a fleet's kernels)
-    subsystem_timings: Optional[SubsystemTimings] = None
-    #: IPC accounting, populated by the rack-sharded parallel driver
-    ipc: Optional[IpcMetrics] = None
+    def __init__(self, registry: Optional[MetricRegistry] = None):
+        self.registry = registry if registry is not None else MetricRegistry()
+        r = self.registry
+        self._ticks = r.counter("sim.ticks", "ticks actually executed")
+        self._base_ticks = r.counter(
+            "sim.base_ticks", "ticks taken at the base dt"
+        )
+        self._coalesced_ticks = r.counter(
+            "sim.coalesced_ticks", "ticks that covered more than one base dt"
+        )
+        self._virtual_seconds = r.counter(
+            "sim.virtual_seconds", "virtual seconds advanced in total"
+        )
+        self._coalesced_seconds = r.counter(
+            "sim.coalesced_seconds", "virtual seconds covered by coalesced ticks"
+        )
+        self._reference_ticks = r.counter(
+            "sim.reference_ticks", "ticks a per-dt reference driver would run"
+        )
+        self._samples = r.counter("sim.samples", "power-trace samples recorded")
+        self._wall_seconds = r.counter(
+            "sim.wall_seconds", "wall-clock seconds spent inside run()"
+        )
+        self._step_hist = r.histogram(
+            "sim.step_s", "executed tick sizes (virtual s)", bounds=STEP_BOUNDS
+        )
+        # float totals start at 0.0 so facade reads keep their old types
+        self._virtual_seconds.value = 0.0
+        self._coalesced_seconds.value = 0.0
+        self._reference_ticks.value = 0.0
+        self._wall_seconds.value = 0.0
+        #: optional per-subsystem wall profile (shared across a fleet)
+        self.subsystem_timings: Optional[SubsystemTimings] = None
+        #: IPC accounting, populated by the rack-sharded parallel driver
+        self.ipc: Optional[IpcMetrics] = None
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks.value
+
+    @ticks.setter
+    def ticks(self, value: int) -> None:
+        self._ticks.value = value
+
+    @property
+    def base_ticks(self) -> int:
+        return self._base_ticks.value
+
+    @base_ticks.setter
+    def base_ticks(self, value: int) -> None:
+        self._base_ticks.value = value
+
+    @property
+    def coalesced_ticks(self) -> int:
+        return self._coalesced_ticks.value
+
+    @coalesced_ticks.setter
+    def coalesced_ticks(self, value: int) -> None:
+        self._coalesced_ticks.value = value
+
+    @property
+    def virtual_seconds(self) -> float:
+        return self._virtual_seconds.value
+
+    @virtual_seconds.setter
+    def virtual_seconds(self, value: float) -> None:
+        self._virtual_seconds.value = value
+
+    @property
+    def coalesced_seconds(self) -> float:
+        return self._coalesced_seconds.value
+
+    @coalesced_seconds.setter
+    def coalesced_seconds(self, value: float) -> None:
+        self._coalesced_seconds.value = value
+
+    @property
+    def reference_ticks(self) -> float:
+        return self._reference_ticks.value
+
+    @reference_ticks.setter
+    def reference_ticks(self, value: float) -> None:
+        self._reference_ticks.value = value
+
+    @property
+    def samples(self) -> int:
+        return self._samples.value
+
+    @samples.setter
+    def samples(self, value: int) -> None:
+        self._samples.value = value
+
+    @property
+    def wall_seconds(self) -> float:
+        return self._wall_seconds.value
+
+    @wall_seconds.setter
+    def wall_seconds(self, value: float) -> None:
+        self._wall_seconds.value = value
 
     def record_tick(self, step: float, base_dt: float) -> None:
         """Account one executed tick of ``step`` virtual seconds."""
-        self.ticks += 1
-        self.virtual_seconds += step
-        self.reference_ticks += step / base_dt
+        self._ticks.value += 1
+        self._virtual_seconds.value += step
+        self._reference_ticks.value += step / base_dt
+        self._step_hist.observe(step)
         if step > base_dt * 1.000001:
-            self.coalesced_ticks += 1
-            self.coalesced_seconds += step
+            self._coalesced_ticks.value += 1
+            self._coalesced_seconds.value += step
         else:
-            self.base_ticks += 1
+            self._base_ticks.value += 1
 
     @property
     def tick_reduction(self) -> float:

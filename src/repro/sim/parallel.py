@@ -33,8 +33,17 @@ observer ids of shard-resident attack monitors to sample)::
     ("monitor", oid, slot, iid, factory)   -> ("ok", available)
     ("degradation", oid)                   -> ("ok", {...})
     ("sample", bank, oids, ops)            -> ("ok", None)
+    ("release", oid)                       -> ("ok", None)  # free the slot
     ("crash",)                             -> no reply; worker exits (test hook)
     ("close",)                             -> worker exits
+
+With tracing enabled (``DatacenterSimulation.enable_tracing`` before the
+first parallel run), every ``("ok", ...)`` reply grows a third element:
+the worker's drained span-tracer ring buffer. Workers record
+``shard.plan``/``shard.step`` spans and fault markers against the
+lock-stepped virtual clock; the driver ingests each flush into its own
+tracer, so the merged timeline is globally clock-aligned without any
+extra frames (see ``repro.obs`` and ``docs/observability.md``).
 
 ``plan`` replies carry the shard's *dark-set delta* (indices newly dark /
 newly lit since the last plan) and its demand fingerprints as bare floats
@@ -91,10 +100,12 @@ import os
 import pickle
 import time
 import traceback
+from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.tracer import SpanTracer
 from repro.sim.clock import VirtualClock
 from repro.sim.faults import FaultInjector, FaultSchedule, FaultStats, JitterModel
 from repro.sim.fastforward import fold_driver_horizons
@@ -152,6 +163,12 @@ class ShardSpec:
     observer_capacity: int
     #: the cloud's full launch/terminate history (workers filter by host)
     launch_log: Tuple[tuple, ...]
+    #: this worker's position in the shard list (names its trace track)
+    shard_index: int = 0
+    #: build a worker-side span tracer and flush it in every reply
+    trace: bool = False
+    #: worker tracer ring capacity (events)
+    trace_capacity: int = 65536
 
 
 @dataclass(frozen=True)
@@ -239,6 +256,13 @@ class _ShardRuntime:
                     continue
                 instance = self.instances.pop(iid)
                 self.hosts[host_index].engine.remove(instance.container)
+        self.tracer: Optional[SpanTracer] = None
+        if spec.trace:
+            self.tracer = SpanTracer(
+                now_fn=lambda: self.clock.now,
+                track=f"shard-{spec.shard_index}",
+                capacity=spec.trace_capacity,
+            )
         self.injector: Optional[FaultInjector] = None
         if spec.fault_schedule is not None:
             self.injector = FaultInjector(
@@ -248,7 +272,9 @@ class _ShardRuntime:
                 engines=[self.hosts[i].engine for i in spec.host_indices],
                 racks=self.racks,
                 kernel_labels=spec.host_indices,
+                rack_labels=[rs.rack_index for rs in spec.racks],
             )
+            self.injector.tracer = self.tracer
         self.plane = TelemetryPlane.attach(
             spec.telemetry_name, spec.total_servers, spec.observer_capacity
         )
@@ -310,6 +336,9 @@ class _ShardRuntime:
 
     def plan(self, step_hint: float, coalesce: bool = True):
         """The pre-advance half of one serial loop iteration."""
+        tracer = self.tracer
+        if tracer is not None:
+            plan_w0 = time.perf_counter()
         now = self.clock.now
         dark = self.dark()
         self._last_dark = dark
@@ -317,6 +346,10 @@ class _ShardRuntime:
             if i not in dark:
                 self.tenants[i].step(now, step_hint)
         if not coalesce:
+            if tracer is not None:
+                tracer.add_span(
+                    "shard.plan", now, now, time.perf_counter() - plan_w0
+                )
             return None
         demands = tuple(
             0.0 if i in dark else self.hosts[i].kernel.demand_fingerprint()
@@ -335,10 +368,18 @@ class _ShardRuntime:
         added = tuple(sorted(frozen - self._sent_dark))
         removed = tuple(sorted(self._sent_dark - frozen))
         self._sent_dark = frozen
-        return (added, removed, demands, self._breakers_safe(), horizon)
+        result = (added, removed, demands, self._breakers_safe(), horizon)
+        if tracer is not None:
+            tracer.add_span(
+                "shard.plan", now, now, time.perf_counter() - plan_w0
+            )
+        return result
 
     def commit(self, step: float, bank: int, want_row: bool, oids: tuple):
         """The post-plan half: advance, tick, feed breakers, apply faults."""
+        tracer = self.tracer
+        if tracer is not None:
+            step_t0, step_w0 = self.clock.now, time.perf_counter()
         dark = self._last_dark
         self.clock.advance(step)
         for i in self.spec.host_indices:
@@ -356,6 +397,15 @@ class _ShardRuntime:
         for oid in oids:
             slot, monitor = self.monitors[oid]
             self.plane.write_observer(bank, slot, monitor.sample(self.clock.now))
+        if tracer is not None:
+            tracer.add_span(
+                "shard.step",
+                step_t0,
+                self.clock.now,
+                time.perf_counter() - step_w0,
+                step=step,
+                shard=self.spec.shard_index,
+            )
         return changed
 
     def write_row(self, bank: int) -> None:
@@ -401,6 +451,12 @@ class _ShardRuntime:
         summary = getattr(monitor, "degradation", None)
         return summary() if summary is not None else {}
 
+    def release(self, oid: str) -> None:
+        """Drop a shard-resident monitor; its plane slot is now free."""
+        if oid not in self.monitors:
+            raise SimulationError(f"unknown observer: {oid}")
+        del self.monitors[oid]
+
     def sample_observers(self, bank: int, oids: tuple, ops: tuple) -> None:
         """Explicit observer sampling (flushes queued ops first)."""
         self.apply_ops(ops)
@@ -445,6 +501,8 @@ class _ShardRuntime:
             return self.degradation(msg[1])
         if cmd == "sample":
             return self.sample_observers(msg[1], msg[2], msg[3])
+        if cmd == "release":
+            return self.release(msg[1])
         raise SimulationError(f"unknown shard command: {cmd!r}")
 
 
@@ -470,7 +528,13 @@ def _shard_worker_main(spec: ShardSpec, conn) -> None:
             if msg[0] == "crash":  # test hook: die without a word
                 os._exit(1)
             try:
-                reply = ("ok", runtime.dispatch(msg))
+                result = runtime.dispatch(msg)
+                if runtime.tracer is not None:
+                    # flush this barrier's span buffer in the reply, so
+                    # the driver merges a clock-aligned global timeline
+                    reply = ("ok", result, runtime.tracer.drain())
+                else:
+                    reply = ("ok", result)
             except Exception:
                 reply = ("error", traceback.format_exc())
             conn.send_bytes(_dumps(reply))
@@ -492,6 +556,9 @@ class _DriverFaultReplayer:
         self.stats = FaultStats()
         self.jitter = JitterModel(DeterministicRNG(seed), self.stats)
         self._cursor = 0
+        #: optional span tracer (the sim's); jitter events become the
+        #: same ``fault.clock-jitter`` markers the serial injector emits
+        self.tracer: Optional[SpanTracer] = None
 
     def advance(self, now: float) -> bool:
         events = self.schedule.events
@@ -499,6 +566,14 @@ class _DriverFaultReplayer:
         while self._cursor < len(events) and events[self._cursor].at <= now + _EPS:
             event = events[self._cursor]
             self.stats.count(f"injected:{event.kind.value}")
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.instant(
+                    f"fault.{event.kind.value}",
+                    at=event.at,
+                    track="fault",
+                    duration_s=event.duration_s,
+                    magnitude=event.magnitude,
+                )
             self.jitter.arm(event)
             self._cursor += 1
             changed = True
@@ -579,10 +654,19 @@ class ParallelFleetEngine:
         }
         self._pending_ops: List[tuple] = []
 
+        #: the sim's span tracer, if tracing was enabled pre-fork
+        self._tracer = sim.tracer
+
         self.observer_capacity = max(16, 2 * self.total_servers)
         #: observer id -> (shard index, plane slot)
         self._observer_slots: Dict[str, Tuple[int, int]] = {}
         self._next_slot = 0
+        #: plane slots returned by released observers, lowest-first so
+        #: slot assignment stays deterministic under churn
+        self._free_slots: List[int] = []
+        #: monotonic counter making observer ids unique across slot
+        #: reuse (a stale handle can never alias a recycled slot)
+        self._observer_epoch = 0
         self._armed: Tuple[str, ...] = ()
         self._observed: Dict[str, Optional[float]] = {}
         self._observed_at: Optional[float] = None
@@ -592,7 +676,9 @@ class ParallelFleetEngine:
             self.total_servers, self.observer_capacity
         )
         self.ipc = IpcMetrics(
-            workers=n, shm_segment_bytes=self.plane.segment_bytes
+            workers=n,
+            shm_segment_bytes=self.plane.segment_bytes,
+            registry=sim.metrics.registry,
         )
         sim.metrics.ipc = self.ipc
 
@@ -608,6 +694,7 @@ class ParallelFleetEngine:
                 len(rack_specs),
             )
             self.faults = _DriverFaultReplayer(driver_schedule, fault_seed)
+            self.faults.tracer = self._tracer
 
         launch_log = tuple(sim.cloud.launch_log)
         specs = [
@@ -626,6 +713,11 @@ class ParallelFleetEngine:
                 total_servers=self.total_servers,
                 observer_capacity=self.observer_capacity,
                 launch_log=launch_log,
+                shard_index=i,
+                trace=self._tracer is not None,
+                trace_capacity=(
+                    self._tracer.capacity if self._tracer is not None else 65536
+                ),
             )
             for i in range(n)
         ]
@@ -739,14 +831,32 @@ class ParallelFleetEngine:
         reply = pickle.loads(blob)
         if reply[0] == "error":
             raise SimulationError(f"shard worker {idx} failed:\n{reply[1]}")
+        if len(reply) == 3 and reply[2] and self._tracer is not None:
+            # piggybacked worker trace flush: merge into the driver tracer
+            self._tracer.ingest(reply[2])
         return reply[1]
 
     def _exchange(self, msgs: List[tuple]) -> list:
         """Send one frame per shard, then collect every reply in order."""
         if self._closed:
             raise SimulationError("parallel engine is closed")
+        tracer = self._tracer
+        trace_on = tracer is not None and tracer.enabled
+        if trace_on:
+            w0 = time.perf_counter()
         sent = [self._post(idx, msg) for idx, msg in enumerate(msgs)]
-        return [self._collect(idx, n) for idx, n in enumerate(sent)]
+        out = [self._collect(idx, n) for idx, n in enumerate(sent)]
+        if trace_on:
+            now = self.clock.now
+            tracer.add_span(
+                "barrier." + msgs[0][0],
+                now,
+                now,
+                time.perf_counter() - w0,
+                track="barrier",
+                shards=len(msgs),
+            )
+        return out
 
     def _broadcast(self, msg: tuple) -> list:
         return self._exchange([msg] * len(self.conns))
@@ -755,7 +865,22 @@ class ParallelFleetEngine:
         """One round trip with a single shard."""
         if self._closed:
             raise SimulationError("parallel engine is closed")
-        return self._collect(idx, self._post(idx, msg))
+        tracer = self._tracer
+        trace_on = tracer is not None and tracer.enabled
+        if trace_on:
+            w0 = time.perf_counter()
+        out = self._collect(idx, self._post(idx, msg))
+        if trace_on:
+            now = self.clock.now
+            tracer.add_span(
+                "barrier." + msg[0],
+                now,
+                now,
+                time.perf_counter() - w0,
+                track="barrier",
+                shard=idx,
+            )
+        return out
 
     def _next_bank(self) -> int:
         """Rotate the double buffer before a frame that carries shm data."""
@@ -854,6 +979,10 @@ class ParallelFleetEngine:
         sim = self.sim
         engine = sim.fastforward
         n = len(self.conns)
+        tracer = self._tracer
+        trace_on = tracer is not None and tracer.enabled
+        if trace_on:
+            run_t0, run_w0 = self.clock.now, time.perf_counter()
         with WallTimer(sim.metrics):
             due = self._due_times(self.clock.now)
             want_row = bool(due)
@@ -873,6 +1002,8 @@ class ParallelFleetEngine:
                 self._record_samples(due, bank)
             remaining = seconds
             while remaining > _EPS:
+                if trace_on:
+                    tick_t0, tick_w0 = self.clock.now, time.perf_counter()
                 step = min(dt, remaining)
                 if coalesce:
                     plans = self._broadcast(("plan", step))
@@ -926,7 +1057,25 @@ class ParallelFleetEngine:
                 if oids:
                     self._read_observers(bank, oids)
                 sim.metrics.record_tick(step, dt)
+                if trace_on:
+                    tracer.add_span(
+                        "fleet.tick",
+                        tick_t0,
+                        self.clock.now,
+                        time.perf_counter() - tick_w0,
+                        step=step,
+                    )
                 remaining -= step
+        if trace_on:
+            tracer.add_span(
+                "fleet.run",
+                run_t0,
+                self.clock.now,
+                time.perf_counter() - run_w0,
+                seconds=seconds,
+                dt=dt,
+                coalesce=coalesce,
+            )
 
     # -- attacker plumbing ----------------------------------------------
 
@@ -955,13 +1104,21 @@ class ParallelFleetEngine:
         Returns the observer id, or ``None`` when the monitor reports
         its channel unavailable (mirroring the serial availability
         check, which the worker performs on its own kernel state).
+
+        Plane slots freed by :meth:`release_observer` are reused
+        (lowest slot first) before fresh ones are carved, so long-lived
+        campaigns that rotate monitors never exhaust the fixed
+        ``max(16, 2*S)`` observer capacity.
         """
         host = self._instance_host.get(instance_id)
         if host is None:
             raise SimulationError(f"unknown instance: {instance_id}")
-        if self._next_slot >= self.observer_capacity:
+        reused = bool(self._free_slots)
+        if not reused and self._next_slot >= self.observer_capacity:
             raise SimulationError(
-                f"observer capacity exhausted ({self.observer_capacity})"
+                f"observer capacity exhausted ({self.observer_capacity});"
+                " release observers of terminated instances to reclaim"
+                " their slots"
             )
         try:
             _dumps(factory)
@@ -971,16 +1128,39 @@ class ParallelFleetEngine:
                 f" picklable (module-level callables): {exc}"
             ) from exc
         shard = self._shard_of_host[host]
-        slot = self._next_slot
-        oid = f"obs-{slot}"
+        slot = self._free_slots.pop(0) if reused else self._next_slot
+        oid = f"obs-{slot}-{self._observer_epoch}"
         available = self._request(
             shard, ("monitor", oid, slot, instance_id, factory)
         )
         if not available:
+            if reused:
+                insort(self._free_slots, slot)
             return None
-        self._next_slot += 1
+        self._observer_epoch += 1
+        if not reused:
+            self._next_slot += 1
         self._observer_slots[oid] = (shard, slot)
         return oid
+
+    def release_observer(self, oid: str) -> None:
+        """Tear down a shard-resident monitor and reclaim its plane slot.
+
+        The observer id becomes invalid immediately; its slot goes on
+        the free list and the owning worker drops its monitor object.
+        Call this when the monitored instance's campaign retires it —
+        rotating campaigns then recycle a bounded slot pool instead of
+        exhausting the observer capacity.
+        """
+        info = self._observer_slots.pop(oid, None)
+        if info is None:
+            raise SimulationError(f"unknown observer: {oid}")
+        shard, slot = info
+        self._request(shard, ("release", oid))
+        if oid in self._armed:
+            self._armed = tuple(o for o in self._armed if o != oid)
+        self._observed.pop(oid, None)
+        insort(self._free_slots, slot)
 
     def arm_observation(self, oids) -> None:
         """Sample these observers on the final commit of the next run."""

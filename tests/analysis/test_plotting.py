@@ -1,0 +1,153 @@
+"""Tests for the downtime-shaded ASCII power timeline."""
+
+import pytest
+
+from repro.analysis.plotting import (
+    BLOCKS,
+    DOWNTIME_GLYPH,
+    EMPTY_GLYPH,
+    downtime_summary,
+    power_glyphs,
+    render_power_timeline,
+)
+from repro.datacenter.simulation import PowerTrace
+from repro.errors import SimulationError
+
+
+def gapped_trace():
+    """100 s of 1 Hz samples with a wholly-dark 20 s stretch.
+
+    Seconds 40-59 are down: the samples were *due* but missed, so they
+    land as gap markers, exactly what a crashed machine produces.
+    """
+    trace = PowerTrace()
+    for t in range(100):
+        if 40 <= t < 60:
+            trace.note_gap(float(t))
+        else:
+            trace.append(float(t), 100.0 + (t % 10))
+    return trace
+
+
+class TestPowerGlyphs:
+    def test_ramp_spans_the_band(self):
+        trace = PowerTrace()
+        for t, w in enumerate([100.0, 150.0, 200.0]):
+            trace.append(float(t) * 10.0, w)
+        glyphs = power_glyphs(trace, 10.0)
+        assert glyphs[0] == BLOCKS[0]
+        assert glyphs[-1] == BLOCKS[-1]
+
+    def test_flat_trace_renders_full_blocks(self):
+        trace = PowerTrace()
+        trace.append(0.0, 50.0)
+        trace.append(10.0, 50.0)
+        assert set(power_glyphs(trace, 10.0)) == {BLOCKS[-1]}
+
+    def test_wholly_dark_windows_are_shaded(self):
+        glyphs = power_glyphs(gapped_trace(), 10.0)
+        # windows 4 and 5 (seconds 40-59) lost every sample to the crash
+        assert glyphs[4] == DOWNTIME_GLYPH
+        assert glyphs[5] == DOWNTIME_GLYPH
+        assert all(
+            g in BLOCKS for i, g in enumerate(glyphs) if i not in (4, 5)
+        )
+
+    def test_mostly_dark_window_is_shaded(self):
+        trace = PowerTrace()
+        trace.append(0.0, 100.0)
+        for t in range(1, 9):
+            trace.note_gap(float(t))  # 80% of the window missed
+        trace.append(9.0, 100.0)
+        trace.append(10.0, 100.0)
+        glyphs = power_glyphs(trace, 10.0)
+        assert glyphs[0] == DOWNTIME_GLYPH
+
+    def test_partial_downtime_below_threshold_not_shaded(self):
+        trace = PowerTrace()
+        for t in range(10):
+            trace.append(float(t), 100.0)
+        trace.note_gap(2.5)  # 1 gap vs 10 samples: ~9% downtime
+        assert DOWNTIME_GLYPH not in power_glyphs(trace, 10.0)
+
+    def test_unscheduled_empty_windows_render_spaces(self):
+        trace = PowerTrace()
+        trace.append(0.0, 100.0)
+        trace.append(35.0, 120.0)  # windows 1-2 empty, but nothing missed
+        glyphs = power_glyphs(trace, 10.0)
+        assert glyphs == [BLOCKS[0], EMPTY_GLYPH, EMPTY_GLYPH, BLOCKS[-1]]
+
+    def test_empty_trace_renders_nothing(self):
+        assert power_glyphs(PowerTrace(), 10.0) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(SimulationError):
+            power_glyphs(PowerTrace(), 10.0, shade_threshold=0.0)
+
+
+class TestRenderPowerTimeline:
+    def test_caption_reports_band_and_downtime(self):
+        text = render_power_timeline(
+            gapped_trace(), window_s=10.0, label="server 3"
+        )
+        assert text.startswith("server 3: 10 x 10s windows")
+        assert "2 dark" in text
+        assert "fraction 0.200" in text
+        assert DOWNTIME_GLYPH * 2 in text
+
+    def test_fault_free_caption_omits_downtime(self):
+        trace = PowerTrace()
+        for t in range(30):
+            trace.append(float(t), 100.0 + t)
+        text = render_power_timeline(trace, window_s=10.0)
+        assert "downtime" not in text
+
+    def test_rows_wrap_at_width(self):
+        trace = PowerTrace()
+        for t in range(100):
+            trace.append(float(t), 100.0)
+        text = render_power_timeline(trace, window_s=1.0, width=40)
+        rows = text.splitlines()[1:]
+        assert [len(r) for r in rows] == [40, 40, 20]
+
+    def test_empty_trace_renders_note(self):
+        assert "no samples" in render_power_timeline(PowerTrace(), 10.0)
+
+    def test_width_validation(self):
+        with pytest.raises(SimulationError):
+            render_power_timeline(gapped_trace(), 10.0, width=0)
+
+
+class TestDowntimeSummary:
+    def test_gapped_trace_summary(self):
+        summary = downtime_summary(gapped_trace(), 10.0)
+        assert summary["windows"] == 10
+        assert summary["dark_windows"] == 2
+        assert summary["partial_windows"] == 0
+        assert summary["downtime_fraction"] == pytest.approx(0.2)
+
+    def test_partial_windows_counted_separately(self):
+        trace = PowerTrace()
+        for t in range(10):
+            trace.append(float(t), 100.0)
+        trace.note_gap(3.5)
+        summary = downtime_summary(trace, 10.0)
+        assert summary["dark_windows"] == 0
+        assert summary["partial_windows"] == 1
+        assert summary["downtime_fraction"] == pytest.approx(1.0 / 11.0)
+
+    def test_fault_free_trace_is_all_zero(self):
+        trace = PowerTrace()
+        for t in range(50):
+            trace.append(float(t), 100.0)
+        summary = downtime_summary(trace, 10.0)
+        assert summary["dark_windows"] == 0
+        assert summary["downtime_fraction"] == 0.0
+
+    def test_empty_trace_summary(self):
+        assert downtime_summary(PowerTrace(), 10.0) == {
+            "windows": 0,
+            "dark_windows": 0,
+            "partial_windows": 0,
+            "downtime_fraction": 0.0,
+        }

@@ -1,0 +1,120 @@
+"""Tests for the JSONL / Chrome trace exporters and the validator CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_PID,
+    chrome_trace,
+    to_chrome_trace,
+    to_jsonl,
+    track_tid,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import SpanTracer
+from repro.obs.validate import main as validate_main
+
+
+def sample_events():
+    tracer = SpanTracer(now_fn=lambda: 0.0, track="driver")
+    tracer.add_span("fleet.tick", 0.0, 1.0, 0.002, step=1.0)
+    tracer.add_span("shard.step", 0.0, 1.0, 0.001, track="shard-1")
+    tracer.instant("fault.oom-kill", at=0.5, track="fault", server=3)
+    return tracer.timeline()
+
+
+class TestTrackTids:
+    def test_fixed_tracks(self):
+        assert track_tid("driver") == 0
+        assert track_tid("barrier") == 1
+        assert track_tid("fault") == 2
+
+    def test_shard_tracks_index_from_base(self):
+        assert track_tid("shard-0") == 10
+        assert track_tid("shard-7") == 17
+
+    def test_unknown_track_is_stable(self):
+        assert track_tid("custom") == track_tid("custom")
+        assert track_tid("custom") != track_tid("other")
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert to_jsonl(sample_events(), path) == 3
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in rows] == [
+            "fleet.tick", "shard.step", "fault.oom-kill"
+        ]
+        assert rows[2]["attrs"] == {"server": 3}
+        assert rows[2]["t0"] == rows[2]["t1"] == 0.5
+
+
+class TestChromeTrace:
+    def test_span_and_instant_shapes(self):
+        data = chrome_trace(sample_events())
+        spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in data["traceEvents"] if e["ph"] == "i"]
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert len(spans) == 2 and len(instants) == 1
+        tick = next(e for e in spans if e["name"] == "fleet.tick")
+        assert tick["ts"] == 0.0
+        assert tick["dur"] == pytest.approx(1e6)  # 1 virtual second in us
+        assert tick["pid"] == TRACE_PID
+        assert tick["args"]["wall_ms"] == pytest.approx(2.0)
+        assert instants[0]["s"] == "t"
+        # two metadata events (name + sort index) per distinct track
+        assert len(meta) == 6
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert names == {0: "driver", 2: "fault", 11: "shard-1"}
+
+    def test_file_export_validates(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert to_chrome_trace(sample_events(), path) == 3
+        counts = validate_chrome_trace(json.loads(path.read_text()))
+        assert counts == {
+            "spans": 2, "instants": 1, "metadata": 6, "tracks": 3
+        }
+
+
+class TestValidator:
+    def test_rejects_non_trace(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_negative_duration(self):
+        data = chrome_trace(sample_events())
+        span = next(e for e in data["traceEvents"] if e["ph"] == "X")
+        span["dur"] = -5.0
+        with pytest.raises(ValueError, match="negative span duration"):
+            validate_chrome_trace(data)
+
+    def test_rejects_missing_keys(self):
+        data = chrome_trace(sample_events())
+        del data["traceEvents"][-1]["tid"]
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_chrome_trace(data)
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError, match="no span or instant"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_cli_accepts_valid_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        to_chrome_trace(sample_events(), path)
+        assert validate_main([str(path)]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_cli_rejects_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": []}')
+        assert validate_main([str(path)]) == 1
+        assert "invalid" in capsys.readouterr().err.lower()
+
+    def test_cli_usage_error(self, capsys):
+        assert validate_main([]) == 2

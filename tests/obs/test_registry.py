@@ -1,0 +1,99 @@
+"""Tests for the typed metric registry."""
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry, qualify
+
+
+class TestQualify:
+    def test_unlabeled_name_is_bare(self):
+        assert qualify("sim.ticks", ()) == "sim.ticks"
+
+    def test_labels_render_sorted(self):
+        key = (("shard", 2), ("kind", "step"))
+        assert qualify("ipc.wait", tuple(sorted(key))) == (
+            "ipc.wait{kind=step,shard=2}"
+        )
+
+
+class TestInstruments:
+    def test_counter_inc_and_value(self):
+        c = Counter("c", "", ())
+        c.inc()
+        c.inc(4)
+        c.value += 2
+        assert c.value == 7
+
+    def test_gauge_set(self):
+        g = Gauge("g", "", ())
+        g.set(12.5)
+        assert g.value == 12.5
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram("h", "", (), bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(55.5)
+        assert h.min == 0.5
+        assert h.max == 50.0
+        assert h.mean == pytest.approx(18.5)
+        # cumulative-style per-bucket counts: <=1, <=10, overflow
+        assert h.bucket_counts == [1, 1, 1]
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h", "", ()).mean == 0.0
+
+
+class TestMetricRegistry:
+    def test_same_name_returns_same_instrument(self):
+        r = MetricRegistry()
+        assert r.counter("a") is r.counter("a")
+
+    def test_labels_distinguish_instruments(self):
+        r = MetricRegistry()
+        a = r.counter("subsystem.wall_s", subsystem="scheduler")
+        b = r.counter("subsystem.wall_s", subsystem="thermal")
+        assert a is not b
+        a.value += 1.0
+        assert r.get("subsystem.wall_s", subsystem="thermal").value == 0
+
+    def test_kind_conflict_raises(self):
+        r = MetricRegistry()
+        r.counter("x")
+        with pytest.raises(ValueError):
+            r.gauge("x")
+
+    def test_get_unknown_returns_none(self):
+        assert MetricRegistry().get("nope") is None
+
+    def test_instruments_sorted_by_qualified_name(self):
+        r = MetricRegistry()
+        r.counter("b")
+        r.gauge("a")
+        r.counter("b", shard=1)
+        names = [i.qualified_name for i in r.instruments()]
+        assert names == ["a", "b", "b{shard=1}"]
+
+    def test_snapshot_shapes(self):
+        r = MetricRegistry()
+        r.counter("c").inc(3)
+        r.gauge("g").set(7)
+        r.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = r.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 7
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["buckets"]["le_1.0"] == 1
+        assert snap["h"]["buckets"]["overflow"] == 0
+
+    def test_render_empty_and_aligned(self):
+        r = MetricRegistry()
+        assert "no instruments" in r.render()
+        r.counter("sim.ticks").inc(9)
+        r.gauge("ipc.workers").set(2)
+        text = r.render()
+        assert "[counter] 9" in text
+        assert "[gauge] 2" in text
+        # one line per instrument, sorted
+        assert text.splitlines()[0].startswith("ipc.workers")

@@ -1,0 +1,128 @@
+"""Tests for the span tracer: ring buffer, drain/ingest, timeline merge."""
+
+import pickle
+
+import pytest
+
+from repro.obs.tracer import (
+    INSTANT,
+    NULL_SPAN,
+    SPAN,
+    SpanTracer,
+    TraceEvent,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestSpanRecording:
+    def test_span_context_manager_captures_interval(self):
+        clock = FakeClock()
+        tracer = SpanTracer(now_fn=clock, track="driver")
+        with tracer.span("fleet.tick", step=1.0):
+            clock.now = 2.5
+        (event,) = tracer.timeline()
+        assert event.kind == SPAN
+        assert event.name == "fleet.tick"
+        assert event.track == "driver"
+        assert (event.t0, event.t1) == (0.0, 2.5)
+        assert event.wall_s >= 0.0
+        assert event.attrs == (("step", 1.0),)
+
+    def test_add_span_direct(self):
+        tracer = SpanTracer(now_fn=FakeClock(), track="shard-1")
+        tracer.add_span("shard.step", 1.0, 2.0, 0.001, step=1.0)
+        (event,) = tracer.timeline()
+        assert event.track == "shard-1"
+        assert event.attrs == (("step", 1.0),)
+
+    def test_instant_uses_clock_or_explicit_time(self):
+        clock = FakeClock(7.0)
+        tracer = SpanTracer(now_fn=clock, track="fault")
+        tracer.instant("fault.oom-kill")
+        tracer.instant("fault.machine-crash", at=3.0, server=2)
+        a, b = tracer.timeline()
+        # timeline is clock-ordered: the at=3.0 marker sorts first
+        assert (a.name, a.t0) == ("fault.machine-crash", 3.0)
+        assert a.kind == INSTANT
+        assert a.attrs == (("server", 2),)
+        assert (b.t0, b.t1) == (7.0, 7.0)
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = SpanTracer(now_fn=FakeClock(), enabled=False)
+        assert tracer.span("x") is NULL_SPAN
+        with tracer.span("x"):
+            pass
+        tracer.add_span("y", 0.0, 1.0, 0.0)
+        tracer.instant("z")
+        assert tracer.event_count == 0
+        assert tracer.timeline() == []
+
+
+class TestRingBuffer:
+    def test_wraparound_keeps_newest_and_counts_drops(self):
+        tracer = SpanTracer(now_fn=FakeClock(), capacity=3)
+        for i in range(5):
+            tracer.add_span("s", float(i), float(i), 0.0)
+        assert tracer.dropped == 2
+        events = tracer.drain()
+        assert [e.t0 for e in events] == [2.0, 3.0, 4.0]
+        # drain order is record order even mid-wrap
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanTracer(now_fn=FakeClock(), capacity=0)
+
+
+class TestDrainIngest:
+    def test_drain_empties_the_buffer(self):
+        tracer = SpanTracer(now_fn=FakeClock())
+        tracer.add_span("a", 0.0, 1.0, 0.0)
+        assert len(tracer.drain()) == 1
+        assert tracer.drain() == ()
+
+    def test_events_survive_pickling_like_control_frames(self):
+        tracer = SpanTracer(now_fn=FakeClock(), track="shard-0")
+        tracer.add_span("shard.step", 0.0, 1.0, 0.0, shard=0)
+        wire = pickle.loads(pickle.dumps(tracer.drain()))
+        driver = SpanTracer(now_fn=FakeClock(), track="driver")
+        driver.ingest(wire)
+        (event,) = driver.timeline()
+        assert isinstance(event, TraceEvent)
+        assert event.track == "shard-0"
+
+    def test_ingest_coerces_bare_tuples(self):
+        driver = SpanTracer(now_fn=FakeClock())
+        driver.ingest([(SPAN, "x", "shard-1", 0.0, 1.0, 0.0, (), 0)])
+        (event,) = driver.timeline()
+        assert isinstance(event, TraceEvent)
+
+    def test_timeline_merges_in_clock_order_across_processes(self):
+        driver = SpanTracer(now_fn=FakeClock(), track="driver")
+        driver.add_span("fleet.tick", 0.0, 1.0, 0.0)
+        driver.add_span("fleet.tick", 1.0, 2.0, 0.0)
+        for shard in (1, 0):  # ingest order must not matter
+            worker = SpanTracer(now_fn=FakeClock(), track=f"shard-{shard}")
+            worker.add_span("shard.step", 0.0, 1.0, 0.0)
+            worker.add_span("shard.step", 1.0, 2.0, 0.0)
+            driver.ingest(worker.drain())
+        timeline = driver.timeline()
+        assert [e.t0 for e in timeline] == sorted(e.t0 for e in timeline)
+        # same-instant ties break on track name, deterministically
+        assert [e.track for e in timeline if e.t0 == 0.0] == [
+            "driver", "shard-0", "shard-1"
+        ]
+
+    def test_timeline_is_idempotent(self):
+        driver = SpanTracer(now_fn=FakeClock())
+        driver.add_span("a", 0.0, 1.0, 0.0)
+        first = driver.timeline()
+        assert driver.timeline() == first
+        assert driver.event_count == 1

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim.metrics import SimMetrics, SubsystemTimings, WallTimer
+from repro.obs.registry import MetricRegistry
+from repro.sim.metrics import IpcMetrics, SimMetrics, SubsystemTimings, WallTimer
 
 
 class TestSimMetrics:
@@ -69,6 +70,86 @@ class TestSubsystemTimings:
         t.add("scheduler", 0.75)
         assert "scheduler" in t.render()
         assert "100.0%" in t.render()
+
+
+class TestIpcMetrics:
+    def test_bytes_per_tick_zero_ticks_reports_zero(self):
+        # metrics queried before the first barrier must not divide by 0
+        ipc = IpcMetrics(control_bytes_sent=100, shm_row_bytes=50)
+        assert ipc.bytes_per_tick(0) == 0.0
+        assert ipc.bytes_per_tick(-3) == 0.0
+        assert ipc.bytes_per_tick(10) == pytest.approx(15.0)
+
+    def test_record_frame_and_totals(self):
+        ipc = IpcMetrics(workers=2)
+        ipc.record_frame(10, 20)
+        ipc.record_frame(5, 5)
+        assert ipc.control_frames == 2
+        assert ipc.control_bytes == 40
+        ipc.shm_observer_bytes += 8
+        assert ipc.shm_bytes == 8
+
+    def test_barrier_wait_per_shard(self):
+        ipc = IpcMetrics()
+        ipc.record_barrier_wait(0, 0.25)
+        ipc.record_barrier_wait(1, 0.5)
+        ipc.record_barrier_wait(0, 0.25)
+        assert ipc.barrier_wait_s == {0: pytest.approx(0.5), 1: pytest.approx(0.5)}
+        assert ipc.barrier_wait_total_s == pytest.approx(1.0)
+
+    def test_render_with_no_traffic(self):
+        text = IpcMetrics().render()
+        assert "control frames      0" in text
+        assert "0 shard(s)" in text
+
+    def test_instruments_live_in_shared_registry(self):
+        registry = MetricRegistry()
+        ipc = IpcMetrics(workers=3, registry=registry)
+        ipc.record_frame(7, 9)
+        assert registry.get("ipc.control_frames").value == 1
+        assert registry.get("ipc.workers").value == 3
+
+
+class TestFacadeRegistry:
+    def test_sim_metrics_counters_appear_in_registry(self):
+        m = SimMetrics()
+        m.record_tick(30.0, 1.0)
+        m.samples = 5
+        assert m.registry.get("sim.ticks").value == 1
+        assert m.registry.get("sim.samples").value == 5
+        hist = m.registry.get("sim.step_s")
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(30.0)
+
+    def test_settable_properties_round_trip(self):
+        m = SimMetrics()
+        m.wall_seconds = 1.5
+        m.wall_seconds += 0.5
+        assert m.wall_seconds == pytest.approx(2.0)
+        assert m.registry.get("sim.wall_seconds").value == pytest.approx(2.0)
+
+    def test_subsystem_timings_share_registry(self):
+        m = SimMetrics()
+        m.subsystem_timings = SubsystemTimings(registry=m.registry)
+        m.subsystem_timings.add("scheduler", 0.25)
+        counter = m.registry.get("subsystem.wall_s", subsystem="scheduler")
+        assert counter.value == pytest.approx(0.25)
+
+    def test_empty_registry_render_placeholder(self):
+        assert "no instruments" in MetricRegistry().render()
+
+
+class TestSubsystemTimingsEdgeCases:
+    def test_empty_render_placeholder(self):
+        assert SubsystemTimings().render() == "(no subsystem timings recorded)"
+
+    def test_all_zero_profile_renders_placeholder(self):
+        # registered-but-zero subsystems must not divide by a zero total
+        t = SubsystemTimings()
+        t.add("scheduler", 0.0)
+        t.add("thermal", 0.0)
+        assert t.render() == "(no subsystem timings recorded)"
+        assert t.total() == 0.0
 
 
 class TestWallTimer:
