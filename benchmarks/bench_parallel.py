@@ -20,12 +20,29 @@ multi-core runner (each of the 8 shards gets a core); on a single-core
 box the parallel path measures IPC overhead instead. The JSON records
 ``cpu_count`` so consumers can interpret the numbers.
 
+Two population benchmarks ride along (``repro.datacenter.population``):
+
+- ``test_population_throughput`` is the perf-smoke gate for the
+  columnar tenant engine: at 10^4 demand-only tenants the vectorized
+  path must tick at >= 10x the per-object driver throughput.
+- ``test_large_population`` runs the fleet with >= 10^5 tenants
+  multiplexed over 64 hosts (micro profile) under the parallel engine
+  and records tenants-ticked-per-second plus the barrier-wait share of
+  worker wall time. The seed measured ~92% barrier share with one
+  trivial tenant per host (shards starved between barriers); columnar
+  per-shard work must pull the share below that.
+
 Environment knobs (used by the CI perf-smoke job):
 
 - ``BENCH_PARALLEL_CONFIGS``: comma-separated server counts to run
   (e.g. ``8`` for the smoke subset; default: all).
 - ``BENCH_PARALLEL_MAX_RATIO``: fail if ``parallel_wall_s`` exceeds
   this multiple of ``serial_wall_s`` for any config (default: off).
+- ``BENCH_PARALLEL_LARGE_TENANTS``: tenant count for the
+  large-population config (default 102400; ``0`` skips it).
+- ``BENCH_PARALLEL_MAX_BARRIER_SHARE``: barrier-share gate for the
+  large-population config (default 0.92 — the seed's share; ``0``
+  disables the assertion).
 """
 
 from __future__ import annotations
@@ -35,14 +52,43 @@ import os
 import pickle
 import time
 
+import pytest
+
 from benchmarks.conftest import write_result
+from repro.datacenter.population import TenantPopulation
 from repro.datacenter.simulation import DatacenterSimulation
+from repro.datacenter.tenants import MICRO_PROFILE, DiurnalTenantDriver
+from repro.sim.rng import DeterministicRNG
 
 #: virtual seconds per measured run (1 s ticks, no coalescing: the
 #: benchmark isolates the per-tick fleet loop the sharding parallelizes)
 VIRTUAL_S = 900.0
 
 ALL_CONFIGS = ((8, 8, 1), (64, 8, 8))
+
+#: large-population config: virtual seconds, fleet shape, and the
+#: barrier share the seed measured with one trivial tenant per host
+VIRTUAL_S_LARGE = 300.0
+LARGE_SERVERS = 64
+LARGE_RACK_SIZE = 8
+LARGE_WORKERS = 8
+SEED_BARRIER_SHARE = 0.92
+
+
+def _merge_bench_json(results_dir, key, value):
+    """Fold one section into BENCH_parallel.json, creating it if absent.
+
+    The speedup, throughput, and large-population tests each own one
+    top-level key, so any subset of them can run (the CI smoke job runs
+    the whole file; local runs may pick a single test).
+    """
+    path = results_dir / "BENCH_parallel.json"
+    if path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        payload = {"bench": "parallel_fleet_speedup", "cpu_count": os.cpu_count()}
+    payload[key] = value
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _selected_configs():
@@ -158,15 +204,8 @@ def test_parallel_speedup(results_dir):
                 f" at {servers} servers"
             )
 
-    payload = {
-        "bench": "parallel_fleet_speedup",
-        "dt_s": 1.0,
-        "cpu_count": os.cpu_count(),
-        "configs": configs,
-    }
-    (results_dir / "BENCH_parallel.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    _merge_bench_json(results_dir, "dt_s", 1.0)
+    _merge_bench_json(results_dir, "configs", configs)
 
     lines = ["serial vs rack-sharded parallel fleet execution", ""]
     lines.append(
@@ -188,3 +227,142 @@ def test_parallel_speedup(results_dir):
     lines.append(f"(cpu_count={os.cpu_count()}; ≥2x at 64 servers needs a"
                  " multi-core runner; baseline = pickled-row reply protocol)")
     write_result(results_dir, "parallel_speedup", "\n".join(lines))
+
+
+def test_population_throughput(results_dir):
+    """Perf-smoke gate: columnar tenants >= 10x per-object throughput.
+
+    Both paths run demand-only (no kernels, no containers) so the
+    comparison isolates the demand process itself: keyed draws plus the
+    target expression, scalar per object vs one array sweep per tick.
+    Worker counts are cross-checked so the speed claim is about the
+    *same* computation.
+    """
+    tenants = 10_000
+    steps = 30
+    interval = 60.0
+    times = [(k + 1) * interval for k in range(steps)]
+
+    drivers = [
+        DiurnalTenantDriver(
+            kernel=None,
+            rng=DeterministicRNG(7).fork(f"tenant-{i}"),
+            profile=MICRO_PROFILE,
+        )
+        for i in range(tenants)
+    ]
+    t0 = time.perf_counter()
+    for now in times:
+        for driver in drivers:
+            driver.step(now, interval)
+    obj_wall = time.perf_counter() - t0
+
+    pop = TenantPopulation.demand_only(
+        DeterministicRNG(7), tenants, profile=MICRO_PROFILE
+    )
+    t0 = time.perf_counter()
+    for now in times:
+        pop.step(now, interval)
+    col_wall = time.perf_counter() - t0
+
+    assert list(pop.worker_counts()) == [d.worker_count for d in drivers]
+    tenant_ticks = tenants * steps
+    obj_tps = tenant_ticks / obj_wall
+    col_tps = tenant_ticks / col_wall
+    ratio = col_tps / obj_tps
+    assert ratio >= 10.0, (
+        f"columnar path only {ratio:.1f}x the per-object drivers"
+        f" ({col_tps:,.0f} vs {obj_tps:,.0f} tenant-ticks/s)"
+    )
+
+    section = {
+        "tenants": tenants,
+        "steps": steps,
+        "object_wall_s": round(obj_wall, 4),
+        "columnar_wall_s": round(col_wall, 4),
+        "object_tenant_ticks_per_s": round(obj_tps, 1),
+        "columnar_tenant_ticks_per_s": round(col_tps, 1),
+        "speedup": round(ratio, 1),
+    }
+    _merge_bench_json(results_dir, "population_throughput", section)
+    write_result(
+        results_dir,
+        "population_throughput",
+        "columnar vs per-object tenant stepping (demand-only)\n\n"
+        f"{tenants} tenants x {steps} adjustment steps\n"
+        f"per-object: {obj_wall:.3f}s  ({obj_tps:,.0f} tenant-ticks/s)\n"
+        f"columnar:   {col_wall:.3f}s  ({col_tps:,.0f} tenant-ticks/s)\n"
+        f"speedup:    {ratio:.1f}x (gate: >= 10x)",
+    )
+
+
+def test_large_population(results_dir):
+    """Fleet-scale population: >= 10^5 tenants under the parallel engine.
+
+    The point of the columnar engine is that tenant count stops being
+    the bottleneck: per-shard work becomes a handful of array sweeps, so
+    shards spend their time computing instead of parked at the commit
+    barrier. Record tenants-ticked-per-second and the barrier share of
+    worker wall time; the share must come in below the seed's ~92%
+    (measured with one trivial tenant per host).
+    """
+    raw = os.environ.get("BENCH_PARALLEL_LARGE_TENANTS", "").strip()
+    tenants = int(raw) if raw else 102_400
+    if tenants <= 0:
+        pytest.skip("BENCH_PARALLEL_LARGE_TENANTS=0")
+    per_host = max(1, tenants // LARGE_SERVERS)
+    total = per_host * LARGE_SERVERS
+    max_share = float(
+        os.environ.get("BENCH_PARALLEL_MAX_BARRIER_SHARE", "")
+        or SEED_BARRIER_SHARE
+    )
+
+    sim = DatacenterSimulation(
+        servers=LARGE_SERVERS,
+        rack_size=LARGE_RACK_SIZE,
+        seed=103,
+        tenants_per_host=per_host,
+        tenant_profile=MICRO_PROFILE,
+    )
+    t0 = time.perf_counter()
+    sim.run(VIRTUAL_S_LARGE, dt=1.0, parallel=LARGE_WORKERS)
+    wall = time.perf_counter() - t0
+    ticks = sim.metrics.ticks
+    ipc = sim.metrics.ipc
+    barrier_total = ipc.barrier_wait_total_s
+    sim.close()
+
+    tenant_ticks = total * ticks
+    tps = tenant_ticks / wall
+    # share of aggregate worker wall time spent parked at barriers
+    barrier_share = barrier_total / (LARGE_WORKERS * wall)
+    if max_share > 0:
+        assert barrier_share < max_share, (
+            f"barrier share {barrier_share:.1%} not below {max_share:.0%}"
+            f" despite {per_host} tenants/host of columnar work"
+        )
+
+    section = {
+        "servers": LARGE_SERVERS,
+        "workers": LARGE_WORKERS,
+        "tenants_per_host": per_host,
+        "tenants": total,
+        "virtual_seconds": VIRTUAL_S_LARGE,
+        "ticks": ticks,
+        "wall_s": round(wall, 3),
+        "tenant_ticks_per_s": round(tps, 1),
+        "barrier_wait_total_s": round(barrier_total, 4),
+        "barrier_share": round(barrier_share, 4),
+        "seed_barrier_share": SEED_BARRIER_SHARE,
+    }
+    _merge_bench_json(results_dir, "large_population", section)
+    write_result(
+        results_dir,
+        "parallel_large_population",
+        "large-population parallel fleet (columnar tenants)\n\n"
+        f"{total} tenants ({LARGE_SERVERS} hosts x {per_host}),"
+        f" {ticks} ticks in {wall:.2f}s wall\n"
+        f"tenant-ticks/s: {tps:,.0f}\n"
+        f"barrier share:  {barrier_share:.1%}"
+        f" (seed ~{SEED_BARRIER_SHARE:.0%}; gate < {max_share:.0%})",
+    )

@@ -14,6 +14,7 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.datacenter.breaker import CircuitBreaker
+from repro.datacenter.population import TenantPopulation, container_name_for
 from repro.datacenter.tenants import DiurnalProfile, DiurnalTenantDriver
 from repro.datacenter.topology import Rack, ServerPowerConfig, WallPowerCache
 from repro.errors import SimulationError
@@ -202,9 +203,19 @@ class DatacenterSimulation:
         sample_interval_s: float = 1.0,
         breaker_knee_ratio: float = 0.98,
         max_coalesce_s: float = 3600.0,
+        tenants_per_host: int = 1,
+        population: str = "columnar",
     ):
         if servers < 1 or rack_size < 1:
             raise SimulationError("need at least one server and rack slot")
+        if tenants_per_host < 1:
+            raise SimulationError(
+                f"tenants_per_host must be >= 1: {tenants_per_host}"
+            )
+        if population not in ("columnar", "objects"):
+            raise SimulationError(
+                f"population must be 'columnar' or 'objects': {population!r}"
+            )
         if sample_interval_s <= 0:
             raise SimulationError(
                 f"sample interval must be positive: {sample_interval_s}"
@@ -245,15 +256,34 @@ class DatacenterSimulation:
             )
             self.racks.append(rack)
 
-        self.tenants: List[DiurnalTenantDriver] = [
-            DiurnalTenantDriver(
-                kernel=host.kernel,
-                rng=self.cloud.rng.fork(f"tenant-{i}"),
+        #: how many benign tenants multiplex onto each host (the demand
+        #: plane scales with servers * tenants_per_host, not with servers)
+        self.tenants_per_host = tenants_per_host
+        self.population_mode = population
+        if population == "columnar":
+            #: the whole demand plane as numpy columns; ``self.tenants``
+            #: are per-object views for probing (bit-identical to drivers)
+            self.population: Optional[TenantPopulation] = TenantPopulation.for_hosts(
+                self.cloud.rng,
+                [host.kernel for host in self.cloud.hosts],
+                [host.engine for host in self.cloud.hosts],
+                tenants_per_host=tenants_per_host,
                 profile=tenant_profile,
-                engine=host.engine,
             )
-            for i, host in enumerate(self.cloud.hosts)
-        ]
+            self.tenants = self.population.views()
+        else:
+            self.population = None
+            self.tenants: List[DiurnalTenantDriver] = [
+                DiurnalTenantDriver(
+                    kernel=host.kernel,
+                    rng=self.cloud.rng.fork(f"tenant-{i * tenants_per_host + j}"),
+                    profile=tenant_profile,
+                    engine=host.engine,
+                    container_name=container_name_for(j, tenants_per_host),
+                )
+                for i, host in enumerate(self.cloud.hosts)
+                for j in range(tenants_per_host)
+            ]
 
         self.aggregate_trace = PowerTrace()
         self.server_traces: Dict[int, PowerTrace] = {
@@ -311,6 +341,7 @@ class DatacenterSimulation:
             kernels=[h.kernel for h in self.cloud.hosts],
             engines=[h.engine for h in self.cloud.hosts],
             racks=self.racks,
+            populations=() if self.population is None else (self.population,),
         )
         injector.tracer = self.tracer
         self.fault_injector = injector
@@ -416,9 +447,13 @@ class DatacenterSimulation:
     def _coalesce_horizon(self, dark: set) -> float:
         """The nearest virtual time a coalesced tick must not step across."""
         horizon = self.next_sample_time
-        for i, tenant in enumerate(self.tenants):
-            if i not in dark:
-                horizon = min(horizon, tenant.next_event_time(self.now))
+        if self.population is not None:
+            horizon = min(horizon, self.population.next_event_time(self.now, dark))
+        else:
+            k = self.tenants_per_host
+            for t, tenant in enumerate(self.tenants):
+                if (t // k) not in dark:
+                    horizon = min(horizon, tenant.next_event_time(self.now))
         for i, host in enumerate(self.cloud.hosts):
             if i not in dark:
                 horizon = min(
@@ -429,11 +464,27 @@ class DatacenterSimulation:
         return horizon
 
     def _coalesce_fingerprint(self, dark: set) -> tuple:
-        """Workload-set fingerprint: changes on any spawn/kill/exec/trip."""
-        demands = tuple(
-            0.0 if i in dark else host.kernel.demand_fingerprint()
-            for i, host in enumerate(self.cloud.hosts)
-        )
+        """Workload-set fingerprint: changes on any spawn/kill/exec/trip.
+
+        In columnar mode each host's entry also folds in the population's
+        aggregate demand column for that host (O(1) per host), so the
+        plan frames carry the array-side fingerprint alongside the
+        kernel-side one; both move on exactly the same events, and the
+        parallel shards compute the identical formula.
+        """
+        pop = self.population
+        if pop is not None:
+            demands = tuple(
+                0.0
+                if i in dark
+                else host.kernel.demand_fingerprint() + pop.host_demand(i)
+                for i, host in enumerate(self.cloud.hosts)
+            )
+        else:
+            demands = tuple(
+                0.0 if i in dark else host.kernel.demand_fingerprint()
+                for i, host in enumerate(self.cloud.hosts)
+            )
         return (demands, frozenset(dark))
 
     def _breakers_safe(self) -> bool:
@@ -517,9 +568,13 @@ class DatacenterSimulation:
                     tick_t0, tick_w0 = self.now, perf_counter()
                 dark = self._dark_indices()
                 step = min(dt, remaining)
-                for i, tenant in enumerate(self.tenants):
-                    if i not in dark:
-                        tenant.step(self.now, step)
+                if self.population is not None:
+                    self.population.step(self.now, step, dark_hosts=dark)
+                else:
+                    k = self.tenants_per_host
+                    for t, tenant in enumerate(self.tenants):
+                        if (t // k) not in dark:
+                            tenant.step(self.now, step)
                 if coalesce:
                     stable = engine.stability.observe(
                         self._coalesce_fingerprint(dark)

@@ -8,6 +8,19 @@ structure: a sinusoidal daily cycle, per-day demand factors, Poisson batch
 bursts, and noise — realized as actual containers running mixed workloads,
 so every kernel counter (not just power) moves like a shared production
 host.
+
+Every random decision is a *keyed* draw (:mod:`repro.sim.rng`): the burst
+lottery at adjustment boundary ``k`` is ``burst@<k>``, the demand factor
+for day ``d`` is ``day-factor@<d>``, demand noise is keyed by the grid
+index, and worker kinds by spawn ordinal. Draws therefore depend only on
+the tenant seed and the decision's identity — never on visit order, tick
+size, or how many other draws happened first — which is what lets the
+columnar :class:`~repro.datacenter.population.TenantPopulation` replay
+this driver bit-for-bit from numpy arrays. Adjustments are anchored to an
+absolute :class:`~repro.sim.fastforward.DecisionGrid` (boundaries at
+``k * adjust_interval_s``), and :meth:`DiurnalTenantDriver.step` replays
+every boundary the clock jumped over, so burst arrival statistics match
+fine-ticked runs no matter how coarsely the driver is stepped.
 """
 
 from __future__ import annotations
@@ -21,9 +34,13 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.process import Task
 from repro.runtime.engine import ContainerEngine
 from repro.runtime.workload import Workload, constant
+from repro.sim.fastforward import DecisionGrid
 from repro.sim.rng import DeterministicRNG
 
 SECONDS_PER_DAY = 86400.0
+
+#: fraction of a host's cores a tenant may claim (headroom for daemons)
+CORE_CAP_FRACTION = 0.9
 
 
 @dataclass(frozen=True)
@@ -45,6 +62,18 @@ class DiurnalProfile:
     burst_duration_s: float = 1800.0
     #: relative noise on the target demand
     noise: float = 0.08
+
+
+#: a deliberately tiny profile for large-population experiments: demand
+#: stays fractional so most adjustments move no workers, and the columnar
+#: engine's per-tick cost is pure array math.
+MICRO_PROFILE = DiurnalProfile(
+    base_cores=0.05,
+    peak_cores=0.6,
+    burst_cores=0.4,
+    bursts_per_day=2.0,
+    noise=0.05,
+)
 
 
 def _web_workload() -> Workload:
@@ -79,51 +108,100 @@ def _batch_workload() -> Workload:
 
 
 class DiurnalTenantDriver:
-    """Keeps one host's benign load tracking a diurnal demand target."""
+    """Keeps one host's benign load tracking a diurnal demand target.
+
+    This is the scalar *reference* implementation of the tenant demand
+    process: one Python object per tenant, plain-float arithmetic. The
+    columnar :class:`~repro.datacenter.population.TenantPopulation`
+    evaluates the same keyed draws and the same float expressions over
+    numpy arrays and must match it bit for bit
+    (``tests/datacenter/test_population.py`` pins the equivalence).
+
+    ``kernel=None`` puts the driver in *demand-only* mode: targets and
+    worker counts are tracked virtually with no tasks materialized —
+    useful for statistics tests and throughput benches. ``core_cap``
+    bounds the demand target in that mode (a kernel's core budget
+    otherwise).
+    """
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Optional[Kernel],
         rng: DeterministicRNG,
         profile: Optional[DiurnalProfile] = None,
         engine: Optional[ContainerEngine] = None,
         adjust_interval_s: float = 60.0,
+        container_name: str = "benign-tenant",
+        core_cap: Optional[float] = None,
     ):
         self.kernel = kernel
         self.rng = rng
         self.profile = profile or DiurnalProfile()
         self.adjust_interval_s = adjust_interval_s
+        self.grid = DecisionGrid(adjust_interval_s)
+        self.container_name = container_name
         self._engine = engine
         self._container = None
         self._workers: List[Task] = []
-        self._next_adjust = 0.0
+        self._virtual_workers = 0
+        #: next unprocessed grid boundary; None until the first step
+        self._next_k: Optional[int] = None
         self._burst_until = -1.0
-        self._day_factors = {}
-        self._phase_shift = rng.uniform("phase", -1.5, 1.5)
+        self._spawn_seq = 0
+        if core_cap is None:
+            core_cap = (
+                math.inf if kernel is None else kernel.config.total_cores * CORE_CAP_FRACTION
+            )
+        self._core_cap = core_cap
+        self._burst_key = rng.keyed("burst")
+        self._day_key = rng.keyed("day-factor")
+        self._noise_key = rng.keyed("demand-noise")
+        self._kind_key = rng.keyed("worker-kind")
+        self._phase_shift = rng.keyed("phase").uniform(0, -1.5, 1.5)
 
     # ------------------------------------------------------------------
 
+    @property
+    def _phase_shift(self) -> float:
+        return self._phase
+
+    @_phase_shift.setter
+    def _phase_shift(self, value: float) -> None:
+        # The diurnal shape is evaluated as cos(A + P) = cosA*cosP - sinA*sinP
+        # with the per-tenant phase term P fixed at construction; only
+        # mul/add remain per evaluation, which is what keeps the scalar
+        # and vectorized paths bit-identical (no per-element libm trig).
+        self._phase = value
+        angle = 2 * math.pi * value / 24.0
+        self._cos_phase = math.cos(angle)
+        self._sin_phase = math.sin(angle)
+
     def _day_factor(self, day: int) -> float:
-        factor = self._day_factors.get(day)
-        if factor is None:
-            lo, hi = self.profile.day_factor_range
-            factor = self.rng.stream("day-factor").uniform(lo, hi)
-            self._day_factors[day] = factor
-        return factor
+        lo, hi = self.profile.day_factor_range
+        return self._day_key.uniform(day, lo, hi)
 
     def target_cores(self, now: float) -> float:
-        """The demand target (in cores) at virtual time ``now``."""
+        """The demand target (in cores) at virtual time ``now``.
+
+        Side-effect free: every stochastic term is a keyed draw addressed
+        by day / grid index, so probing the target at arbitrary times
+        never perturbs the demand process.
+        """
         p = self.profile
         day = int(now // SECONDS_PER_DAY)
-        hour = (now % SECONDS_PER_DAY) / 3600.0 + self._phase_shift
-        # daily shape: raised cosine peaking at peak_hour
-        shape = 0.5 * (1.0 + math.cos(2 * math.pi * (hour - p.peak_hour) / 24.0))
+        hour = (now % SECONDS_PER_DAY) / 3600.0
+        # daily shape: raised cosine peaking at peak_hour (phase folded in
+        # via the addition formula; see _phase_shift)
+        angle = 2 * math.pi * (hour - p.peak_hour) / 24.0
+        shape = 0.5 * (
+            1.0 + (math.cos(angle) * self._cos_phase - math.sin(angle) * self._sin_phase)
+        )
         target = p.base_cores + p.peak_cores * shape * self._day_factor(day)
         if now < self._burst_until:
             target += p.burst_cores
-        noise = self.rng.stream("demand-noise").gauss(0.0, p.noise)
+        noise = self._noise_key.gauss(self.grid.index_at(now), p.noise)
         target *= max(0.0, 1.0 + noise)
-        return min(target, self.kernel.config.total_cores * 0.9)
+        return min(target, self._core_cap)
 
     # ------------------------------------------------------------------
 
@@ -131,11 +209,12 @@ class DiurnalTenantDriver:
         if self._engine is None:
             return None
         if self._container is None:
-            self._container = self._engine.create(name="benign-tenant")
+            self._container = self._engine.create(name=self.container_name)
         return self._container
 
     def _spawn_worker(self) -> Task:
-        kind = self.rng.stream("worker-kind").random()
+        kind = self._kind_key.u01(self._spawn_seq)
+        self._spawn_seq += 1
         workload = _web_workload() if kind < 0.6 else _batch_workload()
         container = self._container_for_workers()
         if container is not None:
@@ -150,34 +229,64 @@ class DiurnalTenantDriver:
         else:
             self.kernel.kill(task)
 
+    @property
+    def burst_until(self) -> float:
+        """Virtual end time of the burst in progress (-1 before any)."""
+        return self._burst_until
+
     def next_event_time(self, now: float) -> float:
         """Absolute virtual time of this driver's next decision point.
 
         Between adjustments the driver leaves its worker set untouched,
         so a tick-coalescing engine may advance straight to the next
-        adjustment (bursts only start or end at adjustment boundaries —
-        ``_burst_until`` is consulted when targets are recomputed).
+        adjustment boundary (bursts only start or end at boundaries —
+        ``_burst_until`` is consulted when targets are recomputed). The
+        result is always strictly greater than ``now``: a driver sitting
+        exactly on a boundary has already had (or is about to get) its
+        ``step`` for that boundary, so advertising the boundary itself
+        would hand the coalescing engine a zero-length horizon and
+        silently disable coalescing.
         """
-        return max(self._next_adjust, now)
+        return self.grid.next_boundary(now, self._next_k)
 
     def step(self, now: float, dt: float) -> None:
-        """Advance the driver; call once per simulation tick."""
+        """Advance the driver; call once per simulation tick.
+
+        Adjustment boundaries live on the absolute grid ``k *
+        adjust_interval_s``. When ``now`` has advanced past several
+        boundaries since the last step (coarse ``dt``, tick coalescing, a
+        host going dark, clock gaps between runs), every missed
+        boundary's burst lottery is replayed in order — draw ``burst@k``
+        gated on the boundary falling outside the burst then in progress
+        — so burst arrival statistics are independent of how the clock
+        got here. The worker set itself is reconciled once, against the
+        current target.
+        """
         if dt <= 0:
             raise SimulationError(f"tenant step needs positive dt: {dt}")
-        if now < self._next_adjust:
+        k_now = self.grid.index_at(now)
+        if self._next_k is None:
+            self._next_k = k_now  # first step: adopt the current boundary
+        if k_now < self._next_k:
             return
-        self._next_adjust = now + self.adjust_interval_s
-        # drop workers something else killed (fault-injected OOM kills)
-        self._workers = [t for t in self._workers if t.alive]
-
-        # Poisson burst arrivals, checked once per adjustment
-        p_burst = self.profile.bursts_per_day * self.adjust_interval_s / SECONDS_PER_DAY
-        if now >= self._burst_until and self.rng.stream("burst").random() < p_burst:
-            self._burst_until = now + self.profile.burst_duration_s
+        p = self.profile
+        p_burst = p.bursts_per_day * self.adjust_interval_s / SECONDS_PER_DAY
+        for k in range(self._next_k, k_now + 1):
+            boundary = self.grid.time_of(k)
+            if boundary >= self._burst_until and self._burst_key.u01(k) < p_burst:
+                self._burst_until = boundary + p.burst_duration_s
+        self._next_k = k_now + 1
 
         target = self.target_cores(now)
-        current = len(self._workers)
         want = int(round(target))
+        if self.kernel is None:
+            spawned = max(0, want - self._virtual_workers)
+            self._spawn_seq += spawned  # keep worker-kind ordinals aligned
+            self._virtual_workers = max(0, want)
+            return
+        # drop workers something else killed (fault-injected OOM kills)
+        self._workers = [t for t in self._workers if t.alive]
+        current = len(self._workers)
         while current < want:
             self._workers.append(self._spawn_worker())
             current += 1
@@ -188,5 +297,7 @@ class DiurnalTenantDriver:
 
     @property
     def worker_count(self) -> int:
-        """Number of live benign workers."""
+        """Number of benign workers (live tasks, or virtual count)."""
+        if self.kernel is None:
+            return self._virtual_workers
         return len(self._workers)

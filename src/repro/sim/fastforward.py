@@ -125,6 +125,51 @@ def fold_driver_horizons(now: float, sources) -> float:
     return horizon
 
 
+class DecisionGrid:
+    """An absolute-time decision grid: boundaries at ``k * interval_s``.
+
+    Tenant demand adjustments are anchored to this grid rather than to
+    ``last_adjust + interval`` so that a coalescing engine jumping several
+    intervals in one tick lands on the *same* decision sequence as a
+    fine-ticked run: boundary ``k`` exists at ``k * interval_s`` whether or
+    not any tick happened to end there, and keyed draws (``burst@<k>``)
+    address it by index. Both the scalar
+    :class:`~repro.datacenter.tenants.DiurnalTenantDriver` and the
+    columnar :class:`~repro.datacenter.population.TenantPopulation` share
+    this arithmetic, which is part of the bit-identity contract between
+    them.
+    """
+
+    __slots__ = ("interval_s",)
+
+    def __init__(self, interval_s: float):
+        if interval_s <= 0:
+            raise SimulationError(f"grid interval must be positive: {interval_s}")
+        self.interval_s = interval_s
+
+    def index_at(self, now: float) -> int:
+        """Index of the last boundary at or before ``now``."""
+        return int(now // self.interval_s)
+
+    def time_of(self, index: int) -> float:
+        """Absolute virtual time of boundary ``index``."""
+        return index * self.interval_s
+
+    def next_boundary(self, now: float, pending_index: Optional[int] = None) -> float:
+        """Strictly-future decision time as seen from ``now``.
+
+        ``pending_index`` is the caller's next unprocessed boundary; when
+        it is already past ``now`` (the caller has caught up), that
+        boundary is the answer. Otherwise the next grid point after
+        ``now``. The result is always ``> now``, so a coalescing engine
+        is never handed a zero-length horizon.
+        """
+        index = self.index_at(now)
+        if pending_index is not None and pending_index > index:
+            return self.time_of(pending_index)
+        return self.time_of(index + 1)
+
+
 class StabilityTracker:
     """Detects whether the workload set changed since the last planned tick.
 

@@ -529,6 +529,7 @@ class FaultInjector:
         racks: Sequence[object] = (),
         kernel_labels: Optional[Sequence[int]] = None,
         rack_labels: Optional[Sequence[int]] = None,
+        populations: Sequence[object] = (),
     ):
         if not kernels:
             raise SimulationError("fault injector needs at least one kernel")
@@ -537,6 +538,10 @@ class FaultInjector:
         self.kernels = list(kernels)
         self.engines = list(engines)
         self.racks = list(racks)
+        #: columnar tenant populations to notify when a fault reaps a
+        #: task behind their back (OOM-pruned dirty mask); duck-typed on
+        #: ``note_task_killed(task)``
+        self.populations = list(populations)
         #: fleet-global index of each rack (trace markers report global
         #: rack identity even from a shard holding a subset of racks)
         self.rack_labels = (
@@ -732,6 +737,9 @@ class FaultInjector:
         stream = self.rng.stream(f"oom-victim@{event.at!r}#{label}")
         container, victim = stream.choice(candidates)
         container.kill_task(victim)
+        for population in self.populations:
+            if population.note_task_killed(victim):
+                break
         self.stats.count("oom-kills")
 
     def _apply_breaker_trip(self, event: FaultEvent, now: float) -> None:

@@ -153,6 +153,10 @@ class ShardSpec:
     host_indices: Tuple[int, ...]
     racks: Tuple[RackShardSpec, ...]
     tenant_profile: object  # Optional[DiurnalProfile]
+    #: benign tenants multiplexed onto each host
+    tenants_per_host: int
+    #: "columnar" (TenantPopulation arrays) or "objects" (per-object drivers)
+    population_mode: str
     power_config: object  # ServerPowerConfig
     breaker_knee_ratio: float
     fault_schedule: Optional[FaultSchedule]
@@ -191,6 +195,7 @@ class _ShardRuntime:
 
     def __init__(self, spec: ShardSpec):
         from repro.datacenter.breaker import CircuitBreaker
+        from repro.datacenter.population import TenantPopulation, container_name_for
         from repro.datacenter.tenants import DiurnalTenantDriver
         from repro.datacenter.topology import Rack, WallPowerCache
         from repro.runtime.cloud import Instance, build_cloud_host
@@ -216,15 +221,36 @@ class _ShardRuntime:
                     power_cache=self.cache,
                 )
             )
-        self.tenants = {
-            i: DiurnalTenantDriver(
-                kernel=self.hosts[i].kernel,
-                rng=root.fork(f"tenant-{i}"),
+        # Tenant demand: columnar arrays over this shard's hosts, or
+        # per-object reference drivers. Tenant RNG forks are keyed by the
+        # *global* tenant id, so the draws (and therefore the traces) are
+        # bit-identical to the serial engine's regardless of sharding.
+        kcount = spec.tenants_per_host
+        self.population = None
+        self.tenants: Dict[int, list] = {}
+        if spec.population_mode == "columnar":
+            self.population = TenantPopulation.for_hosts(
+                root,
+                [self.hosts[i].kernel for i in spec.host_indices],
+                [self.hosts[i].engine for i in spec.host_indices],
+                host_labels=spec.host_indices,
+                tenants_per_host=kcount,
                 profile=spec.tenant_profile,
-                engine=self.hosts[i].engine,
             )
-            for i in spec.host_indices
-        }
+        else:
+            self.tenants = {
+                i: [
+                    DiurnalTenantDriver(
+                        kernel=self.hosts[i].kernel,
+                        rng=root.fork(f"tenant-{i * kcount + j}"),
+                        profile=spec.tenant_profile,
+                        engine=self.hosts[i].engine,
+                        container_name=container_name_for(j, kcount),
+                    )
+                    for j in range(kcount)
+                ]
+                for i in spec.host_indices
+            }
         # Replay the cloud's launch/terminate history for this shard's
         # hosts, in global order: container ids, core allocations, and
         # cpuacct baselines come out identical to the serial cloud's.
@@ -273,6 +299,7 @@ class _ShardRuntime:
                 racks=self.racks,
                 kernel_labels=spec.host_indices,
                 rack_labels=[rs.rack_index for rs in spec.racks],
+                populations=() if self.population is None else (self.population,),
             )
             self.injector.tracer = self.tracer
         self.plane = TelemetryPlane.attach(
@@ -342,23 +369,43 @@ class _ShardRuntime:
         now = self.clock.now
         dark = self.dark()
         self._last_dark = dark
-        for i in self.spec.host_indices:
-            if i not in dark:
-                self.tenants[i].step(now, step_hint)
+        if self.population is not None:
+            self.population.step(now, step_hint, dark_hosts=dark)
+        else:
+            for i in self.spec.host_indices:
+                if i not in dark:
+                    for driver in self.tenants[i]:
+                        driver.step(now, step_hint)
         if not coalesce:
             if tracer is not None:
                 tracer.add_span(
                     "shard.plan", now, now, time.perf_counter() - plan_w0
                 )
             return None
-        demands = tuple(
-            0.0 if i in dark else self.hosts[i].kernel.demand_fingerprint()
-            for i in self.spec.host_indices
-        )
+        # Mirrors the serial engine's _coalesce_fingerprint exactly: the
+        # columnar path folds the population's per-host aggregate demand
+        # into the kernel fingerprint so demand moves break tick runs.
+        if self.population is not None:
+            demands = tuple(
+                0.0
+                if i in dark
+                else self.hosts[i].kernel.demand_fingerprint()
+                + self.population.host_demand(i)
+                for i in self.spec.host_indices
+            )
+        else:
+            demands = tuple(
+                0.0 if i in dark else self.hosts[i].kernel.demand_fingerprint()
+                for i in self.spec.host_indices
+            )
         horizon = math.inf
+        if self.population is not None:
+            horizon = min(horizon, self.population.next_event_time(now, dark))
         for i in self.spec.host_indices:
             if i not in dark:
-                horizon = min(horizon, self.tenants[i].next_event_time(now))
+                if self.population is None:
+                    for driver in self.tenants[i]:
+                        horizon = min(horizon, driver.next_event_time(now))
                 horizon = min(
                     horizon, now + self.hosts[i].kernel.next_phase_boundary_s()
                 )
@@ -705,6 +752,8 @@ class ParallelFleetEngine:
                 host_indices=tuple(self.shard_hosts[i]),
                 racks=tuple(groups[i]),
                 tenant_profile=sim.tenant_profile,
+                tenants_per_host=sim.tenants_per_host,
+                population_mode=sim.population_mode,
                 power_config=sim.power_config,
                 breaker_knee_ratio=sim.breaker_knee_ratio,
                 fault_schedule=shard_schedules[i],
