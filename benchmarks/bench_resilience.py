@@ -1,0 +1,216 @@
+"""Checkpoint overhead and crash-recovery latency (resilience layer).
+
+Two claims from ``docs/resilience.md`` are enforced here so they are
+tracked per commit instead of asserted once and forgotten:
+
+- **Checkpointing is cheap.** Periodic shard snapshots
+  (:mod:`repro.sim.resilience`) must not tax the fleet loop: the time
+  spent inside checkpoint barriers (driver broadcast + shard pickling
+  + atomic snapshot writes + manifest, all measured directly) must
+  stay under 5% of run wall. Paired checkpointed-vs-plain wall times
+  ride along as informational data — on oversubscribed single-core CI
+  runners their run-to-run scheduler noise (±10-20%) swamps the real
+  cost, so the gate uses the direct measurement, not the noisy ratio.
+  Correctness is asserted either way — the checkpointed trace must be
+  bit-identical to the plain one (snapshots are observationally
+  transparent).
+- **Recovery is fast and exact.** Killing a shard worker mid-run must
+  heal through snapshot restore + frame replay, finish with a trace
+  bit-identical to the undisturbed golden run, and record how long the
+  respawn/replay detour took (``resilience.recovery_wall_s``).
+
+Results land in ``benchmarks/out/BENCH_resilience.json`` (one top-level
+key per test, so subsets can run) plus human-readable summaries.
+
+Environment knobs (used by the CI recovery-smoke job):
+
+- ``BENCH_RESILIENCE_TRIALS``: paired overhead trials (default 3).
+- ``RESILIENCE_OVERHEAD_GATE``: max allowed share of run wall spent
+  inside checkpoint barriers (default 0.05; ``0`` disables the gate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import write_result
+from repro.datacenter.simulation import DatacenterSimulation
+
+SEED = 167
+SERVERS = 8
+RACK_SIZE = 2
+WORKERS = 4
+
+#: virtual seconds per measured run; with 1 s ticks and 120 s cadence a
+#: run takes 4 interior checkpoints (the final barrier is not a safepoint)
+VIRTUAL_S = 600.0
+CHECKPOINT_EVERY = 120.0
+
+
+def _merge_bench_json(results_dir, key, value):
+    """Fold one section into BENCH_resilience.json, creating it if absent."""
+    path = results_dir / "BENCH_resilience.json"
+    if path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        payload = {"bench": "resilience", "cpu_count": os.cpu_count()}
+    payload[key] = value
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _build():
+    return DatacenterSimulation(servers=SERVERS, rack_size=RACK_SIZE, seed=SEED)
+
+
+def _trace(sim):
+    return (
+        tuple(sim.aggregate_trace.times),
+        tuple(sim.aggregate_trace.watts),
+        tuple(sim.aggregate_trace.gaps),
+    )
+
+
+def _timed_run(checkpoint_dir):
+    sim = _build()
+    if checkpoint_dir is not None:
+        sim.enable_resilience(
+            checkpoint_dir=checkpoint_dir, checkpoint_every=CHECKPOINT_EVERY
+        )
+    t0 = time.perf_counter()
+    sim.run(VIRTUAL_S, dt=1.0, parallel=WORKERS)
+    wall = time.perf_counter() - t0
+    trace = _trace(sim)
+    res = sim._parallel.res_metrics
+    checkpoints = res.checkpoints if res is not None else 0
+    ckpt_bytes = res.checkpoint_bytes if res is not None else 0
+    ckpt_wall = res.checkpoint_wall_s if res is not None else 0.0
+    sim.close()
+    return wall, trace, checkpoints, ckpt_bytes, ckpt_wall
+
+
+def test_checkpoint_overhead(results_dir, tmp_path):
+    trials = int(os.environ.get("BENCH_RESILIENCE_TRIALS", "3"))
+    gate = float(os.environ.get("RESILIENCE_OVERHEAD_GATE", "0.05") or 0)
+
+    plain_walls, ckpt_walls = [], []
+    checkpoints = ckpt_bytes = 0
+    ckpt_wall_total = 0.0
+    golden = None
+    for trial in range(trials):
+        plain_wall, plain_trace, _, _, _ = _timed_run(None)
+        ckpt_wall, ckpt_trace, checkpoints, ckpt_bytes, ckpt_wall_total = (
+            _timed_run(str(tmp_path / f"ckpt-{trial}"))
+        )
+        # snapshots must be observationally transparent
+        assert ckpt_trace == plain_trace
+        if golden is None:
+            golden = plain_trace
+        else:
+            assert plain_trace == golden
+        assert checkpoints >= 4, f"only {checkpoints} checkpoints fired"
+        plain_walls.append(plain_wall)
+        ckpt_walls.append(ckpt_wall)
+
+    # best-of-N walls: CPU-bound work has a noise floor, so minima are
+    # the cleanest wall estimates (informational — see module docstring)
+    ratio = min(ckpt_walls) / min(plain_walls)
+    ckpt_share = ckpt_wall_total / min(ckpt_walls)
+    if gate > 0:
+        assert ckpt_share < gate, (
+            f"checkpoint barriers consumed {ckpt_share:.1%} of run wall"
+            f" (gate {gate:.0%}; {checkpoints} snapshots,"
+            f" {ckpt_wall_total * 1e3:.1f} ms)"
+        )
+
+    section = {
+        "servers": SERVERS,
+        "workers": WORKERS,
+        "virtual_seconds": VIRTUAL_S,
+        "checkpoint_every_s": CHECKPOINT_EVERY,
+        "trials": trials,
+        "plain_wall_s": [round(w, 3) for w in plain_walls],
+        "checkpointed_wall_s": [round(w, 3) for w in ckpt_walls],
+        "best_wall_ratio": round(ratio, 4),
+        "checkpoint_wall_share": round(ckpt_share, 4),
+        "gate_share": gate,
+        "checkpoints_per_run": checkpoints,
+        "snapshot_bytes_per_run": ckpt_bytes,
+        "checkpoint_wall_s_per_run": round(ckpt_wall_total, 4),
+    }
+    _merge_bench_json(results_dir, "checkpoint_overhead", section)
+    write_result(
+        results_dir,
+        "resilience_overhead",
+        "checkpointed vs plain parallel fleet (paired runs)\n\n"
+        f"{SERVERS} servers / {WORKERS} shards, {VIRTUAL_S:.0f}s at 1s"
+        f" ticks, snapshot every {CHECKPOINT_EVERY:.0f}s\n"
+        f"plain walls:        {[f'{w:.2f}' for w in plain_walls]}\n"
+        f"checkpointed walls: {[f'{w:.2f}' for w in ckpt_walls]}\n"
+        f"best-of-{trials} ratio:    {ratio:.3f} (informational)\n"
+        f"per run: {checkpoints} snapshots, {ckpt_bytes} B,"
+        f" {ckpt_wall_total * 1e3:.1f} ms inside checkpoint barriers\n"
+        f"checkpoint share:   {ckpt_share:.2%} of wall (gate < {gate:.0%})",
+    )
+
+
+def test_recovery_latency(results_dir, tmp_path):
+    # golden: undisturbed checkpointed run
+    g_sim = _build()
+    g_sim.enable_resilience(
+        checkpoint_dir=str(tmp_path / "golden"),
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    g_sim.run(VIRTUAL_S, dt=1.0, parallel=WORKERS)
+    golden = _trace(g_sim)
+    g_sim.close()
+
+    # victim: same run, one shard shot mid-window; the supervisor must
+    # respawn it from the latest snapshot and replay it forward
+    sim = _build()
+    sim.enable_resilience(
+        checkpoint_dir=str(tmp_path / "victim"),
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    sim.run(VIRTUAL_S / 2, dt=1.0, parallel=WORKERS)
+    sim._parallel.debug_crash_worker(0)
+    t0 = time.perf_counter()
+    sim.run(VIRTUAL_S / 2, dt=1.0)
+    healed_window_wall = time.perf_counter() - t0
+    res = sim._parallel.res_metrics
+    assert res.restarts == 1
+    recovery_wall = res.recovery_wall_s
+    replayed_frames = res.replayed_frames
+    replayed_ticks = res.replayed_ticks
+    healed = _trace(sim)
+    sim.close()
+
+    # recovery must be exact, not merely survived
+    assert healed == golden
+
+    section = {
+        "servers": SERVERS,
+        "workers": WORKERS,
+        "virtual_seconds": VIRTUAL_S,
+        "checkpoint_every_s": CHECKPOINT_EVERY,
+        "crashed_shard": 0,
+        "restarts": res.restarts,
+        "recovery_wall_s": round(recovery_wall, 4),
+        "replayed_frames": replayed_frames,
+        "replayed_ticks": replayed_ticks,
+        "healed_window_wall_s": round(healed_window_wall, 3),
+        "trace_bit_identical": True,
+    }
+    _merge_bench_json(results_dir, "recovery_latency", section)
+    write_result(
+        results_dir,
+        "resilience_recovery",
+        "shard crash recovery (respawn + snapshot restore + replay)\n\n"
+        f"{SERVERS} servers / {WORKERS} shards, shard 0 killed at"
+        f" t={VIRTUAL_S / 2:.0f}s of {VIRTUAL_S:.0f}s\n"
+        f"recovery detour:  {recovery_wall * 1e3:.1f} ms"
+        f" ({replayed_frames} frames / {replayed_ticks} ticks replayed)\n"
+        f"healed window:    {healed_window_wall:.2f}s wall\n"
+        "trace: bit-identical to undisturbed golden run",
+    )

@@ -245,6 +245,7 @@ class SynergisticAttack(_StrategyBase):
         max_trials: Optional[int] = None,
         learn_s: float = 0.0,
         monitor_factory: Callable = RaplPowerMonitor,
+        resume_key: Optional[str] = None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -255,6 +256,18 @@ class SynergisticAttack(_StrategyBase):
         #: the crest detector's band reflects the real range instead of a
         #: short prefix.
         self.learn_s = learn_s
+        #: checkpoint/resume participation (``docs/resilience.md``): with
+        #: a key set, the strategy contributes its driver-side campaign
+        #: state to every checkpoint manifest and, on a resumed sim that
+        #: restored such a manifest, reconstructs itself from it instead
+        #: of re-attaching monitors (the restored shard workers already
+        #: hold them).
+        self.resume_key = resume_key
+        restored = (
+            self.sim.restored_extras.get(resume_key)
+            if resume_key is not None
+            else None
+        )
         #: the leaked signal source: RAPL by default, or the Section
         #: VII-A utilization estimator on hosts without RAPL. In parallel
         #: mode each monitor is built *inside* the shard worker owning
@@ -262,34 +275,87 @@ class SynergisticAttack(_StrategyBase):
         #: the dict holds driver-side handles instead.
         self.monitors: Dict[str, object] = {}
         self._monitors_unavailable = 0
-        for instance in self.instances:
-            if self._par is not None:
-                observer_id = self._par.attach_monitor(
-                    instance.instance_id, monitor_factory
+        #: campaign state promoted to attributes so a checkpoint taken at
+        #: a mid-campaign safepoint can capture it (None while no
+        #: campaign is live)
+        self._outcome: Optional[AttackOutcome] = None
+        self._campaign_start = 0.0
+        self._last_burst = -1e18
+        self._restored_campaign: Optional[dict] = None
+        if restored is not None:
+            if self._par is None:
+                raise AttackError(
+                    "restored campaign state requires the parallel engine"
+                    " (resume the simulation before building the strategy)"
                 )
-                if observer_id is None:
+            # the restored shard workers hold this campaign's monitors
+            # already (they rode the snapshots); rebuild only the
+            # driver-side handles and detector state
+            for instance_id, observer_id in restored["observers"].items():
+                self.monitors[instance_id] = ShardMonitorHandle(
+                    self._par, observer_id, instance_id
+                )
+            self._monitors_unavailable = restored["monitors_unavailable"]
+            self.detector = restored["detector"]
+            self._restored_campaign = restored["campaign"]
+        else:
+            for instance in self.instances:
+                if self._par is not None:
+                    observer_id = self._par.attach_monitor(
+                        instance.instance_id, monitor_factory
+                    )
+                    if observer_id is None:
+                        self._monitors_unavailable += 1
+                        continue
+                    self.monitors[instance.instance_id] = ShardMonitorHandle(
+                        self._par, observer_id, instance.instance_id
+                    )
+                    continue
+                monitor = monitor_factory(instance)
+                if not monitor.available():
+                    # a masked or currently-faulted channel degrades
+                    # coverage; only losing *every* channel kills the
+                    # attack
                     self._monitors_unavailable += 1
                     continue
-                self.monitors[instance.instance_id] = ShardMonitorHandle(
-                    self._par, observer_id, instance.instance_id
-                )
-                continue
-            monitor = monitor_factory(instance)
-            if not monitor.available():
-                # a masked or currently-faulted channel degrades coverage;
-                # only losing *every* channel kills the attack
-                self._monitors_unavailable += 1
-                continue
-            self.monitors[instance.instance_id] = monitor
+                self.monitors[instance.instance_id] = monitor
+            # One detector over the *sum* of the per-server RAPL signals:
+            # the attacker cares about the load on the shared power feed,
+            # so the trigger is a crest of the aggregate, not of any
+            # single machine.
+            self.detector = detector_factory()
         if not self.monitors:
             raise AttackError(
                 "no instance can read the leaked signal channel; "
                 "synergistic attack needs the leak"
             )
-        # One detector over the *sum* of the per-server RAPL signals: the
-        # attacker cares about the load on the shared power feed, so the
-        # trigger is a crest of the aggregate, not of any single machine.
-        self.detector = detector_factory()
+        if resume_key is not None:
+            self.sim.checkpoint_extras[resume_key] = self._checkpoint_state
+
+    def _checkpoint_state(self) -> dict:
+        """Driver-side campaign state for the checkpoint manifest.
+
+        Captured only at safepoints (top of a campaign iteration), where
+        the loop state is exactly these four scalars plus the detector;
+        worker-side monitor state rides the shard snapshots.
+        """
+        state = {
+            "observers": {
+                instance_id: handle.observer_id
+                for instance_id, handle in self.monitors.items()
+            },
+            "monitors_unavailable": self._monitors_unavailable,
+            "detector": self.detector,
+            "campaign": None,
+        }
+        if self._outcome is not None:
+            state["campaign"] = {
+                "start": self._campaign_start,
+                "trials": self._outcome.trials,
+                "spikes": list(self._outcome.spike_watts),
+                "last_burst": self._last_burst,
+            }
+        return state
 
     def _aggregate_sample(self) -> Optional[float]:
         watts = [m.sample(self.sim.now) for m in self.monitors.values()]
@@ -338,21 +404,40 @@ class SynergisticAttack(_StrategyBase):
             if par is not None
             else ()
         )
-        start = self.sim.now
+        # a resumed sim replays already-covered windows as no-ops; drain
+        # them at the monitoring cadence (burst_s is a dt multiple, so
+        # the replay cursor lands exactly on the checkpoint time)
+        while self.sim.replaying:
+            self.sim.run(dt, dt=dt, coalesce=coalesce)
+        restored = self._restored_campaign
+        self._restored_campaign = None
         outcome = AttackOutcome(strategy=self.name, duration_s=duration_s)
-        if tracer is not None and self.learn_s > 0:
-            # the Section IV-A learning phase is a fixed sim-time window
-            # known up front; record it as one recon span
-            tracer.add_span(
-                "attack.recon",
-                start,
-                start + min(self.learn_s, duration_s),
-                0.0,
-                track="attack",
-                learn_s=self.learn_s,
-            )
-        last_burst = -1e18
+        if restored is not None:
+            # mid-campaign checkpoint: pick the loop up where the golden
+            # run stood at the snapshot instant (the recon span is
+            # already in the restored tracer timeline)
+            start = restored["start"]
+            outcome.trials = restored["trials"]
+            outcome.spike_watts = list(restored["spikes"])
+            self._last_burst = restored["last_burst"]
+        else:
+            start = self.sim.now
+            self._last_burst = -1e18
+            if tracer is not None and self.learn_s > 0:
+                # the Section IV-A learning phase is a fixed sim-time
+                # window known up front; record it as one recon span
+                tracer.add_span(
+                    "attack.recon",
+                    start,
+                    start + min(self.learn_s, duration_s),
+                    0.0,
+                    track="attack",
+                    learn_s=self.learn_s,
+                )
+        self._outcome = outcome
+        self._campaign_start = start
         while self.sim.now - start < duration_s:
+            self.sim.checkpoint_safepoint()
             if tracer is not None:
                 m_t0, m_w0 = self.sim.now, perf_counter()
             self._next_event = self.sim.now + dt
@@ -380,13 +465,13 @@ class SynergisticAttack(_StrategyBase):
                 is_crest
                 and armed
                 and trials_left
-                and self.sim.now - last_burst >= self.cooldown_s
+                and self.sim.now - self._last_burst >= self.cooldown_s
             ):
                 if tracer is not None:
                     b_t0, b_w0 = self.sim.now, perf_counter()
                 self._burst()
                 outcome.trials += 1
-                last_burst = self.sim.now
+                self._last_burst = self.sim.now
                 self._next_event = self.sim.now + self.burst_s
                 self.sim.run(self.burst_s, dt=dt, coalesce=coalesce)
                 spike = self.sim.aggregate_trace.window(
@@ -409,6 +494,7 @@ class SynergisticAttack(_StrategyBase):
                         spike=spike.peak if len(spike) else 0.0,
                     )
         self._next_event = math.inf
+        self._outcome = None
         return self._finish(outcome, start)
 
     def release_monitors(self) -> None:

@@ -120,19 +120,30 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    flag_error = _check_resilience_args(args)
+    if flag_error:
+        print(f"error: {flag_error}", file=sys.stderr)
+        return 2
     tenants = DiurnalProfile(
         base_cores=1.0, peak_cores=1.5, bursts_per_day=200.0,
         burst_cores=5.0, burst_duration_s=45.0, noise=0.05,
     )
     trace_out = getattr(args, "trace_out", None)
 
-    def setup(trace=False):
+    def setup(trace=False, resilient=False):
         sim = DatacenterSimulation(
             servers=args.servers, seed=args.seed, sample_interval_s=1.0,
             tenant_profile=tenants,
         )
         if trace:
             sim.enable_tracing()
+        # only the synergistic campaign checkpoints; the periodic
+        # baseline is cheap to rerun from scratch
+        if resilient and args.checkpoint_dir:
+            sim.enable_resilience(
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+            )
         instances, covered = [], set()
         while len(covered) < args.servers:
             inst = sim.cloud.launch_instance("attacker")
@@ -144,12 +155,15 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         # the first run decides the execution mode: with --parallel the
         # warmup shards the fleet, and the strategies built afterwards
         # get shard-resident monitors automatically
-        sim.run(300.0, dt=1.0, parallel=args.parallel)
+        sim.run(300.0, dt=1.0, parallel=args.parallel,
+                resume=resilient and args.resume)
         return sim, instances
 
     mode = f" (parallel x{args.parallel})" if args.parallel else ""
-    print(f"running synergistic attack on {args.servers} servers{mode}...")
-    sim_s, inst_s = setup(trace=bool(trace_out))
+    resumed = " [resumed]" if args.resume else ""
+    print(f"running synergistic attack on {args.servers} servers{mode}"
+          f"{resumed}...")
+    sim_s, inst_s = setup(trace=bool(trace_out), resilient=True)
     try:
         syn = SynergisticAttack(
             sim_s, inst_s, burst_s=30.0, cooldown_s=300.0, max_trials=2,
@@ -157,6 +171,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             detector_factory=lambda: CrestDetector(
                 window=2000, threshold_fraction=0.85, min_band_watts=15.0
             ),
+            resume_key="synergistic" if args.checkpoint_dir else None,
         ).run(args.duration)
         if trace_out:
             _export_trace(sim_s.tracer, args)
@@ -190,6 +205,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    flag_error = _check_resilience_args(args)
+    if flag_error:
+        print(f"error: {flag_error}", file=sys.stderr)
+        return 2
     sim = DatacenterSimulation(
         servers=args.servers,
         rack_size=args.rack_size,
@@ -199,6 +218,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         sim.enable_tracing()
+    if args.checkpoint_dir:
+        sim.enable_resilience(
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
     if args.faults:
         sim.install_faults(
             FaultSchedule.standard(
@@ -210,12 +234,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(
         f"running {args.servers} servers / {len(sim.racks)} racks for "
         f"{args.duration:.0f}s ({mode}"
-        f"{', coalescing' if args.coalesce else ''})..."
+        f"{', coalescing' if args.coalesce else ''}"
+        f"{', resumed' if args.resume else ''})..."
     )
     try:
         sim.run(
             args.duration, dt=args.dt,
             coalesce=args.coalesce, parallel=args.parallel,
+            resume=args.resume,
         )
         trace = sim.aggregate_trace
         print(
@@ -315,6 +341,30 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="write deterministic checkpoints here every"
+                             " --checkpoint-every sim-seconds (parallel"
+                             " only; docs/resilience.md)")
+    parser.add_argument("--checkpoint-every", type=float, default=300.0,
+                        metavar="S",
+                        help="checkpoint interval in simulated seconds")
+    parser.add_argument("--resume", action="store_true",
+                        help="restart from the latest checkpoint in"
+                             " --checkpoint-dir instead of starting fresh"
+                             " (bit-identical to an uninterrupted run)")
+
+
+def _check_resilience_args(args: argparse.Namespace) -> Optional[str]:
+    """Validate the checkpoint/resume flag combination (None = fine)."""
+    if args.checkpoint_dir and not args.parallel:
+        return ("--checkpoint-dir requires --parallel: the sharded engine"
+                " writes the snapshots")
+    if args.resume and not args.checkpoint_dir:
+        return "--resume requires --checkpoint-dir to restore from"
+    return None
+
+
 def _add_attack_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--servers", type=int, default=4)
     parser.add_argument("--duration", type=float, default=1200.0,
@@ -323,6 +373,7 @@ def _add_attack_args(parser: argparse.ArgumentParser) -> None:
                         help="rack-shard the fleet across N spawn worker"
                              " processes with shard-resident attacker"
                              " monitors (0 = serial; docs/parallel.md)")
+    _add_resilience_args(parser)
 
 
 def _add_fleet_args(parser: argparse.ArgumentParser) -> None:
@@ -342,6 +393,7 @@ def _add_fleet_args(parser: argparse.ArgumentParser) -> None:
                              " (0 = serial; docs/parallel.md)")
     parser.add_argument("--faults", action="store_true",
                         help="install the standard chaos fault schedule")
+    _add_resilience_args(parser)
 
 
 def _add_trace_args(parser: argparse.ArgumentParser) -> None:

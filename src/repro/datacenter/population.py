@@ -209,6 +209,31 @@ class TenantPopulation:
         self._day_cache: Optional[int] = None
 
     # ------------------------------------------------------------------
+    # checkpoint snapshots
+
+    # ``_task_info`` is keyed on ``id(task)``, which does not survive a
+    # pickle round trip: snapshots encode it positionally against the
+    # ``_tasks`` rows (every live task is in both structures — kills pop
+    # the pair together and prunes only drop already-popped tasks) and
+    # restore rebuilds the id-keyed dict from the unpickled task objects.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_task_info"] = [
+            [self._task_info.get(id(task), (0, None))[1] for task in row]
+            for row in self._tasks
+        ]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        encoded = state.pop("_task_info")
+        self.__dict__.update(state)
+        self._task_info = {}
+        for s, (row, demands) in enumerate(zip(self._tasks, encoded)):
+            for task, demand in zip(row, demands):
+                if demand is not None:
+                    self._task_info[id(task)] = (s, demand)
+
+    # ------------------------------------------------------------------
     # construction
 
     @classmethod

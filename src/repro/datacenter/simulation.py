@@ -314,6 +314,19 @@ class DatacenterSimulation:
         #: opt-in span tracer (``None`` until :meth:`enable_tracing`)
         self.tracer: Optional[SpanTracer] = None
 
+        #: opt-in checkpoint/supervision config (:meth:`enable_resilience`)
+        self.resilience = None
+        #: strategy-registered state providers folded into each manifest
+        #: (key -> zero-arg callable); once any are present, checkpoints
+        #: fire only at :meth:`checkpoint_safepoint` calls
+        self.checkpoint_extras: Dict[str, Callable[[], object]] = {}
+        #: manifest extras from a resumed run, for strategies to restore
+        self.restored_extras: Dict[str, object] = {}
+        #: replay cursor (resume): caller windows at or before
+        #: ``_replay_until`` were already executed by the checkpointed run
+        self._replay_until: Optional[float] = None
+        self._replay_cursor: Optional[float] = None
+
         self._start_time = self.cloud.clock.now
 
     def install_faults(
@@ -370,6 +383,61 @@ class DatacenterSimulation:
             if self.fault_injector is not None:
                 self.fault_injector.tracer = self.tracer
         return self.tracer
+
+    def enable_resilience(
+        self,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: float = 300.0,
+        barrier_timeout_s: float = 600.0,
+        max_restarts: int = 2,
+        supervise: bool = True,
+    ):
+        """Turn on the self-healing machinery for the parallel engine.
+
+        Must be called before the first parallel run (the engine reads
+        the config at startup). With ``checkpoint_dir`` set, every shard
+        serializes its recoverable state into versioned snapshots every
+        ``checkpoint_every`` sim-seconds and the driver writes a matching
+        manifest; ``run(resume=True)`` restarts from the latest one.
+        With ``supervise`` on, a worker that dies or misses the
+        ``barrier_timeout_s`` reply deadline is killed and respawned from
+        the latest snapshot (up to ``max_restarts`` times per shard) and
+        replayed forward bit-identically. See ``docs/resilience.md``.
+        """
+        from repro.sim.resilience import ResilienceConfig
+
+        if self._parallel is not None:
+            raise SimulationError(
+                "enable resilience before the first parallel run: the"
+                " engine wires its supervisor and checkpoint clock at"
+                " startup"
+            )
+        self.resilience = ResilienceConfig(
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            barrier_timeout_s=barrier_timeout_s,
+            max_restarts=max_restarts,
+            supervise=supervise,
+        )
+        return self.resilience
+
+    @property
+    def replaying(self) -> bool:
+        """True while a resumed run is still skipping pre-checkpoint windows."""
+        return self._replay_until is not None
+
+    def checkpoint_safepoint(self) -> None:
+        """Offer a checkpoint at a strategy-loop safepoint.
+
+        Strategies that register :attr:`checkpoint_extras` call this at
+        the top of each campaign iteration — the only instants where
+        their driver-side state is reconstructable — and the engine
+        snapshots there if a ``checkpoint_every`` boundary has passed.
+        No-op while serial, while resilience is off, or while a resumed
+        run is still replaying toward the checkpoint time.
+        """
+        if self._parallel is not None and self._replay_until is None:
+            self._parallel.checkpoint_if_due()
 
     # ------------------------------------------------------------------
 
@@ -511,6 +579,7 @@ class DatacenterSimulation:
         on_tick: Optional[Callable[["DatacenterSimulation"], None]] = None,
         coalesce: bool = False,
         parallel: int = 0,
+        resume: bool = False,
     ) -> None:
         """Advance the fleet, tenants, breakers, and traces.
 
@@ -537,6 +606,15 @@ class DatacenterSimulation:
         from a fresh simulation; once parallel, later runs inherit the
         parallel engine (callers like attack strategies just call
         ``run()`` and stay on the worker-held fleet).
+
+        With ``resume=True`` on the *first* parallel run (requires
+        :meth:`enable_resilience` with a ``checkpoint_dir``), the engine
+        restores the fleet from the latest on-disk checkpoint instead of
+        building fresh, and subsequent ``run`` calls replay through the
+        already-covered caller windows as no-ops until virtual time
+        passes the checkpoint — so campaign code reissues the exact same
+        call sequence and the completed trace is bit-identical to an
+        uninterrupted run. See ``docs/resilience.md``.
         """
         if seconds <= 0:
             raise SimulationError(f"run needs positive duration: {seconds}")
@@ -549,9 +627,61 @@ class DatacenterSimulation:
             if self._parallel is None:
                 from repro.sim.parallel import ParallelFleetEngine
 
-                self._parallel = ParallelFleetEngine(self, workers=parallel)
+                if resume:
+                    cfg = self.resilience
+                    if cfg is None or cfg.checkpoint_dir is None:
+                        raise SimulationError(
+                            "resume requires enable_resilience() with a"
+                            " checkpoint_dir to restore from"
+                        )
+                    self._parallel = ParallelFleetEngine(
+                        self, workers=parallel, resume_dir=cfg.checkpoint_dir
+                    )
+                    self._replay_until = self._parallel.clock.now
+                    self._replay_cursor = self._start_time
+                else:
+                    self._parallel = ParallelFleetEngine(self, workers=parallel)
+            elif resume:
+                raise SimulationError(
+                    "resume must be requested on the first parallel run;"
+                    " the engine is already live"
+                )
+            if self._replay_until is not None:
+                covered = self._replay_cursor
+                if covered + seconds <= self._replay_until + 1e-9:
+                    # window fully executed before the checkpoint: no-op
+                    self._replay_cursor = covered + seconds
+                    if self._replay_cursor >= self._replay_until - 1e-9:
+                        self._replay_until = None
+                        self._replay_cursor = None
+                    return
+                # window straddles the checkpoint: run only the tail,
+                # reporting the caller's full window in the trace span
+                # and skipping the run-start barrier the golden run
+                # never had mid-window
+                remainder = covered + seconds - self._replay_until
+                self._replay_until = None
+                self._replay_cursor = None
+                self._parallel.run(
+                    remainder,
+                    dt=dt,
+                    coalesce=coalesce,
+                    span_t0=covered,
+                    span_seconds=seconds,
+                    skip_begin=True,
+                )
+                return
             self._parallel.run(seconds, dt=dt, coalesce=coalesce)
             return
+        if resume:
+            raise SimulationError(
+                "resume requires a parallel run (pass parallel=N)"
+            )
+        if self.resilience is not None and self.resilience.checkpoint_dir:
+            raise SimulationError(
+                "checkpointing requires the parallel engine; serial runs"
+                " do not snapshot"
+            )
         engine = self.fastforward
         injector = self.fault_injector
         tracer = self.tracer

@@ -79,6 +79,16 @@ class WallPowerCache:
         self._entries[key] = (tick, value)
         return value
 
+    def reset(self) -> None:
+        """Drop all memo entries (hit/miss counters survive).
+
+        Required after unpickling a checkpoint snapshot: entries are
+        keyed on ``id(kernel)``, and the restored process assigns fresh
+        ids — a recycled id could alias a stale entry onto a different
+        kernel at a matching tick count.
+        """
+        self._entries.clear()
+
 
 @dataclass
 class Rack:

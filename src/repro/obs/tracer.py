@@ -198,6 +198,55 @@ class SpanTracer:
             self._head = (self._head + 1) % self.capacity
             self.dropped += 1
 
+    # --------------------------------------------------------- checkpoint
+
+    def counters(self) -> Tuple[int, int]:
+        """``(seq, dropped)`` for shard snapshots.
+
+        A restored shard rebuilds its tracer fresh (the ``now_fn``
+        closure over the restored clock cannot be pickled) but must keep
+        numbering events where the dead worker left off: ``seq`` breaks
+        timeline sort ties, so a replayed worker whose counters restart
+        at zero would order re-drained events differently than the
+        uninterrupted run.
+        """
+        return (self._seq, self.dropped)
+
+    def restore_counters(self, seq: int, dropped: int) -> None:
+        """Restore :meth:`counters` into a freshly built tracer."""
+        self._seq = seq
+        self.dropped = dropped
+
+    def snapshot_state(self) -> dict:
+        """Full event state for the driver-side checkpoint manifest.
+
+        Unlike shard tracers (drained every barrier, so only counters
+        matter), the driver tracer accumulates the whole merged timeline
+        — a resumed campaign must restore every event recorded before
+        the checkpoint to reproduce the golden export bit-identically.
+        """
+        return {
+            "events": list(self._events),
+            "head": self._head,
+            "seq": self._seq,
+            "dropped": self.dropped,
+            "ingested": list(self._ingested),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` blob on campaign resume."""
+        self._events = [
+            e if isinstance(e, TraceEvent) else TraceEvent(*e)
+            for e in state["events"]
+        ]
+        self._head = state["head"]
+        self._seq = state["seq"]
+        self.dropped = state["dropped"]
+        self._ingested = [
+            e if isinstance(e, TraceEvent) else TraceEvent(*e)
+            for e in state["ingested"]
+        ]
+
     # -------------------------------------------------------------- merge
 
     def drain(self) -> Tuple[TraceEvent, ...]:

@@ -30,6 +30,19 @@ class PseudoVFS:
         self.proc = build_proc_tree(kernel)
         self.sys = build_sys_tree(kernel)
 
+    # The trees are pure functions of the kernel (renderers close over
+    # nothing but node identity), so checkpoint snapshots carry only the
+    # kernel and rebuild both trees on restore. Renderer replacements
+    # applied by :mod:`repro.defense.kernel_patches` are driver-side
+    # defense state and are not part of shard snapshots.
+    def __getstate__(self):
+        return {"kernel": self.kernel}
+
+    def __setstate__(self, state) -> None:
+        self.kernel = state["kernel"]
+        self.proc = build_proc_tree(self.kernel)
+        self.sys = build_sys_tree(self.kernel)
+
     # ------------------------------------------------------------------
 
     def _resolve(self, path: str) -> Optional[object]:

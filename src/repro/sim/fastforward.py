@@ -195,6 +195,14 @@ class StabilityTracker:
         """Forget history (forces a stabilizing tick next plan)."""
         self._last = None
 
+    def snapshot(self) -> Optional[Tuple]:
+        """The last observed fingerprint, for checkpoint manifests."""
+        return self._last
+
+    def restore(self, state: Optional[Tuple]) -> None:
+        """Restore a :meth:`snapshot` value on campaign resume."""
+        self._last = state
+
 
 class FastForwardEngine:
     """Plans tick sizes: base ``dt`` near events, large steps in between.

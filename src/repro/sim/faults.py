@@ -580,6 +580,17 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
 
+    def __getstate__(self) -> dict:
+        # Checkpoint snapshots pickle the injector with its full replay
+        # state (rng streams, schedule cursor, pending expiries, jitter
+        # window) but never the tracer — it closes over a live clock and
+        # is rewired by the restoring side.
+        state = dict(self.__dict__)
+        state["tracer"] = None
+        return state
+
+    # ------------------------------------------------------------------
+
     def crashed_now(self) -> frozenset:
         """Server indices currently down due to a crash fault."""
         return frozenset(self._crashed)

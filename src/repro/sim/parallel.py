@@ -34,6 +34,9 @@ observer ids of shard-resident attack monitors to sample)::
     ("degradation", oid)                   -> ("ok", {...})
     ("sample", bank, oids, ops)            -> ("ok", None)
     ("release", oid)                       -> ("ok", None)  # free the slot
+    ("checkpoint", seq, dir)               -> ("ok", (bytes, wall_s))
+    ("replay", frames)                     -> ("ok", count)  # respawn catch-up
+    ("hang", seconds)                      -> ("ok", None)   # test hook: stall
     ("crash",)                             -> no reply; worker exits (test hook)
     ("close",)                             -> worker exits
 
@@ -110,6 +113,16 @@ from repro.sim.clock import VirtualClock
 from repro.sim.faults import FaultInjector, FaultSchedule, FaultStats, JitterModel
 from repro.sim.fastforward import fold_driver_horizons
 from repro.sim.metrics import IpcMetrics, WallTimer
+from repro.sim.resilience import (
+    MANIFEST_VERSION,
+    SNAPSHOT_VERSION,
+    ResilienceMetrics,
+    atomic_write,
+    load_manifest,
+    manifest_path,
+    read_snapshot,
+    shard_snapshot_path,
+)
 from repro.sim.rng import DeterministicRNG
 from repro.sim.telemetry import TelemetryPlane
 
@@ -120,6 +133,24 @@ _STARTUP_TIMEOUT_S = 120.0
 
 #: poll granularity while waiting on a shard reply (liveness checks)
 _POLL_S = 0.1
+
+#: barrier reply timeout when no ResilienceConfig overrides it — long
+#: enough for any honest coalesced step, short enough to ever return
+_DEFAULT_BARRIER_TIMEOUT_S = 600.0
+
+#: frames never recorded in the supervisor's replay log: lifecycle and
+#: recovery traffic (replaying them would recurse), plus the test hooks
+_UNLOGGED_FRAMES = frozenset({"crash", "close", "checkpoint", "replay", "hang"})
+
+
+class _ShardFailure(Exception):
+    """Internal: one shard died or hung mid-protocol (driver side)."""
+
+    def __init__(self, kind: str, detail: str, cause: Optional[BaseException] = None):
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind  # "died" | "hung"
+        self.detail = detail
+        self.cause = cause
 
 
 def _dumps(obj) -> bytes:
@@ -309,6 +340,107 @@ class _ShardRuntime:
         self.monitors: Dict[str, tuple] = {}
         self._last_dark: set = set()
         self._sent_dark: frozenset = frozenset()
+        #: test hook (("hang", s) frame): stall the next reply this long
+        self._hang_s = 0.0
+
+    # -- checkpoint / restore -------------------------------------------
+
+    def checkpoint(self, seq: int, directory: str) -> Tuple[int, float]:
+        """Serialize this shard's recoverable state; returns (bytes, wall_s).
+
+        Everything lands in ONE pickle so shared identity survives the
+        round trip: the kernels referenced by hosts, racks, populations,
+        monitors, instances, and the fault injector come back as the
+        same objects, and the shard clock stays the clock those kernels
+        tick against. Excluded on purpose: the telemetry plane (re-
+        attached by segment name), the tracer (rebuilt around the
+        restored clock; only its ``(seq, dropped)`` counters persist so
+        replayed events renumber identically), and the injector's tracer
+        ref (stripped by ``FaultInjector.__getstate__``).
+        """
+        w0 = time.perf_counter()
+        payload = {
+            "version": SNAPSHOT_VERSION,
+            "shard_index": self.spec.shard_index,
+            "state": {
+                "clock": self.clock,
+                "hosts": self.hosts,
+                "cache": self.cache,
+                "racks": self.racks,
+                "population": self.population,
+                "tenants": self.tenants,
+                "instances": self.instances,
+                "injector": self.injector,
+                "monitors": self.monitors,
+                "last_dark": self._last_dark,
+                "sent_dark": self._sent_dark,
+                "tracer": None if self.tracer is None else self.tracer.counters(),
+            },
+        }
+        blob = _dumps(payload)
+        atomic_write(
+            shard_snapshot_path(directory, self.spec.shard_index, seq), blob
+        )
+        return (len(blob), time.perf_counter() - w0)
+
+    @classmethod
+    def from_snapshot(cls, spec: ShardSpec, path: str) -> "_ShardRuntime":
+        """Rebuild a shard runtime from a :meth:`checkpoint` snapshot."""
+        payload = read_snapshot(path)
+        if payload["shard_index"] != spec.shard_index:
+            raise SimulationError(
+                f"snapshot {path} belongs to shard {payload['shard_index']},"
+                f" not {spec.shard_index}"
+            )
+        self = cls.__new__(cls)
+        self.spec = spec
+        state = payload["state"]
+        self.clock = state["clock"]
+        self.hosts = state["hosts"]
+        self.cache = state["cache"]
+        # memo entries are keyed on id(kernel); fresh process, fresh ids
+        self.cache.reset()
+        self.racks = state["racks"]
+        self.population = state["population"]
+        self.tenants = state["tenants"]
+        self.instances = state["instances"]
+        self.injector = state["injector"]
+        self.monitors = state["monitors"]
+        self._last_dark = state["last_dark"]
+        self._sent_dark = state["sent_dark"]
+        self.tracer = None
+        if spec.trace:
+            self.tracer = SpanTracer(
+                now_fn=lambda: self.clock.now,
+                track=f"shard-{spec.shard_index}",
+                capacity=spec.trace_capacity,
+            )
+            if state["tracer"] is not None:
+                self.tracer.restore_counters(*state["tracer"])
+        if self.injector is not None:
+            self.injector.tracer = self.tracer
+        self.plane = TelemetryPlane.attach(
+            spec.telemetry_name, spec.total_servers, spec.observer_capacity
+        )
+        self._hang_s = 0.0
+        return self
+
+    def replay(self, frames: tuple) -> int:
+        """Re-execute logged control frames after a restore.
+
+        Full dispatch re-execution, not state patching: stateful streams
+        (per-object tenant ``random.Random`` cursors, monitor backoff
+        state, the tracer's ``seq`` counter) advance exactly as the dead
+        worker's did, so every draw after the replay stays bit-identical
+        to the uninterrupted run. Span buffers are drained and discarded
+        per frame — the driver already ingested these barriers' spans
+        from the worker that died.
+        """
+        for frame in frames:
+            self.dispatch(frame)
+            if self.tracer is not None:
+                self.tracer.drain()
+        return len(frames)
 
     # -- serial-loop mirrors --------------------------------------------
 
@@ -550,13 +682,28 @@ class _ShardRuntime:
             return self.sample_observers(msg[1], msg[2], msg[3])
         if cmd == "release":
             return self.release(msg[1])
+        if cmd == "checkpoint":
+            return self.checkpoint(msg[1], msg[2])
+        if cmd == "replay":
+            return self.replay(msg[1])
         raise SimulationError(f"unknown shard command: {cmd!r}")
 
 
-def _shard_worker_main(spec: ShardSpec, conn) -> None:
-    """Worker entry point: build the shard, then serve the command loop."""
+def _shard_worker_main(
+    spec: ShardSpec, conn, restore_from: Optional[str] = None
+) -> None:
+    """Worker entry point: build (or restore) the shard, serve commands.
+
+    ``restore_from`` is set by the supervisor when respawning a dead or
+    hung shard: the runtime comes back from the named snapshot instead
+    of a fresh seed build, and the first frame it serves is the
+    ``("replay", ...)`` catch-up.
+    """
     try:
-        runtime = _ShardRuntime(spec)
+        if restore_from is not None:
+            runtime = _ShardRuntime.from_snapshot(spec, restore_from)
+        else:
+            runtime = _ShardRuntime(spec)
     except Exception:
         try:
             conn.send_bytes(_dumps(("error", traceback.format_exc())))
@@ -574,6 +721,10 @@ def _shard_worker_main(spec: ShardSpec, conn) -> None:
                 return
             if msg[0] == "crash":  # test hook: die without a word
                 os._exit(1)
+            if msg[0] == "hang":  # test hook: stall the next reply
+                runtime._hang_s = float(msg[1])
+                conn.send_bytes(_dumps(("ok", None)))
+                continue
             try:
                 result = runtime.dispatch(msg)
                 if runtime.tracer is not None:
@@ -584,6 +735,12 @@ def _shard_worker_main(spec: ShardSpec, conn) -> None:
                     reply = ("ok", result)
             except Exception:
                 reply = ("error", traceback.format_exc())
+            if runtime._hang_s > 0.0:
+                # armed by a ("hang") frame: simulate a wedged worker at
+                # the next barrier (a respawned runtime starts at 0.0,
+                # so the supervisor's re-sent frame sails through)
+                time.sleep(runtime._hang_s)
+                runtime._hang_s = 0.0
             conn.send_bytes(_dumps(reply))
     finally:
         runtime.plane.close()
@@ -606,6 +763,14 @@ class _DriverFaultReplayer:
         #: optional span tracer (the sim's); jitter events become the
         #: same ``fault.clock-jitter`` markers the serial injector emits
         self.tracer: Optional[SpanTracer] = None
+
+    def __getstate__(self) -> dict:
+        # pickled wholesale into checkpoint manifests (schedule cursor,
+        # jitter rng state, stats) minus the tracer, which the resuming
+        # driver rewires to its own
+        state = dict(self.__dict__)
+        state["tracer"] = None
+        return state
 
     def advance(self, now: float) -> bool:
         events = self.schedule.events
@@ -651,17 +816,47 @@ class ParallelFleetEngine:
     sample-for-sample.
     """
 
-    def __init__(self, sim, workers: int):
+    def __init__(self, sim, workers: int, resume_dir: Optional[str] = None):
         if workers < 1:
             raise SimulationError(f"parallel needs at least one worker: {workers}")
         self.sim = sim
         self._validate_fresh(sim)
         self.total_servers = len(sim.cloud.hosts)
-        self.clock = VirtualClock(start=sim.now)
+        manifest = None
+        if resume_dir is not None:
+            manifest = load_manifest(resume_dir)
+            if manifest["total_servers"] != self.total_servers:
+                raise SimulationError(
+                    f"checkpoint was taken at {manifest['total_servers']}"
+                    f" servers, this simulation has {self.total_servers};"
+                    " resume needs an identically constructed simulation"
+                )
+            if manifest["start_time"] != sim._start_time:
+                raise SimulationError(
+                    "checkpoint start time does not match this simulation;"
+                    " resume needs an identically constructed simulation"
+                )
+        # a resumed engine's clock continues from the checkpoint instant;
+        # the caller-facing replay cursor in DatacenterSimulation.run
+        # no-ops the already-covered window
+        self.clock = VirtualClock(
+            start=sim.now if manifest is None else manifest["now"]
+        )
         self._closed = False
         self.procs: list = []
         self.conns: list = []
         self.plane: Optional[TelemetryPlane] = None
+
+        cfg = sim.resilience
+        self._resilience = cfg
+        self._supervise = cfg is not None and cfg.supervise
+        self._barrier_timeout_s = (
+            cfg.barrier_timeout_s if cfg is not None else _DEFAULT_BARRIER_TIMEOUT_S
+        )
+        self._max_restarts = cfg.max_restarts if cfg is not None else 0
+        self.res_metrics: Optional[ResilienceMetrics] = (
+            ResilienceMetrics(sim.metrics.registry) if cfg is not None else None
+        )
 
         rack_specs = [
             RackShardSpec(
@@ -719,6 +914,31 @@ class ParallelFleetEngine:
         self._observed_at: Optional[float] = None
         self._bank = 0
 
+        if manifest is not None and manifest["workers"] != n:
+            raise SimulationError(
+                f"checkpoint was taken with {manifest['workers']} shard"
+                f" workers, this run resolved to {n}; resume with the same"
+                " --parallel value"
+            )
+        # supervisor bookkeeping: per-shard replay logs (frames since the
+        # last checkpoint), restart budgets, reply-receipt heartbeats, and
+        # the snapshot each respawn restores from (None: fresh rebuild)
+        self._frame_log: List[List[tuple]] = [[] for _ in range(n)]
+        self._restarts: List[int] = [0] * n
+        self._last_reply_wall: List[float] = [time.monotonic()] * n
+        self._restore_paths: List[Optional[str]] = [None] * n
+        self._ckpt_seq = 0
+        self._ckpt_origin = self.clock.now
+        self._prev_ckpt_seq: Optional[int] = None
+        if manifest is not None:
+            self._ckpt_seq = manifest["seq"]
+            self._ckpt_origin = manifest["ckpt_origin"]
+            self._prev_ckpt_seq = manifest["seq"]
+            self._restore_paths = [
+                shard_snapshot_path(resume_dir, i, manifest["seq"])
+                for i in range(n)
+            ]
+
         self.plane = TelemetryPlane.create(
             self.total_servers, self.observer_capacity
         )
@@ -771,42 +991,36 @@ class ParallelFleetEngine:
             for i in range(n)
         ]
 
+        self._specs = specs
         try:
             try:
-                ctx = multiprocessing.get_context("spawn")
+                self._ctx = multiprocessing.get_context("spawn")
             except ValueError as exc:  # pragma: no cover - platform-specific
                 raise SimulationError(
                     "parallel fleet execution needs the 'spawn' process start"
                     " method, which this platform does not provide; run with"
                     " parallel=0"
                 ) from exc
-            for spec in specs:
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_shard_worker_main, args=(spec, child), daemon=True
+            for idx, spec in enumerate(specs):
+                parent, child = self._ctx.Pipe()
+                proc = self._ctx.Process(
+                    target=_shard_worker_main,
+                    args=(spec, child, self._restore_paths[idx]),
+                    daemon=True,
                 )
                 proc.start()
                 child.close()
                 self.procs.append(proc)
                 self.conns.append(parent)
-            for idx, conn in enumerate(self.conns):
-                deadline = time.monotonic() + _STARTUP_TIMEOUT_S
-                while not conn.poll(_POLL_S):
-                    if not self.procs[idx].is_alive() and not conn.poll(0):
-                        raise SimulationError(
-                            f"shard worker {idx} died during startup"
-                            f" (exitcode {self.procs[idx].exitcode})"
-                        )
-                    if time.monotonic() > deadline:
-                        raise SimulationError(
-                            f"shard worker {idx} did not come up within"
-                            f" {_STARTUP_TIMEOUT_S:.0f}s"
-                        )
-                msg = pickle.loads(conn.recv_bytes())
-                if msg[0] != "ready":
+            for idx in range(n):
+                try:
+                    self._wait_ready(idx)
+                except _ShardFailure as failure:
                     raise SimulationError(
-                        f"shard worker {idx} failed to build:\n{msg[1]}"
-                    )
+                        f"shard worker {idx} {failure.detail}"
+                    ) from failure.cause
+            if manifest is not None:
+                self._restore_driver_state(manifest)
         except BaseException:
             self.close()
             raise
@@ -814,6 +1028,81 @@ class ParallelFleetEngine:
             "parallel shard workers own the fleet; launch instances"
             " before the first parallel run"
         )
+
+    def _wait_ready(self, idx: int) -> None:
+        """Block until shard ``idx`` reports ready (bounded, liveness-aware)."""
+        conn = self.conns[idx]
+        proc = self.procs[idx]
+        deadline = time.monotonic() + _STARTUP_TIMEOUT_S
+        while not conn.poll(_POLL_S):
+            if not proc.is_alive() and not conn.poll(0):
+                raise _ShardFailure(
+                    "died",
+                    f"died during startup (exitcode {proc.exitcode})",
+                )
+            if time.monotonic() > deadline:
+                raise _ShardFailure(
+                    "hung",
+                    f"did not come up within {_STARTUP_TIMEOUT_S:.0f}s",
+                )
+        msg = pickle.loads(conn.recv_bytes())
+        if msg[0] != "ready":
+            try:
+                self.close()
+            finally:
+                raise SimulationError(
+                    f"shard worker {idx} failed to build:\n{msg[1]}"
+                )
+        self._last_reply_wall[idx] = time.monotonic()
+
+    def _restore_driver_state(self, manifest: dict) -> None:
+        """Apply a checkpoint manifest's driver-held state (resume boot)."""
+        sim = self.sim
+        if (manifest["tracer"] is not None) != (self._tracer is not None):
+            raise SimulationError(
+                "tracing must match the checkpointed run to resume"
+                " bit-identically: "
+                + (
+                    "the checkpoint was traced, this simulation is not"
+                    if manifest["tracer"] is not None
+                    else "this simulation is traced, the checkpoint was not"
+                )
+            )
+        sample_origin, sample_count, interval = manifest["sample"]
+        sim._sample_origin = sample_origin
+        sim._sample_count = sample_count
+        sim.sample_interval_s = interval
+        self._bank = manifest["bank"]
+        self._shard_dark = [set(dark) for dark in manifest["shard_dark"]]
+        observers = manifest["observers"]
+        self._observer_slots = dict(observers["slots"])
+        self._next_slot = observers["next_slot"]
+        self._free_slots = list(observers["free_slots"])
+        self._observer_epoch = observers["epoch"]
+        self._armed = tuple(observers["armed"])
+        self._observed = dict(observers["observed"])
+        self._observed_at = observers["observed_at"]
+        self._pending_ops = list(manifest["pending_ops"])
+        if manifest["faults"] is not None:
+            # the manifest replayer carries the schedule cursor and the
+            # jitter rng state as of the checkpoint
+            self.faults = manifest["faults"]
+            self.faults.tracer = self._tracer
+        sim.fastforward.stability.restore(manifest["stability"])
+        sim.aggregate_trace = manifest["aggregate_trace"]
+        sim.server_traces = manifest["server_traces"]
+        counters = manifest["metrics"]
+        metrics = sim.metrics
+        metrics.ticks = counters["ticks"]
+        metrics.base_ticks = counters["base_ticks"]
+        metrics.coalesced_ticks = counters["coalesced_ticks"]
+        metrics.virtual_seconds = counters["virtual_seconds"]
+        metrics.coalesced_seconds = counters["coalesced_seconds"]
+        metrics.reference_ticks = counters["reference_ticks"]
+        metrics.samples = counters["samples"]
+        if manifest["tracer"] is not None:
+            self._tracer.restore_state(manifest["tracer"])
+        sim.restored_extras = dict(manifest["extras"])
 
     @staticmethod
     def _validate_fresh(sim) -> None:
@@ -847,35 +1136,167 @@ class ParallelFleetEngine:
 
     # -- control-frame transport ----------------------------------------
 
-    def _shard_died(self, idx: int, cause: Optional[BaseException] = None):
-        code = self.procs[idx].exitcode
+    def _fail_shard(self, idx: int, failure: _ShardFailure) -> None:
+        """Abort the run with the full evidence trail (tears everything down)."""
+        age = time.monotonic() - self._last_reply_wall[idx]
+        waits = self.ipc.barrier_wait_s.get(idx, 0.0)
+        if failure.kind == "hung":
+            what = f"hung in a barrier ({failure.detail})"
+        else:
+            what = f"died mid-protocol ({failure.detail})"
+        if not self._supervise:
+            budget = (
+                "; supervision is off —"
+                " enable_resilience(supervise=True) respawns dead shards"
+            )
+        else:
+            budget = (
+                f"; restart budget exhausted ({self._restarts[idx]}"
+                f"/{self._max_restarts} respawns used)"
+            )
         try:
             self.close()
         finally:
             raise SimulationError(
-                f"shard worker {idx} died mid-protocol (exitcode {code});"
+                f"shard worker {idx} {what}; last reply"
+                f" {age:.1f}s ago, cumulative barrier wait {waits:.1f}s"
+                f" (ipc.barrier_wait_s{{shard={idx}}}){budget};"
                 " workers torn down, shared memory unlinked"
-            ) from cause
+            ) from failure.cause
+
+    def _await_reply(self, idx: int) -> None:
+        """Poll for a reply, bounded by the barrier timeout and liveness."""
+        conn = self.conns[idx]
+        proc = self.procs[idx]
+        deadline = time.monotonic() + self._barrier_timeout_s
+        while not conn.poll(_POLL_S):
+            if not proc.is_alive() and not conn.poll(0):
+                raise _ShardFailure("died", f"exitcode {proc.exitcode}")
+            if time.monotonic() > deadline:
+                raise _ShardFailure(
+                    "hung",
+                    f"no reply within barrier_timeout_s="
+                    f"{self._barrier_timeout_s:.1f}",
+                )
+
+    def _handle_failure(
+        self, idx: int, msg: Optional[tuple], failure: _ShardFailure
+    ) -> None:
+        """Respawn shard ``idx`` (budget permitting) or abort the run."""
+        if not self._supervise or msg is None or msg[0] in ("crash", "close"):
+            self._fail_shard(idx, failure)
+        if self._restarts[idx] >= self._max_restarts:
+            self._fail_shard(idx, failure)
+        self._respawn_shard(idx, msg, failure)
+
+    def _respawn_shard(
+        self, idx: int, msg: tuple, failure: _ShardFailure
+    ) -> None:
+        """Kill/respawn one shard, replay it to the current barrier, resend.
+
+        The replacement restores from the latest snapshot (or rebuilds
+        from seeds when checkpointing is off), replays the frames logged
+        since, then receives the in-flight frame again — by the time the
+        caller's ``_collect`` retries, the shard is indistinguishable
+        from one that never died.
+        """
+        w0 = time.monotonic()
+        self._restarts[idx] += 1
+        if self.res_metrics is not None:
+            self.res_metrics.record_restart()
+        old = self.procs[idx]
+        if old.is_alive():
+            old.terminate()
+            old.join(timeout=5)
+            if old.is_alive():  # pragma: no cover - defensive
+                old.kill()
+                old.join(timeout=5)
+        else:
+            old.join(timeout=5)
+        try:
+            self.conns[idx].close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(self._specs[idx], child, self._restore_paths[idx]),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self.procs[idx] = proc
+        self.conns[idx] = parent
+        frames = list(self._frame_log[idx])
+        if frames and frames[-1] is msg:
+            # the in-flight frame is resent separately below — replaying
+            # it too would double-apply it
+            frames = frames[:-1]
+        try:
+            self._wait_ready(idx)
+            self.conns[idx].send_bytes(_dumps(("replay", tuple(frames))))
+            self._await_reply(idx)
+            reply = pickle.loads(self.conns[idx].recv_bytes())
+        except _ShardFailure as chained:
+            # the replacement died too: recurse within the restart budget
+            # (the deeper call resends ``msg`` itself when it succeeds)
+            self._handle_failure(idx, msg, chained)
+            return
+        except (EOFError, OSError) as exc:
+            self._handle_failure(
+                idx,
+                msg,
+                _ShardFailure("died", f"pipe failed during replay: {exc}", exc),
+            )
+            return
+        if reply[0] == "error":
+            try:
+                self.close()
+            finally:
+                raise SimulationError(
+                    f"respawned shard worker {idx} failed during replay"
+                    f" (original failure: {failure}):\n{reply[1]}"
+                ) from failure.cause
+        self._last_reply_wall[idx] = time.monotonic()
+        if self.res_metrics is not None:
+            ticks = sum(1 for f in frames if f[0] in ("commit", "step"))
+            self.res_metrics.record_replay(
+                len(frames), ticks, time.monotonic() - w0
+            )
+        self.conns[idx].send_bytes(_dumps(msg))
 
     def _post(self, idx: int, msg: tuple) -> int:
         blob = _dumps(msg)
+        if self._supervise and msg[0] not in _UNLOGGED_FRAMES:
+            self._frame_log[idx].append(msg)
         try:
             self.conns[idx].send_bytes(blob)
         except (BrokenPipeError, OSError) as exc:
-            self._shard_died(idx, exc)
+            self._handle_failure(
+                idx, msg, _ShardFailure("died", f"pipe write failed: {exc}", exc)
+            )
+            # _handle_failure either raised or respawned + resent msg
         return len(blob)
 
-    def _collect(self, idx: int, sent: int):
-        conn = self.conns[idx]
-        t0 = time.perf_counter()
-        while not conn.poll(_POLL_S):
-            if not self.procs[idx].is_alive() and not conn.poll(0):
-                self._shard_died(idx)
+    def _collect(self, idx: int, sent: int, msg: Optional[tuple] = None):
+        while True:
+            t0 = time.perf_counter()
+            try:
+                self._await_reply(idx)
+                blob = self.conns[idx].recv_bytes()
+            except _ShardFailure as failure:
+                self._handle_failure(idx, msg, failure)
+                continue  # respawned and resent: collect the fresh reply
+            except (EOFError, OSError) as exc:
+                self._handle_failure(
+                    idx,
+                    msg,
+                    _ShardFailure("died", f"pipe read failed: {exc}", exc),
+                )
+                continue
+            break
+        self._last_reply_wall[idx] = time.monotonic()
         self.ipc.record_barrier_wait(idx, time.perf_counter() - t0)
-        try:
-            blob = conn.recv_bytes()
-        except (EOFError, OSError) as exc:
-            self._shard_died(idx, exc)
         self.ipc.record_frame(sent, len(blob))
         reply = pickle.loads(blob)
         if reply[0] == "error":
@@ -894,7 +1315,9 @@ class ParallelFleetEngine:
         if trace_on:
             w0 = time.perf_counter()
         sent = [self._post(idx, msg) for idx, msg in enumerate(msgs)]
-        out = [self._collect(idx, n) for idx, n in enumerate(sent)]
+        out = [
+            self._collect(idx, n, msgs[idx]) for idx, n in enumerate(sent)
+        ]
         if trace_on:
             now = self.clock.now
             tracer.add_span(
@@ -918,7 +1341,7 @@ class ParallelFleetEngine:
         trace_on = tracer is not None and tracer.enabled
         if trace_on:
             w0 = time.perf_counter()
-        out = self._collect(idx, self._post(idx, msg))
+        out = self._collect(idx, self._post(idx, msg), msg)
         if trace_on:
             now = self.clock.now
             tracer.add_span(
@@ -1021,8 +1444,130 @@ class ParallelFleetEngine:
         self._observed = values
         self._observed_at = self.clock.now
 
-    def run(self, seconds: float, dt: float = 1.0, coalesce: bool = False) -> None:
-        """Advance the sharded fleet (mirrors the serial ``run`` loop 1:1)."""
+    # -- checkpointing ---------------------------------------------------
+
+    def checkpoint_if_due(self) -> None:
+        """Write a checkpoint when a ``checkpoint_every`` boundary passed.
+
+        Fired automatically at interior tick barriers while no strategy
+        has registered ``checkpoint_extras`` (fleet runs, attack warmup),
+        and at strategy *safepoints* (``sim.checkpoint_safepoint()``)
+        once one has — so a snapshot never lands mid-iteration of a
+        campaign loop, where driver-side strategy state would be
+        unreconstructable. Boundaries are best-effort: a coalesced tick
+        that jumps several boundaries yields one checkpoint, at the same
+        barrier in every equally-seeded run.
+        """
+        cfg = self._resilience
+        if cfg is None or cfg.checkpoint_dir is None or self._closed:
+            return
+        every = cfg.checkpoint_every
+        now = self.clock.now
+        if now + _EPS < self._ckpt_origin + (self._ckpt_seq + 1) * every:
+            return
+        seq = int(math.floor((now - self._ckpt_origin + _EPS) / every))
+        self._checkpoint(seq, cfg.checkpoint_dir)
+
+    def _checkpoint(self, seq: int, directory: str) -> None:
+        """One checkpoint barrier: shard snapshots, then the manifest.
+
+        Crash-safe ordering — every file is written atomically, shard
+        snapshots land before the manifest flips to the new ``seq``, and
+        only then is the previous checkpoint pruned: an interruption at
+        any instant leaves a complete checkpoint on disk.
+        """
+        w0 = time.perf_counter()
+        os.makedirs(directory, exist_ok=True)
+        replies = self._broadcast(("checkpoint", seq, directory))
+        total_bytes = sum(reply[0] for reply in replies)
+        # capture the manifest after the broadcast so the tracer state
+        # already contains this barrier.checkpoint span (golden and
+        # resumed timelines agree on it)
+        atomic_write(manifest_path(directory), _dumps(self._build_manifest(seq)))
+        prev = self._prev_ckpt_seq
+        self._prev_ckpt_seq = seq
+        self._ckpt_seq = seq
+        for idx in range(len(self.conns)):
+            self._restore_paths[idx] = shard_snapshot_path(directory, idx, seq)
+            self._frame_log[idx].clear()
+        if prev is not None and prev != seq:
+            for idx in range(len(self.conns)):
+                try:
+                    os.unlink(shard_snapshot_path(directory, idx, prev))
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        self.res_metrics.record_checkpoint(
+            total_bytes, time.perf_counter() - w0
+        )
+
+    def _build_manifest(self, seq: int) -> dict:
+        sim = self.sim
+        return {
+            "version": MANIFEST_VERSION,
+            "seq": seq,
+            "now": self.clock.now,
+            "workers": len(self.conns),
+            "total_servers": self.total_servers,
+            "start_time": sim._start_time,
+            "ckpt_origin": self._ckpt_origin,
+            "sample": (
+                sim._sample_origin,
+                sim._sample_count,
+                sim.sample_interval_s,
+            ),
+            "bank": self._bank,
+            "shard_dark": [set(dark) for dark in self._shard_dark],
+            "observers": {
+                "slots": dict(self._observer_slots),
+                "next_slot": self._next_slot,
+                "free_slots": list(self._free_slots),
+                "epoch": self._observer_epoch,
+                "armed": tuple(self._armed),
+                "observed": dict(self._observed),
+                "observed_at": self._observed_at,
+            },
+            "pending_ops": list(self._pending_ops),
+            "faults": self.faults,
+            "stability": sim.fastforward.stability.snapshot(),
+            "aggregate_trace": sim.aggregate_trace,
+            "server_traces": sim.server_traces,
+            "metrics": {
+                "ticks": sim.metrics.ticks,
+                "base_ticks": sim.metrics.base_ticks,
+                "coalesced_ticks": sim.metrics.coalesced_ticks,
+                "virtual_seconds": sim.metrics.virtual_seconds,
+                "coalesced_seconds": sim.metrics.coalesced_seconds,
+                "reference_ticks": sim.metrics.reference_ticks,
+                "samples": sim.metrics.samples,
+            },
+            "tracer": (
+                self._tracer.snapshot_state()
+                if self._tracer is not None
+                else None
+            ),
+            "extras": {
+                key: provider() for key, provider in sim.checkpoint_extras.items()
+            },
+        }
+
+    def run(
+        self,
+        seconds: float,
+        dt: float = 1.0,
+        coalesce: bool = False,
+        span_t0: Optional[float] = None,
+        span_seconds: Optional[float] = None,
+        skip_begin: bool = False,
+    ) -> None:
+        """Advance the sharded fleet (mirrors the serial ``run`` loop 1:1).
+
+        ``span_t0``/``span_seconds``/``skip_begin`` serve the resume
+        path only: the first live run after a resume covers the tail of
+        a caller window whose head the checkpoint already executed, so
+        its ``fleet.run`` span must report the caller's full window and
+        no run-start barrier may fire mid-window (the golden run had
+        none there).
+        """
         if seconds <= 0:
             raise SimulationError(f"run needs positive duration: {seconds}")
         sim = self.sim
@@ -1033,22 +1578,25 @@ class ParallelFleetEngine:
         if trace_on:
             run_t0, run_w0 = self.clock.now, time.perf_counter()
         with WallTimer(sim.metrics):
-            due = self._due_times(self.clock.now)
-            want_row = bool(due)
-            bank = self._next_bank() if want_row else self._bank
-            replies = self._exchange(
-                [
-                    ("begin", bank, want_row, self._take_ops_for(i))
-                    for i in range(n)
-                ]
-            )
-            changed = any(replies)
-            if self.faults is not None and self.faults.advance(self.clock.now):
-                changed = True
-            if changed:
-                engine.stability.reset()
-            if due:
-                self._record_samples(due, bank)
+            if not skip_begin:
+                due = self._due_times(self.clock.now)
+                want_row = bool(due)
+                bank = self._next_bank() if want_row else self._bank
+                replies = self._exchange(
+                    [
+                        ("begin", bank, want_row, self._take_ops_for(i))
+                        for i in range(n)
+                    ]
+                )
+                changed = any(replies)
+                if self.faults is not None and self.faults.advance(
+                    self.clock.now
+                ):
+                    changed = True
+                if changed:
+                    engine.stability.reset()
+                if due:
+                    self._record_samples(due, bank)
             remaining = seconds
             while remaining > _EPS:
                 if trace_on:
@@ -1115,13 +1663,15 @@ class ParallelFleetEngine:
                         step=step,
                     )
                 remaining -= step
+                if self._resilience is not None and not sim.checkpoint_extras:
+                    self.checkpoint_if_due()
         if trace_on:
             tracer.add_span(
                 "fleet.run",
-                run_t0,
+                span_t0 if span_t0 is not None else run_t0,
                 self.clock.now,
                 time.perf_counter() - run_w0,
-                seconds=seconds,
+                seconds=span_seconds if span_seconds is not None else seconds,
                 dt=dt,
                 coalesce=coalesce,
             )
@@ -1278,6 +1828,16 @@ class ParallelFleetEngine:
     def debug_crash_worker(self, idx: int) -> None:
         """Test hook: make one worker exit abruptly (no reply, no cleanup)."""
         self._post(idx, ("crash",))
+
+    def debug_hang_worker(self, idx: int, seconds: float) -> None:
+        """Test hook: stall the worker's *next* reply by ``seconds``.
+
+        Exercises the barrier-timeout path without real wedging: the
+        worker still processes the frame correctly, it just sleeps
+        before replying, so a supervisor that respawns it loses no
+        state.
+        """
+        self._request(idx, ("hang", float(seconds)))
 
     # -- queries ---------------------------------------------------------
 

@@ -38,15 +38,70 @@ why the shared ``resource_tracker`` makes that sufficient.
 from __future__ import annotations
 
 import math
+import os
+import secrets
 from multiprocessing import shared_memory
-from typing import Optional
+from typing import List, Optional
 
 from repro.errors import SimulationError
 
 #: double buffer: one bank may be written while the other is read
 BANKS = 2
 
+#: segment names are ``clkt-<driver pid>-<random hex>`` — the embedded
+#: pid lets a later run prove the owner is gone before sweeping a
+#: leftover segment (a SIGKILLed driver never reaches its unlink)
+SEGMENT_PREFIX = "clkt"
+
 _FLOAT_BYTES = 8
+
+_SHM_DIR = "/dev/shm"
+
+
+def _segment_owner_pid(name: str) -> Optional[int]:
+    """Parse the creator pid out of a plane segment name (None: not ours)."""
+    parts = name.split("-")
+    if len(parts) != 3 or parts[0] != SEGMENT_PREFIX:
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another uid
+        return True
+    return True
+
+
+def sweep_stale_segments() -> List[str]:
+    """Unlink plane segments whose creating driver is dead.
+
+    An abnormally killed driver (SIGKILL, OOM) never reaches the
+    ``finally``-unlink in ``ParallelFleetEngine.close``, leaking its
+    segment in ``/dev/shm`` until reboot. Each engine start sweeps the
+    name-prefixed leftovers of *dead* pids; segments whose embedded pid
+    is still alive belong to a concurrent run and are never touched.
+    Returns the names removed (for tests and logging).
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return []
+    removed: List[str] = []
+    for name in os.listdir(_SHM_DIR):
+        pid = _segment_owner_pid(name)
+        if pid is None or pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+        except FileNotFoundError:  # pragma: no cover - lost the race
+            continue
+        removed.append(name)
+    return removed
 
 
 class TelemetryPlane:
@@ -80,8 +135,15 @@ class TelemetryPlane:
             raise SimulationError(
                 f"observer capacity must be >= 0: {observer_capacity}"
             )
+        sweep_stale_segments()
         size = BANKS * (total_servers + observer_capacity) * _FLOAT_BYTES
-        shm = shared_memory.SharedMemory(create=True, size=size)
+        while True:
+            name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+            try:
+                shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+            except FileExistsError:  # pragma: no cover - 1-in-2^32 collision
+                continue
+            break
         plane = cls(shm, total_servers, observer_capacity, owner=True)
         nan = math.nan
         for slot in range(BANKS * plane._stride):
@@ -173,7 +235,13 @@ class TelemetryPlane:
         self._shm.close()
 
     def unlink(self) -> None:
-        """Driver side: destroy the segment (idempotent, swallows races)."""
+        """Driver side: destroy the segment (idempotent, swallows races).
+
+        Owner-gated: worker mappings — including those of supervisor-
+        respawned workers, which re-attach to the *live* segment by name
+        — can never unlink it, and the driver's own double call is a
+        no-op past the first.
+        """
         self.close()
         if not self._owner:
             return

@@ -207,6 +207,163 @@ class TestAttackUnderChaos:
         assert a.degradation == b.degradation
 
 
+def fleet_trace_snapshot(sim):
+    return {
+        "agg": (
+            tuple(sim.aggregate_trace.times),
+            tuple(sim.aggregate_trace.watts),
+            tuple(sim.aggregate_trace.gaps),
+        ),
+        "servers": {
+            i: (tuple(t.times), tuple(t.watts), tuple(t.gaps))
+            for i, t in sim.server_traces.items()
+        },
+        "faults": sim.fault_report(),
+        "trip_log": sim.trip_log(),
+    }
+
+
+def build_chaos_fleet(checkpoint_dir=None, **resilience):
+    sim = DatacenterSimulation(servers=4, seed=211, sample_interval_s=30.0)
+    sim.install_faults(fleet_schedule(4, len(sim.racks)))
+    if checkpoint_dir is not None or resilience:
+        sim.enable_resilience(
+            checkpoint_dir=checkpoint_dir, checkpoint_every=600.0, **resilience
+        )
+    return sim
+
+
+def attack_outcome_snapshot(outcome):
+    return (
+        outcome.trials,
+        tuple(outcome.spike_watts),
+        outcome.peak_watts,
+        outcome.attacker_cpu_seconds,
+        outcome.bill_dollars,
+        tuple(sorted(outcome.degradation.items())),
+    )
+
+
+def build_chaos_attack(parallel=0, checkpoint_dir=None, resume=False):
+    """The ``run_attack`` pipeline, optionally sharded and checkpointed."""
+    sim = DatacenterSimulation(
+        servers=4, seed=105, sample_interval_s=1.0, tenant_profile=ATTACK_TENANTS
+    )
+    cloud = sim.cloud
+    instances, covered = [], set()
+    while len(covered) < 4:
+        inst = cloud.launch_instance("attacker")
+        if inst.host_index in covered:
+            cloud.terminate_instance(inst)
+        else:
+            covered.add(inst.host_index)
+            instances.append(inst)
+    sim.install_faults(attack_schedule(4, len(sim.racks)))
+    if checkpoint_dir is not None:
+        sim.enable_resilience(
+            checkpoint_dir=checkpoint_dir, checkpoint_every=300.0
+        )
+    sim.run(600.0, dt=1.0, parallel=parallel, resume=resume)
+    attack = SynergisticAttack(
+        sim,
+        instances,
+        burst_s=30.0,
+        cooldown_s=300.0,
+        max_trials=2,
+        learn_s=300.0,
+        detector_factory=lambda: CrestDetector(
+            window=2000, threshold_fraction=0.88, min_band_watts=30.0
+        ),
+        resume_key="synergistic" if checkpoint_dir is not None else None,
+    )
+    return sim, attack
+
+
+def crash_after(sim, at, shard):
+    """Wrap ``sim.run`` so one shard dies the first time ``now`` passes
+    ``at`` — a mid-campaign kill from the strategy's own run sequence."""
+    original = sim.run
+    fired = []
+
+    def hooked(*args, **kwargs):
+        original(*args, **kwargs)
+        if not fired and sim._parallel is not None and sim.now >= at:
+            fired.append(True)
+            sim._parallel.debug_crash_worker(shard)
+
+    sim.run = hooked
+
+
+class TestSelfHealingFleetUnderChaos:
+    """docs/resilience.md under the hostile fleet schedule: a shard killed
+    mid-run is healed in place, and a killed campaign resumes from disk —
+    both bit-identical to the serial golden run."""
+
+    def test_supervised_kill_matches_serial_golden(self, tmp_path):
+        golden = run_fleet(coalesce=True)
+        sim = build_chaos_fleet(checkpoint_dir=str(tmp_path), max_restarts=1)
+        sim.run(1800.0, dt=1.0, coalesce=True, parallel=2)
+        sim._parallel.debug_crash_worker(0)
+        sim.run(1800.0, dt=1.0, coalesce=True, parallel=2)
+        try:
+            assert fleet_trace_snapshot(golden) == fleet_trace_snapshot(sim)
+            assert sim._parallel.res_metrics.restarts == 1
+        finally:
+            sim.close()
+
+    def test_resume_matches_serial_golden(self, tmp_path):
+        golden = run_fleet(coalesce=True)
+        part = build_chaos_fleet(checkpoint_dir=str(tmp_path))
+        part.run(1800.0, dt=1.0, coalesce=True, parallel=2)
+        part.close()  # killed here
+        res = build_chaos_fleet(checkpoint_dir=str(tmp_path))
+        res.run(1800.0, dt=1.0, coalesce=True, parallel=2, resume=True)
+        res.run(1800.0, dt=1.0, coalesce=True, parallel=2)
+        try:
+            assert fleet_trace_snapshot(golden) == fleet_trace_snapshot(res)
+        finally:
+            res.close()
+
+
+class TestSelfHealingAttackUnderChaos:
+    """The Figure 3 campaign on a flaky substrate survives a shard kill
+    mid-campaign and a full process kill + resume, bit-identically."""
+
+    def test_supervised_kill_mid_campaign_matches_serial_golden(self, tmp_path):
+        golden_outcome, _ = run_attack()
+        sim, attack = build_chaos_attack(
+            parallel=2, checkpoint_dir=str(tmp_path)
+        )
+        # kill shard 0 the first time the campaign clock passes t=1100
+        crash_after(sim, at=1100.0, shard=0)
+        try:
+            outcome = attack.run(ATTACK_WINDOW_S)
+            assert attack_outcome_snapshot(golden_outcome) == attack_outcome_snapshot(
+                outcome
+            )
+            assert sim._parallel.res_metrics.restarts == 1
+        finally:
+            sim.close()
+
+    def test_resume_mid_campaign_matches_serial_golden(self, tmp_path):
+        golden_outcome, _ = run_attack()
+        part_sim, part_attack = build_chaos_attack(
+            parallel=2, checkpoint_dir=str(tmp_path)
+        )
+        part_attack.run(700.0)  # killed ~700 s into the campaign
+        part_sim.close()
+        res_sim, res_attack = build_chaos_attack(
+            parallel=2, checkpoint_dir=str(tmp_path), resume=True
+        )
+        try:
+            outcome = res_attack.run(ATTACK_WINDOW_S)
+            assert attack_outcome_snapshot(golden_outcome) == attack_outcome_snapshot(
+                outcome
+            )
+        finally:
+            res_sim.close()
+
+
 class TestOrchestratorUnderChaos:
     def test_faulting_verifier_counts_and_recycles(self):
         cloud = ContainerCloud(PROVIDER_PROFILES["CC1"], seed=61, servers=2)
