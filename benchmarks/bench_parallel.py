@@ -32,6 +32,15 @@ Two population benchmarks ride along (``repro.datacenter.population``):
   trivial tenant per host (shards starved between barriers); columnar
   per-shard work must pull the share below that.
 
+``test_control_plane_round_trip`` compares the two control-plane
+transports (``repro.sim.controlplane``) on the barrier-bound extreme —
+8 shards of one server each, 1 s ticks — and gates the shm slot plane's
+claims: zero pickled control frames at steady state, and a per-tick
+barrier round-trip p50 at least ``BENCH_CONTROL_MAX_RATIO`` times lower
+than the pickled-pipe protocol (epoch batching folds up to 8 ticks into
+one round trip, so the amortized p50 drops roughly by the batching
+factor even before the avoided pickling and kernel wakeups).
+
 Environment knobs (used by the CI perf-smoke job):
 
 - ``BENCH_PARALLEL_CONFIGS``: comma-separated server counts to run
@@ -43,6 +52,9 @@ Environment knobs (used by the CI perf-smoke job):
 - ``BENCH_PARALLEL_MAX_BARRIER_SHARE``: barrier-share gate for the
   large-population config (default 0.92 — the seed's share; ``0``
   disables the assertion).
+- ``BENCH_CONTROL_MAX_RATIO``: minimum pipe/shm p50 round-trip ratio
+  for the control-plane gate (default 3.0; ``0`` disables the ratio
+  assertion, the zero-pickled-frames assertion always holds).
 """
 
 from __future__ import annotations
@@ -73,6 +85,13 @@ LARGE_SERVERS = 64
 LARGE_RACK_SIZE = 8
 LARGE_WORKERS = 8
 SEED_BARRIER_SHARE = 0.92
+
+#: control-plane comparison: 8 shards of one server each — the
+#: barrier-bound extreme (8 round trips per barrier, near-zero per-shard
+#: work), where the control transport dominates the wall time
+CONTROL_SERVERS = 8
+CONTROL_RACK_SIZE = 1
+CONTROL_WORKERS = 8
 
 
 def _merge_bench_json(results_dir, key, value):
@@ -227,6 +246,96 @@ def test_parallel_speedup(results_dir):
     lines.append(f"(cpu_count={os.cpu_count()}; ≥2x at 64 servers needs a"
                  " multi-core runner; baseline = pickled-row reply protocol)")
     write_result(results_dir, "parallel_speedup", "\n".join(lines))
+
+
+def _run_control_plane(plane: str):
+    """One barrier-bound run under the given control transport."""
+    sim = DatacenterSimulation(
+        servers=CONTROL_SERVERS, rack_size=CONTROL_RACK_SIZE, seed=103
+    )
+    t0 = time.perf_counter()
+    sim.run(VIRTUAL_S, dt=1.0, parallel=CONTROL_WORKERS, control_plane=plane)
+    wall = time.perf_counter() - t0
+    ipc = sim.metrics.ipc
+    p50 = ipc.round_trip_p50
+    stats = {
+        "wall_s": round(wall, 3),
+        "ticks": sim.metrics.ticks,
+        "pipe_control_frames": ipc.pipe_control_frames,
+        "control_bytes": ipc.control_bytes,
+        "shm_control_frames": ipc.shm_control_frames,
+        "shm_control_bytes": ipc.shm_control_bytes,
+        "round_trip_p50_us": round(p50 * 1e6, 2),
+        "barrier_wait_total_s": round(ipc.barrier_wait_total_s, 4),
+        "barrier_wait_skew": round(ipc.barrier_wait_skew, 3),
+    }
+    trace = (
+        tuple(sim.aggregate_trace.times),
+        tuple(sim.aggregate_trace.watts),
+    )
+    sim.close()
+    return trace, p50, stats
+
+
+def test_control_plane_round_trip(results_dir):
+    """CI gate for the shm control plane (docs/parallel.md).
+
+    Same fleet, same seed, both transports: the traces must be
+    bit-identical, the shm run must post *zero* pickled control frames
+    (every steady-state barrier rode the slots), and the epoch-amortized
+    per-tick round-trip p50 must beat the pipe protocol by the gate
+    ratio.
+    """
+    max_ratio = float(os.environ.get("BENCH_CONTROL_MAX_RATIO", "") or 3.0)
+    pipe_trace, pipe_p50, pipe_stats = _run_control_plane("pipe")
+    shm_trace, shm_p50, shm_stats = _run_control_plane("shm")
+
+    assert shm_trace == pipe_trace
+    # the headline claim: steady state never pickles a control frame
+    assert shm_stats["pipe_control_frames"] == 0, (
+        f"shm run posted {shm_stats['pipe_control_frames']} pickled"
+        " control frames at steady state"
+    )
+    assert shm_stats["shm_control_frames"] > 0
+    assert pipe_stats["shm_control_frames"] == 0
+
+    ratio = pipe_p50 / shm_p50 if shm_p50 > 0 else float("inf")
+    if max_ratio > 0:
+        assert ratio >= max_ratio, (
+            f"shm p50 {shm_p50 * 1e6:.0f}us only {ratio:.1f}x better than"
+            f" pipe p50 {pipe_p50 * 1e6:.0f}us (gate: >= {max_ratio}x)"
+        )
+
+    section = {
+        "servers": CONTROL_SERVERS,
+        "workers": CONTROL_WORKERS,
+        "virtual_seconds": VIRTUAL_S,
+        "p50_ratio": round(ratio, 2) if ratio != float("inf") else None,
+        "gate_min_ratio": max_ratio,
+        "pipe": pipe_stats,
+        "shm": shm_stats,
+    }
+    _merge_bench_json(results_dir, "control_plane", section)
+
+    for plane, stats in (("pipe", pipe_stats), ("shm", shm_stats)):
+        write_result(
+            results_dir,
+            f"control_plane_{plane}",
+            f"control plane '{plane}' at {CONTROL_SERVERS} shards"
+            f" x {VIRTUAL_S:.0f}s\n\n"
+            f"wall:            {stats['wall_s']:.2f}s\n"
+            f"pipe frames:     {stats['pipe_control_frames']}"
+            f" ({stats['control_bytes']} B pickled)\n"
+            f"shm frames:      {stats['shm_control_frames']}"
+            f" ({stats['shm_control_bytes']} B slots)\n"
+            f"p50 round trip:  {stats['round_trip_p50_us']:.1f}us/tick\n"
+            f"barrier wait:    {stats['barrier_wait_total_s']:.3f}s"
+            f" (skew {stats['barrier_wait_skew']:.2f}x)",
+        )
+    print(
+        f"\ncontrol-plane p50 ratio: {ratio:.1f}x"
+        f" (gate >= {max_ratio}x)"
+    )
 
 
 def test_population_throughput(results_dir):

@@ -156,7 +156,8 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         # warmup shards the fleet, and the strategies built afterwards
         # get shard-resident monitors automatically
         sim.run(300.0, dt=1.0, parallel=args.parallel,
-                resume=resilient and args.resume)
+                resume=resilient and args.resume,
+                control_plane=args.control_plane)
         return sim, instances
 
     mode = f" (parallel x{args.parallel})" if args.parallel else ""
@@ -241,7 +242,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         sim.run(
             args.duration, dt=args.dt,
             coalesce=args.coalesce, parallel=args.parallel,
-            resume=args.resume,
+            resume=args.resume, control_plane=args.control_plane,
         )
         trace = sim.aggregate_trace
         print(
@@ -373,6 +374,11 @@ def _add_attack_args(parser: argparse.ArgumentParser) -> None:
                         help="rack-shard the fleet across N spawn worker"
                              " processes with shard-resident attacker"
                              " monitors (0 = serial; docs/parallel.md)")
+    parser.add_argument("--control-plane", choices=("pipe", "shm"),
+                        default="shm",
+                        help="parallel barrier transport: shm slot plane"
+                             " with batched epochs (default) or the classic"
+                             " pickled pipes (docs/parallel.md)")
     _add_resilience_args(parser)
 
 
@@ -391,6 +397,11 @@ def _add_fleet_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--parallel", type=int, default=0, metavar="N",
                         help="rack-shard across N spawn worker processes"
                              " (0 = serial; docs/parallel.md)")
+    parser.add_argument("--control-plane", choices=("pipe", "shm"),
+                        default="shm",
+                        help="parallel barrier transport: shm slot plane"
+                             " with batched epochs (default) or the classic"
+                             " pickled pipes (docs/parallel.md)")
     parser.add_argument("--faults", action="store_true",
                         help="install the standard chaos fault schedule")
     _add_resilience_args(parser)

@@ -580,6 +580,7 @@ class DatacenterSimulation:
         coalesce: bool = False,
         parallel: int = 0,
         resume: bool = False,
+        control_plane: str = "shm",
     ) -> None:
         """Advance the fleet, tenants, breakers, and traces.
 
@@ -615,6 +616,13 @@ class DatacenterSimulation:
         passes the checkpoint — so campaign code reissues the exact same
         call sequence and the completed trace is bit-identical to an
         uninterrupted run. See ``docs/resilience.md``.
+
+        ``control_plane`` selects the parallel barrier transport:
+        ``"shm"`` (default) runs steady-state control frames over the
+        shared-memory slot plane with batched plan epochs, ``"pipe"``
+        is the classic pickled-pipe protocol — both bit-identical, see
+        ``docs/parallel.md``. Only read when the parallel engine is
+        first created.
         """
         if seconds <= 0:
             raise SimulationError(f"run needs positive duration: {seconds}")
@@ -635,12 +643,17 @@ class DatacenterSimulation:
                             " checkpoint_dir to restore from"
                         )
                     self._parallel = ParallelFleetEngine(
-                        self, workers=parallel, resume_dir=cfg.checkpoint_dir
+                        self,
+                        workers=parallel,
+                        resume_dir=cfg.checkpoint_dir,
+                        control_plane=control_plane,
                     )
                     self._replay_until = self._parallel.clock.now
                     self._replay_cursor = self._start_time
                 else:
-                    self._parallel = ParallelFleetEngine(self, workers=parallel)
+                    self._parallel = ParallelFleetEngine(
+                        self, workers=parallel, control_plane=control_plane
+                    )
             elif resume:
                 raise SimulationError(
                     "resume must be requested on the first parallel run;"

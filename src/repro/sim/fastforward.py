@@ -191,6 +191,16 @@ class StabilityTracker:
         self._last = fingerprint
         return stable
 
+    def peek(self, fingerprint: Tuple) -> bool:
+        """:meth:`observe`'s answer without recording the fingerprint.
+
+        Batched epoch planners use this to *decide* whether a candidate
+        tick is stable before committing to include it: a rejected tick
+        must leave the tracker exactly as it was (recording it would
+        clobber a fresh :meth:`reset` and skew the next real observe).
+        """
+        return fingerprint == self._last
+
     def reset(self) -> None:
         """Forget history (forces a stabilizing tick next plan)."""
         self._last = None

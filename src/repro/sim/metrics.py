@@ -18,7 +18,7 @@ per-tick updates remain plain attribute arithmetic.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.obs.registry import MetricRegistry
 
@@ -27,6 +27,14 @@ STEP_BOUNDS = (1.0, 2.0, 5.0, 15.0, 60.0, 300.0, 1800.0, 7200.0)
 
 #: bucket bounds for per-frame driver barrier waits (wall seconds)
 BARRIER_BOUNDS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0)
+
+#: bucket bounds for worker doorbell-poll waits (wall seconds) — the
+#: shm control plane's spin window sits under the first few buckets
+DOORBELL_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1)
+
+#: retained per-tick round-trip samples for the p50 estimate (bounded
+#: so week-long campaigns cannot grow driver memory)
+_ROUND_TRIP_CAP = 65536
 
 
 class IpcMetrics:
@@ -77,6 +85,21 @@ class IpcMetrics:
             "driver wall seconds blocked per shard reply",
             bounds=BARRIER_BOUNDS,
         )
+        self._shm_frames = r.counter(
+            "ipc.shm_control_frames",
+            "control round trips carried by the shm slot plane",
+        )
+        self._shm_control = r.counter(
+            "ipc.shm_control_bytes",
+            "control-slot bytes on the shm plane, both directions",
+        )
+        self._doorbell = r.histogram(
+            "ipc.doorbell_wait_s",
+            "worker wall seconds polling the request doorbell per frame",
+            bounds=DOORBELL_BOUNDS,
+        )
+        #: per-tick barrier round trips (epoch-amortized), capped
+        self._round_trips: List[float] = []
         #: shard index -> per-shard cumulative-wait counter
         self._barrier: Dict[int, object] = {}
         self._sent.value += control_bytes_sent
@@ -156,8 +179,24 @@ class IpcMetrics:
         self._sent.value += sent
         self._received.value += received
 
-    def record_barrier_wait(self, shard: int, seconds: float) -> None:
-        """Charge driver wall time spent blocked on one shard's reply."""
+    def record_shm_frame(self, sent: int, received: int) -> None:
+        """Account one control round trip carried by the shm slots."""
+        self._shm_frames.value += 1
+        self._shm_control.value += sent + received
+
+    def record_doorbell_wait(self, seconds: float) -> None:
+        """One worker-side doorbell poll wait (from the reply slot)."""
+        self._doorbell.observe(seconds)
+
+    def record_barrier_wait(
+        self, shard: int, seconds: float, ticks: int = 1
+    ) -> None:
+        """Charge driver wall time spent blocked on one shard's reply.
+
+        ``ticks > 1`` marks a batched epoch reply: the round trip is
+        amortized over its ticks in the p50 sample so the latency
+        profile stays comparable across epoch sizes.
+        """
         counter = self._barrier.get(shard)
         if counter is None:
             counter = self._barrier[shard] = self.registry.counter(
@@ -167,6 +206,51 @@ class IpcMetrics:
             )
         counter.value += seconds
         self._frame_wait.observe(seconds)
+        if len(self._round_trips) < _ROUND_TRIP_CAP:
+            self._round_trips.append(seconds / max(1, ticks))
+
+    @property
+    def pipe_control_frames(self) -> int:
+        """Control round trips that used a pickled pipe frame.
+
+        Zero at steady state under the shm control plane — the CI gate
+        in ``benchmarks/bench_parallel.py`` enforces it.
+        """
+        return self._frames.value
+
+    @property
+    def shm_control_frames(self) -> int:
+        """Control round trips carried entirely by the shm slot plane."""
+        return self._shm_frames.value
+
+    @property
+    def shm_control_bytes(self) -> int:
+        """Control-slot bytes on the shm plane, both directions."""
+        return self._shm_control.value
+
+    @property
+    def round_trip_p50(self) -> float:
+        """Median per-tick barrier round trip, epoch-amortized (wall s)."""
+        if not self._round_trips:
+            return 0.0
+        ordered = sorted(self._round_trips)
+        return ordered[len(ordered) // 2]
+
+    @property
+    def barrier_wait_skew(self) -> float:
+        """Max/median of per-shard cumulative barrier waits.
+
+        The lock-step straggler factor: 1.0 means perfectly balanced
+        shards; large values quantify the work-stealing opportunity the
+        ROADMAP names (one slow shard stalls every barrier).
+        """
+        waits = sorted(self.barrier_wait_s.values())
+        if not waits:
+            return 0.0
+        median = waits[len(waits) // 2]
+        if median <= 0:
+            return 0.0
+        return waits[-1] / median
 
     @property
     def control_bytes(self) -> int:
@@ -186,7 +270,9 @@ class IpcMetrics:
         """
         if ticks <= 0:
             return 0.0
-        return (self.control_bytes + self.shm_bytes) / ticks
+        return (
+            self.control_bytes + self.shm_control_bytes + self.shm_bytes
+        ) / ticks
 
     @property
     def barrier_wait_total_s(self) -> float:
@@ -204,6 +290,10 @@ class IpcMetrics:
             f" segment {self.shm_segment_bytes} B)",
             f"barrier wait        {self.barrier_wait_total_s:.3f}s over"
             f" {self.workers} shard(s)",
+            f"shm control         {self.shm_control_frames} frame(s)"
+            f" ({self.shm_control_bytes} B slots)",
+            f"barrier p50/tick    {self.round_trip_p50 * 1e6:.0f}us"
+            f" (skew {self.barrier_wait_skew:.2f}x max/median)",
         ]
         return "\n".join(lines)
 

@@ -18,15 +18,17 @@ control frames only. The driver stamps each shm-carrying frame with the
 bank index; banks alternate so a worker never overwrites a row the
 driver has not consumed.
 
-Driver/worker control frames (pickled tuples over a ``Pipe`` per shard;
-``ops`` are queued attacker ``exec``/``reap`` operations, ``oids`` are
-observer ids of shard-resident attack monitors to sample)::
+Driver/worker control frames (logical tuples; ``ops`` are queued
+attacker ``exec``/``reap`` operations, ``oids`` are observer ids of
+shard-resident attack monitors to sample)::
 
     ("begin", bank, want_row, ops)         -> ("ok", changed)
     ("plan", hint)                         -> ("ok", (dark+, dark-, demands,
                                                       safe, horizon))
     ("commit", step, bank, want_row, oids) -> ("ok", changed)
     ("step", step, bank, want_row, oids)   -> ("ok", changed)   # no coalescing
+    ("epoch", ((hint|None, step, bank,     -> ("ok", changed)   # batched ticks:
+               want_row), ...))                  plan(hint)+commit per entry
     ("watts", bank)                        -> ("ok", None)
     ("state",)                             -> ("ok", {"breakers":..., "stats":...})
     ("meters", ops)                        -> ("ok", {iid: (cpu_ns, cpu_ns0)})
@@ -39,6 +41,32 @@ observer ids of shard-resident attack monitors to sample)::
     ("hang", seconds)                      -> ("ok", None)   # test hook: stall
     ("crash",)                             -> no reply; worker exits (test hook)
     ("close",)                             -> worker exits
+
+Frames travel over one of two planes. Under ``control_plane="shm"``
+(the default) the steady-state verbs — ``plan``, ``epoch``, bare
+``commit``/``step`` (encoded as one-tick epochs), and op-less ``begin``
+— are written into fixed-layout shared-memory slots with a doorbell
+sequence counter (:mod:`repro.sim.controlplane`): zero pickling, zero
+syscalls per barrier. Everything else rides the ``Pipe`` slow path as
+pickled tuples, as do worker errors and tracer-drain replies (the
+request stays on the slots; the reply's status slot says the payload is
+on the pipe). ``control_plane="pipe"`` is the escape hatch that keeps
+every frame on the pipe. The supervisor's frame log always records the
+*logical* tuples, so replay-after-respawn reproduces shm-carried frames
+over the pipe verbatim.
+
+Batched plan epochs cut steady-state round trips up to ``epoch_ticks``×:
+when coalescing plans ``k`` consecutive ticks with no cross-shard event
+— the merged plan horizon is the nearest shard event, every breaker is
+below its knee, no sample row is due beyond per-tick banks, no
+checkpoint boundary or armed observation intervenes — the driver runs
+the serial planning loop locally (the fingerprint, dark set, and safety
+verdict are constant over the window by the same invariant serial
+coalescing relies on) and ships all ``k`` ticks as one ``epoch`` frame;
+workers execute plan+commit per entry, bit-identical to ``k`` separate
+barriers. Without coalescing, fixed base-dt ticks batch the same way.
+The telemetry plane carries ``epoch_ticks + 1`` banks so every
+row-carrying tick of an epoch lands in its own bank.
 
 With tracing enabled (``DatacenterSimulation.enable_tracing`` before the
 first parallel run), every ``("ok", ...)`` reply grows a third element:
@@ -110,6 +138,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import SimulationError
 from repro.obs.tracer import SpanTracer
 from repro.sim.clock import VirtualClock
+from repro.sim.controlplane import ControlPlane
 from repro.sim.faults import FaultInjector, FaultSchedule, FaultStats, JitterModel
 from repro.sim.fastforward import fold_driver_horizons
 from repro.sim.metrics import IpcMetrics, WallTimer
@@ -142,6 +171,28 @@ _DEFAULT_BARRIER_TIMEOUT_S = 600.0
 #: recovery traffic (replaying them would recurse), plus the test hooks
 _UNLOGGED_FRAMES = frozenset({"crash", "close", "checkpoint", "replay", "hang"})
 
+#: ticks batched per epoch frame under the shm control plane (engine
+#: default; ``ParallelFleetEngine(epoch_ticks=...)`` overrides it)
+_DEFAULT_EPOCH_TICKS = 8
+
+#: doorbell busy-poll: spin this many iterations before backing off to
+#: short sleeps — a barrier turnaround at steady state lands within the
+#: spin window, so the hot path never syscalls
+_DOORBELL_SPINS = 400
+
+#: first backoff sleep once the spin window is exhausted; each further
+#: nap doubles it up to the cap, so a waiter whose counterpart is busy
+#: (an epoch of compute, an idle stretch between barriers) stops waking
+#: — and, on an oversubscribed box, stops *preempting* — the process it
+#: is waiting on. Fast replies still land in the spin window; the cap
+#: bounds the added latency of a slow one to a single sleep interval.
+_DOORBELL_SLEEP_S = 50e-6
+_DOORBELL_SLEEP_MAX_S = 2e-3
+
+#: liveness/timeout checks every this many backoff sleeps (worst-case
+#: detection granularity: this many cap-length naps)
+_DOORBELL_CHECK_EVERY = 50
+
 
 class _ShardFailure(Exception):
     """Internal: one shard died or hung mid-protocol (driver side)."""
@@ -155,6 +206,27 @@ class _ShardFailure(Exception):
 
 def _dumps(obj) -> bytes:
     return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _recv_frame(conn) -> Tuple[tuple, int]:
+    """Receive one pickled control frame; returns ``(frame, bytes)``.
+
+    The single choke point for every driver-side pipe read, so byte
+    accounting is uniform and a half-written frame from a dying worker
+    surfaces as a descriptive :class:`SimulationError` instead of a bare
+    ``UnpicklingError``. ``EOFError``/``OSError`` propagate untouched —
+    callers classify those through their liveness handling.
+    """
+    blob = conn.recv_bytes()
+    try:
+        frame = pickle.loads(blob)
+    except Exception as exc:
+        raise SimulationError(
+            f"received a truncated or corrupt control frame"
+            f" ({len(blob)} bytes) — the worker likely died while"
+            f" writing it: {exc!r}"
+        ) from exc
+    return frame, len(blob)
 
 
 @dataclass(frozen=True)
@@ -204,6 +276,15 @@ class ShardSpec:
     trace: bool = False
     #: worker tracer ring capacity (events)
     trace_capacity: int = 65536
+    #: telemetry plane bank count (epoch_ticks + 1 under the shm control
+    #: plane, the classic double buffer under pipe)
+    telemetry_banks: int = 2
+    #: shared-memory control plane segment (None: pipe-only protocol)
+    control_name: Optional[str] = None
+    #: per-shard host counts, in shard order (control-plane geometry)
+    control_host_counts: Tuple[int, ...] = ()
+    #: epoch frame capacity (control-plane geometry)
+    control_epoch_ticks: int = _DEFAULT_EPOCH_TICKS
 
 
 @dataclass(frozen=True)
@@ -334,7 +415,8 @@ class _ShardRuntime:
             )
             self.injector.tracer = self.tracer
         self.plane = TelemetryPlane.attach(
-            spec.telemetry_name, spec.total_servers, spec.observer_capacity
+            spec.telemetry_name, spec.total_servers, spec.observer_capacity,
+            banks=spec.telemetry_banks,
         )
         #: observer id -> (plane slot, shard-resident monitor)
         self.monitors: Dict[str, tuple] = {}
@@ -420,7 +502,8 @@ class _ShardRuntime:
         if self.injector is not None:
             self.injector.tracer = self.tracer
         self.plane = TelemetryPlane.attach(
-            spec.telemetry_name, spec.total_servers, spec.observer_capacity
+            spec.telemetry_name, spec.total_servers, spec.observer_capacity,
+            banks=spec.telemetry_banks,
         )
         self._hang_s = 0.0
         return self
@@ -554,6 +637,27 @@ class _ShardRuntime:
             )
         return result
 
+    def epoch(self, ticks: tuple) -> bool:
+        """Execute a batched run of interior ticks in one barrier.
+
+        Each entry is ``(hint, step, bank, want_row)``: a ``hint`` runs
+        the plan half first (non-coalescing — the driver already folded
+        this tick's fingerprint from the epoch-head plan exchange), a
+        ``None`` hint is a commit-only tick whose plan ran at the epoch
+        head. Per-tick state evolution — tenant stepping, kernel ticks,
+        breaker observation, fault replay, row writes into per-tick
+        banks, ``shard.plan``/``shard.step`` spans — is exactly ``len
+        (ticks)`` separate barriers' worth; only the synchronization is
+        batched.
+        """
+        changed_any = False
+        for hint, step, bank, want_row in ticks:
+            if hint is not None:
+                self.plan(hint, coalesce=False)
+            if self.commit(step, bank, want_row, ()):
+                changed_any = True
+        return changed_any
+
     def commit(self, step: float, bank: int, want_row: bool, oids: tuple):
         """The post-plan half: advance, tick, feed breakers, apply faults."""
         tracer = self.tracer
@@ -666,6 +770,8 @@ class _ShardRuntime:
         if cmd == "step":
             self.plan(msg[1], coalesce=False)
             return self.commit(msg[1], msg[2], msg[3], msg[4])
+        if cmd == "epoch":
+            return self.epoch(msg[1])
         if cmd == "begin":
             return self.begin(msg[1], msg[2], msg[3])
         if cmd == "watts":
@@ -704,6 +810,21 @@ def _shard_worker_main(
             runtime = _ShardRuntime.from_snapshot(spec, restore_from)
         else:
             runtime = _ShardRuntime(spec)
+        cplane = None
+        base_seq = 0
+        if spec.control_name is not None:
+            cplane = ControlPlane.attach(
+                spec.control_name,
+                spec.control_host_counts,
+                spec.control_epoch_ticks,
+            )
+            # the doorbell baseline MUST be read before "ready" goes out:
+            # the driver may post its first slot frame the instant it
+            # sees the handshake, and a later baseline read would swallow
+            # that frame's sequence bump. For a respawn the ordering also
+            # skips the stale in-flight frame — the supervisor resends it
+            # over the pipe after replay.
+            base_seq = cplane.req_seq(spec.shard_index)
     except Exception:
         try:
             conn.send_bytes(_dumps(("error", traceback.format_exc())))
@@ -711,7 +832,91 @@ def _shard_worker_main(
             return
     conn.send_bytes(_dumps(("ready",)))
     try:
-        while True:
+        if cplane is None:
+            _serve_pipe(runtime, conn)
+        else:
+            try:
+                _serve_dual(runtime, conn, cplane, spec.shard_index, base_seq)
+            finally:
+                cplane.close()
+    finally:
+        runtime.plane.close()
+
+
+def _serve_pipe(runtime: _ShardRuntime, conn) -> None:
+    """The classic single-transport command loop (control_plane="pipe")."""
+    while True:
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        msg = pickle.loads(blob)
+        if msg[0] == "close":
+            return
+        if msg[0] == "crash":  # test hook: die without a word
+            os._exit(1)
+        if msg[0] == "hang":  # test hook: stall the next reply
+            runtime._hang_s = float(msg[1])
+            conn.send_bytes(_dumps(("ok", None)))
+            continue
+        try:
+            result = runtime.dispatch(msg)
+            if runtime.tracer is not None:
+                # flush this barrier's span buffer in the reply, so
+                # the driver merges a clock-aligned global timeline
+                reply = ("ok", result, runtime.tracer.drain())
+            else:
+                reply = ("ok", result)
+        except Exception:
+            reply = ("error", traceback.format_exc())
+        if runtime._hang_s > 0.0:
+            # armed by a ("hang") frame: simulate a wedged worker at
+            # the next barrier (a respawned runtime starts at 0.0,
+            # so the supervisor's re-sent frame sails through)
+            time.sleep(runtime._hang_s)
+            runtime._hang_s = 0.0
+        conn.send_bytes(_dumps(reply))
+
+
+def _serve_dual(
+    runtime: _ShardRuntime, conn, cplane: ControlPlane, idx: int,
+    base_seq: int,
+) -> None:
+    """The two-plane command loop (control_plane="shm").
+
+    Busy-polls the request doorbell with a spin-then-sleep backoff,
+    checking the pipe for slow-path frames on a coarser cadence (the
+    driver never has both transports in flight for one shard — the
+    protocol is strict request/reply — so ordering cannot race). The
+    doorbell baseline was read before the ready handshake: a respawned
+    worker never re-serves the in-flight slot frame, because the
+    supervisor resends it over the pipe after replay.
+    """
+    last_seq = base_seq
+    while True:
+        # -- wait for the next request on either plane ---------------
+        w0 = time.perf_counter()
+        source = None
+        spins = 0
+        sleep_s = _DOORBELL_SLEEP_S
+        while source is None:
+            if cplane.req_seq(idx) != last_seq:
+                last_seq = cplane.req_seq(idx)
+                source = "shm"
+                break
+            if spins % 64 == 0 or spins > _DOORBELL_SPINS:
+                try:
+                    if conn.poll(0):
+                        source = "pipe"
+                        break
+                except (EOFError, OSError):
+                    return
+            spins += 1
+            if spins > _DOORBELL_SPINS:
+                time.sleep(sleep_s)
+                sleep_s = min(sleep_s * 2.0, _DOORBELL_SLEEP_MAX_S)
+        wait_s = time.perf_counter() - w0
+        if source == "pipe":
             try:
                 blob = conn.recv_bytes()
             except (EOFError, OSError):
@@ -725,25 +930,41 @@ def _shard_worker_main(
                 runtime._hang_s = float(msg[1])
                 conn.send_bytes(_dumps(("ok", None)))
                 continue
-            try:
-                result = runtime.dispatch(msg)
-                if runtime.tracer is not None:
-                    # flush this barrier's span buffer in the reply, so
-                    # the driver merges a clock-aligned global timeline
-                    reply = ("ok", result, runtime.tracer.drain())
-                else:
-                    reply = ("ok", result)
-            except Exception:
-                reply = ("error", traceback.format_exc())
-            if runtime._hang_s > 0.0:
-                # armed by a ("hang") frame: simulate a wedged worker at
-                # the next barrier (a respawned runtime starts at 0.0,
-                # so the supervisor's re-sent frame sails through)
-                time.sleep(runtime._hang_s)
-                runtime._hang_s = 0.0
-            conn.send_bytes(_dumps(reply))
-    finally:
-        runtime.plane.close()
+        else:
+            msg = cplane.read_request(idx)
+        try:
+            result = runtime.dispatch(msg)
+            error = None
+        except Exception:
+            error = traceback.format_exc()
+        drained: tuple = ()
+        if error is None and runtime.tracer is not None:
+            drained = runtime.tracer.drain()
+        if runtime._hang_s > 0.0:
+            # stall before replying: the reply-slot generation counter
+            # (the supervisor's heartbeat) goes silent, same as a pipe
+            # worker sitting on its reply
+            time.sleep(runtime._hang_s)
+            runtime._hang_s = 0.0
+        if source == "pipe":
+            if error is not None:
+                conn.send_bytes(_dumps(("error", error)))
+            elif runtime.tracer is not None:
+                conn.send_bytes(_dumps(("ok", result, drained)))
+            else:
+                conn.send_bytes(_dumps(("ok", result)))
+        elif error is not None:
+            # slow-path reply: full pickled traceback on the pipe, the
+            # status slot tells the driver to read it there
+            conn.send_bytes(_dumps(("error", error)))
+            cplane.write_status(idx, last_seq, ControlPlane.ERROR, wait_s)
+        elif drained:
+            conn.send_bytes(_dumps(("ok", result, drained)))
+            cplane.write_status(
+                idx, last_seq, ControlPlane.PAYLOAD_PIPE, wait_s
+            )
+        else:
+            cplane.write_reply(idx, last_seq, msg[0], result, wait_s)
 
 
 class _DriverFaultReplayer:
@@ -816,9 +1037,24 @@ class ParallelFleetEngine:
     sample-for-sample.
     """
 
-    def __init__(self, sim, workers: int, resume_dir: Optional[str] = None):
+    def __init__(
+        self,
+        sim,
+        workers: int,
+        resume_dir: Optional[str] = None,
+        control_plane: str = "shm",
+        epoch_ticks: int = _DEFAULT_EPOCH_TICKS,
+    ):
         if workers < 1:
             raise SimulationError(f"parallel needs at least one worker: {workers}")
+        if control_plane not in ("pipe", "shm"):
+            raise SimulationError(
+                f"unknown control plane: {control_plane!r} (use 'pipe' or 'shm')"
+            )
+        if epoch_ticks < 1:
+            raise SimulationError(f"epoch_ticks must be >= 1: {epoch_ticks}")
+        self.control_plane_mode = control_plane
+        self._epoch_ticks = epoch_ticks if control_plane == "shm" else 1
         self.sim = sim
         self._validate_fresh(sim)
         self.total_servers = len(sim.cloud.hosts)
@@ -836,6 +1072,14 @@ class ParallelFleetEngine:
                     "checkpoint start time does not match this simulation;"
                     " resume needs an identically constructed simulation"
                 )
+            if manifest["control"] != (control_plane, self._epoch_ticks):
+                ck_plane, ck_ticks = manifest["control"]
+                raise SimulationError(
+                    f"checkpoint was taken under --control-plane {ck_plane}"
+                    f" with {ck_ticks} epoch tick(s), this run uses"
+                    f" {control_plane} with {self._epoch_ticks}; resume"
+                    " with the same control-plane configuration"
+                )
         # a resumed engine's clock continues from the checkpoint instant;
         # the caller-facing replay cursor in DatacenterSimulation.run
         # no-ops the already-covered window
@@ -846,6 +1090,7 @@ class ParallelFleetEngine:
         self.procs: list = []
         self.conns: list = []
         self.plane: Optional[TelemetryPlane] = None
+        self.cplane: Optional[ControlPlane] = None
 
         cfg = sim.resilience
         self._resilience = cfg
@@ -939,12 +1184,23 @@ class ParallelFleetEngine:
                 for i in range(n)
             ]
 
+        # under batched epochs every row-carrying tick of an epoch needs
+        # its own bank: with epoch_ticks + 1 banks, a bank is never
+        # rewritten before the post-epoch fold has consumed it
+        self._banks = 2 if control_plane == "pipe" else max(2, self._epoch_ticks + 1)
         self.plane = TelemetryPlane.create(
-            self.total_servers, self.observer_capacity
+            self.total_servers, self.observer_capacity, banks=self._banks
         )
+        #: driver-side doorbell sequence per shard (shm mode)
+        self._cp_seq: List[int] = [0] * n
+        if control_plane == "shm":
+            self.cplane = ControlPlane.create(
+                [len(hosts) for hosts in self.shard_hosts], self._epoch_ticks
+            )
         self.ipc = IpcMetrics(
             workers=n,
-            shm_segment_bytes=self.plane.segment_bytes,
+            shm_segment_bytes=self.plane.segment_bytes
+            + (0 if self.cplane is None else self.cplane.segment_bytes),
             registry=sim.metrics.registry,
         )
         sim.metrics.ipc = self.ipc
@@ -987,6 +1243,12 @@ class ParallelFleetEngine:
                 trace_capacity=(
                     self._tracer.capacity if self._tracer is not None else 65536
                 ),
+                telemetry_banks=self._banks,
+                control_name=None if self.cplane is None else self.cplane.name,
+                control_host_counts=tuple(
+                    len(hosts) for hosts in self.shard_hosts
+                ),
+                control_epoch_ticks=self._epoch_ticks,
             )
             for i in range(n)
         ]
@@ -1045,7 +1307,7 @@ class ParallelFleetEngine:
                     "hung",
                     f"did not come up within {_STARTUP_TIMEOUT_S:.0f}s",
                 )
-        msg = pickle.loads(conn.recv_bytes())
+        msg, _ = _recv_frame(conn)
         if msg[0] != "ready":
             try:
                 self.close()
@@ -1236,7 +1498,7 @@ class ParallelFleetEngine:
             self._wait_ready(idx)
             self.conns[idx].send_bytes(_dumps(("replay", tuple(frames))))
             self._await_reply(idx)
-            reply = pickle.loads(self.conns[idx].recv_bytes())
+            reply, _ = _recv_frame(self.conns[idx])
         except _ShardFailure as chained:
             # the replacement died too: recurse within the restart budget
             # (the deeper call resends ``msg`` itself when it succeeds)
@@ -1259,16 +1521,37 @@ class ParallelFleetEngine:
                 ) from failure.cause
         self._last_reply_wall[idx] = time.monotonic()
         if self.res_metrics is not None:
-            ticks = sum(1 for f in frames if f[0] in ("commit", "step"))
+            ticks = 0
+            for f in frames:
+                if f[0] in ("commit", "step"):
+                    ticks += 1
+                elif f[0] == "epoch":
+                    ticks += len(f[1])
             self.res_metrics.record_replay(
                 len(frames), ticks, time.monotonic() - w0
             )
+        # the in-flight frame is resent over the pipe regardless of the
+        # transport it originally used: the respawned worker baselines
+        # its doorbell at attach, so the stale slot frame is never
+        # served twice, and _collect switches to the pipe on failure
         self.conns[idx].send_bytes(_dumps(msg))
 
-    def _post(self, idx: int, msg: tuple) -> int:
-        blob = _dumps(msg)
+    def _post(self, idx: int, msg: tuple) -> Tuple[str, int]:
+        """Ship one control frame; returns its ``(transport, bytes)``.
+
+        The frame log records the *logical* tuple regardless of which
+        plane carried it, so replay-after-respawn reproduces shm frames
+        over the pipe verbatim.
+        """
         if self._supervise and msg[0] not in _UNLOGGED_FRAMES:
             self._frame_log[idx].append(msg)
+        if self.cplane is not None:
+            posted = self.cplane.post(idx, msg)
+            if posted is not None:
+                seq, nbytes = posted
+                self._cp_seq[idx] = seq
+                return ("shm", nbytes)
+        blob = _dumps(msg)
         try:
             self.conns[idx].send_bytes(blob)
         except (BrokenPipeError, OSError) as exc:
@@ -1276,29 +1559,90 @@ class ParallelFleetEngine:
                 idx, msg, _ShardFailure("died", f"pipe write failed: {exc}", exc)
             )
             # _handle_failure either raised or respawned + resent msg
-        return len(blob)
+        return ("pipe", len(blob))
 
-    def _collect(self, idx: int, sent: int, msg: Optional[tuple] = None):
+    def _await_shm_reply(self, idx: int) -> None:
+        """Busy-poll the reply generation counter, bounded by liveness.
+
+        The counter doubles as the heartbeat: a worker that served the
+        frame has bumped it to the doorbell value; one that died or
+        wedged has not, and the spin loop degrades to short sleeps with
+        periodic ``is_alive``/timeout checks — the same died/hung
+        classification as the pipe path.
+        """
+        cplane = self.cplane
+        want = self._cp_seq[idx]
+        proc = self.procs[idx]
+        deadline = time.monotonic() + self._barrier_timeout_s
+        spins = 0
+        naps = 0
+        sleep_s = _DOORBELL_SLEEP_S
+        while cplane.rsp_seq(idx) != want:
+            spins += 1
+            if spins <= _DOORBELL_SPINS:
+                continue
+            time.sleep(sleep_s)
+            sleep_s = min(sleep_s * 2.0, _DOORBELL_SLEEP_MAX_S)
+            naps += 1
+            if naps % _DOORBELL_CHECK_EVERY == 0:
+                if not proc.is_alive() and cplane.rsp_seq(idx) != want:
+                    raise _ShardFailure("died", f"exitcode {proc.exitcode}")
+                if time.monotonic() > deadline:
+                    raise _ShardFailure(
+                        "hung",
+                        f"no reply within barrier_timeout_s="
+                        f"{self._barrier_timeout_s:.1f}",
+                    )
+
+    def _collect(
+        self, idx: int, sent: Tuple[str, int], msg: Optional[tuple] = None
+    ):
+        transport, nbytes = sent
+        # epoch frames amortize their round trip over the batched ticks
+        ticks = len(msg[1]) if msg is not None and msg[0] == "epoch" else 1
         while True:
             t0 = time.perf_counter()
             try:
-                self._await_reply(idx)
-                blob = self.conns[idx].recv_bytes()
+                if transport == "shm":
+                    self._await_shm_reply(idx)
+                    reply = None
+                    received = 0
+                else:
+                    self._await_reply(idx)
+                    reply, received = _recv_frame(self.conns[idx])
             except _ShardFailure as failure:
                 self._handle_failure(idx, msg, failure)
-                continue  # respawned and resent: collect the fresh reply
+                # respawned and resent over the pipe: collect there
+                transport = "pipe"
+                continue
             except (EOFError, OSError) as exc:
                 self._handle_failure(
                     idx,
                     msg,
                     _ShardFailure("died", f"pipe read failed: {exc}", exc),
                 )
+                transport = "pipe"
                 continue
             break
         self._last_reply_wall[idx] = time.monotonic()
-        self.ipc.record_barrier_wait(idx, time.perf_counter() - t0)
-        self.ipc.record_frame(sent, len(blob))
-        reply = pickle.loads(blob)
+        self.ipc.record_barrier_wait(
+            idx, time.perf_counter() - t0, ticks=ticks
+        )
+        if transport == "shm":
+            self.ipc.record_doorbell_wait(self.cplane.reply_wait_s(idx))
+            status = self.cplane.reply_status(idx)
+            if status == ControlPlane.OK:
+                result, received = self.cplane.read_reply(idx, msg[0])
+                self.ipc.record_shm_frame(nbytes, received)
+                return result
+            # PAYLOAD_PIPE (tracer drain) or ERROR: the request used the
+            # slots but the reply is a full pickled frame on the pipe
+            self._await_reply(idx)
+            reply, received = _recv_frame(self.conns[idx])
+            self.ipc.record_shm_frame(nbytes, 0)
+            self.ipc.control_bytes_received += received
+        else:
+            self.ipc.record_frame(nbytes, received)
         if reply[0] == "error":
             raise SimulationError(f"shard worker {idx} failed:\n{reply[1]}")
         if len(reply) == 3 and reply[2] and self._tracer is not None:
@@ -1320,13 +1664,15 @@ class ParallelFleetEngine:
         ]
         if trace_on:
             now = self.clock.now
+            attrs = {"track": "barrier", "shards": len(msgs)}
+            if msgs[0][0] == "epoch":
+                attrs["ticks"] = len(msgs[0][1])
             tracer.add_span(
                 "barrier." + msgs[0][0],
                 now,
                 now,
                 time.perf_counter() - w0,
-                track="barrier",
-                shards=len(msgs),
+                **attrs,
             )
         return out
 
@@ -1355,8 +1701,14 @@ class ParallelFleetEngine:
         return out
 
     def _next_bank(self) -> int:
-        """Rotate the double buffer before a frame that carries shm data."""
-        self._bank ^= 1
+        """Rotate the bank cursor before a frame that carries shm data.
+
+        Two banks (a double buffer) under the pipe plane; ``epoch_ticks
+        + 1`` under the shm plane, so every row-carrying tick of a
+        batched epoch lands in its own bank and none is overwritten
+        before the driver folds it after the single epoch reply.
+        """
+        self._bank = (self._bank + 1) % self.plane.banks
         return self._bank
 
     def _take_ops_for(self, shard: int) -> tuple:
@@ -1444,6 +1796,293 @@ class ParallelFleetEngine:
         self._observed = values
         self._observed_at = self.clock.now
 
+    # -- tick bodies -----------------------------------------------------
+
+    def _finish_tick(
+        self, remaining: float, dt: float, step: float, verb: str
+    ) -> float:
+        """The post-plan half of one classic tick: advance, one barrier,
+        fold the row — exactly the serial loop's commit sequence."""
+        sim = self.sim
+        engine = sim.fastforward
+        n = len(self.conns)
+        tracer = self._tracer
+        trace_on = tracer is not None and tracer.enabled
+        if trace_on:
+            tick_t0, tick_w0 = self.clock.now, time.perf_counter()
+        self.clock.advance(step)
+        final = remaining - step <= _EPS
+        oids = self._armed if final else ()
+        due = self._due_times(self.clock.now)
+        want_row = bool(due)
+        bank = self._next_bank() if (want_row or oids) else self._bank
+        replies = self._exchange(
+            [
+                (verb, step, bank, want_row, self._shard_oids(i, oids))
+                for i in range(n)
+            ]
+        )
+        changed = any(replies)
+        if self.faults is not None and self.faults.advance(self.clock.now):
+            changed = True
+        if changed:
+            engine.stability.reset()
+        if due:
+            self._record_samples(due, bank)
+        if oids:
+            self._read_observers(bank, oids)
+        sim.metrics.record_tick(step, dt)
+        if trace_on:
+            tracer.add_span(
+                "fleet.tick",
+                tick_t0,
+                self.clock.now,
+                time.perf_counter() - tick_w0,
+                step=step,
+            )
+        return remaining - step
+
+    def _classic_tick(self, remaining: float, dt: float, coalesce: bool) -> float:
+        """One tick with its own plan + commit barriers (pipe protocol)."""
+        sim = self.sim
+        engine = sim.fastforward
+        step = min(dt, remaining)
+        if coalesce:
+            plans = self._broadcast(("plan", step))
+            dark, demands, safe, horizon = self._merge_plans(plans)
+            stable = (
+                engine.stability.observe((demands, frozenset(dark))) and safe
+            )
+            horizon = min(horizon, sim.next_sample_time)
+            horizon = min(
+                horizon,
+                fold_driver_horizons(self.clock.now, sim.horizon_sources),
+            )
+            if self.faults is not None:
+                horizon = min(
+                    horizon, self.faults.next_barrier(self.clock.now)
+                )
+            step = engine.plan_step(
+                now=self.clock.now,
+                remaining=remaining,
+                base_dt=dt,
+                horizon=horizon,
+                stable=stable,
+            )
+            verb = "commit"
+        else:
+            verb = "step"
+        return self._finish_tick(remaining, dt, step, verb)
+
+    def _checkpoint_pending(self) -> bool:
+        """Whether the run loop will checkpoint at the next barrier.
+
+        Epoch planners stop batching right after the tick that crosses
+        a ``checkpoint_every`` boundary so the snapshot lands at the
+        same barrier an unbatched run would have picked.
+        """
+        cfg = self._resilience
+        if (
+            cfg is None
+            or cfg.checkpoint_dir is None
+            or self.sim.checkpoint_extras
+        ):
+            return False
+        every = cfg.checkpoint_every
+        return (
+            self.clock.now + _EPS
+            >= self._ckpt_origin + (self._ckpt_seq + 1) * every
+        )
+
+    def _plan_tick(self, step: float, floor: float) -> tuple:
+        """Driver-side effects of one batched tick, in serial order.
+
+        Advances the clock, rotates the bank for a row-carrying tick,
+        replays driver-visible fault events at the new instant, and
+        precomputes the jittered sample stamps — threading the jitter
+        ``floor`` across the epoch because the trace rows themselves are
+        folded only after the single epoch reply. Sample counters move
+        here (not at fold time) so ``next_sample_time`` evolves exactly
+        as it would between serial barriers.
+        """
+        sim = self.sim
+        self.clock.advance(step)
+        now = self.clock.now
+        due = self._due_times(now)
+        want_row = bool(due)
+        bank = self._next_bank() if want_row else self._bank
+        changed = self.faults is not None and self.faults.advance(now)
+        stamps = []
+        for when in due:
+            t = when
+            if self.faults is not None:
+                t = self.faults.jitter.jittered_time(
+                    when, sim.sample_interval_s, floor=floor
+                )
+            stamps.append(t)
+            floor = t
+            sim._sample_count += 1
+            sim.metrics.samples += 1
+        return bank, want_row, stamps, floor, changed
+
+    def _fold_rows(self, folds: list) -> None:
+        """Fold the epoch's row-carrying banks into the traces, in tick
+        order, with the stamps :meth:`_plan_tick` precomputed."""
+        sim = self.sim
+        plane = self.plane
+        for bank, stamps in folds:
+            row = [plane.read_wall(bank, i) for i in range(self.total_servers)]
+            self.ipc.shm_row_bytes += plane.row_bytes
+            for t in stamps:
+                total = 0.0
+                for i, watts in enumerate(row):
+                    if watts is None:
+                        sim.server_traces[i].note_gap(t)
+                        continue
+                    sim.server_traces[i].append(t, watts)
+                    total += watts
+                sim.aggregate_trace.append(t, total)
+
+    def _flush_epoch(
+        self, frames: list, folds: list, spans: list, dt: float, epoch_w0: float
+    ) -> None:
+        """One epoch barrier for the batched frames, then the fold."""
+        sim = self.sim
+        tracer = self._tracer
+        trace_on = tracer is not None and tracer.enabled
+        replies = self._exchange([("epoch", tuple(frames))] * len(self.conns))
+        if any(replies):
+            sim.fastforward.stability.reset()
+        self._fold_rows(folds)
+        wall = (time.perf_counter() - epoch_w0) / len(frames)
+        for t0, t1, step in spans:
+            sim.metrics.record_tick(step, dt)
+            if trace_on:
+                tracer.add_span("fleet.tick", t0, t1, wall, step=step)
+
+    def _epoch_coalesce(self, remaining: float, dt: float) -> float:
+        """Batch coalesced ticks behind one plan exchange + one epoch.
+
+        The head tick pays a real plan exchange; while the merged
+        fingerprint holds (no shard event before the merged horizon, no
+        breaker near its knee, no sample-cadence or checkpoint boundary
+        forcing a driver action) the planner replays the serial planning
+        loop locally and appends interior ticks to the epoch — each one
+        carrying the plan hint the worker re-executes in-shard, so the
+        per-tick state evolution is identical to ``len(frames)``
+        separate barriers.
+        """
+        sim = self.sim
+        engine = sim.fastforward
+        epoch_w0 = time.perf_counter()
+        hint0 = min(dt, remaining)
+        plans = self._broadcast(("plan", hint0))
+        dark, demands, safe, shard_horizon = self._merge_plans(plans)
+        fp = (demands, frozenset(dark))
+        frames: list = []
+        folds: list = []
+        spans: list = []
+        floor = (
+            sim.aggregate_trace.times[-1] if sim.aggregate_trace.times else 0.0
+        )
+        while True:
+            hint = min(dt, remaining)
+            stable = engine.stability.peek(fp) and safe
+            horizon = min(shard_horizon, sim.next_sample_time)
+            horizon = min(
+                horizon,
+                fold_driver_horizons(self.clock.now, sim.horizon_sources),
+            )
+            if self.faults is not None:
+                horizon = min(
+                    horizon, self.faults.next_barrier(self.clock.now)
+                )
+            step = engine.plan_step(
+                now=self.clock.now,
+                remaining=remaining,
+                base_dt=dt,
+                horizon=horizon,
+                stable=stable,
+            )
+            if remaining - step <= _EPS and self._armed:
+                if frames:
+                    # flush first: the armed tick re-plans next call, so
+                    # the worker still sees one plan per tick
+                    break
+                # a lone armed tick is the classic plan + commit pair
+                engine.stability.observe(fp)
+                return self._finish_tick(remaining, dt, step, "commit")
+            engine.stability.observe(fp)
+            t0 = self.clock.now
+            bank, want_row, stamps, floor, changed = self._plan_tick(
+                step, floor
+            )
+            if changed:
+                engine.stability.reset()
+            frames.append(
+                (None if not frames else hint, step, bank, 1 if want_row else 0)
+            )
+            if want_row:
+                folds.append((bank, stamps))
+            spans.append((t0, self.clock.now, step))
+            remaining -= step
+            if (
+                remaining <= _EPS
+                or self.clock.now + _EPS >= shard_horizon
+                or len(frames) >= self._epoch_ticks
+                or self._checkpoint_pending()
+                or not safe
+            ):
+                break
+        self._flush_epoch(frames, folds, spans, dt, epoch_w0)
+        return remaining
+
+    def _epoch_fixed(self, remaining: float, dt: float) -> float:
+        """Batch fixed-step ticks (non-coalescing runs) into one epoch.
+
+        Every frame carries its step as the plan hint — the worker's
+        fused plan-then-commit, exactly the classic ``step`` verb. With
+        no stability observes between non-coalescing barriers, driver
+        fault resets defer losslessly to the epoch flush.
+        """
+        sim = self.sim
+        engine = sim.fastforward
+        epoch_w0 = time.perf_counter()
+        frames: list = []
+        folds: list = []
+        spans: list = []
+        floor = (
+            sim.aggregate_trace.times[-1] if sim.aggregate_trace.times else 0.0
+        )
+        driver_changed = False
+        while True:
+            step = min(dt, remaining)
+            if remaining - step <= _EPS and self._armed:
+                if frames:
+                    break
+                return self._finish_tick(remaining, dt, step, "step")
+            t0 = self.clock.now
+            bank, want_row, stamps, floor, changed = self._plan_tick(
+                step, floor
+            )
+            if changed:
+                driver_changed = True
+            frames.append((step, step, bank, 1 if want_row else 0))
+            if want_row:
+                folds.append((bank, stamps))
+            spans.append((t0, self.clock.now, step))
+            remaining -= step
+            if (
+                remaining <= _EPS
+                or len(frames) >= self._epoch_ticks
+                or self._checkpoint_pending()
+            ):
+                break
+        if driver_changed:
+            engine.stability.reset()
+        self._flush_epoch(frames, folds, spans, dt, epoch_w0)
+        return remaining
+
     # -- checkpointing ---------------------------------------------------
 
     def checkpoint_if_due(self) -> None:
@@ -1510,6 +2149,7 @@ class ParallelFleetEngine:
             "total_servers": self.total_servers,
             "start_time": sim._start_time,
             "ckpt_origin": self._ckpt_origin,
+            "control": (self.control_plane_mode, self._epoch_ticks),
             "sample": (
                 sim._sample_origin,
                 sim._sample_count,
@@ -1598,71 +2238,14 @@ class ParallelFleetEngine:
                 if due:
                     self._record_samples(due, bank)
             remaining = seconds
+            batch = self.cplane is not None and self._epoch_ticks > 1
             while remaining > _EPS:
-                if trace_on:
-                    tick_t0, tick_w0 = self.clock.now, time.perf_counter()
-                step = min(dt, remaining)
-                if coalesce:
-                    plans = self._broadcast(("plan", step))
-                    dark, demands, safe, horizon = self._merge_plans(plans)
-                    stable = (
-                        engine.stability.observe((demands, frozenset(dark)))
-                        and safe
-                    )
-                    horizon = min(horizon, sim.next_sample_time)
-                    horizon = min(
-                        horizon,
-                        fold_driver_horizons(
-                            self.clock.now, sim.horizon_sources
-                        ),
-                    )
-                    if self.faults is not None:
-                        horizon = min(
-                            horizon, self.faults.next_barrier(self.clock.now)
-                        )
-                    step = engine.plan_step(
-                        now=self.clock.now,
-                        remaining=remaining,
-                        base_dt=dt,
-                        horizon=horizon,
-                        stable=stable,
-                    )
-                    verb = "commit"
+                if batch and coalesce:
+                    remaining = self._epoch_coalesce(remaining, dt)
+                elif batch:
+                    remaining = self._epoch_fixed(remaining, dt)
                 else:
-                    verb = "step"
-                self.clock.advance(step)
-                final = remaining - step <= _EPS
-                oids = self._armed if final else ()
-                due = self._due_times(self.clock.now)
-                want_row = bool(due)
-                bank = (
-                    self._next_bank() if (want_row or oids) else self._bank
-                )
-                replies = self._exchange(
-                    [
-                        (verb, step, bank, want_row, self._shard_oids(i, oids))
-                        for i in range(n)
-                    ]
-                )
-                changed = any(replies)
-                if self.faults is not None and self.faults.advance(self.clock.now):
-                    changed = True
-                if changed:
-                    engine.stability.reset()
-                if due:
-                    self._record_samples(due, bank)
-                if oids:
-                    self._read_observers(bank, oids)
-                sim.metrics.record_tick(step, dt)
-                if trace_on:
-                    tracer.add_span(
-                        "fleet.tick",
-                        tick_t0,
-                        self.clock.now,
-                        time.perf_counter() - tick_w0,
-                        step=step,
-                    )
-                remaining -= step
+                    remaining = self._classic_tick(remaining, dt, coalesce)
                 if self._resilience is not None and not sim.checkpoint_extras:
                     self.checkpoint_if_due()
         if trace_on:
@@ -1906,5 +2489,9 @@ class ParallelFleetEngine:
             for conn in self.conns:
                 conn.close()
         finally:
-            if self.plane is not None:
-                self.plane.unlink()
+            try:
+                if self.plane is not None:
+                    self.plane.unlink()
+            finally:
+                if self.cplane is not None:
+                    self.cplane.unlink()

@@ -38,7 +38,10 @@ from repro.errors import SimulationError
 SNAPSHOT_VERSION = 1
 
 #: version stamp embedded in the driver-side manifest
-MANIFEST_VERSION = 1
+#: (2: manifests record the control-plane configuration — transport mode
+#: and epoch-tick budget — so a resume cannot silently change the frame
+#: schedule the logged replay frames were recorded under)
+MANIFEST_VERSION = 2
 
 
 @dataclass(frozen=True)

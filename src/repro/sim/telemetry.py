@@ -15,10 +15,16 @@ Frame layout (all slots are native-endian float64)::
     bank 0: [ wall[0] ... wall[S-1] | obs[0] ... obs[C-1] ]
     bank 1: [ wall[0] ... wall[S-1] | obs[0] ... obs[C-1] ]
 
-with ``S = total_servers`` and ``C = observer_capacity``. The two banks
-alternate per row-carrying barrier (a double buffer): the driver stamps
-each control frame with the bank index, so a worker never overwrites a
-row the driver has not consumed yet, even across coalesced steps.
+with ``S = total_servers`` and ``C = observer_capacity``. The banks
+rotate per row-carrying barrier: the driver stamps each control frame
+with the bank index, so a worker never overwrites a row the driver has
+not consumed yet, even across coalesced steps. Two banks (a classic
+double buffer) suffice for the one-barrier-per-tick pipe protocol; the
+shared-memory control plane (:mod:`repro.sim.controlplane`) batches up
+to ``epoch_ticks`` row-carrying ticks into one barrier, so the engine
+sizes the plane with ``epoch_ticks + 1`` banks — every tick of an
+epoch lands in its own bank and the driver folds them all after the
+single reply.
 
 Encoding: a wall slot holds the sampled watts (``0.0`` for a dark,
 breaker-tripped server) or **NaN** for a crashed machine — the driver
@@ -45,7 +51,8 @@ from typing import List, Optional
 
 from repro.errors import SimulationError
 
-#: double buffer: one bank may be written while the other is read
+#: default bank count — a double buffer: one bank may be written while
+#: the other is read (the engine raises this for batched plan epochs)
 BANKS = 2
 
 #: segment names are ``clkt-<driver pid>-<random hex>`` — the embedded
@@ -113,10 +120,12 @@ class TelemetryPlane:
         total_servers: int,
         observer_capacity: int,
         owner: bool,
+        banks: int = BANKS,
     ):
         self._shm = shm
         self.total_servers = total_servers
         self.observer_capacity = observer_capacity
+        self.banks = banks
         self._owner = owner
         self._stride = total_servers + observer_capacity
         self._view = memoryview(shm.buf).cast("d")
@@ -125,8 +134,10 @@ class TelemetryPlane:
     # -- construction ---------------------------------------------------
 
     @classmethod
-    def create(cls, total_servers: int, observer_capacity: int) -> "TelemetryPlane":
-        """Driver side: allocate the segment (two banks, NaN-filled)."""
+    def create(
+        cls, total_servers: int, observer_capacity: int, banks: int = BANKS
+    ) -> "TelemetryPlane":
+        """Driver side: allocate the segment (``banks`` banks, NaN-filled)."""
         if total_servers < 1:
             raise SimulationError(
                 f"telemetry plane needs at least one server slot: {total_servers}"
@@ -135,8 +146,10 @@ class TelemetryPlane:
             raise SimulationError(
                 f"observer capacity must be >= 0: {observer_capacity}"
             )
+        if banks < BANKS:
+            raise SimulationError(f"telemetry plane needs >= {BANKS} banks: {banks}")
         sweep_stale_segments()
-        size = BANKS * (total_servers + observer_capacity) * _FLOAT_BYTES
+        size = banks * (total_servers + observer_capacity) * _FLOAT_BYTES
         while True:
             name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
             try:
@@ -144,15 +157,16 @@ class TelemetryPlane:
             except FileExistsError:  # pragma: no cover - 1-in-2^32 collision
                 continue
             break
-        plane = cls(shm, total_servers, observer_capacity, owner=True)
+        plane = cls(shm, total_servers, observer_capacity, owner=True, banks=banks)
         nan = math.nan
-        for slot in range(BANKS * plane._stride):
+        for slot in range(banks * plane._stride):
             plane._view[slot] = nan
         return plane
 
     @classmethod
     def attach(
-        cls, name: str, total_servers: int, observer_capacity: int
+        cls, name: str, total_servers: int, observer_capacity: int,
+        banks: int = BANKS,
     ) -> "TelemetryPlane":
         """Worker side: attach to the driver's segment by name.
 
@@ -167,7 +181,7 @@ class TelemetryPlane:
         tracker.
         """
         shm = shared_memory.SharedMemory(name=name)
-        return cls(shm, total_servers, observer_capacity, owner=False)
+        return cls(shm, total_servers, observer_capacity, owner=False, banks=banks)
 
     # -- geometry -------------------------------------------------------
 
@@ -179,7 +193,7 @@ class TelemetryPlane:
     @property
     def segment_bytes(self) -> int:
         """Allocated size of the shared segment."""
-        return BANKS * self._stride * _FLOAT_BYTES
+        return self.banks * self._stride * _FLOAT_BYTES
 
     @property
     def row_bytes(self) -> int:
@@ -187,14 +201,14 @@ class TelemetryPlane:
         return self.total_servers * _FLOAT_BYTES
 
     def _wall_slot(self, bank: int, index: int) -> int:
-        if not 0 <= bank < BANKS:
+        if not 0 <= bank < self.banks:
             raise SimulationError(f"bank out of range: {bank}")
         if not 0 <= index < self.total_servers:
             raise SimulationError(f"server index out of range: {index}")
         return bank * self._stride + index
 
     def _observer_slot(self, bank: int, slot: int) -> int:
-        if not 0 <= bank < BANKS:
+        if not 0 <= bank < self.banks:
             raise SimulationError(f"bank out of range: {bank}")
         if not 0 <= slot < self.observer_capacity:
             raise SimulationError(f"observer slot out of range: {slot}")
