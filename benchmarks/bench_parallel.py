@@ -55,6 +55,24 @@ Environment knobs (used by the CI perf-smoke job):
 - ``BENCH_CONTROL_MAX_RATIO``: minimum pipe/shm p50 round-trip ratio
   for the control-plane gate (default 3.0; ``0`` disables the ratio
   assertion, the zero-pickled-frames assertion always holds).
+- ``BENCH_HOST_GATE_SERVERS``: fleet size for the columnar host-engine
+  throughput gate (default 128; ``0`` skips it).
+- ``BENCH_HOST_MIN_RATIO``: minimum columnar/object host-tick
+  throughput ratio for that gate (default 10.0; ``0`` disables the
+  assertion, the bit-identity assertion always holds).
+- ``BENCH_HOST_FLEET_RACKS``: rack count for the large columnar fleet
+  config (default 256; ``0`` skips it).
+
+Two host-engine benchmarks ride along (``repro.kernel.columnar``):
+
+- ``test_host_engine_throughput`` is the perf-smoke gate for the
+  columnar host engine: at 128+ hosts the vectorized cold-host tick
+  path must run at >= 10x the per-object ``Kernel.tick`` throughput,
+  with the traces bit-identical (the ``docs/hostengine.md`` contract).
+- ``test_host_engine_fleet`` runs a >= 256-rack fleet with
+  materialized tenant containers on every host, entirely as column
+  sweeps, and records ``host_ticks_per_s`` and the materialized-tenant
+  throughput.
 """
 
 from __future__ import annotations
@@ -85,6 +103,18 @@ LARGE_SERVERS = 64
 LARGE_RACK_SIZE = 8
 LARGE_WORKERS = 8
 SEED_BARRIER_SHARE = 0.92
+
+#: columnar host-engine gate: fleet size and required throughput ratio
+HOST_GATE_SERVERS = 128
+HOST_GATE_RACK_SIZE = 8
+HOST_GATE_VIRTUAL_S = 120.0
+HOST_GATE_MIN_RATIO = 10.0
+
+#: large columnar fleet: rack count, shape, and tenant multiplexing
+FLEET_RACKS = 256
+FLEET_RACK_SIZE = 8
+FLEET_TENANTS_PER_HOST = 4
+FLEET_VIRTUAL_S = 300.0
 
 #: control-plane comparison: 8 shards of one server each — the
 #: barrier-bound extreme (8 round trips per barrier, near-zero per-shard
@@ -402,6 +432,145 @@ def test_population_throughput(results_dir):
         f"per-object: {obj_wall:.3f}s  ({obj_tps:,.0f} tenant-ticks/s)\n"
         f"columnar:   {col_wall:.3f}s  ({col_tps:,.0f} tenant-ticks/s)\n"
         f"speedup:    {ratio:.1f}x (gate: >= 10x)",
+    )
+
+
+def _run_host_mode(hosts: str, servers: int, virtual_s: float):
+    sim = DatacenterSimulation(
+        servers=servers, rack_size=HOST_GATE_RACK_SIZE, seed=103,
+        tenants_per_host=2, hosts=hosts,
+    )
+    t0 = time.perf_counter()
+    sim.run(virtual_s, dt=1.0, coalesce=False)
+    wall = time.perf_counter() - t0
+    trace = (
+        tuple(sim.aggregate_trace.times),
+        tuple(sim.aggregate_trace.watts),
+    )
+    return wall, sim.metrics.ticks, trace, sim
+
+
+def test_host_engine_throughput(results_dir):
+    """Perf-smoke gate: columnar host ticks >= 10x the per-object path.
+
+    Same fleet, same seed, base ticks only (no coalescing: the gate
+    isolates the per-tick host loop the column sweep replaces). The
+    traces must be bit-identical — the columnar engine's whole claim is
+    speed at zero observable difference — and the host-tick throughput
+    ratio must clear ``BENCH_HOST_MIN_RATIO``.
+    """
+    raw = os.environ.get("BENCH_HOST_GATE_SERVERS", "").strip()
+    servers = int(raw) if raw else HOST_GATE_SERVERS
+    if servers <= 0:
+        pytest.skip("BENCH_HOST_GATE_SERVERS=0")
+    min_ratio = float(
+        os.environ.get("BENCH_HOST_MIN_RATIO", "") or HOST_GATE_MIN_RATIO
+    )
+
+    obj_wall, obj_ticks, obj_trace, _ = _run_host_mode(
+        "objects", servers, HOST_GATE_VIRTUAL_S
+    )
+    col_wall, col_ticks, col_trace, col_sim = _run_host_mode(
+        "columnar", servers, HOST_GATE_VIRTUAL_S
+    )
+    assert col_trace == obj_trace
+    assert col_ticks == obj_ticks
+
+    obj_tps = servers * obj_ticks / obj_wall
+    col_tps = servers * col_ticks / col_wall
+    ratio = col_tps / obj_tps
+    if min_ratio > 0:
+        assert ratio >= min_ratio, (
+            f"columnar host engine only {ratio:.1f}x the per-object path"
+            f" ({col_tps:,.0f} vs {obj_tps:,.0f} host-ticks/s)"
+        )
+
+    stats = col_sim.host_engine.stats()
+    section = {
+        "servers": servers,
+        "virtual_seconds": HOST_GATE_VIRTUAL_S,
+        "object_wall_s": round(obj_wall, 4),
+        "columnar_wall_s": round(col_wall, 4),
+        "object_host_ticks_per_s": round(obj_tps, 1),
+        "columnar_host_ticks_per_s": round(col_tps, 1),
+        "speedup": round(ratio, 1),
+        "gate_min_ratio": min_ratio,
+        "cold_hosts": stats["cold"],
+        "materializations": stats["materializations"],
+    }
+    _merge_bench_json(results_dir, "host_engine_throughput", section)
+    write_result(
+        results_dir,
+        "host_engine_throughput",
+        "columnar vs per-object host ticking (bit-identical traces)\n\n"
+        f"{servers} hosts x {obj_ticks} base ticks\n"
+        f"per-object: {obj_wall:.3f}s  ({obj_tps:,.0f} host-ticks/s)\n"
+        f"columnar:   {col_wall:.3f}s  ({col_tps:,.0f} host-ticks/s)\n"
+        f"speedup:    {ratio:.1f}x (gate: >= {min_ratio:.0f}x;"
+        f" {stats['cold']}/{servers} hosts cold)",
+    )
+
+
+def test_host_engine_fleet(results_dir):
+    """A >= 256-rack fleet ticked entirely as column sweeps.
+
+    Every host carries materialized tenant containers (full kernels,
+    cgroups, procfs — not demand-only rows), yet the steady-state tick
+    never touches a kernel object: the whole fleet advances as a
+    handful of numpy sweeps per barrier. Records ``host_ticks_per_s``
+    and the materialized-tenant throughput for the perf trajectory.
+    """
+    raw = os.environ.get("BENCH_HOST_FLEET_RACKS", "").strip()
+    racks = int(raw) if raw else FLEET_RACKS
+    if racks <= 0:
+        pytest.skip("BENCH_HOST_FLEET_RACKS=0")
+    servers = racks * FLEET_RACK_SIZE
+
+    t0 = time.perf_counter()
+    sim = DatacenterSimulation(
+        servers=servers, rack_size=FLEET_RACK_SIZE, seed=103,
+        tenants_per_host=FLEET_TENANTS_PER_HOST, sample_interval_s=60.0,
+        hosts="columnar",
+    )
+    build_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sim.run(FLEET_VIRTUAL_S, dt=1.0, coalesce=False)
+    wall = time.perf_counter() - t0
+    ticks = sim.metrics.ticks
+    stats = sim.host_engine.stats()
+
+    host_tps = servers * ticks / wall
+    tenants = servers * FLEET_TENANTS_PER_HOST
+    tenant_tps = tenants * ticks / wall
+    assert stats["cold"] == servers  # steady state: the whole fleet cold
+
+    section = {
+        "racks": racks,
+        "servers": servers,
+        "tenants_per_host": FLEET_TENANTS_PER_HOST,
+        "tenants": tenants,
+        "virtual_seconds": FLEET_VIRTUAL_S,
+        "ticks": ticks,
+        "build_wall_s": round(build_wall, 3),
+        "wall_s": round(wall, 3),
+        "host_ticks_per_s": round(host_tps, 1),
+        "tenant_ticks_per_s": round(tenant_tps, 1),
+        "cold_hosts": stats["cold"],
+        "cold_host_ticks": stats["cold_host_ticks"],
+        "materializations": stats["materializations"],
+    }
+    _merge_bench_json(results_dir, "host_engine_fleet", section)
+    write_result(
+        results_dir,
+        "host_engine_fleet",
+        "columnar host engine at datacenter scale\n\n"
+        f"{racks} racks / {servers} hosts / {tenants} materialized"
+        f" tenants, {ticks} base ticks\n"
+        f"build: {build_wall:.1f}s   run: {wall:.2f}s wall\n"
+        f"host-ticks/s:   {host_tps:,.0f}\n"
+        f"tenant-ticks/s: {tenant_tps:,.0f}\n"
+        f"cold hosts:     {stats['cold']}/{servers}"
+        f" ({stats['materializations']} materializations)",
     )
 
 

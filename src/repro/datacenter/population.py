@@ -207,6 +207,11 @@ class TenantPopulation:
         self._task_info: Dict[int, Tuple[int, float]] = {}
         self._dirty_any = False
         self._day_cache: Optional[int] = None
+        #: columnar host engine (``repro.kernel.columnar``); when bound,
+        #: rows on cold hosts reconcile column-to-column — spawns/kills
+        #: become deferred ops and the host's aggregate-demand column
+        #: moves without touching any per-host Python dict
+        self.host_engine = None
 
     # ------------------------------------------------------------------
     # checkpoint snapshots
@@ -493,15 +498,93 @@ class TenantPopulation:
         changed = np.nonzero(want != self.workers[rows])[0]
         # ascending row order == global tenant-id order: the same spawn /
         # container-creation order a serial per-object loop produces
+        he = self.host_engine
+        k = self.k_per_host
         for j in changed:
             s = int(rows[j])
             goal = int(want[j])
+            if he is not None and he.is_cold(s // k):
+                self._cold_reconcile(he, s // k, s, max(goal, 0))
+                continue
             tasks = self._tasks[s]
             while len(tasks) < goal:
                 self._spawn_worker(s)
             while len(tasks) > goal and tasks:
                 self._kill_worker(s)
             self.workers[s] = len(tasks)
+
+    def _cold_reconcile(self, he, host: int, s: int, goal: int) -> None:
+        """Reconcile one row on a cold host without touching its kernel.
+
+        The draws, spawn ordinals, demand bookkeeping and metric counters
+        move exactly as in ``_spawn_worker`` / ``_kill_worker``; the
+        kernel-facing half becomes deferred ops in the host engine, which
+        replays them through the real container/exec/kill path if the
+        host ever materializes.
+        """
+        from repro.runtime.workload import idle as _idle_workload
+
+        engine = self._engines[host]
+        cur = int(self.workers[s])
+        while cur < goal:
+            seq = int(self._spawn_seq[s])
+            self._spawn_seq[s] = seq + 1
+            kind = keyed_u01(int(self._kind_keys[s]), seq)
+            workload = _web_workload() if kind < 0.6 else _batch_workload()
+            if engine is not None and not he.row_has_container(s):
+                # first spawn creates the container (its init task joins
+                # the scheduler before the worker, like start_init does)
+                he.cold_container(host, s, _idle_workload().phases[0])
+            he.cold_spawn(host, s, seq, workload.phases[0])
+            self._host_demand[host] += workload.demand()
+            self._c_spawns.value += 1
+            cur += 1
+        while cur > goal:
+            demand = he.cold_kill(host, s)
+            self._host_demand[host] -= demand
+            self._c_kills.value += 1
+            cur -= 1
+        self.workers[s] = cur
+
+    # ------------------------------------------------------------------
+    # deferred-op replay (called by the host engine during ensure_hot,
+    # with the clock rewound to the op's original barrier)
+
+    def replay_container(self, s: int) -> None:
+        """Replay a deferred container creation (init task and all)."""
+        self._container_for(s)
+
+    def replay_spawn(self, s: int, seq: int) -> None:
+        """Replay one deferred worker spawn.
+
+        The kind draw is keyed on the spawn ordinal, so recomputing it
+        here yields the workload the scalar path would have picked; the
+        ``_spawn_seq`` / ``_host_demand`` columns were already advanced
+        virtually by ``_cold_reconcile`` and must not move again.
+        """
+        kind = keyed_u01(int(self._kind_keys[s]), seq)
+        workload = _web_workload() if kind < 0.6 else _batch_workload()
+        container = self._container_for(s)
+        if container is not None:
+            task = container.exec(workload.name, workload=workload)
+        else:
+            task = self._kernels[s // self.k_per_host].spawn(
+                workload.name, workload=workload
+            )
+        self._tasks[s].append(task)
+        self._task_info[id(task)] = (s, workload.demand())
+
+    def replay_kill(self, s: int) -> None:
+        """Replay one deferred worker kill (LIFO, like ``_kill_worker``)."""
+        task = self._tasks[s].pop()
+        self._task_info.pop(id(task), None)
+        if not task.alive:
+            return
+        container = self._containers[s]
+        if container is not None and task in container.tasks:
+            container.kill_task(task)
+        else:
+            self._kernels[s // self.k_per_host].kill(task)
 
     def _container_for(self, s: int):
         engine = self._engines[s // self.k_per_host]

@@ -205,6 +205,7 @@ class DatacenterSimulation:
         max_coalesce_s: float = 3600.0,
         tenants_per_host: int = 1,
         population: str = "columnar",
+        hosts: str = "objects",
     ):
         if servers < 1 or rack_size < 1:
             raise SimulationError("need at least one server and rack slot")
@@ -215,6 +216,15 @@ class DatacenterSimulation:
         if population not in ("columnar", "objects"):
             raise SimulationError(
                 f"population must be 'columnar' or 'objects': {population!r}"
+            )
+        if hosts not in ("columnar", "objects"):
+            raise SimulationError(
+                f"hosts must be 'columnar' or 'objects': {hosts!r}"
+            )
+        if hosts == "columnar" and population != "columnar":
+            raise SimulationError(
+                "hosts='columnar' requires the columnar population: the"
+                " cold-host deferral couples to its demand columns"
             )
         if sample_interval_s <= 0:
             raise SimulationError(
@@ -284,6 +294,27 @@ class DatacenterSimulation:
                 for i, host in enumerate(self.cloud.hosts)
                 for j in range(tenants_per_host)
             ]
+
+        #: columnar host engine (``hosts="columnar"``): cold hosts tick
+        #: as numpy column sweeps and materialize to full kernels lazily;
+        #: ``None`` in the per-object reference mode. See docs/hostengine.md.
+        self.host_mode = hosts
+        self.host_engine = None
+        if hosts == "columnar":
+            from repro.kernel.columnar import ColumnarHostEngine
+
+            self.host_engine = ColumnarHostEngine(
+                [h.kernel for h in self.cloud.hosts],
+                [h.engine for h in self.cloud.hosts],
+                self.cloud.clock,
+                power_config=self.power_config,
+                population=self.population,
+            )
+            for i, host in enumerate(self.cloud.hosts):
+                host.engine.host_engine = self.host_engine
+                host.engine.host_index = i
+            self.power_cache.host_engine = self.host_engine
+            self.host_engine.adopt_all()
 
         self.aggregate_trace = PowerTrace()
         self.server_traces: Dict[int, PowerTrace] = {
@@ -357,6 +388,7 @@ class DatacenterSimulation:
             populations=() if self.population is None else (self.population,),
         )
         injector.tracer = self.tracer
+        injector.host_engine = self.host_engine
         self.fault_injector = injector
         self.horizon_sources.append(injector.next_barrier)
         return injector
@@ -491,6 +523,11 @@ class DatacenterSimulation:
             registry=self.metrics.registry
         )
         self.metrics.subsystem_timings = timings
+        if self.host_engine is not None:
+            # a timed kernel cannot stay columnar (the column sweep has no
+            # per-subsystem spans), and a cold one would shrug off the
+            # per-host assignment below — materialize everything first
+            self.host_engine.materialize_all()
         for host in self.cloud.hosts:
             host.kernel.timings = timings
         return timings
@@ -522,8 +559,11 @@ class DatacenterSimulation:
             for t, tenant in enumerate(self.tenants):
                 if (t // k) not in dark:
                     horizon = min(horizon, tenant.next_event_time(self.now))
+        he = self.host_engine
         for i, host in enumerate(self.cloud.hosts):
-            if i not in dark:
+            # cold hosts hold only single-phase unbounded workloads (the
+            # eligibility contract), so their phase horizon is +inf
+            if i not in dark and (he is None or not he.is_cold(i)):
                 horizon = min(
                     horizon, self.now + host.kernel.next_phase_boundary_s()
                 )
@@ -541,7 +581,23 @@ class DatacenterSimulation:
         parallel shards compute the identical formula.
         """
         pop = self.population
-        if pop is not None:
+        he = self.host_engine
+        if pop is not None and he is not None:
+            # cold hosts answer from the engine's fingerprint column —
+            # the same 0.0-seeded fold the kernel would compute, updated
+            # on churn instead of re-derived per tick
+            demands = tuple(
+                0.0
+                if i in dark
+                else (
+                    he.fingerprint(i)
+                    if he.is_cold(i)
+                    else host.kernel.demand_fingerprint()
+                )
+                + pop.host_demand(i)
+                for i, host in enumerate(self.cloud.hosts)
+            )
+        elif pop is not None:
             demands = tuple(
                 0.0
                 if i in dark
@@ -729,10 +785,14 @@ class DatacenterSimulation:
                         horizon=self._coalesce_horizon(dark),
                         stable=stable,
                     )
+                barrier_t0 = self.now
                 self.cloud.clock.advance(step)
-                for i, host in enumerate(self.cloud.hosts):
-                    if i not in dark:
-                        host.kernel.tick(step)
+                if self.host_engine is not None:
+                    self.host_engine.tick_all(step, dark, barrier_t0)
+                else:
+                    for i, host in enumerate(self.cloud.hosts):
+                        if i not in dark:
+                            host.kernel.tick(step)
                 crashed = self._crashed_kernel_ids()
                 for rack in self.racks:
                     rack.observe(step, self.now, crashed)

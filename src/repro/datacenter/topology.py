@@ -65,9 +65,19 @@ class WallPowerCache:
         self._entries: dict = {}
         self.hits = 0
         self.misses = 0
+        #: columnar host engine; cold hosts answer straight from its wall
+        #: column (their kernels' ``last_tick`` is frozen mid-deferral)
+        self.host_engine = None
+        self.cold_hits = 0
 
     def watts(self, kernel: Kernel) -> float:
         """Wall power of ``kernel`` now (memoized per executed tick)."""
+        he = self.host_engine
+        if he is not None:
+            index = he.index_of(kernel)
+            if index is not None and he.is_cold(index):
+                self.cold_hits += 1
+                return he.wall_watts(index)
         key = id(kernel)
         tick = kernel.ticks_taken
         entry = self._entries.get(key)

@@ -48,6 +48,31 @@ from repro.sim.faults import FaultInjector, FaultSchedule, KernelFaultState
 from repro.sim.metrics import SimMetrics, SubsystemTimings, WallTimer
 from repro.sim.rng import DeterministicRNG
 
+#: the post-scheduler tick stages, in order. This tuple is the single
+#: scalar reference semantics: both the plain and the wall-profiled tick
+#: drive it, and the columnar host engine mirrors exactly this ordering.
+_TICK_STAGES = (
+    ("memory", lambda k, r, dt: k.memory.tick(r)),
+    ("interrupts", lambda k, r, dt: k.interrupts.tick(r)),
+    ("filesystem", lambda k, r, dt: k.filesystem.tick(r)),
+    (
+        "netdev",
+        lambda k, r, dt: k.netdev.tick(
+            r, lambda task: task.namespaces[NamespaceType.NET]
+        ),
+    ),
+    ("cpuidle", lambda k, r, dt: k.cpuidle.tick(r)),
+    ("thermal", lambda k, r, dt: k.thermal.tick(r)),
+    ("timers", lambda k, r, dt: k.timers.tick(dt)),
+    (
+        "random",
+        lambda k, r, dt: k.random.tick(
+            dt, int(k.config.hz * k.config.total_cores * dt), r.total.syscalls
+        ),
+    ),
+    ("power+rapl", lambda k, r, dt: k.rapl.accumulate(k.power.tick_energy(r))),
+)
+
 #: host daemons spawned at boot (name, cpu_demand)
 _BOOT_DAEMONS = (
     ("systemd", 0.002),
@@ -191,63 +216,22 @@ class Kernel:
         :class:`VirtualClock` (a fleet driver ticks many kernels against
         one clock); :class:`Machine` wraps both for single-host use.
         """
-        if self.timings is not None:
-            return self._tick_timed(dt)
-        result = self.scheduler.tick(dt)
-        self.memory.tick(result)
-        self.interrupts.tick(result)
-        self.filesystem.tick(result)
-        self.netdev.tick(
-            result, lambda task: task.namespaces[NamespaceType.NET]
-        )
-        self.cpuidle.tick(result)
-        self.thermal.tick(result)
-        self.timers.tick(dt)
-        approx_interrupts = int(self.config.hz * self.config.total_cores * dt)
-        self.random.tick(dt, approx_interrupts, result.total.syscalls)
-        self.rapl.accumulate(self.power.tick_energy(result))
-        self.last_tick = result
-        self._ticks += 1
-        for listener in self.tick_listeners:
-            listener(result)
-        return result
-
-    def _tick_timed(self, dt: float) -> TickResult:
-        """The tick with per-subsystem wall timing (keep in sync with tick)."""
-        import time
-
-        pc = time.perf_counter
         timings = self.timings
+        if timings is None:
+            result = self.scheduler.tick(dt)
+            for _name, stage in _TICK_STAGES:
+                stage(self, result, dt)
+        else:
+            import time
 
-        t0 = pc()
-        result = self.scheduler.tick(dt)
-        timings.add("scheduler", pc() - t0)
-        for name, advance in (
-            ("memory", lambda: self.memory.tick(result)),
-            ("interrupts", lambda: self.interrupts.tick(result)),
-            ("filesystem", lambda: self.filesystem.tick(result)),
-            (
-                "netdev",
-                lambda: self.netdev.tick(
-                    result, lambda task: task.namespaces[NamespaceType.NET]
-                ),
-            ),
-            ("cpuidle", lambda: self.cpuidle.tick(result)),
-            ("thermal", lambda: self.thermal.tick(result)),
-            ("timers", lambda: self.timers.tick(dt)),
-            (
-                "random",
-                lambda: self.random.tick(
-                    dt,
-                    int(self.config.hz * self.config.total_cores * dt),
-                    result.total.syscalls,
-                ),
-            ),
-            ("power+rapl", lambda: self.rapl.accumulate(self.power.tick_energy(result))),
-        ):
+            pc = time.perf_counter
             t0 = pc()
-            advance()
-            timings.add(name, pc() - t0)
+            result = self.scheduler.tick(dt)
+            timings.add("scheduler", pc() - t0)
+            for name, stage in _TICK_STAGES:
+                t0 = pc()
+                stage(self, result, dt)
+                timings.add(name, pc() - t0)
         self.last_tick = result
         self._ticks += 1
         for listener in self.tick_listeners:
@@ -281,8 +265,12 @@ class Kernel:
 
     @property
     def idle_seconds(self) -> float:
-        """Aggregate idle seconds across CPUs (second field of /proc/uptime)."""
-        return sum(s.idle_ns for s in self.scheduler.cpu_stats.values()) / 1e9
+        """Aggregate idle seconds across CPUs (second field of /proc/uptime).
+
+        Served from the scheduler's running total — this sits on the
+        /proc/uptime sampling path, so it must stay O(1) in core count.
+        """
+        return self.scheduler.idle_ns_total / 1e9
 
     @property
     def btime(self) -> int:

@@ -82,6 +82,10 @@ class RaplSubsystem:
         self.present = config.has_rapl
         self._noise_fraction = config.power.noise_fraction
         self._rng = rng
+        #: accumulate-call cursor: draw ``n`` of ``rapl-noise-{pid}`` is
+        #: the noise of call ``n``, so a columnar engine that knows how
+        #: many ticks a host took computes the identical draws by index
+        self._noise_calls = 0
         self.packages: List[RaplPackage] = (
             [RaplPackage(package_id=p) for p in range(config.packages)]
             if self.present
@@ -106,9 +110,11 @@ class RaplSubsystem:
         """
         if not self.present:
             return
-        stream = self._rng.stream("rapl-noise")
+        index = self._noise_calls
+        self._noise_calls = index + 1
         for package_id, energy in per_package.items():
-            noisy = 1.0 + stream.gauss(0.0, self._noise_fraction)
+            stream = self._rng.keyed(f"rapl-noise-{package_id}")
+            noisy = 1.0 + stream.gauss(index, self._noise_fraction)
             noisy = max(0.5, noisy)
             pkg = self.packages[package_id]
             pkg.core.accumulate(energy.core_j * noisy)

@@ -87,6 +87,10 @@ class Scheduler:
         self._spawn_debt_ns: Dict[Task, int] = {}
         self.total_forks = 0
         self.nr_switches_total = 0
+        #: running sum of per-CPU idle time — kept alongside the per-CPU
+        #: stats so ``Kernel.idle_seconds`` (the /proc/uptime sampling
+        #: path) is O(1) instead of summing ``cpu_stats`` on every read
+        self.idle_ns_total = 0
         #: /proc/sys/kernel/sched_domain/cpu#/domain0/max_newidle_lb_cost —
         #: a per-CPU cost estimate the kernel updates continuously, leaked
         #: host-globally (Table II lists it as a V=True channel)
@@ -243,7 +247,9 @@ class Scheduler:
 
             stat.nr_switches += switches_this_cpu
             self.nr_switches_total += switches_this_cpu
-            stat.idle_ns += int(max(0.0, dt - busy_seconds) * 1e9)
+            idle_ns = int(max(0.0, dt - busy_seconds) * 1e9)
+            stat.idle_ns += idle_ns
+            self.idle_ns_total += idle_ns
             result.busy_seconds[cpu] = busy_seconds
             result.utilization[cpu] = min(1.0, busy_seconds / dt)
             result.cpu_samples[cpu] = cpu_sample

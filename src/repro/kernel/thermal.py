@@ -42,9 +42,16 @@ class ThermalSubsystem:
     #: package-level coupling: neighbours heat each other
     COUPLING = 0.25
 
+    #: sensor-noise sigma (°C per tick)
+    NOISE_SIGMA = 0.3
+
     def __init__(self, ncpus: int, rng: DeterministicRNG, present: bool = True):
         self.present = present
         self._rng = rng
+        #: tick cursor: draw ``n`` of ``temp-noise-{core}`` is the noise
+        #: of tick ``n`` — index-addressed so the columnar engine can
+        #: compute the same draws without visiting the stateful stream
+        self._noise_calls = 0
         self.sensors: List[CoreSensor] = [
             CoreSensor(core=c, temp_c=self.AMBIENT_C) for c in range(ncpus)
         ]
@@ -73,9 +80,13 @@ class ThermalSubsystem:
             else 0.0
         )
         alpha = min(1.0, dt / self.TAU_S)
+        index = self._noise_calls
+        self._noise_calls = index + 1
         for sensor in self.sensors:
             util = result.utilization.get(sensor.core, 0.0)
             effective = (1 - self.COUPLING) * util + self.COUPLING * mean_util
             target = self.AMBIENT_C + self.FULL_LOAD_DELTA_C * effective
-            noise = self._rng.gauss(f"temp-noise-{sensor.core}", 0.0, 0.3)
+            noise = self._rng.keyed(f"temp-noise-{sensor.core}").gauss(
+                index, self.NOISE_SIGMA
+            )
             sensor.temp_c += (target - sensor.temp_c) * alpha + noise * alpha

@@ -79,6 +79,7 @@ class Container:
         ``affinity`` models in-container ``taskset``: it can only narrow
         the container's cpuset, never escape it.
         """
+        self.engine.touch_fidelity()
         self._require_running()
         if affinity is not None and self.cpus is not None:
             affinity = frozenset(affinity) & self.cpus
@@ -98,6 +99,7 @@ class Container:
 
     def kill_task(self, task: Task) -> None:
         """Terminate one process of this container."""
+        self.engine.touch_fidelity()
         if task not in self.tasks:
             raise ContainerError(f"task {task} not in container {self.name}")
         self.tasks.remove(task)
@@ -120,7 +122,13 @@ class Container:
     # tenant-visible operations
 
     def read_context(self) -> ReadContext:
-        """A read context representing a process inside this container."""
+        """A read context representing a process inside this container.
+
+        Reading any pseudo-file demands per-object fidelity (procfs
+        renders from live kernel state), so this seam materializes a
+        cold columnar host before the read context escapes.
+        """
+        self.engine.touch_fidelity()
         self._require_running()
         task = self.init_task if self.init_task is not None else None
         return ReadContext(kernel=self.kernel, task=task, container=self)
@@ -164,7 +172,12 @@ class Container:
 
     @property
     def cpu_usage_ns(self) -> int:
-        """Accumulated CPU time of the container (cpuacct)."""
+        """Accumulated CPU time of the container (cpuacct).
+
+        Billing reads live cgroup accounting, so a cold columnar host
+        must replay its deferred ticks before answering.
+        """
+        self.engine.touch_fidelity()
         return self.cgroup_set["cpuacct"].state.usage_ns
 
     def stop(self) -> None:

@@ -34,8 +34,22 @@ class ContainerEngine:
         self._allocated_cores: Dict[int, str] = {}
         #: called with each newly created container (power-ns auto-adopt)
         self.container_created_listeners: List = []
+        #: columnar host engine + this host's index in it (plain attrs so
+        #: the pair pickles with the fleet); ``None`` outside hosts="columnar"
+        self.host_engine = None
+        self.host_index = -1
 
     # ------------------------------------------------------------------
+
+    def touch_fidelity(self) -> None:
+        """Materialize this host if it is currently a cold column.
+
+        Called on every per-object interaction seam — container create /
+        exec / kill / pseudo-file read — so anything that needs
+        per-object fidelity sees a fully caught-up kernel.
+        """
+        if self.host_engine is not None:
+            self.host_engine.ensure_hot(self.host_index)
 
     def _allocate_cores(self, count: int, container_id: str) -> FrozenSet[int]:
         free = [
@@ -66,6 +80,7 @@ class ContainerEngine:
         paper's cloud hands each instance "four allocated cores");
         ``None`` shares all host CPUs.
         """
+        self.touch_fidelity()
         seq = next(self._ids)
         container_id = f"c{seq:04d}"
         if name is None:
@@ -117,11 +132,15 @@ class ContainerEngine:
         """``docker rm -f``: stop and deregister a container."""
         if container.name not in self.containers:
             raise ContainerError(f"unknown container: {container.name}")
+        self.touch_fidelity()
         container.stop()
         del self.containers[container.name]
         for core, owner in list(self._allocated_cores.items()):
             if owner == container.container_id:
                 del self._allocated_cores[core]
+        if self.host_engine is not None:
+            # the per-object reason for staying hot may just have left
+            self.host_engine.maybe_demote(self.host_index)
 
     def get(self, name: str) -> Container:
         """Look up a running container by name."""

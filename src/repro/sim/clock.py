@@ -43,6 +43,23 @@ class VirtualClock:
         self._now += dt
         return self._now
 
+    def replay_window(self, start: float) -> "_ReplayWindow":
+        """Context manager that rewinds the clock to ``start`` for a replay.
+
+        The columnar host engine materializes a cold host by replaying its
+        logged ticks through the real per-object :class:`Kernel.tick` path;
+        those ticks must see the clock readings of the original window, so
+        this is the one sanctioned way to move the clock backwards. The
+        clock is restored to its entry reading on exit, even on error, and
+        a ``start`` ahead of now is rejected (that would be time travel of
+        the other kind).
+        """
+        if start > self._now:
+            raise SimulationError(
+                f"cannot replay from {start}: clock is only at {self._now}"
+            )
+        return _ReplayWindow(self, start)
+
     def sleep_until(self, when: float) -> float:
         """Advance the clock to the absolute time ``when``.
 
@@ -60,3 +77,21 @@ class VirtualClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualClock(now={self._now:.3f})"
+
+
+class _ReplayWindow:
+    """Scoped clock rewind for deferred-tick replay (see ``replay_window``)."""
+
+    __slots__ = ("_clock", "_start", "_restore")
+
+    def __init__(self, clock: VirtualClock, start: float):
+        self._clock = clock
+        self._start = start
+        self._restore = clock._now
+
+    def __enter__(self) -> VirtualClock:
+        self._clock._now = float(self._start)
+        return self._clock
+
+    def __exit__(self, *exc) -> None:
+        self._clock._now = self._restore

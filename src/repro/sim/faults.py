@@ -90,6 +90,20 @@ WINDOWED_KINDS = frozenset(
     }
 )
 
+#: fault kinds that target one host and therefore need its per-object
+#: kernel live (a cold columnar host materializes before these apply)
+_HOST_SCOPED_KINDS = frozenset(
+    {
+        FaultKind.RAPL_STUCK,
+        FaultKind.RAPL_DROP,
+        FaultKind.RAPL_GARBAGE,
+        FaultKind.RAPL_WRAP,
+        FaultKind.PSEUDO_EIO,
+        FaultKind.MACHINE_CRASH,
+        FaultKind.OOM_KILL,
+    }
+)
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -554,6 +568,12 @@ class FaultInjector:
         #: optional span tracer; due events become instant markers on the
         #: ``fault`` track (drivers assign this after construction)
         self.tracer = None
+        #: columnar host engine (drivers assign after construction). A
+        #: host-scoped fault needs the real per-object kernel — RAPL and
+        #: EIO states act on read paths, crashes freeze live state, OOM
+        #: picks victims from the engine's container table — so due
+        #: events materialize their target before applying.
+        self.host_engine = None
         #: fleet-global index of each kernel — keys every per-kernel and
         #: per-event rng derivation, so a shard injector holding a subset
         #: of the fleet consumes exactly the draws the whole-fleet serial
@@ -685,6 +705,10 @@ class FaultInjector:
         kind = event.kind
         if self.tracer is not None and self.tracer.enabled:
             self._mark(event)
+        if self.host_engine is not None and kind in _HOST_SCOPED_KINDS:
+            self.host_engine.ensure_hot_kernel(
+                self.kernels[event.server % len(self.kernels)]
+            )
         if kind in (
             FaultKind.RAPL_STUCK,
             FaultKind.RAPL_DROP,

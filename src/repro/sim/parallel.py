@@ -285,6 +285,8 @@ class ShardSpec:
     control_host_counts: Tuple[int, ...] = ()
     #: epoch frame capacity (control-plane geometry)
     control_epoch_ticks: int = _DEFAULT_EPOCH_TICKS
+    #: "columnar" (vectorized cold-host ticks) or "objects" (per-kernel)
+    host_mode: str = "objects"
 
 
 @dataclass(frozen=True)
@@ -414,6 +416,31 @@ class _ShardRuntime:
                 populations=() if self.population is None else (self.population,),
             )
             self.injector.tracer = self.tracer
+        # Columnar host engine: this shard's cold hosts tick as numpy
+        # column sweeps, materializing lazily on per-object seams. The
+        # engine is indexed shard-locally (position in host_indices);
+        # everything crossing the pipe stays fleet-global.
+        self._local_index = {g: l for l, g in enumerate(spec.host_indices)}
+        #: observer id -> local host index holding a fidelity refcount
+        self._observer_hosts: Dict[str, int] = {}
+        self.host_engine = None
+        if spec.host_mode == "columnar":
+            from repro.kernel.columnar import ColumnarHostEngine
+
+            self.host_engine = ColumnarHostEngine(
+                [self.hosts[i].kernel for i in spec.host_indices],
+                [self.hosts[i].engine for i in spec.host_indices],
+                self.clock,
+                power_config=spec.power_config,
+                population=self.population,
+            )
+            for local, i in enumerate(spec.host_indices):
+                self.hosts[i].engine.host_engine = self.host_engine
+                self.hosts[i].engine.host_index = local
+            self.cache.host_engine = self.host_engine
+            if self.injector is not None:
+                self.injector.host_engine = self.host_engine
+            self.host_engine.adopt_all()
         self.plane = TelemetryPlane.attach(
             spec.telemetry_name, spec.total_servers, spec.observer_capacity,
             banks=spec.telemetry_banks,
@@ -454,6 +481,8 @@ class _ShardRuntime:
                 "instances": self.instances,
                 "injector": self.injector,
                 "monitors": self.monitors,
+                "host_engine": self.host_engine,
+                "observer_hosts": self._observer_hosts,
                 "last_dark": self._last_dark,
                 "sent_dark": self._sent_dark,
                 "tracer": None if self.tracer is None else self.tracer.counters(),
@@ -488,6 +517,12 @@ class _ShardRuntime:
         self.instances = state["instances"]
         self.injector = state["injector"]
         self.monitors = state["monitors"]
+        # the host engine rides the same pickle graph as hosts/cache/
+        # injector, so the restored references all point at one object;
+        # ``state.get`` keeps pre-columnar snapshots loadable
+        self._local_index = {g: l for l, g in enumerate(spec.host_indices)}
+        self.host_engine = state.get("host_engine")
+        self._observer_hosts = state.get("observer_hosts", {})
         self._last_dark = state["last_dark"]
         self._sent_dark = state["sent_dark"]
         self.tracer = None
@@ -600,11 +635,18 @@ class _ShardRuntime:
         # Mirrors the serial engine's _coalesce_fingerprint exactly: the
         # columnar path folds the population's per-host aggregate demand
         # into the kernel fingerprint so demand moves break tick runs.
+        # Cold hosts answer from the host engine's fingerprint column,
+        # which tracks the per-object fold bit-for-bit.
+        he = self.host_engine
         if self.population is not None:
             demands = tuple(
                 0.0
                 if i in dark
-                else self.hosts[i].kernel.demand_fingerprint()
+                else (
+                    he.fingerprint(self._local_index[i])
+                    if he is not None and he.is_cold(self._local_index[i])
+                    else self.hosts[i].kernel.demand_fingerprint()
+                )
                 + self.population.host_demand(i)
                 for i in self.spec.host_indices
             )
@@ -621,9 +663,13 @@ class _ShardRuntime:
                 if self.population is None:
                     for driver in self.tenants[i]:
                         horizon = min(horizon, driver.next_event_time(now))
-                horizon = min(
-                    horizon, now + self.hosts[i].kernel.next_phase_boundary_s()
-                )
+                # cold hosts run single-phase unbounded workloads only
+                # (an adoption invariant), so their boundary is +inf
+                if he is None or not he.is_cold(self._local_index[i]):
+                    horizon = min(
+                        horizon,
+                        now + self.hosts[i].kernel.next_phase_boundary_s(),
+                    )
         if self.injector is not None:
             horizon = min(horizon, self.injector.next_barrier(now))
         frozen = frozenset(dark)
@@ -664,10 +710,18 @@ class _ShardRuntime:
         if tracer is not None:
             step_t0, step_w0 = self.clock.now, time.perf_counter()
         dark = self._last_dark
+        barrier_t0 = self.clock.now
         self.clock.advance(step)
-        for i in self.spec.host_indices:
-            if i not in dark:
-                self.hosts[i].kernel.tick(step)
+        if self.host_engine is not None:
+            self.host_engine.tick_all(
+                step,
+                {self._local_index[g] for g in dark if g in self._local_index},
+                barrier_t0,
+            )
+        else:
+            for i in self.spec.host_indices:
+                if i not in dark:
+                    self.hosts[i].kernel.tick(step)
         crashed = self._crashed_kernel_ids()
         now = self.clock.now
         for rack in self.racks:
@@ -723,9 +777,20 @@ class _ShardRuntime:
         """Build a shard-resident monitor; keep it only when available."""
         if iid not in self.instances:
             raise SimulationError(f"instance not on this shard: {iid}")
-        monitor = factory(self.instances[iid])
+        instance = self.instances[iid]
+        local = None
+        if self.host_engine is not None:
+            # a monitor samples live kernel state every tick: pin the
+            # host hot for as long as the observer exists
+            local = self._local_index[instance.host_index]
+            self.host_engine.observer_acquire(local)
+        monitor = factory(instance)
         if not monitor.available():
+            if local is not None:
+                self.host_engine.observer_release(local)
             return False
+        if local is not None:
+            self._observer_hosts[oid] = local
         self.monitors[oid] = (slot, monitor)
         return True
 
@@ -739,6 +804,10 @@ class _ShardRuntime:
         if oid not in self.monitors:
             raise SimulationError(f"unknown observer: {oid}")
         del self.monitors[oid]
+        local = self._observer_hosts.pop(oid, None)
+        if local is not None and self.host_engine is not None:
+            # last observer out demotes the host back to columns
+            self.host_engine.observer_release(local)
 
     def sample_observers(self, bank: int, oids: tuple, ops: tuple) -> None:
         """Explicit observer sampling (flushes queued ops first)."""
@@ -1072,6 +1141,13 @@ class ParallelFleetEngine:
                     "checkpoint start time does not match this simulation;"
                     " resume needs an identically constructed simulation"
                 )
+            if manifest.get("hosts", "objects") != sim.host_mode:
+                raise SimulationError(
+                    f"checkpoint was taken with hosts="
+                    f"{manifest.get('hosts', 'objects')!r}, this simulation"
+                    f" uses hosts={sim.host_mode!r}; resume needs an"
+                    " identically constructed simulation"
+                )
             if manifest["control"] != (control_plane, self._epoch_ticks):
                 ck_plane, ck_ticks = manifest["control"]
                 raise SimulationError(
@@ -1249,6 +1325,7 @@ class ParallelFleetEngine:
                     len(hosts) for hosts in self.shard_hosts
                 ),
                 control_epoch_ticks=self._epoch_ticks,
+                host_mode=sim.host_mode,
             )
             for i in range(n)
         ]
@@ -2150,6 +2227,7 @@ class ParallelFleetEngine:
             "start_time": sim._start_time,
             "ckpt_origin": self._ckpt_origin,
             "control": (self.control_plane_mode, self._epoch_ticks),
+            "hosts": sim.host_mode,
             "sample": (
                 sim._sample_origin,
                 sim._sample_count,

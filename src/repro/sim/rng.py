@@ -86,6 +86,41 @@ def keyed_u01_array(keys: "np.ndarray", index: int) -> "np.ndarray":
     return (x >> np.uint64(11)).astype(np.float64) * _U01_SCALE
 
 
+def keyed_u01_at(keys: "np.ndarray", indices: "np.ndarray") -> "np.ndarray":
+    """Per-element-index vector form of :func:`keyed_u01`.
+
+    Like :func:`keyed_u01_array` but each key draws at its *own* index:
+    element ``i`` equals ``keyed_u01(int(keys[i]), int(indices[i]))`` bit
+    for bit. This is what lets per-host draw cursors advance independently
+    (hosts materialize and demote at different times) while staying on the
+    same keyed streams the scalar subsystems read.
+    """
+    with np.errstate(over="ignore"):
+        inc = (indices.astype(np.uint64) + np.uint64(1)) * np.uint64(_GAMMA)
+        x = keys + inc
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(_MIX1)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(_MIX2)
+        x = x ^ (x >> np.uint64(31))
+    return (x >> np.uint64(11)).astype(np.float64) * _U01_SCALE
+
+
+def keyed_gauss_at(
+    keys: "np.ndarray", indices: "np.ndarray", sigma: float
+) -> "np.ndarray":
+    """Per-element-index vector form of :func:`keyed_gauss`.
+
+    Box–Muller over sub-draws ``2*indices`` and ``2*indices + 1``, the
+    same addressing as :func:`keyed_gauss_array`, so element ``i`` equals
+    ``keyed_gauss(int(keys[i]), int(indices[i]), sigma)`` exactly.
+    """
+    with np.errstate(over="ignore"):
+        two_i = indices.astype(np.uint64) * np.uint64(2)
+        u1 = keyed_u01_at(keys, two_i)
+        u2 = keyed_u01_at(keys, two_i + np.uint64(1))
+    radius = np.sqrt(-2.0 * np.log1p(-u1))
+    return sigma * (radius * np.cos((2.0 * np.pi) * u2))
+
+
 def keyed_uniform_array(
     keys: "np.ndarray", index: int, lo: float, hi: float
 ) -> "np.ndarray":

@@ -1,0 +1,311 @@
+"""Golden-trace equivalence for the columnar host engine.
+
+``hosts="columnar"`` must be observationally invisible: the vectorized
+cold-host tick path, the lazy hot-host materialization, and the
+column→object→column round trips have to reproduce the per-object
+``Kernel.tick`` reference float-for-float — same trace timestamps, same
+watts, same fault counters, same attack outcomes (`docs/hostengine.md`).
+The scenarios mirror the paper's figure substrates: the Figure 2 fleet
+trace (fine and coalesced), the Figure 3 attack campaign, and chaos
+schedules that force materialization mid-run.
+"""
+
+import pytest
+
+from repro.attack.monitor import CrestDetector
+from repro.attack.strategies import SynergisticAttack
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.errors import SimulationError
+from repro.sim.faults import FaultEvent, FaultKind, FaultSchedule
+
+SEED = 7
+
+
+def build(hosts, schedule=None, servers=8, rack_size=4, tenants=3,
+          interval=1.0):
+    sim = DatacenterSimulation(
+        servers=servers, rack_size=rack_size, seed=SEED,
+        sample_interval_s=interval, tenants_per_host=tenants,
+        population="columnar", hosts=hosts,
+    )
+    if schedule is not None:
+        sim.install_faults(schedule)
+    return sim
+
+
+def snapshot(sim):
+    """Everything the golden-trace contract covers, as plain tuples."""
+    return {
+        "agg": (
+            tuple(sim.aggregate_trace.times),
+            tuple(sim.aggregate_trace.watts),
+            tuple(sim.aggregate_trace.gaps),
+        ),
+        "servers": {
+            i: (tuple(t.times), tuple(t.watts), tuple(t.gaps))
+            for i, t in sim.server_traces.items()
+        },
+        "ticks": sim.metrics.ticks,
+        "samples": sim.metrics.samples,
+        "now": sim.now,
+        "faults": sim.fault_report(),
+        "trip_log": sim.trip_log(),
+    }
+
+
+def chaos_schedule():
+    """Every trace-visible fault family, incl. host-scoped RAPL kinds."""
+    return FaultSchedule(
+        [
+            FaultEvent(at=30.0, kind=FaultKind.MACHINE_CRASH,
+                       duration_s=120.0, server=3),
+            FaultEvent(at=45.0, kind=FaultKind.BREAKER_TRIP,
+                       duration_s=180.0, server=1),
+            FaultEvent(at=60.0, kind=FaultKind.CLOCK_JITTER,
+                       duration_s=240.0, magnitude=0.2),
+            FaultEvent(at=90.0, kind=FaultKind.OOM_KILL, server=5),
+            FaultEvent(at=120.0, kind=FaultKind.RAPL_DROP,
+                       duration_s=60.0, server=0),
+        ],
+        seed=13,
+    )
+
+
+class TestConstruction:
+    def test_requires_columnar_population(self):
+        with pytest.raises(SimulationError, match="columnar population"):
+            DatacenterSimulation(
+                servers=4, rack_size=2, seed=SEED,
+                population="objects", hosts="columnar",
+            )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError, match="hosts must be"):
+            DatacenterSimulation(servers=4, rack_size=2, hosts="rows")
+
+    def test_whole_fleet_adopts_cold(self):
+        sim = build("columnar")
+        assert sim.host_engine.cold_count() == 8
+        assert sim.host_engine.stats()["materializations"] == 0
+
+
+class TestSerialGolden:
+    def test_fine_bit_identical(self):
+        ref = build("objects")
+        ref.run(300.0, dt=1.0, coalesce=False)
+        col = build("columnar")
+        col.run(300.0, dt=1.0, coalesce=False)
+        assert snapshot(ref) == snapshot(col)
+        assert col.host_engine.cold_count() == 8
+        assert col.host_engine.stats()["materializations"] == 0
+
+    def test_coalesced_bit_identical(self):
+        ref = build("objects", interval=60.0)
+        ref.run(4 * 3600.0, dt=1.0, coalesce=True)
+        col = build("columnar", interval=60.0)
+        col.run(4 * 3600.0, dt=1.0, coalesce=True)
+        assert snapshot(ref) == snapshot(col)
+        # coalescing must engage on the cold path too
+        assert col.metrics.ticks < 4 * 3600
+
+    def test_faulted_coalesced_bit_identical(self):
+        ref = build("objects", chaos_schedule())
+        ref.run(600.0, dt=1.0, coalesce=True)
+        col = build("columnar", chaos_schedule())
+        col.run(600.0, dt=1.0, coalesce=True)
+        assert snapshot(ref) == snapshot(col)
+        # host-scoped faults (crash, OOM, RAPL) materialized their hosts
+        assert col.host_engine.stats()["materializations"] > 0
+
+    def test_timings_materialize_all(self):
+        ref = build("objects")
+        ref.enable_subsystem_timings()
+        ref.run(120.0, dt=1.0, coalesce=False)
+        col = build("columnar")
+        col.enable_subsystem_timings()
+        assert col.host_engine.cold_count() == 0  # timings need objects
+        col.run(120.0, dt=1.0, coalesce=False)
+        assert snapshot(ref) == snapshot(col)
+
+
+class TestMaterializationLifecycle:
+    def test_observe_materializes_terminate_demotes(self):
+        ref = build("objects")
+        inst_r = ref.cloud.launch_instance("attacker")
+        ref.run(120.0, dt=1.0)
+        leak_r = inst_r.container.read(
+            "/sys/class/powercap/intel-rapl:0/energy_uj"
+        )
+        ref.cloud.terminate_instance(inst_r)
+        ref.run(120.0, dt=1.0)
+
+        col = build("columnar")
+        he = col.host_engine
+        inst_c = col.cloud.launch_instance("attacker")
+        assert not he.is_cold(inst_c.host_index)  # launch pins it hot
+        col.run(120.0, dt=1.0)
+        leak_c = inst_c.container.read(
+            "/sys/class/powercap/intel-rapl:0/energy_uj"
+        )
+        col.cloud.terminate_instance(inst_c)
+        assert he.is_cold(inst_c.host_index)  # last tenant out: demoted
+        assert he.demotions >= 1
+        col.run(120.0, dt=1.0)
+
+        assert leak_c == leak_r
+        assert snapshot(ref) == snapshot(col)
+
+    def test_container_id_sequence_survives_deferral(self):
+        ref = build("objects")
+        ref.run(60.0, dt=1.0)
+        a = ref.cloud.launch_instance("alice")
+        b = ref.cloud.launch_instance("bob")
+        ref_ids = (a.container.container_id, b.container.container_id)
+
+        col = build("columnar")
+        col.run(60.0, dt=1.0)  # deferred ticks queue container replays
+        a = col.cloud.launch_instance("alice")
+        b = col.cloud.launch_instance("bob")
+        assert (a.container.container_id, b.container.container_id) == ref_ids
+
+    def test_wall_cache_cold_routing_and_invalidation(self):
+        col = build("columnar")
+        cache = col.power_cache
+        he = col.host_engine
+        col.run(60.0, dt=1.0)
+        kernel = col.cloud.hosts[0].kernel
+
+        # cold: answered from the wall column, no memo entry, no tick
+        before = cache.cold_hits
+        cold_watts = cache.watts(kernel)
+        assert cache.cold_hits == before + 1
+        assert id(kernel) not in cache._entries
+        assert cold_watts == he.wall_watts(0)
+
+        # materialize: the replayed kernel computes the same number and
+        # the memo takes over, keyed on ticks_taken
+        he.ensure_hot(0)
+        misses = cache.misses
+        hot_watts = cache.watts(kernel)
+        assert hot_watts == cold_watts
+        assert cache.misses == misses + 1
+        hits = cache.hits
+        assert cache.watts(kernel) == hot_watts
+        assert cache.hits == hits + 1
+
+        # a new tick invalidates the memo entry: the sampler's refresh
+        # re-keys it on the advanced tick count
+        tick_key = cache._entries[id(kernel)][0]
+        col.run(1.0, dt=1.0)
+        assert cache._entries[id(kernel)][0] > tick_key
+        assert cache._entries[id(kernel)][0] == kernel.ticks_taken
+
+        # demote: back to the cold column, bitwise consistent
+        assert he.maybe_demote(0)
+        before = cache.cold_hits
+        assert cache.watts(kernel) == he.wall_watts(0)
+        assert cache.cold_hits == before + 1
+
+    def test_dark_hosts_skip_column_ticks(self):
+        schedule = FaultSchedule(
+            [FaultEvent(at=30.0, kind=FaultKind.BREAKER_TRIP,
+                        duration_s=120.0, server=0)],
+            seed=13,
+        )
+        ref = build("objects", schedule)
+        ref.run(240.0, dt=1.0, coalesce=False)
+        col = build("columnar", schedule)
+        col.run(240.0, dt=1.0, coalesce=False)
+        assert snapshot(ref) == snapshot(col)
+        # dark hosts stay cold (a trip is rack-scoped, not per-object)
+        # and their tick mirror froze during the outage
+        he = col.host_engine
+        assert he.is_cold(0)
+        assert he.ticks_taken(0) < he.ticks_taken(7)
+
+
+class TestParallelGolden:
+    def test_parallel_columnar_bit_identical(self):
+        ref = build("objects", chaos_schedule())
+        ref.run(600.0, dt=1.0, coalesce=True)
+        golden = snapshot(ref)
+        par = build("columnar", chaos_schedule())
+        par.run(600.0, dt=1.0, coalesce=True, parallel=2)
+        try:
+            assert snapshot(par) == golden
+        finally:
+            par.close()
+
+    def test_attack_campaign_bit_identical(self):
+        def campaign(hosts, parallel):
+            sim = build(hosts, tenants=2)
+            covered, instances = set(), []
+            while len(covered) < 2:
+                inst = sim.cloud.launch_instance("attacker")
+                if inst.host_index in covered:
+                    sim.cloud.terminate_instance(inst)
+                else:
+                    covered.add(inst.host_index)
+                    instances.append(inst)
+            sim.run(120.0, dt=1.0, parallel=parallel)
+            outcome = SynergisticAttack(
+                sim, instances,
+                detector_factory=lambda: CrestDetector(
+                    window=60, threshold_fraction=0.7, min_band_watts=5.0
+                ),
+                burst_s=20.0, cooldown_s=60.0, learn_s=30.0,
+            ).run(300.0)
+            result = (
+                outcome.trials, tuple(outcome.spike_watts),
+                outcome.peak_watts, outcome.attacker_cpu_seconds,
+                outcome.bill_dollars, outcome.degradation,
+                tuple(sim.aggregate_trace.times),
+                tuple(sim.aggregate_trace.watts),
+            )
+            sim.close()
+            return result
+
+        golden = campaign("objects", 0)
+        assert campaign("columnar", 0) == golden
+        assert campaign("columnar", 2) == golden
+
+    def test_resume_bit_identical(self, tmp_path):
+        golden = build("columnar", chaos_schedule())
+        golden.run(600, parallel=2, coalesce=True)
+        g = snapshot(golden)
+        golden.close()
+
+        part = build("columnar", chaos_schedule())
+        part.enable_resilience(
+            checkpoint_dir=str(tmp_path), checkpoint_every=120.0
+        )
+        part.run(300, parallel=2, coalesce=True)
+        part.close()
+
+        res = build("columnar", chaos_schedule())
+        res.enable_resilience(
+            checkpoint_dir=str(tmp_path), checkpoint_every=120.0
+        )
+        res.run(300, parallel=2, coalesce=True, resume=True)
+        res.run(300, parallel=2, coalesce=True)
+        r = snapshot(res)
+        res.close()
+        assert g == r
+
+    def test_resume_host_mode_must_match(self, tmp_path):
+        part = build("columnar")
+        part.enable_resilience(
+            checkpoint_dir=str(tmp_path), checkpoint_every=60.0
+        )
+        part.run(120, parallel=2, coalesce=True)
+        part.close()
+
+        other = build("objects")
+        other.enable_resilience(
+            checkpoint_dir=str(tmp_path), checkpoint_every=60.0
+        )
+        try:
+            with pytest.raises(SimulationError, match="hosts="):
+                other.run(120, parallel=2, coalesce=True, resume=True)
+        finally:
+            other.close()
