@@ -14,6 +14,13 @@ Measures three variants of the same serial fleet run:
   ``enabled`` flag instead.
 - ``enabled``      — full span recording, reported for documentation
   (``docs/observability.md``) but not gated.
+- ``ops``          — the full live operations plane: tracing with a
+  deliberately tiny ring (so the run *must* spill evicted events to
+  JSONL segments) plus the streaming metrics appender. Gated separately
+  at ``BENCH_OPS_MAX_RATIO`` (default 1.15) — streaming durability may
+  cost single-digit percent, never multiples. The ops run's trace
+  timeline must stay identical to the ``enabled`` run's: spill-stitching
+  is equivalence-preserving.
 
 Shared machines drift: identical runs here vary by 2x across a minute
 (noisy neighbours, thermal throttling), so an unpaired min-of-N estimate
@@ -30,6 +37,8 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 import time
 from statistics import median
 
@@ -42,8 +51,22 @@ SEED = 103
 VIRTUAL_S = 600.0
 ROUNDS = 7
 
+#: ring capacity for the ops variant — small enough that the run is
+#: guaranteed to evict (and therefore spill) most of its events
+OPS_RING_CAPACITY = 512
+
 #: overhead gate: baseline (no tracer) vs disabled-tracer wall ratio
 DEFAULT_MAX_RATIO = 1.03
+#: overhead gate for the full ops plane (spill + metrics appender)
+DEFAULT_OPS_MAX_RATIO = 1.15
+
+
+def _timeline_shape(tracer) -> tuple:
+    """Wall-clock-free projection of the merged (spill-stitched) timeline."""
+    return tuple(
+        (e.kind, e.name, e.track, e.t0, e.t1, e.attrs)
+        for e in tracer.timeline()
+    )
 
 
 def _run(variant: str) -> tuple:
@@ -51,46 +74,77 @@ def _run(variant: str) -> tuple:
         servers=SERVERS, rack_size=RACK_SIZE, seed=SEED,
         sample_interval_s=1.0,
     )
+    ops_dir = None
     if variant == "enabled":
         sim.enable_tracing()
     elif variant == "disabled":
         sim.enable_tracing()
         sim.tracer.enabled = False
+    elif variant == "ops":
+        ops_dir = tempfile.mkdtemp(prefix="bench-ops-")
+        sim.enable_tracing(
+            capacity=OPS_RING_CAPACITY,
+            spill_dir=os.path.join(ops_dir, "spill"),
+        )
+        sim.enable_ops(ops_dir, every_sim_s=30.0)
     t0 = time.perf_counter()
     sim.run(VIRTUAL_S, dt=1.0)
     wall = time.perf_counter() - t0
     events = sim.tracer.event_count if sim.tracer is not None else 0
+    timeline = (
+        _timeline_shape(sim.tracer)
+        if variant in ("enabled", "ops")
+        else None
+    )
+    spilled = sim.tracer.spilled if sim.tracer is not None else 0
     trace = (
         tuple(sim.aggregate_trace.times),
         tuple(sim.aggregate_trace.watts),
     )
     sim.close()
-    return wall, events, trace
+    if ops_dir is not None:
+        shutil.rmtree(ops_dir, ignore_errors=True)
+    return wall, events, trace, timeline, spilled
 
 
 def test_obs_overhead(results_dir):
     max_ratio = float(
         os.environ.get("BENCH_OBS_MAX_RATIO", "") or DEFAULT_MAX_RATIO
     )
-    variants = ("baseline", "disabled", "enabled")
+    ops_max_ratio = float(
+        os.environ.get("BENCH_OPS_MAX_RATIO", "") or DEFAULT_OPS_MAX_RATIO
+    )
+    variants = ("baseline", "disabled", "enabled", "ops")
     walls = {v: [] for v in variants}
     events = {v: 0 for v in variants}
     traces = {}
+    timelines = {}
+    spill_counts = {v: 0 for v in variants}
     for round_i in range(ROUNDS):
         # back-to-back pairs in rotating order: drift within a round hits
         # every variant alike, and no variant always runs first (warm
         # caches) or last (accumulated heat)
-        order = variants[round_i % 3 :] + variants[: round_i % 3]
+        shift = round_i % len(variants)
+        order = variants[shift:] + variants[:shift]
         for variant in order:
-            wall, n_events, trace = _run(variant)
+            wall, n_events, trace, timeline, spilled = _run(variant)
             walls[variant].append(wall)
             events[variant] = n_events
             traces[variant] = trace
+            timelines[variant] = timeline
+            spill_counts[variant] = spilled
     # instrumentation must never change simulation results
-    assert traces["baseline"] == traces["disabled"] == traces["enabled"]
+    assert (
+        traces["baseline"] == traces["disabled"]
+        == traces["enabled"] == traces["ops"]
+    )
     assert events["baseline"] == 0
     assert events["disabled"] == 0
     assert events["enabled"] > 0
+    # the ops run really exercised the spill path, and stitching the
+    # spilled segments back reproduces the unbounded-ring timeline
+    assert spill_counts["ops"] > 0
+    assert timelines["ops"] == timelines["enabled"]
 
     paired_disabled = [
         d / b for d, b in zip(walls["disabled"], walls["baseline"])
@@ -98,13 +152,22 @@ def test_obs_overhead(results_dir):
     paired_enabled = [
         e / b for e, b in zip(walls["enabled"], walls["baseline"])
     ]
+    paired_ops = [
+        o / b for o, b in zip(walls["ops"], walls["baseline"])
+    ]
     ratio_disabled = median(paired_disabled)
     ratio_enabled = median(paired_enabled)
+    ratio_ops = median(paired_ops)
     assert ratio_disabled <= max_ratio, (
         f"disabled-tracing overhead {ratio_disabled:.4f}x (median of"
         f" {ROUNDS} paired rounds) exceeds the {max_ratio}x gate"
         f" (paired ratios: "
         f"{', '.join(f'{r:.3f}' for r in paired_disabled)})"
+    )
+    assert ratio_ops <= ops_max_ratio, (
+        f"ops-plane overhead {ratio_ops:.4f}x (median of {ROUNDS} paired"
+        f" rounds) exceeds the {ops_max_ratio}x gate (paired ratios: "
+        f"{', '.join(f'{r:.3f}' for r in paired_ops)})"
     )
 
     payload = {
@@ -113,14 +176,19 @@ def test_obs_overhead(results_dir):
         "virtual_seconds": VIRTUAL_S,
         "rounds": ROUNDS,
         "max_ratio_gate": max_ratio,
+        "ops_max_ratio_gate": ops_max_ratio,
+        "ops_ring_capacity": OPS_RING_CAPACITY,
         "wall_s": {
             v: [round(w, 4) for w in walls[v]] for v in variants
         },
         "paired_disabled_ratios": [round(r, 4) for r in paired_disabled],
         "paired_enabled_ratios": [round(r, 4) for r in paired_enabled],
+        "paired_ops_ratios": [round(r, 4) for r in paired_ops],
         "disabled_overhead_ratio": round(ratio_disabled, 4),
         "enabled_overhead_ratio": round(ratio_enabled, 4),
+        "ops_overhead_ratio": round(ratio_ops, 4),
         "enabled_events": events["enabled"],
+        "ops_spilled_events": spill_counts["ops"],
     }
     (results_dir / "BENCH_obs.json").write_text(
         json.dumps(payload, indent=2) + "\n"
@@ -131,15 +199,20 @@ def test_obs_overhead(results_dir):
         f"over {ROUNDS} rotating rounds ({VIRTUAL_S:.0f} virtual s)",
         "",
         f"{'variant':>10}{'median wall s':>15}{'vs baseline':>13}"
-        f"{'events':>9}",
+        f"{'events':>9}{'spilled':>9}",
         f"{'baseline':>10}{median(walls['baseline']):>15.3f}{1.0:>12.3f}x"
-        f"{events['baseline']:>9}",
+        f"{events['baseline']:>9}{0:>9}",
         f"{'disabled':>10}{median(walls['disabled']):>15.3f}"
-        f"{ratio_disabled:>12.3f}x{events['disabled']:>9}",
+        f"{ratio_disabled:>12.3f}x{events['disabled']:>9}{0:>9}",
         f"{'enabled':>10}{median(walls['enabled']):>15.3f}"
-        f"{ratio_enabled:>12.3f}x{events['enabled']:>9}",
+        f"{ratio_enabled:>12.3f}x{events['enabled']:>9}{0:>9}",
+        f"{'ops':>10}{median(walls['ops']):>15.3f}"
+        f"{ratio_ops:>12.3f}x{events['ops']:>9}"
+        f"{spill_counts['ops']:>9}",
         "",
         f"gate: median(disabled/baseline) <= {max_ratio}x -> "
         f"{'PASS' if ratio_disabled <= max_ratio else 'FAIL'}",
+        f"gate: median(ops/baseline) <= {ops_max_ratio}x -> "
+        f"{'PASS' if ratio_ops <= ops_max_ratio else 'FAIL'}",
     ]
     write_result(results_dir, "obs_overhead", "\n".join(lines))

@@ -9,11 +9,25 @@ ranking reproduces the paper's group structure:
 3. unique accumulators ranked by growth rate,
 4. varying channels ranked by joint entropy,
 5. inert channels (modules, cpuinfo, version) last.
+
+Beyond the single paper-faithful fixture, ``test_ranking_ndcg`` runs the
+:mod:`repro.detection.evaluation` harness: the same base assessment is
+perturbed into ``BENCH_NDCG_PROFILES`` (default 1000) seeded randomized
+cloud profiles — masking policies, signal noise, probe misclassification
+— and the detector's severity ranking is scored with NDCG@10 against
+Table II ground-truth grades. Gates: the unperturbed paper profile must
+score exactly 1.0, and the sweep's mean NDCG@10 must clear
+``BENCH_NDCG_FLOOR`` (default 0.9). Emits
+``benchmarks/out/BENCH_ranking.json``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 from benchmarks.conftest import write_result
+from repro.detection.evaluation import EvaluationService
 from repro.detection.metrics import ChannelAssessor, Manipulation, UniquenessGroup
 
 _M_GLYPH = {
@@ -63,3 +77,70 @@ def test_table2(benchmark, results_dir):
             f"{a.entropy:>9.2f}{a.growth_rate:>9.4f}"
         )
     write_result(results_dir, "table2_ranking", "\n".join(lines))
+
+
+def test_ranking_ndcg(results_dir):
+    profiles = int(os.environ.get("BENCH_NDCG_PROFILES", "") or 1000)
+    floor = float(os.environ.get("BENCH_NDCG_FLOOR", "") or 0.9)
+
+    service = EvaluationService.from_assessments(run_table2())
+
+    # the unperturbed paper-faithful cloud must rank perfectly: the
+    # detector's group order is exactly the ground-truth severity order
+    paper = service.paper_profile()
+    for k in (5, 10):
+        ndcg = service.score(paper, k=k)
+        assert ndcg == 1.0, f"paper profile NDCG@{k} = {ndcg} != 1.0"
+
+    report = service.sweep(profiles=profiles, k=10)
+    assert report.mean >= floor, (
+        f"mean NDCG@10 {report.mean:.4f} over {profiles} randomized"
+        f" profiles is below the {floor} floor"
+        f" (p5 {report.percentiles['p5']:.4f},"
+        f" min {report.percentiles['min']:.4f})"
+    )
+
+    payload = {
+        "bench": "ranking_ndcg",
+        "ndcg_floor_gate": floor,
+        "paper_ndcg_at_5": 1.0,
+        "paper_ndcg_at_10": 1.0,
+        "params": {
+            "mask_probability": service.mask_probability,
+            "misclassify_probability": service.misclassify_probability,
+            "signal_noise": service.signal_noise,
+        },
+    }
+    payload.update(report.as_dict())
+    (results_dir / "BENCH_ranking.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    pcts = report.percentiles
+    lines = [
+        f"ranking NDCG@10 over {profiles} randomized cloud profiles"
+        f" (mask p={service.mask_probability},"
+        f" misclassify p={service.misclassify_probability},"
+        f" noise {service.signal_noise})",
+        "",
+        "paper profile: NDCG@5 = 1.0, NDCG@10 = 1.0",
+        f"mean     {report.mean:.4f}",
+        f"p5/p25   {pcts['p5']:.4f} / {pcts['p25']:.4f}",
+        f"p50/p75  {pcts['p50']:.4f} / {pcts['p75']:.4f}",
+        f"min/max  {pcts['min']:.4f} / {pcts['max']:.4f}",
+        f"perfect  {report.perfect_fraction:.1%} of profiles",
+        "",
+        "worst profiles:",
+    ]
+    for w in report.worst[:5]:
+        lines.append(
+            f"  seed {w['seed']:>6}  ndcg {w['ndcg']:.4f}"
+            f"  masked {len(w['masked'])}"
+            f"  misclassified {len(w['misclassified'])}"
+        )
+    lines.append("")
+    lines.append(
+        f"gate: mean NDCG@10 >= {floor} -> "
+        f"{'PASS' if report.mean >= floor else 'FAIL'}"
+    )
+    write_result(results_dir, "ranking_ndcg", "\n".join(lines))

@@ -14,6 +14,10 @@ Subcommands mirror the workflow of the paper's figures:
 - ``repro trace``    — re-run ``fleet``/``attack``/``defend`` with span
   tracing enabled and export a Chrome ``trace_event`` timeline
   (``docs/observability.md``).
+- ``repro ops serve`` — run a fleet campaign with the live operations
+  plane: streamed metrics JSONL, trace spill, and ``/metrics`` /
+  ``/status`` / ``/healthz`` pull endpoints (``docs/ops.md``).
+- ``repro status``   — summarize an ops directory's metrics stream.
 - ``repro metrics``  — run a short fleet simulation and dump the unified
   metric registry.
 
@@ -28,21 +32,34 @@ import sys
 from typing import List, Optional
 
 
-def _export_trace(tracer, args: argparse.Namespace) -> None:
-    """Write the merged timeline to the formats the user asked for."""
+def _export_trace(tracer, args: argparse.Namespace, sim=None) -> None:
+    """Write the merged timeline to the formats the user asked for.
+
+    With ``sim`` given the export carries per-process ring health
+    (drops/spills, worker counters collected over one state barrier) so
+    ``repro.obs.validate`` can flag silently incomplete timelines.
+    """
     from repro.obs.export import to_chrome_trace, to_jsonl
 
+    if sim is not None:
+        health = sim.trace_health()
+    else:
+        health = {tracer.track: tracer.health()}
     events = tracer.timeline()
-    count = to_chrome_trace(events, args.trace_out)
+    count = to_chrome_trace(events, args.trace_out, health=health)
     print(f"trace: {count} events -> {args.trace_out}")
     jsonl = getattr(args, "trace_jsonl", None)
     if jsonl:
         n = to_jsonl(events, jsonl)
         print(f"trace: {n} events -> {jsonl} (jsonl)")
-    if tracer.dropped:
+    spilled = sum(h["spilled"] for h in health.values())
+    if spilled:
+        print(f"trace: {spilled} events stitched from spill segments")
+    dropped = sum(h["dropped"] for h in health.values())
+    if dropped:
         print(
-            f"trace: ring buffer dropped {tracer.dropped} events"
-            " (raise capacity)",
+            f"trace: ring buffer(s) dropped {dropped} events"
+            " (raise capacity or enable spill)",
             file=sys.stderr,
         )
 
@@ -175,7 +192,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             resume_key="synergistic" if args.checkpoint_dir else None,
         ).run(args.duration)
         if trace_out:
-            _export_trace(sim_s.tracer, args)
+            _export_trace(sim_s.tracer, args, sim_s)
     finally:
         sim_s.close()
     print("running periodic baseline...")
@@ -265,7 +282,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"faults injected: {injected}  "
                   f"trace gaps: {report['trace-gap-samples']}")
         if trace_out:
-            _export_trace(sim.tracer, args)
+            _export_trace(sim.tracer, args, sim)
     finally:
         sim.close()
     return 0
@@ -319,6 +336,110 @@ def _cmd_defend(args: argparse.Namespace) -> int:
     if trace_out:
         _export_trace(tracer, args)
     return 0 if xi < 0.05 else 1
+
+
+def _cmd_ops_serve(args: argparse.Namespace) -> int:
+    """A fleet campaign with the live operations plane attached.
+
+    Streams registry snapshots into ``<ops dir>/metrics.jsonl``, spills
+    ring-evicted trace events into ``<ops dir>/spill/``, serves
+    ``/metrics``, ``/status`` and ``/healthz`` on ``--port`` while the
+    campaign runs, and exports the stitched timeline to
+    ``<ops dir>/trace.json`` at the end. ``--hold`` keeps the endpoint
+    up for N wall seconds after the run so late readers (CI curls,
+    dashboards) still get the final state.
+    """
+    import multiprocessing
+    import os
+    import time
+
+    from repro.datacenter.simulation import DatacenterSimulation
+    from repro.obs.export import to_chrome_trace
+    from repro.sim.faults import FaultSchedule
+
+    if args.parallel and "spawn" not in multiprocessing.get_all_start_methods():
+        print(
+            "error: --parallel needs the 'spawn' process start method,"
+            " which this platform does not provide; run without --parallel",
+            file=sys.stderr,
+        )
+        return 2
+    flag_error = _check_resilience_args(args)
+    if flag_error:
+        print(f"error: {flag_error}", file=sys.stderr)
+        return 2
+    sim = DatacenterSimulation(
+        servers=args.servers,
+        rack_size=args.rack_size,
+        seed=args.seed,
+        sample_interval_s=args.sample_interval,
+    )
+    spill_dir = os.path.join(args.ops_dir, "spill")
+    sim.enable_tracing(capacity=args.spill_capacity, spill_dir=spill_dir)
+    if args.checkpoint_dir:
+        sim.enable_resilience(
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+    if args.faults:
+        sim.install_faults(
+            FaultSchedule.standard(
+                args.seed, args.duration,
+                servers=args.servers, racks=len(sim.racks),
+            )
+        )
+    ops = sim.enable_ops(
+        args.ops_dir,
+        every_sim_s=args.metrics_every,
+        every_wall_s=args.metrics_every_wall,
+        port=args.port,
+    )
+    mode = f"parallel x{args.parallel}" if args.parallel else "serial"
+    print(f"ops: serving {ops.server.url} "
+          f"(/metrics /status /healthz)", flush=True)
+    print(
+        f"running {args.servers} servers / {len(sim.racks)} racks for "
+        f"{args.duration:.0f}s ({mode}"
+        f"{', resumed' if args.resume else ''})...",
+        flush=True,
+    )
+    try:
+        sim.run(
+            args.duration, dt=args.dt,
+            coalesce=args.coalesce, parallel=args.parallel,
+            resume=args.resume, control_plane=args.control_plane,
+        )
+        trace = sim.aggregate_trace
+        print(
+            f"samples {len(trace)}  peak {trace.peak:.0f} W  "
+            f"trough {trace.trough:.0f} W  mean {trace.mean:.0f} W"
+        )
+        health = sim.trace_health()
+        trace_path = os.path.join(args.ops_dir, "trace.json")
+        count = to_chrome_trace(sim.tracer.timeline(), trace_path, health=health)
+        spilled = sum(h["spilled"] for h in health.values())
+        print(f"trace: {count} events -> {trace_path}"
+              f" ({spilled} stitched from spill)")
+        print(f"ops: metrics stream -> "
+              f"{os.path.join(args.ops_dir, 'metrics.jsonl')}", flush=True)
+        if args.hold > 0:
+            print(f"ops: holding endpoint for {args.hold:.0f}s...", flush=True)
+            time.sleep(args.hold)
+    finally:
+        sim.close()
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Tail an ops directory's metrics stream after (or during) a run."""
+    from repro.obs.ops import render_stream_tail
+
+    try:
+        print(render_stream_tail(args.ops_dir))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -479,6 +600,47 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="traced defense training")
     _add_trace_args(t_defend)
     t_defend.set_defaults(func=_cmd_defend)
+
+    p_ops = sub.add_parser(
+        "ops",
+        help="live operations plane: streamed metrics + pull endpoints",
+    )
+    ops_sub = p_ops.add_subparsers(dest="ops_command", required=True)
+    o_serve = ops_sub.add_parser(
+        "serve", parents=[common],
+        help="run a fleet campaign with the ops plane attached"
+             " (docs/ops.md)",
+    )
+    _add_fleet_args(o_serve)
+    o_serve.add_argument("--ops-dir", default="ops", metavar="DIR",
+                         help="ops artifact directory (metrics.jsonl,"
+                              " spill/, trace.json)")
+    o_serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                         help="HTTP port for /metrics /status /healthz"
+                              " (0 = pick a free one)")
+    o_serve.add_argument("--metrics-every", type=float, default=60.0,
+                         metavar="S",
+                         help="append a registry snapshot every S"
+                              " sim-seconds")
+    o_serve.add_argument("--metrics-every-wall", type=float, default=None,
+                         metavar="S",
+                         help="also append every S wall seconds")
+    o_serve.add_argument("--spill-capacity", type=int, default=65536,
+                         metavar="N",
+                         help="tracer ring capacity; evictions spill to"
+                              " <ops-dir>/spill instead of dropping")
+    o_serve.add_argument("--hold", type=float, default=0.0, metavar="S",
+                         help="keep serving S wall seconds after the run")
+    o_serve.set_defaults(func=_cmd_ops_serve)
+
+    p_status = sub.add_parser(
+        "status",
+        help="summarize an ops directory's metrics stream",
+    )
+    p_status.add_argument("ops_dir", metavar="DIR",
+                          help="ops directory written by 'ops serve' or"
+                               " enable_ops()")
+    p_status.set_defaults(func=_cmd_status)
 
     p_metrics = sub.add_parser(
         "metrics", parents=[common],

@@ -345,6 +345,9 @@ class DatacenterSimulation:
         #: opt-in span tracer (``None`` until :meth:`enable_tracing`)
         self.tracer: Optional[SpanTracer] = None
 
+        #: opt-in live operations plane (``None`` until :meth:`enable_ops`)
+        self._ops = None
+
         #: opt-in checkpoint/supervision config (:meth:`enable_resilience`)
         self.resilience = None
         #: strategy-registered state providers folded into each manifest
@@ -393,7 +396,9 @@ class DatacenterSimulation:
         self.horizon_sources.append(injector.next_barrier)
         return injector
 
-    def enable_tracing(self, capacity: int = 65536) -> SpanTracer:
+    def enable_tracing(
+        self, capacity: int = 65536, spill_dir: Optional[str] = None
+    ) -> SpanTracer:
         """Attach an opt-in span tracer recording a clock-aligned timeline.
 
         Must be called before the first parallel run: shard workers build
@@ -401,7 +406,11 @@ class DatacenterSimulation:
         every barrier. Spans land on the ``driver`` track, fault events
         as instants on ``fault``; the parallel engine adds ``barrier``
         and per-shard tracks. Idempotent — repeated calls return the
-        existing tracer. See ``docs/observability.md``.
+        existing tracer. With ``spill_dir`` set, events evicted past ring
+        capacity rotate into JSONL segments there (every process spills
+        to the same directory) and :meth:`SpanTracer.timeline` stitches
+        them back, instead of dropping the oldest. See
+        ``docs/observability.md`` and ``docs/ops.md``.
         """
         if self._parallel is not None:
             raise SimulationError(
@@ -414,7 +423,105 @@ class DatacenterSimulation:
             )
             if self.fault_injector is not None:
                 self.fault_injector.tracer = self.tracer
+        if spill_dir is not None:
+            self.tracer.enable_spill(spill_dir)
         return self.tracer
+
+    def enable_ops(
+        self,
+        directory: str,
+        every_sim_s: Optional[float] = 60.0,
+        every_wall_s: Optional[float] = None,
+        port: Optional[int] = None,
+        host: str = "127.0.0.1",
+    ):
+        """Attach the live operations plane (see ``docs/ops.md``).
+
+        Streams full registry snapshots into ``<directory>/metrics.jsonl``
+        at the given cadence (resume-idempotent: reopening an existing
+        stream continues after its last record), and with ``port`` set
+        serves ``/metrics``, ``/status`` and ``/healthz`` from a daemon
+        thread (``port=0`` picks a free one). The hot-loop cost when ops
+        is never enabled is one ``is not None`` check per tick.
+        """
+        from repro.obs.ops import OpsPlane
+
+        if self._ops is not None:
+            raise SimulationError("ops plane already enabled")
+        self._ops = OpsPlane(
+            directory,
+            self.metrics.registry,
+            self.ops_status,
+            every_sim_s=every_sim_s,
+            every_wall_s=every_wall_s,
+            port=port,
+            host=host,
+        )
+        return self._ops
+
+    @property
+    def ops(self):
+        """The live operations plane, or ``None`` (read-only handle)."""
+        return self._ops
+
+    def ops_status(self) -> Dict[str, object]:
+        """Campaign progress for the ops ``/status`` endpoint.
+
+        Reads only driver-local state (plain attributes under the GIL) —
+        never posts control frames — so it is safe to call from the
+        server thread mid-run without perturbing the barrier protocol.
+        """
+        m = self.metrics
+        status: Dict[str, object] = {
+            "now": self.now,
+            "start_time": self._start_time,
+            "virtual_seconds": m.virtual_seconds,
+            "ticks": m.ticks,
+            "tick_reduction": m.tick_reduction,
+            "samples": m.samples,
+            "wall_seconds": m.wall_seconds,
+            "mode": "parallel" if self._parallel is not None else "serial",
+            "replaying": self.replaying,
+        }
+        if self.tracer is not None:
+            status["trace"] = {"driver": self.tracer.health()}
+        engine = self._parallel
+        if engine is not None:
+            ipc = engine.ipc
+            status["parallel"] = {
+                "workers": ipc.workers,
+                "barrier_wait_s": {
+                    str(shard): wait
+                    for shard, wait in sorted(ipc.barrier_wait_s.items())
+                },
+                "barrier_wait_skew": ipc.barrier_wait_skew,
+                "barrier_frame_wait_s": {
+                    "p50": ipc.frame_wait_quantile(0.5),
+                    "p90": ipc.frame_wait_quantile(0.9),
+                    "p99": ipc.frame_wait_quantile(0.99),
+                },
+                "restarts": list(engine.restart_log),
+                "max_restarts": engine.max_restarts,
+                "checkpoint_seq": engine.checkpoint_seq,
+            }
+        return status
+
+    def trace_health(self) -> Dict[str, dict]:
+        """Per-process tracer drop/spill accounting, synced to metrics.
+
+        In parallel mode this posts one ``state`` barrier to collect the
+        worker counters — call it at export/close time, not from the
+        ops server thread (which must stay read-only).
+        """
+        if self.tracer is None:
+            return {}
+        from repro.obs.ops import sync_trace_counters
+
+        health = {self.tracer.track: self.tracer.health()}
+        if self._parallel is not None:
+            health.update(self._parallel.trace_health())
+        sync_trace_counters(self.metrics.registry, health)
+        return health
 
     def enable_resilience(
         self,
@@ -754,6 +861,7 @@ class DatacenterSimulation:
         engine = self.fastforward
         injector = self.fault_injector
         tracer = self.tracer
+        ops = self._ops
         trace_on = tracer is not None and tracer.enabled
         if trace_on:
             run_t0, run_w0 = self.now, perf_counter()
@@ -800,6 +908,8 @@ class DatacenterSimulation:
                     engine.stability.reset()
                 self._catch_up_samples()
                 self.metrics.record_tick(step, dt)
+                if ops is not None:
+                    ops.on_tick(self.now)
                 if on_tick is not None:
                     on_tick(self)
                 if trace_on:
@@ -949,6 +1059,22 @@ class DatacenterSimulation:
         ]
 
     def close(self) -> None:
-        """Shut down parallel workers (no-op for a serial simulation)."""
+        """Shut down the ops plane, spill segments, and parallel workers.
+
+        The ops stream gets a final record at the current sim time and
+        the pull server (if any) stops; driver-side ring accounting is
+        mirrored into the registry so the last snapshot carries it.
+        """
+        if self.tracer is not None:
+            from repro.obs.ops import sync_trace_counters
+
+            sync_trace_counters(
+                self.metrics.registry, {self.tracer.track: self.tracer.health()}
+            )
+        if self._ops is not None:
+            self._ops.close(self.now)
+            self._ops.shutdown()
+        if self.tracer is not None:
+            self.tracer.close_spill()
         if self._parallel is not None:
             self._parallel.close()

@@ -16,7 +16,7 @@ mode-independent tracks.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.obs.tracer import INSTANT, SPAN, TraceEvent
 
@@ -72,8 +72,17 @@ def to_jsonl(events: Iterable[TraceEvent], path) -> int:
     return n
 
 
-def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
-    """Build the Chrome ``trace_event`` JSON object for ``events``."""
+def chrome_trace(
+    events: Iterable[TraceEvent],
+    health: Optional[Dict[str, dict]] = None,
+) -> Dict[str, object]:
+    """Build the Chrome ``trace_event`` JSON object for ``events``.
+
+    ``health`` is the optional per-process ring accounting (label ->
+    ``SpanTracer.health()`` dict); when given it rides in the top-level
+    ``otherData`` block so ``repro.obs.validate`` can tell whether the
+    merged timeline silently lost events (drops without spill).
+    """
     out: List[Dict[str, object]] = []
     tracks: Dict[str, int] = {}
     for e in events:
@@ -118,12 +127,26 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
                 "args": {"sort_index": tid},
             }
         )
-    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+    data: Dict[str, object] = {
+        "traceEvents": meta + out,
+        "displayTimeUnit": "ms",
+    }
+    if health is not None:
+        data["otherData"] = {
+            "trace_dropped_events": sum(h["dropped"] for h in health.values()),
+            "trace_spilled_events": sum(h["spilled"] for h in health.values()),
+            "processes": {label: dict(h) for label, h in sorted(health.items())},
+        }
+    return data
 
 
-def to_chrome_trace(events: Iterable[TraceEvent], path) -> int:
+def to_chrome_trace(
+    events: Iterable[TraceEvent],
+    path,
+    health: Optional[Dict[str, dict]] = None,
+) -> int:
     """Write Chrome trace JSON; returns the non-metadata event count."""
-    data = chrome_trace(events)
+    data = chrome_trace(events, health=health)
     with open(path, "w") as fh:
         json.dump(data, fh)
         fh.write("\n")
@@ -178,4 +201,32 @@ def validate_chrome_trace(data: object) -> Dict[str, int]:
     if counts["spans"] + counts["instants"] == 0:
         raise ValueError("trace contains no span or instant events")
     counts["tracks"] = len(tids)
+    other = data.get("otherData")
+    if isinstance(other, dict):
+        counts["dropped_events"] = int(other.get("trace_dropped_events", 0))
+        counts["spilled_events"] = int(other.get("trace_spilled_events", 0))
     return counts
+
+
+def lossy_processes(data: object) -> List[str]:
+    """Process labels whose rings dropped events without spill enabled.
+
+    A non-empty result means the merged timeline is missing events that
+    a spill directory would have preserved — the validator CLI warns on
+    it. Traces exported without health metadata return ``[]``.
+    """
+    if not isinstance(data, dict):
+        return []
+    other = data.get("otherData")
+    if not isinstance(other, dict):
+        return []
+    processes = other.get("processes")
+    if not isinstance(processes, dict):
+        return []
+    return sorted(
+        label
+        for label, h in processes.items()
+        if isinstance(h, dict)
+        and h.get("dropped", 0)
+        and not h.get("spill_enabled", False)
+    )

@@ -1,0 +1,367 @@
+"""The live operations plane: streaming metrics and pull endpoints.
+
+Long campaigns were watch-after-the-fact: the registry and the merged
+timeline only became visible when the run ended. This module makes a
+running campaign observable three ways:
+
+- :class:`MetricsAppender` — an append-only JSONL stream of full
+  ``MetricRegistry`` snapshots, one record per cadence boundary, written
+  to ``<ops dir>/metrics.jsonl``. Reopening an existing stream (campaign
+  resume) continues after its last record, so replayed sim-time windows
+  append nothing and the stream stays strictly monotone.
+- :class:`OpsServer` — a threaded stdlib HTTP endpoint serving
+  ``/metrics`` (text render with histogram quantiles), ``/status``
+  (JSON campaign progress) and ``/healthz``, readable mid-run. Handlers
+  only *read* driver-local state (plain attribute reads under the GIL);
+  they never post control frames, so serving cannot perturb the barrier
+  protocol or the disabled-overhead gate.
+- :class:`OpsPlane` — the per-campaign bundle of both, wired in by
+  :meth:`DatacenterSimulation.enable_ops`. The hot-loop cost when ops is
+  off is one ``is not None`` check, same class as the tracing guards.
+
+Record schema (one JSON object per line, sorted keys)::
+
+    {"t": <sim s>, "wall": <unix s>, "seq": <int>, "metrics": {...}}
+
+``metrics`` is exactly ``MetricRegistry.snapshot()``: qualified name ->
+value, histograms as summary dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.registry import MetricRegistry
+
+#: stream file name inside an ops directory
+METRICS_STREAM = "metrics.jsonl"
+#: spill segment directory inside an ops directory
+SPILL_DIR = "spill"
+
+
+class MetricsAppender:
+    """Append-only JSONL stream of registry snapshots.
+
+    Cadence is sim-time first (``every_sim_s``) with an optional
+    wall-clock floor (``every_wall_s``) for campaigns that coalesce
+    large sim windows per tick. Construction scans an existing stream's
+    last record so a resumed campaign appends strictly after it —
+    records are never duplicated or rewritten.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        registry: MetricRegistry,
+        every_sim_s: Optional[float] = 60.0,
+        every_wall_s: Optional[float] = None,
+    ):
+        if every_sim_s is None and every_wall_s is None:
+            raise ValueError("appender needs a sim or wall cadence")
+        self.path = path
+        self.registry = registry
+        self.every_sim_s = every_sim_s
+        self.every_wall_s = every_wall_s
+        self.seq = 0
+        #: sim time of the last appended record (None = nothing yet)
+        self.last_t: Optional[float] = None
+        self._last_wall = time.monotonic()
+        self._fh = None
+        self._load_tail()
+
+    def _load_tail(self) -> None:
+        try:
+            fh = open(self.path)
+        except OSError:
+            return
+        with fh:
+            record = None
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail; the next append supersedes it
+        if record is None:
+            return
+        self.seq = int(record.get("seq", -1)) + 1
+        self.last_t = record.get("t")
+
+    def maybe_append(self, now: float) -> bool:
+        """Append a snapshot if a cadence boundary has passed.
+
+        Sim times at or before the stream's tail are replays of an
+        already-streamed window (campaign resume) and append nothing.
+        """
+        if self.last_t is not None:
+            if now <= self.last_t + 1e-9:
+                return False
+            due = (
+                self.every_sim_s is not None
+                and now - self.last_t >= self.every_sim_s - 1e-9
+            ) or (
+                self.every_wall_s is not None
+                and time.monotonic() - self._last_wall >= self.every_wall_s
+            )
+            if not due:
+                return False
+        self.append(now)
+        return True
+
+    def append(self, now: float) -> None:
+        """Unconditionally append one snapshot record at sim time ``now``."""
+        record = {
+            "t": now,
+            "wall": time.time(),
+            "seq": self.seq,
+            "metrics": self.registry.snapshot(),
+        }
+        if self._fh is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "a")
+            # a writer killed mid-record leaves a torn line without a
+            # newline; terminate it so this record starts a fresh line
+            if self._fh.tell() > 0:
+                with open(self.path, "rb") as tail:
+                    tail.seek(-1, os.SEEK_END)
+                    if tail.read(1) != b"\n":
+                        self._fh.write("\n")
+        self._fh.write(json.dumps(record, sort_keys=True))
+        self._fh.write("\n")
+        self._fh.flush()
+        self.seq += 1
+        self.last_t = now
+        self._last_wall = time.monotonic()
+
+    def close(self, now: Optional[float] = None) -> None:
+        """Append a final record (if ``now`` advanced) and close the file."""
+        if now is not None and (self.last_t is None or now > self.last_t + 1e-9):
+            self.append(now)
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class OpsServer:
+    """Threaded pull endpoint over a registry and a status callable.
+
+    ``GET /metrics`` returns ``registry.render()`` as text,
+    ``GET /status`` returns ``status_fn()`` as JSON, ``GET /healthz``
+    returns ``{"ok": true}``. Binds ``host:port`` (port 0 picks a free
+    one) and serves from a daemon thread until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        status_fn: Callable[[], dict],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # noqa: A003 - quiet by design
+                pass
+
+            def do_GET(self):
+                try:
+                    if self.path == "/metrics":
+                        body = registry.render() + "\n"
+                        ctype = "text/plain; charset=utf-8"
+                    elif self.path == "/status":
+                        body = json.dumps(status_fn(), sort_keys=True) + "\n"
+                        ctype = "application/json"
+                    elif self.path == "/healthz":
+                        body = json.dumps({"ok": True}) + "\n"
+                        ctype = "application/json"
+                    else:
+                        self.send_error(404, "unknown endpoint")
+                        return
+                except Exception as exc:  # surface, don't kill the thread
+                    self.send_error(500, str(exc))
+                    return
+                payload = body.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+                server.requests_served += 1
+
+        self.requests_served = 0
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="ops-server", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+
+class OpsPlane:
+    """One campaign's ops surface: the appender plus an optional server."""
+
+    def __init__(
+        self,
+        directory: str,
+        registry: MetricRegistry,
+        status_fn: Callable[[], dict],
+        every_sim_s: Optional[float] = 60.0,
+        every_wall_s: Optional[float] = None,
+        port: Optional[int] = None,
+        host: str = "127.0.0.1",
+    ):
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.appender = MetricsAppender(
+            os.path.join(directory, METRICS_STREAM),
+            registry,
+            every_sim_s=every_sim_s,
+            every_wall_s=every_wall_s,
+        )
+        self.server = (
+            OpsServer(registry, status_fn, host=host, port=port)
+            if port is not None
+            else None
+        )
+
+    def on_tick(self, now: float) -> None:
+        self.appender.maybe_append(now)
+
+    def close(self, now: Optional[float] = None) -> None:
+        """Flush the final record; the server keeps serving until
+        :meth:`shutdown` so post-run readers can still pull."""
+        self.appender.close(now)
+
+    def shutdown(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+
+
+def sync_trace_counters(
+    registry: MetricRegistry, health: Dict[str, dict]
+) -> None:
+    """Mirror per-process tracer drop/spill accounting into the registry.
+
+    One ``obs.trace_dropped_events{process=...}`` /
+    ``obs.trace_spilled_events{process=...}`` counter pair per process
+    label, set to the tracer's monotone totals.
+    """
+    for label in sorted(health):
+        h = health[label]
+        registry.counter(
+            "obs.trace_dropped_events",
+            "ring-evicted trace events lost (no spill)",
+            process=label,
+        ).value = h["dropped"]
+        registry.counter(
+            "obs.trace_spilled_events",
+            "ring-evicted trace events rotated to disk segments",
+            process=label,
+        ).value = h["spilled"]
+
+
+# ---------------------------------------------------------------- readers
+
+
+def read_metrics_stream(path: str) -> List[dict]:
+    """Parse a metrics JSONL stream, skipping torn lines.
+
+    A writer killed mid-record leaves a torn line; after resume the next
+    writer starts a fresh line, so torn lines can sit mid-file, not just
+    at the tail. Unparseable lines are skipped — stream integrity is
+    enforced by :func:`validate_metrics_stream`'s strict ``t``/``seq``
+    monotonicity over the surviving records.
+    """
+    records: List[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn line of an interrupted writer
+    return records
+
+
+def validate_metrics_stream(path: str) -> Dict[str, object]:
+    """Validate stream invariants; raise ValueError on violation.
+
+    Checks every record has ``t``/``seq``/``metrics`` and that ``t`` and
+    ``seq`` are strictly increasing (the resume-idempotence contract).
+    """
+    records = read_metrics_stream(path)
+    prev_t = None
+    prev_seq = None
+    for i, record in enumerate(records):
+        for field in ("t", "seq", "metrics"):
+            if field not in record:
+                raise ValueError(f"record {i} missing {field!r} in {path}")
+        if prev_t is not None and record["t"] <= prev_t:
+            raise ValueError(
+                f"record {i} sim time {record['t']} not after {prev_t} in {path}"
+            )
+        if prev_seq is not None and record["seq"] <= prev_seq:
+            raise ValueError(
+                f"record {i} seq {record['seq']} not after {prev_seq} in {path}"
+            )
+        prev_t = record["t"]
+        prev_seq = record["seq"]
+    return {
+        "records": len(records),
+        "t_first": records[0]["t"] if records else None,
+        "t_last": records[-1]["t"] if records else None,
+    }
+
+
+def render_stream_tail(directory: str) -> str:
+    """Human summary of an ops directory's metrics stream (last record)."""
+    path = os.path.join(directory, METRICS_STREAM)
+    records = read_metrics_stream(path)
+    if not records:
+        return f"(empty metrics stream: {path})"
+    first, last = records[0], records[-1]
+    lines = [
+        f"ops stream: {len(records)} record(s),"
+        f" t={first['t']:.6g}..{last['t']:.6g}s",
+        f"last snapshot (seq {last['seq']}):",
+    ]
+    metrics = last.get("metrics", {})
+    if not metrics:
+        lines.append("  (no instruments registered)")
+        return "\n".join(lines)
+    width = max(len(name) for name in metrics)
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, dict):
+            rendered = f"count {value.get('count', 0)}"
+            if value.get("count"):
+                rendered += f"  mean {value['mean']:.6g}  max {value['max']:.6g}"
+        elif isinstance(value, float):
+            rendered = f"{value:.6g}"
+        else:
+            rendered = str(value)
+        lines.append(f"  {name:<{width}}  {rendered}")
+    return "\n".join(lines)

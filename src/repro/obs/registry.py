@@ -126,6 +126,33 @@ class Histogram(Instrument):
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        Each bucket's mass is assumed uniform between its edges; the
+        first populated bucket's lower edge is the observed ``min`` and
+        the overflow bucket's upper edge is the observed ``max``, so the
+        estimate is always within ``[min, max]``. Returns 0.0 when the
+        histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if not n:
+                continue
+            lo = self.min if i == 0 else max(self.bounds[i - 1], self.min)
+            hi = self.max if i == len(self.bounds) else min(self.bounds[i], self.max)
+            if hi < lo:
+                hi = lo
+            if cumulative + n >= target:
+                return lo + (hi - lo) * ((target - cumulative) / n)
+            cumulative += n
+        return self.max
+
 
 class MetricRegistry:
     """Process-local instrument store with get-or-create semantics.
@@ -217,6 +244,9 @@ class MetricRegistry:
                         f"count {inst.count}  sum {inst.sum:.6g}"
                         f"  mean {inst.mean:.6g}"
                         f"  min {inst.min:.6g}  max {inst.max:.6g}"
+                        f"  p50 {inst.quantile(0.5):.6g}"
+                        f"  p90 {inst.quantile(0.9):.6g}"
+                        f"  p99 {inst.quantile(0.99):.6g}"
                     )
                 else:
                     value = "count 0"

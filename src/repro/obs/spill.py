@@ -1,0 +1,173 @@
+"""Spill-to-disk segments for :class:`~repro.obs.tracer.SpanTracer` rings.
+
+A tracer with spill enabled rotates ring-evicted events into an
+append-only JSONL segment instead of dropping them, and the timeline
+merger stitches the segments back in — so a run whose rings overflowed
+produces the same merged timeline as one with unbounded rings.
+
+Layout: one directory per campaign, one segment per process
+*incarnation*, named ``<label>.<k>.jsonl`` where ``label`` is the
+process's tracer track (``driver``, ``shard-0``, ...) and ``k`` counts
+restarts. Rows carry the full :class:`TraceEvent` tuple — including
+``seq`` and the frozen attrs pairs — so stitched events sort under the
+exact same ``(t0, track, name, attrs, seq)`` key as in-memory ones
+(JSON round-trips floats exactly via ``repr``).
+
+Crash safety rides on determinism: a respawned worker (or resumed
+driver) opens a fresh incarnation segment and re-spills whatever it
+re-executes, so events the dead incarnation already wrote appear twice
+— byte-identical, because replay is deterministic. The reader therefore
+deduplicates by ``(label, seq)``, which also heals a torn final line
+left by a SIGKILLed process: the torn copy is skipped, the replayed
+duplicate supplies the intact one. ``seq`` values are only unique
+within one process, never across processes — hence the per-label
+grouping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Optional, Tuple
+
+_SEGMENT_RE = re.compile(r"^(?P<label>.+)\.(?P<incarnation>\d+)\.jsonl$")
+
+#: raw event row: (kind, name, track, t0, t1, wall_s, attrs, seq)
+EventRow = Tuple[str, str, str, float, float, float, tuple, int]
+
+
+def _scan_segments(directory: str) -> List[Tuple[str, int, str]]:
+    """``(label, incarnation, path)`` for every segment, sorted."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    found = []
+    for name in names:
+        m = _SEGMENT_RE.match(name)
+        if m is not None:
+            found.append(
+                (m.group("label"), int(m.group("incarnation")), os.path.join(directory, name))
+            )
+    return sorted(found)
+
+
+class SpillWriter:
+    """Append-only JSONL writer for one tracer incarnation's evictions.
+
+    The segment file is created lazily on the first eviction (a run
+    that never overflows leaves no segment) under the next free
+    incarnation index for ``label``, and every row is flushed so the
+    driver — or a live ``/status`` reader — sees a consistent prefix
+    even while the owning process is mid-run.
+    """
+
+    def __init__(self, directory: str, label: str):
+        if "/" in label or label.startswith("."):
+            raise ValueError(f"invalid spill label: {label!r}")
+        self.directory = directory
+        self.label = label
+        self.path: Optional[str] = None
+        self.count = 0
+        self._fh = None
+
+    def write(self, event) -> None:
+        """Append one evicted event (lazily opening the segment)."""
+        if self._fh is None:
+            os.makedirs(self.directory, exist_ok=True)
+            taken = [
+                inc for label, inc, _ in _scan_segments(self.directory) if label == self.label
+            ]
+            incarnation = max(taken) + 1 if taken else 0
+            self.path = os.path.join(self.directory, f"{self.label}.{incarnation}.jsonl")
+            self._fh = open(self.path, "w")
+        self._fh.write(
+            json.dumps(
+                [
+                    event.kind,
+                    event.name,
+                    event.track,
+                    event.t0,
+                    event.t1,
+                    event.wall_s,
+                    [list(pair) for pair in event.attrs],
+                    event.seq,
+                ]
+            )
+        )
+        self._fh.write("\n")
+        self._fh.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _parse_row(row: object) -> EventRow:
+    if not isinstance(row, list) or len(row) != 8:
+        raise ValueError(f"malformed spill row: {row!r}")
+    attrs = tuple((pair[0], pair[1]) for pair in row[6])
+    return (row[0], row[1], row[2], row[3], row[4], row[5], attrs, row[7])
+
+
+def read_segments(directory: str) -> List[EventRow]:
+    """All spilled events under ``directory``, deduped by (label, seq).
+
+    Unparseable trailing lines (a process killed mid-write) are
+    skipped; their replayed duplicates, when present, supply the intact
+    copy. Returned rows are plain tuples in ``TraceEvent`` field order.
+    """
+    out: List[EventRow] = []
+    seen = set()
+    for label, _, path in _scan_segments(directory):
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = _parse_row(json.loads(line))
+                except (ValueError, IndexError, TypeError):
+                    continue  # torn tail of a killed incarnation
+                key = (label, row[7])
+                if key not in seen:
+                    seen.add(key)
+                    out.append(row)
+    return out
+
+
+def validate_spill_dir(directory: str) -> Dict[str, object]:
+    """Structurally validate a spill directory; raise ValueError if bad.
+
+    Every line must parse as a full event row except the *final* line
+    of a segment, which may be torn. Returns summary counts.
+    """
+    segments = _scan_segments(directory)
+    if not os.path.isdir(directory):
+        raise ValueError(f"not a spill directory: {directory}")
+    events = 0
+    torn = 0
+    labels = set()
+    for label, _, path in segments:
+        labels.add(label)
+        with open(path) as fh:
+            lines = [ln for ln in (raw.strip() for raw in fh) if ln]
+        for i, line in enumerate(lines):
+            try:
+                _parse_row(json.loads(line))
+            except (ValueError, IndexError, TypeError):
+                if i == len(lines) - 1:
+                    torn += 1
+                    continue
+                raise ValueError(f"malformed spill row in {path} line {i + 1}")
+            events += 1
+    return {
+        "segments": len(segments),
+        "events": events,
+        "deduped_events": len(read_segments(directory)),
+        "torn_lines": torn,
+        "processes": sorted(labels),
+    }

@@ -125,11 +125,41 @@ class SpanTracer:
         #: own events (ring buffer; ``_head`` = oldest index once full)
         self._events: List[TraceEvent] = []
         self._head = 0
-        #: events evicted by ring wraparound (per process, monotonic)
+        #: events evicted by ring wraparound and lost (per process)
         self.dropped = 0
+        #: events evicted but rotated to a disk segment instead of lost
+        self.spilled = 0
+        #: spill segment directory (None = overflow drops events)
+        self.spill_dir: Optional[str] = None
+        self._spill = None
         self._seq = 0
         #: events merged from other processes (driver side)
         self._ingested: List[TraceEvent] = []
+
+    def enable_spill(self, directory: str) -> None:
+        """Rotate ring-evicted events into JSONL segments in ``directory``.
+
+        Idempotent for the same directory; a tracer spills to one
+        directory for its whole life (respawned incarnations open new
+        segments there — see :mod:`repro.obs.spill`). The segment label
+        is this tracer's own ``track``, which identifies the owning
+        process even for events recorded onto shared tracks.
+        """
+        from repro.obs.spill import SpillWriter
+
+        if self.spill_dir is not None:
+            if self.spill_dir == directory:
+                return
+            raise ValueError(
+                f"tracer already spills to {self.spill_dir!r}, not {directory!r}"
+            )
+        self.spill_dir = directory
+        self._spill = SpillWriter(directory, self.track)
+
+    def close_spill(self) -> None:
+        """Close the spill segment file handle (spill stays enabled)."""
+        if self._spill is not None:
+            self._spill.close()
 
     # ------------------------------------------------------------- record
 
@@ -193,29 +223,44 @@ class SpanTracer:
         self._seq += 1
         if len(self._events) < self.capacity:
             self._events.append(event)
+            return
+        evicted = self._events[self._head]
+        self._events[self._head] = event
+        self._head = (self._head + 1) % self.capacity
+        if self._spill is not None:
+            self._spill.write(evicted)
+            self.spilled += 1
         else:
-            self._events[self._head] = event
-            self._head = (self._head + 1) % self.capacity
             self.dropped += 1
 
     # --------------------------------------------------------- checkpoint
 
-    def counters(self) -> Tuple[int, int]:
-        """``(seq, dropped)`` for shard snapshots.
+    def counters(self) -> Tuple[int, int, int]:
+        """``(seq, dropped, spilled)`` for shard snapshots.
 
         A restored shard rebuilds its tracer fresh (the ``now_fn``
         closure over the restored clock cannot be pickled) but must keep
         numbering events where the dead worker left off: ``seq`` breaks
         timeline sort ties, so a replayed worker whose counters restart
         at zero would order re-drained events differently than the
-        uninterrupted run.
+        uninterrupted run. ``spilled`` continues likewise so replayed
+        re-spills (deduped on read) don't inflate the accounting.
         """
-        return (self._seq, self.dropped)
+        return (self._seq, self.dropped, self.spilled)
 
-    def restore_counters(self, seq: int, dropped: int) -> None:
+    def restore_counters(self, seq: int, dropped: int, spilled: int = 0) -> None:
         """Restore :meth:`counters` into a freshly built tracer."""
         self._seq = seq
         self.dropped = dropped
+        self.spilled = spilled
+
+    def health(self) -> dict:
+        """Drop/spill accounting for export metadata and the ops plane."""
+        return {
+            "dropped": self.dropped,
+            "spilled": self.spilled,
+            "spill_enabled": self.spill_dir is not None,
+        }
 
     def snapshot_state(self) -> dict:
         """Full event state for the driver-side checkpoint manifest.
@@ -230,6 +275,7 @@ class SpanTracer:
             "head": self._head,
             "seq": self._seq,
             "dropped": self.dropped,
+            "spilled": self.spilled,
             "ingested": list(self._ingested),
         }
 
@@ -242,6 +288,7 @@ class SpanTracer:
         self._head = state["head"]
         self._seq = state["seq"]
         self.dropped = state["dropped"]
+        self.spilled = state.get("spilled", 0)
         self._ingested = [
             e if isinstance(e, TraceEvent) else TraceEvent(*e)
             for e in state["ingested"]
@@ -279,6 +326,13 @@ class SpanTracer:
         first, then a content key so ties across processes (whose ``seq``
         counters are unrelated) order deterministically — the same total
         order a serial run produces.
+
+        With spill enabled the segment directory is re-read on every
+        call and stitched into the returned sequence (kept out of the
+        in-memory merge so repeated calls stay idempotent): spilled
+        events are exactly the ring evictions, disjoint from what the
+        buffers still hold, so the stitched timeline equals the one an
+        unbounded ring would have produced.
         """
         events = self.drain() + tuple(self._ingested)
         self._ingested = []
@@ -286,4 +340,14 @@ class SpanTracer:
             events, key=lambda e: (e.t0, e.track, e.name, e.attrs, e.seq)
         )
         self._ingested = merged
-        return list(merged)
+        if self.spill_dir is None:
+            return list(merged)
+        from repro.obs.spill import read_segments
+
+        spilled = [TraceEvent(*row) for row in read_segments(self.spill_dir)]
+        if not spilled:
+            return list(merged)
+        return sorted(
+            merged + spilled,
+            key=lambda e: (e.t0, e.track, e.name, e.attrs, e.seq),
+        )

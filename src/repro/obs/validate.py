@@ -1,25 +1,30 @@
-"""Chrome-trace schema validator, runnable as a module.
+"""Observability artifact validator, runnable as a module.
 
-CI's trace-smoke job runs ``python -m repro.obs.validate trace.json``
-after a short ``repro trace fleet`` run: exit 0 with a one-line summary
-when the file is structurally valid ``trace_event`` JSON, exit 1 with
-the schema violation otherwise.
+CI's trace-smoke and ops-smoke jobs run it after short fleet runs::
+
+    python -m repro.obs.validate trace.json
+    python -m repro.obs.validate --metrics ops/metrics.jsonl --spill ops/spill
+
+Positional arguments are Chrome ``trace_event`` JSON exports;
+``--metrics`` validates an ops metrics JSONL stream (strictly monotone
+``t``/``seq``); ``--spill`` validates a trace spill segment directory.
+Exit 0 with one summary line per artifact when everything is valid,
+exit 1 with the violation otherwise. A trace whose health metadata
+shows rings dropped events *without* spill enabled still validates
+(the export is well-formed) but prints a warning to stderr — the
+merged timeline is incomplete and ``--spill-dir`` would have kept it.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 
-from repro.obs.export import validate_chrome_trace
+from repro.obs.export import lossy_processes, validate_chrome_trace
 
 
-def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 1:
-        print("usage: python -m repro.obs.validate <trace.json>", file=sys.stderr)
-        return 2
-    path = argv[0]
+def _validate_trace(path: str) -> int:
     try:
         with open(path) as fh:
             data = json.load(fh)
@@ -31,12 +36,87 @@ def main(argv=None) -> int:
     except ValueError as exc:
         print(f"{path}: invalid Chrome trace: {exc}", file=sys.stderr)
         return 1
-    print(
+    line = (
         f"{path}: valid Chrome trace — {counts['spans']} spans,"
         f" {counts['instants']} instants, {counts['tracks']} tracks,"
         f" {counts['metadata']} metadata events"
     )
+    if counts.get("spilled_events"):
+        line += f", {counts['spilled_events']} events stitched from spill"
+    print(line)
+    lossy = lossy_processes(data)
+    if lossy:
+        print(
+            f"{path}: warning: ring(s) dropped"
+            f" {counts.get('dropped_events', 0)} event(s) without spill"
+            f" enabled ({', '.join(lossy)}) — the merged timeline is"
+            " incomplete; enable trace spill to keep evicted events",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _validate_metrics(path: str) -> int:
+    from repro.obs.ops import validate_metrics_stream
+
+    try:
+        summary = validate_metrics_stream(path)
+    except (OSError, ValueError) as exc:
+        print(f"{path}: invalid metrics stream: {exc}", file=sys.stderr)
+        return 1
+    if not summary["records"]:
+        print(f"{path}: invalid metrics stream: no records", file=sys.stderr)
+        return 1
+    print(
+        f"{path}: valid metrics stream — {summary['records']} record(s),"
+        f" t={summary['t_first']:.6g}..{summary['t_last']:.6g}s"
+    )
+    return 0
+
+
+def _validate_spill(directory: str) -> int:
+    from repro.obs.spill import validate_spill_dir
+
+    try:
+        summary = validate_spill_dir(directory)
+    except (OSError, ValueError) as exc:
+        print(f"{directory}: invalid spill directory: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{directory}: valid spill directory — {summary['segments']}"
+        f" segment(s), {summary['deduped_events']} event(s)"
+        f" ({summary['torn_lines']} torn line(s) healed),"
+        f" processes: {', '.join(summary['processes']) or '(none)'}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="validate observability artifacts (traces, ops streams)",
+    )
+    parser.add_argument("traces", nargs="*", help="Chrome trace JSON export(s)")
+    parser.add_argument(
+        "--metrics", action="append", default=[], metavar="PATH",
+        help="ops metrics JSONL stream to validate",
+    )
+    parser.add_argument(
+        "--spill", action="append", default=[], metavar="DIR",
+        help="trace spill segment directory to validate",
+    )
+    args = parser.parse_args(argv)
+    if not args.traces and not args.metrics and not args.spill:
+        parser.print_usage(sys.stderr)
+        return 2
+    rc = 0
+    for path in args.traces:
+        rc = max(rc, _validate_trace(path))
+    for path in args.metrics:
+        rc = max(rc, _validate_metrics(path))
+    for directory in args.spill:
+        rc = max(rc, _validate_spill(directory))
+    return rc
 
 
 if __name__ == "__main__":

@@ -236,6 +236,15 @@ class IpcMetrics:
         ordered = sorted(self._round_trips)
         return ordered[len(ordered) // 2]
 
+    def frame_wait_quantile(self, q: float) -> float:
+        """Quantile of driver wall seconds blocked per shard reply.
+
+        Backed by the ``ipc.barrier_wait_per_frame_s`` histogram, so it
+        covers every frame since startup (no reservoir cap) and is what
+        ``render`` and the ops ``/status`` endpoint report.
+        """
+        return self._frame_wait.quantile(q)
+
     @property
     def barrier_wait_skew(self) -> float:
         """Max/median of per-shard cumulative barrier waits.
@@ -293,7 +302,10 @@ class IpcMetrics:
             f"shm control         {self.shm_control_frames} frame(s)"
             f" ({self.shm_control_bytes} B slots)",
             f"barrier p50/tick    {self.round_trip_p50 * 1e6:.0f}us"
-            f" (skew {self.barrier_wait_skew:.2f}x max/median)",
+            f" (frame p50/p90/p99"
+            f" {self.frame_wait_quantile(0.5) * 1e6:.0f}/"
+            f"{self.frame_wait_quantile(0.9) * 1e6:.0f}/"
+            f"{self.frame_wait_quantile(0.99) * 1e6:.0f}us)",
         ]
         return "\n".join(lines)
 

@@ -287,6 +287,8 @@ class ShardSpec:
     control_epoch_ticks: int = _DEFAULT_EPOCH_TICKS
     #: "columnar" (vectorized cold-host ticks) or "objects" (per-kernel)
     host_mode: str = "objects"
+    #: trace spill segment directory (None: ring overflow drops events)
+    spill_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -403,6 +405,8 @@ class _ShardRuntime:
                 track=f"shard-{spec.shard_index}",
                 capacity=spec.trace_capacity,
             )
+            if spec.spill_dir is not None:
+                self.tracer.enable_spill(spec.spill_dir)
         self.injector: Optional[FaultInjector] = None
         if spec.fault_schedule is not None:
             self.injector = FaultInjector(
@@ -532,6 +536,10 @@ class _ShardRuntime:
                 track=f"shard-{spec.shard_index}",
                 capacity=spec.trace_capacity,
             )
+            if spec.spill_dir is not None:
+                # a fresh incarnation segment: replayed frames re-spill
+                # deterministically identical rows, deduped on read
+                self.tracer.enable_spill(spec.spill_dir)
             if state["tracer"] is not None:
                 self.tracer.restore_counters(*state["tracer"])
         if self.injector is not None:
@@ -828,7 +836,8 @@ class _ShardRuntime:
             for rs, rack in zip(self.spec.racks, self.racks)
         )
         stats = self.injector.stats.as_dict() if self.injector is not None else {}
-        return {"breakers": breakers, "stats": stats}
+        tracer = self.tracer.health() if self.tracer is not None else None
+        return {"breakers": breakers, "stats": stats, "tracer": tracer}
 
     def dispatch(self, msg: tuple):
         cmd = msg[0]
@@ -1326,6 +1335,9 @@ class ParallelFleetEngine:
                 ),
                 control_epoch_ticks=self._epoch_ticks,
                 host_mode=sim.host_mode,
+                spill_dir=(
+                    self._tracer.spill_dir if self._tracer is not None else None
+                ),
             )
             for i in range(n)
         ]
@@ -2317,6 +2329,7 @@ class ParallelFleetEngine:
                     self._record_samples(due, bank)
             remaining = seconds
             batch = self.cplane is not None and self._epoch_ticks > 1
+            ops = sim._ops
             while remaining > _EPS:
                 if batch and coalesce:
                     remaining = self._epoch_coalesce(remaining, dt)
@@ -2326,6 +2339,8 @@ class ParallelFleetEngine:
                     remaining = self._classic_tick(remaining, dt, coalesce)
                 if self._resilience is not None and not sim.checkpoint_extras:
                     self.checkpoint_if_due()
+                if ops is not None:
+                    ops.on_tick(self.clock.now)
         if trace_on:
             tracer.add_span(
                 "fleet.run",
@@ -2539,6 +2554,35 @@ class ParallelFleetEngine:
             for key, value in self.faults.stats.as_dict().items():
                 merged[key] = merged.get(key, 0) + value
         return dict(sorted(merged.items()))
+
+    def trace_health(self) -> Dict[str, dict]:
+        """Per-worker tracer drop/spill accounting, keyed ``shard-N``.
+
+        One ``state`` barrier round trip — call at export/close time,
+        not from the ops server thread (the driver pipe protocol is
+        single-threaded request/reply).
+        """
+        health: Dict[str, dict] = {}
+        for idx, part in enumerate(self._broadcast(("state",))):
+            tracer = part.get("tracer")
+            if tracer is not None:
+                health[f"shard-{idx}"] = tracer
+        return health
+
+    @property
+    def restart_log(self) -> List[int]:
+        """Respawns used per shard (the ``/status`` restart budget view)."""
+        return list(self._restarts)
+
+    @property
+    def max_restarts(self) -> int:
+        """Respawn budget per shard (0 when supervision is off)."""
+        return self._max_restarts
+
+    @property
+    def checkpoint_seq(self) -> int:
+        """Latest committed checkpoint generation (0 before the first)."""
+        return self._ckpt_seq
 
     def close(self) -> None:
         """Shut the workers down; the engine is unusable afterwards.

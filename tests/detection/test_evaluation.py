@@ -1,0 +1,188 @@
+"""NDCG-ranked evaluation of the detector's channel-severity ranking.
+
+Uses a synthetic Table-II-shaped channel set (the real assessor is
+exercised in ``benchmarks/bench_table2_ranking.py``): the detector's
+rank key orders the uniqueness groups exactly by their ground-truth
+severity grades, so the unperturbed paper-faithful profile must score
+a perfect NDCG, and the randomized sweep must degrade only through the
+modelled perturbations (masking, noise, misclassification).
+"""
+
+import pytest
+
+from repro.detection.evaluation import (
+    ChannelSignal,
+    EvaluationService,
+    dcg,
+    ndcg_at_k,
+    rank_key,
+)
+from repro.detection.metrics import UniquenessGroup
+
+
+def synthetic_signals():
+    """A Table-II-shaped cloud: every group populated, plus inert files."""
+    signals = [
+        ChannelSignal("boot_id", UniquenessGroup.STATIC_ID, False, 16.0, 0.0),
+        ChannelSignal("ifpriomap", UniquenessGroup.STATIC_ID, False, 8.0, 0.0),
+        ChannelSignal(
+            "sched_debug", UniquenessGroup.IMPLANTABLE, True, 12.0, 0.0
+        ),
+        ChannelSignal(
+            "timer_list", UniquenessGroup.IMPLANTABLE, True, 9.0, 0.0
+        ),
+        ChannelSignal("locks", UniquenessGroup.IMPLANTABLE, True, 6.0, 0.0),
+        ChannelSignal("uptime", UniquenessGroup.ACCUMULATOR, True, 5.0, 2.0),
+        ChannelSignal("stat", UniquenessGroup.ACCUMULATOR, True, 5.5, 1.4),
+        ChannelSignal(
+            "energy_uj", UniquenessGroup.ACCUMULATOR, True, 7.0, 0.9
+        ),
+        ChannelSignal("zoneinfo", UniquenessGroup.NOT_UNIQUE, True, 4.0, 0.0),
+        ChannelSignal("meminfo", UniquenessGroup.NOT_UNIQUE, True, 3.0, 0.0),
+        ChannelSignal("loadavg", UniquenessGroup.NOT_UNIQUE, True, 2.0, 0.0),
+    ]
+    signals += [
+        ChannelSignal(
+            f"inert_{i}", UniquenessGroup.NOT_UNIQUE, False, 0.0, 0.0
+        )
+        for i in range(5)
+    ]
+    return signals
+
+
+@pytest.fixture()
+def service():
+    return EvaluationService(synthetic_signals())
+
+
+class TestNdcgMetric:
+    def test_dcg_discounts_by_position(self):
+        assert dcg([1.0]) == pytest.approx(1.0)
+        assert dcg([0.0, 1.0]) == pytest.approx(1.0 / 1.5849625007211562)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(["a"], {"a": 1.0}, 0)
+
+    def test_empty_ideal_is_vacuously_perfect(self):
+        assert ndcg_at_k(["a", "b"], {}, 5) == 1.0
+        assert ndcg_at_k([], {"a": 0.0}, 5) == 1.0
+
+    def test_ideal_order_scores_one(self):
+        relevance = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], relevance, 3) == pytest.approx(1.0)
+
+    def test_burying_the_beacon_costs_most(self):
+        relevance = {"beacon": 5.0, "x": 1.0, "y": 1.0}
+        swap_tail = ndcg_at_k(["beacon", "y", "x"], relevance, 3)
+        bury_beacon = ndcg_at_k(["x", "y", "beacon"], relevance, 3)
+        assert swap_tail == pytest.approx(1.0)  # equal grades, same NDCG
+        assert bury_beacon < 0.75
+
+
+class TestRankKeyGroundTruthAlignment:
+    def test_group_order_is_monotone_in_relevance(self, service):
+        # the detector's primary sort (group order) never inverts the
+        # ground-truth grades -- this is why the paper profile is perfect
+        ranked = sorted(
+            service.signals,
+            key=lambda s: rank_key(s.group, s.varies, s.entropy, s.growth_rate),
+        )
+        grades = [s.relevance for s in ranked]
+        assert grades == sorted(grades, reverse=True)
+
+    def test_inert_channels_grade_zero(self):
+        inert = ChannelSignal(
+            "version", UniquenessGroup.NOT_UNIQUE, False, 0.0, 0.0
+        )
+        assert inert.relevance == 0.0
+        assert rank_key(inert.group, inert.varies, 0.0, 0.0) == (4, 0.0)
+
+
+class TestProfiles:
+    def test_paper_profile_is_perfect(self, service):
+        paper = service.paper_profile()
+        assert paper.masked == ()
+        assert paper.misclassified == ()
+        for k in (5, 10):
+            assert service.score(paper, k=k) == 1.0
+
+    def test_profiles_are_deterministic_per_seed(self, service):
+        assert service.profile(42) == service.profile(42)
+        assert service.profile(42) != service.profile(43)
+
+    def test_masked_channels_leave_the_ideal_too(self):
+        # a profile that masks channels but misclassifies nothing still
+        # scores 1.0: the detector is not penalized for channels the
+        # cloud's masking policy removed
+        clean = EvaluationService(
+            synthetic_signals(), mask_probability=0.5,
+            misclassify_probability=0.0, signal_noise=0.0,
+        )
+        for seed in range(20):
+            profile = clean.profile(seed)
+            if profile.masked:
+                break
+        assert profile.masked
+        assert set(profile.masked) & set(s.channel_id for s in clean.signals)
+        assert clean.score(profile, k=10) == 1.0
+
+    def test_misclassification_degrades_the_score(self):
+        noisy = EvaluationService(
+            synthetic_signals(), mask_probability=0.0,
+            misclassify_probability=1.0, signal_noise=0.0,
+        )
+        profile = noisy.profile(1)
+        # every unique channel degraded to varying-not-unique: the
+        # ranking falls back to entropy order, which inverts at least
+        # one group boundary in this channel set
+        assert "boot_id" in profile.misclassified
+        assert noisy.score(profile, k=10) < 1.0
+
+    def test_noise_alone_cannot_break_group_order(self):
+        jittered = EvaluationService(
+            synthetic_signals(), mask_probability=0.0,
+            misclassify_probability=0.0, signal_noise=1.0,
+        )
+        # noise only perturbs intra-group tiebreaks, which carry equal
+        # grades -- NDCG stays perfect however large the jitter
+        for seed in range(10):
+            assert jittered.score(jittered.profile(seed), k=10) == 1.0
+
+
+class TestSweep:
+    def test_report_shape_and_gates(self, service):
+        report = service.sweep(profiles=200, k=10)
+        assert report.profiles == 200
+        assert report.k == 10
+        assert 0.0 < report.mean <= 1.0
+        assert set(report.percentiles) == {
+            "p5", "p25", "p50", "p75", "min", "max"
+        }
+        assert report.percentiles["min"] <= report.mean
+        assert report.percentiles["max"] <= 1.0
+        assert 0.0 <= report.perfect_fraction <= 1.0
+        assert len(report.worst) == 10
+        worst_scores = [w["ndcg"] for w in report.worst]
+        assert worst_scores == sorted(worst_scores)
+        assert report.percentiles["min"] == worst_scores[0]
+
+    def test_sweep_is_deterministic(self, service):
+        a = service.sweep(profiles=50, k=10)
+        b = service.sweep(profiles=50, k=10)
+        assert a.as_dict() == b.as_dict()
+
+    def test_as_dict_is_json_shaped(self, service):
+        import json
+
+        payload = service.sweep(profiles=20, k=5).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["k"] == 5
+        assert "mean_ndcg" in payload
+        assert "worst_profiles" in payload
+
+    def test_rejects_empty_sweep_and_signals(self, service):
+        with pytest.raises(ValueError):
+            service.sweep(profiles=0)
+        with pytest.raises(ValueError):
+            EvaluationService([])

@@ -1,5 +1,7 @@
 """Tests for the typed metric registry."""
 
+import json
+
 import pytest
 
 from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry, qualify
@@ -14,6 +16,15 @@ class TestQualify:
         assert qualify("ipc.wait", tuple(sorted(key))) == (
             "ipc.wait{kind=step,shard=2}"
         )
+
+    def test_label_order_does_not_matter(self):
+        # the registry sorts label pairs before qualifying, so the same
+        # labels in any keyword order address the same instrument
+        r = MetricRegistry()
+        a = r.counter("ipc.wait", shard=2, kind="step")
+        b = r.counter("ipc.wait", kind="step", shard=2)
+        assert a is b
+        assert a.qualified_name == "ipc.wait{kind=step,shard=2}"
 
 
 class TestInstruments:
@@ -43,6 +54,51 @@ class TestInstruments:
 
     def test_empty_histogram_mean_is_zero(self):
         assert Histogram("h", "", ()).mean == 0.0
+
+
+class TestHistogramQuantile:
+    def test_empty_is_zero(self):
+        assert Histogram("h", "", ()).quantile(0.5) == 0.0
+
+    def test_out_of_range_raises(self):
+        h = Histogram("h", "", ())
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_extremes_are_observed_min_and_max(self):
+        h = Histogram("h", "", (), bounds=(10.0,))
+        for v in (2.0, 4.0, 6.0, 8.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 2.0
+        assert h.quantile(1.0) == 8.0
+
+    def test_interpolates_within_a_bucket(self):
+        # 4 observations uniform in one bucket spanning [min=2, max=8]
+        h = Histogram("h", "", (), bounds=(10.0,))
+        for v in (2.0, 4.0, 6.0, 8.0):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+    def test_walks_buckets_cumulatively(self):
+        # 9 obs in [0,1], 1 in (1,10]: p50 stays in the first bucket,
+        # p99 lands in the sparse tail bucket near the observed max
+        h = Histogram("h", "", (), bounds=(1.0, 10.0))
+        for i in range(9):
+            h.observe(0.1 * (i + 1))
+        h.observe(5.0)
+        assert h.quantile(0.5) <= 1.0
+        assert 1.0 < h.quantile(0.99) <= 5.0
+
+    def test_monotone_in_q(self):
+        h = Histogram("h", "", ())
+        for i in range(100):
+            h.observe(0.003 * (i + 1))
+        qs = [h.quantile(q / 20.0) for q in range(21)]
+        assert qs == sorted(qs)
+        assert qs[0] == h.min
+        assert qs[-1] == h.max
 
 
 class TestMetricRegistry:
@@ -86,6 +142,40 @@ class TestMetricRegistry:
         assert snap["h"]["count"] == 1
         assert snap["h"]["buckets"]["le_1.0"] == 1
         assert snap["h"]["buckets"]["overflow"] == 0
+
+    def test_snapshot_is_deterministic(self):
+        def populate(r):
+            r.counter("b.total", shard=1).inc(3)
+            r.counter("b.total", shard=0).inc(2)
+            r.gauge("a.level").set(7.5)
+            h = r.histogram("c.wait", bounds=(1.0, 10.0))
+            for v in (0.5, 2.0, 20.0):
+                h.observe(v)
+
+        r1, r2 = MetricRegistry(), MetricRegistry()
+        populate(r1)
+        populate(r2)
+        # identical contents -> identical snapshots, byte-identical JSON
+        assert r1.snapshot() == r2.snapshot()
+        assert json.dumps(r1.snapshot(), sort_keys=True) == json.dumps(
+            r2.snapshot(), sort_keys=True
+        )
+        # key order follows instruments(): sorted by qualified name
+        assert list(r1.snapshot()) == sorted(r1.snapshot())
+
+    def test_snapshot_while_updating_is_a_point_in_time(self):
+        r = MetricRegistry()
+        c = r.counter("x")
+        c.inc(5)
+        before = r.snapshot()
+        c.inc(10)
+        r.histogram("h").observe(1.0)
+        after = r.snapshot()
+        # the earlier snapshot is not a live view of the registry
+        assert before["x"] == 5
+        assert after["x"] == 15
+        assert "h" not in before
+        assert after["h"]["count"] == 1
 
     def test_render_empty_and_aligned(self):
         r = MetricRegistry()
